@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Engine design-choice ablations beyond the paper's Fig. 14 (the
+ * DESIGN.md §7 list): memory-issue rate, outstanding-request budget,
+ * conjunctive skip-ahead rate, serializer bandwidth, and the SpKAdd
+ * input count k. Each sweep varies one knob from the Table 5 design
+ * and reports TMU cycles (speedup over the default configuration).
+ */
+
+#include "bench_util.hpp"
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+namespace {
+
+/** Run one TMU-mode configuration and return cycles. */
+Cycle
+runTmu(Workload &wl, RunConfig cfg)
+{
+    cfg.mode = Mode::Tmu;
+    const RunResult r = wl.run(cfg);
+    if (!r.verified)
+        std::fprintf(stderr, "WARNING: %s failed verification\n",
+                     wl.name().c_str());
+    return r.sim.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Engine ablations (DESIGN.md section 7)",
+                defaultConfig(matrixScale()));
+
+    // 1. Memory-issue rate and outstanding budget on SpMV (MLP knobs).
+    {
+        auto wl = makeWorkload("SpMV");
+        wl->prepare("M3", matrixScale());
+        const RunConfig base = defaultConfig(matrixScale());
+        const Cycle ref = runTmu(*wl, base);
+
+        TextTable t("SpMV/M3 - arbiter knobs (speedup vs default)");
+        t.header({"knob", "value", "speedup"});
+        for (const int issue : {1, 2, 4}) {
+            RunConfig cfg = base;
+            cfg.tmu.issuePerCycle = issue;
+            t.row({"issue/cycle", std::to_string(issue),
+                   TextTable::num(static_cast<double>(ref) /
+                                      static_cast<double>(
+                                          runTmu(*wl, cfg)),
+                                  2)});
+        }
+        for (const int outst : {16, 32, 64, 128, 256}) {
+            RunConfig cfg = base;
+            cfg.tmu.maxOutstanding = outst;
+            t.row({"outstanding", std::to_string(outst),
+                   TextTable::num(static_cast<double>(ref) /
+                                      static_cast<double>(
+                                          runTmu(*wl, cfg)),
+                                  2)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // 2. Conjunctive skip-ahead on TriangleCount (merge throughput).
+    {
+        auto wl = makeWorkload("TC");
+        wl->prepare("M2", matrixScale());
+        const RunConfig base = defaultConfig(matrixScale());
+        const Cycle ref = runTmu(*wl, base);
+
+        TextTable t("TC/M2 - conjunctive skip rate (speedup vs "
+                    "default of 4)");
+        t.header({"skip/cycle", "speedup"});
+        for (const int skip : {1, 2, 4, 8}) {
+            RunConfig cfg = base;
+            cfg.tmu.conjSkipPerCycle = skip;
+            t.row({std::to_string(skip),
+                   TextTable::num(static_cast<double>(ref) /
+                                      static_cast<double>(
+                                          runTmu(*wl, cfg)),
+                                  2)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // 3. Serializer bandwidth on SpKAdd (record-rate-bound workload).
+    {
+        auto wl = makeWorkload("SpKAdd");
+        wl->prepare("M2", matrixScale());
+        const RunConfig base = defaultConfig(matrixScale());
+        const Cycle ref = runTmu(*wl, base);
+
+        TextTable t("SpKAdd/M2 - serializer records/cycle");
+        t.header({"records/cycle", "speedup"});
+        for (const int rate : {1, 2, 4}) {
+            RunConfig cfg = base;
+            cfg.tmu.recordsPerCycle = rate;
+            t.row({std::to_string(rate),
+                   TextTable::num(static_cast<double>(ref) /
+                                      static_cast<double>(
+                                          runTmu(*wl, cfg)),
+                                  2)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf("Note: Fig. 14 (storage x SVE width) and the outQ\n"
+                "chunk-size sweep live in fig14_sensitivity and\n"
+                "fig13_rw_ratio respectively.\n");
+    return 0;
+}

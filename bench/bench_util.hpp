@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: input scaling knobs,
+ * paired baseline/TMU runs, and geomean collection.
+ *
+ * Every bench binary regenerates one paper artifact; absolute numbers
+ * come from the simulator, the *shape* (who wins, by what factor,
+ * where crossovers fall) is what reproduces the paper. Scale knobs:
+ *   TMU_SCALE_MAT  divisor for matrix surrogates (default 128)
+ *   TMU_SCALE_TEN  divisor for tensor surrogates (default 64)
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace tmu::bench {
+
+inline Index
+envScale(const char *name, Index def)
+{
+    if (const char *s = std::getenv(name)) {
+        const Index v = std::atoll(s);
+        if (v >= 1)
+            return v;
+    }
+    return def;
+}
+
+inline Index
+matrixScale()
+{
+    return envScale("TMU_SCALE_MAT", 128);
+}
+
+inline Index
+tensorScale()
+{
+    return envScale("TMU_SCALE_TEN", 64);
+}
+
+/** Scale divisor appropriate for a workload's input family. */
+inline Index
+scaleFor(const workloads::Workload &wl)
+{
+    return wl.inputs().front()[0] == 'T' ? tensorScale() : matrixScale();
+}
+
+/**
+ * Shrink the cache hierarchy by the input scale divisor (floors keep
+ * every cache structurally valid). The evaluation scales inputs down
+ * by TMU_SCALE_*; capacity-to-working-set ratios — which the paper's
+ * effects key on (gathers missing caches, workspaces thrashing) — are
+ * preserved by shrinking the machine with the data. Latencies, widths
+ * and MSHR counts stay at their Table 5 values.
+ */
+inline sim::SystemConfig
+shrinkCaches(sim::SystemConfig cfg, Index div)
+{
+    auto shrink = [&](std::uint64_t bytes, std::uint64_t floor) {
+        return std::max<std::uint64_t>(
+            floor, bytes / static_cast<std::uint64_t>(div));
+    };
+    cfg.l1.sizeBytes = shrink(cfg.l1.sizeBytes, 2048);
+    cfg.l2.sizeBytes = shrink(cfg.l2.sizeBytes, 2048);
+    cfg.llcSlice.sizeBytes = shrink(cfg.llcSlice.sizeBytes, 4096);
+    return cfg;
+}
+
+/** The default Table-5 run configuration at the bench's input scale. */
+inline workloads::RunConfig
+defaultConfig(Index scaleDiv)
+{
+    workloads::RunConfig cfg;
+    cfg.system = shrinkCaches(cfg.system, scaleDiv);
+    return cfg;
+}
+
+/** One baseline+TMU pair on a prepared workload. */
+struct PairResult
+{
+    workloads::RunResult base;
+    workloads::RunResult tmu;
+
+    double
+    speedup() const
+    {
+        return tmu.sim.cycles
+                   ? static_cast<double>(base.sim.cycles) /
+                         static_cast<double>(tmu.sim.cycles)
+                   : 0.0;
+    }
+
+    bool verified() const { return base.verified && tmu.verified; }
+};
+
+inline PairResult
+runPair(workloads::Workload &wl, workloads::RunConfig cfg)
+{
+    PairResult pr;
+    cfg.mode = workloads::Mode::Baseline;
+    pr.base = wl.run(cfg);
+    cfg.mode = workloads::Mode::Tmu;
+    pr.tmu = wl.run(cfg);
+    if (!pr.verified()) {
+        std::fprintf(stderr,
+                     "WARNING: %s failed verification (base=%d tmu=%d)\n",
+                     wl.name().c_str(), pr.base.verified,
+                     pr.tmu.verified);
+    }
+    return pr;
+}
+
+/** Print the Table-5 parameter banner every bench leads with. */
+inline void
+printBanner(const char *title, const workloads::RunConfig &cfg)
+{
+    std::printf("### %s\n", title);
+    std::printf("# %s\n", cfg.system.describe().c_str());
+    std::printf("# TMU: %d lanes, %zu B/lane, %d outstanding, "
+                "%zu B outQ chunks\n",
+                cfg.tmu.lanes, cfg.tmu.perLaneBytes,
+                cfg.tmu.maxOutstanding, cfg.tmu.chunkBytes);
+    std::printf("# scale: matrices 1/%lld, tensors 1/%lld "
+                "(TMU_SCALE_MAT / TMU_SCALE_TEN)\n\n",
+                static_cast<long long>(matrixScale()),
+                static_cast<long long>(tensorScale()));
+}
+
+} // namespace tmu::bench

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Paper Fig. 10: TMU speedups over the vectorized software baselines,
+ * linear algebra workloads (left, inputs M1-M6) and tensor algebra
+ * workloads (right, inputs T1-T4), plus the Table 6 input inventory
+ * and the per-class geomeans quoted in the abstract (3.6x memory-,
+ * 2.8x compute-, 4.9x merge-intensive).
+ */
+
+#include "bench_util.hpp"
+
+#include "tensor/suite.hpp"
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+namespace {
+
+void
+printTable6()
+{
+    TextTable t("Table 6 - inputs (published stats -> surrogate)");
+    t.header({"id", "stands for", "domain", "paper rows/dims",
+              "paper nnz", "surrogate rows", "surrogate nnz"});
+    for (const auto &m : tensor::matrixSuite()) {
+        const auto a = m.generate(matrixScale());
+        t.row({m.id, m.name, m.domain, std::to_string(m.paperRows),
+               std::to_string(m.paperNnz), std::to_string(a.rows()),
+               std::to_string(a.nnz())});
+    }
+    for (const auto &ti : tensor::tensorSuite()) {
+        const auto a = ti.generate(tensorScale());
+        std::string dims;
+        for (size_t d = 0; d < ti.paperDims.size(); ++d) {
+            dims += (d ? "x" : "") + std::to_string(ti.paperDims[d]);
+        }
+        std::string sdims;
+        for (size_t d = 0; d < a.dims().size(); ++d) {
+            sdims += (d ? "x" : "") + std::to_string(a.dims()[d]);
+        }
+        t.row({ti.id, ti.name, ti.domain, dims,
+               std::to_string(ti.paperNnz), sdims,
+               std::to_string(a.nnz())});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    RunConfig cfg = defaultConfig(matrixScale());
+    printBanner("Fig. 10 - TMU speedups over software baselines", cfg);
+    printTable6();
+
+    TextTable t("Fig. 10 - speedup per workload and input");
+    t.header({"workload", "input", "base cycles", "tmu cycles",
+              "speedup", "verified"});
+
+    std::vector<double> memClass, computeClass, mergeClass;
+    TextTable gm("per-workload geomean speedups");
+    gm.header({"workload", "class", "geomean"});
+
+    for (const auto &name : allWorkloads()) {
+        auto wl = makeWorkload(name);
+        std::vector<double> speedups;
+        RunConfig wlCfg = defaultConfig(scaleFor(*wl));
+        for (const auto &input : wl->inputs()) {
+            wl->prepare(input, scaleFor(*wl));
+            const PairResult pr = runPair(*wl, wlCfg);
+            t.row({name, input, std::to_string(pr.base.sim.cycles),
+                   std::to_string(pr.tmu.sim.cycles),
+                   TextTable::num(pr.speedup(), 2),
+                   pr.verified() ? "yes" : "NO"});
+            speedups.push_back(pr.speedup());
+        }
+        const double g = geomean(speedups);
+        const char *cls = "";
+        switch (wl->workloadClass()) {
+          case Workload::Class::MemoryIntensive:
+            cls = "memory";
+            memClass.push_back(g);
+            break;
+          case Workload::Class::ComputeIntensive:
+            cls = "compute";
+            computeClass.push_back(g);
+            break;
+          case Workload::Class::MergeIntensive:
+            cls = "merge";
+            mergeClass.push_back(g);
+            break;
+        }
+        gm.row({name, cls, TextTable::num(g, 2)});
+    }
+    t.print();
+    std::printf("\n");
+    gm.print();
+
+    std::printf("\nClass geomeans (paper: memory 3.58x, compute 2.82x, "
+                "merge 4.94x):\n");
+    std::printf("  memory-intensive  %.2fx\n", geomean(memClass));
+    std::printf("  compute-intensive %.2fx\n", geomean(computeClass));
+    std::printf("  merge-intensive   %.2fx\n", geomean(mergeClass));
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Paper Fig. 12: Roofline models.
+ *  (a) all FP workloads at their geomean input, baseline vs TMU;
+ *  (b) SpMV over all inputs;
+ *  (c) SpMSpM over all inputs, plus the nnz/row = {1, 8, 64} synthetic
+ *      compute ceilings;
+ *  (d) SpKAdd over all inputs.
+ *
+ * Arithmetic intensity = FLOPs / DRAM bytes moved; the bandwidth roof
+ * is 4 x 37.5 GB/s and the compute roof the cores' peak FMA rate
+ * (Table 5). Expected shape: baselines sit far below the bandwidth
+ * roof; TMU points move close to it (SpMV nearly saturates);
+ * SpMSpM stays compute-bound under its per-nnz/row ceiling.
+ */
+
+#include "bench_util.hpp"
+
+#include "tensor/generate.hpp"
+#include "workloads/wl_spmspm.hpp"
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+namespace {
+
+double
+intensity(const sim::SimResult &r)
+{
+    const double bytes = static_cast<double>(r.dram.readBytes) +
+                         static_cast<double>(r.dram.writeBytes);
+    return bytes > 0.0 ? static_cast<double>(r.total.flops) / bytes
+                       : 0.0;
+}
+
+void
+addPoint(TextTable &t, const std::string &wl, const std::string &input,
+         const char *path, const sim::SimResult &r)
+{
+    t.row({wl, input, path, TextTable::num(intensity(r), 4),
+           TextTable::num(r.gflops, 2),
+           TextTable::num(r.achievedGBs, 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    RunConfig cfg = defaultConfig(matrixScale());
+    printBanner("Fig. 12 - roofline models", cfg);
+    std::printf("Roofs: DRAM %.1f GB/s, compute %.1f GFLOP/s\n\n",
+                cfg.system.mem.peakGBs(), cfg.system.peakGflops());
+
+    // (a) all FP workloads, one representative input each (TC and
+    // SpTC do no floating-point work, as in the paper).
+    {
+        TextTable t("Fig. 12a - all workloads (AI, GFLOP/s, GB/s)");
+        t.header({"workload", "input", "path", "AI", "GFLOP/s",
+                  "GB/s"});
+        for (const auto &name : allWorkloads()) {
+            if (name == "TC" || name == "SpTC")
+                continue;
+            auto wl = makeWorkload(name);
+            const std::string input = wl->inputs()[2 % wl->inputs().size()];
+            wl->prepare(input, scaleFor(*wl));
+            const PairResult pr = runPair(*wl, defaultConfig(scaleFor(*wl)));
+            addPoint(t, name, input, "base", pr.base.sim);
+            addPoint(t, name, input, "tmu", pr.tmu.sim);
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // (b) SpMV and (d) SpKAdd over every input.
+    for (const char *name : {"SpMV", "SpKAdd"}) {
+        TextTable t(std::string("Fig. 12") +
+                    (std::string(name) == "SpMV" ? "b" : "d") + " - " +
+                    name + " per input");
+        t.header({"workload", "input", "path", "AI", "GFLOP/s",
+                  "GB/s"});
+        auto wl = makeWorkload(name);
+        for (const auto &input : wl->inputs()) {
+            wl->prepare(input, scaleFor(*wl));
+            const PairResult pr = runPair(*wl, cfg);
+            addPoint(t, name, input, "base", pr.base.sim);
+            addPoint(t, name, input, "tmu", pr.tmu.sim);
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // (c) SpMSpM per input + synthetic nnz/row ceilings.
+    {
+        TextTable t("Fig. 12c - SpMSpM per input");
+        t.header({"workload", "input", "path", "AI", "GFLOP/s",
+                  "GB/s"});
+        auto wl = makeWorkload("SpMSpM");
+        for (const auto &input : wl->inputs()) {
+            wl->prepare(input, scaleFor(*wl));
+            const PairResult pr = runPair(*wl, cfg);
+            addPoint(t, "SpMSpM", input, "base", pr.base.sim);
+            addPoint(t, "SpMSpM", input, "tmu", pr.tmu.sim);
+        }
+        t.print();
+        std::printf("\n");
+
+        TextTable c("Fig. 12c ceilings - synthetic fixed nnz/row, "
+                    "TMU-accelerated (ideal locality)");
+        c.header({"nnz/row", "AI", "GFLOP/s", "GB/s"});
+        for (const Index n : {1, 8, 64}) {
+            // Fixed-n matrices with columns {0..n-1}: ideal
+            // spatio-temporal locality (paper Sec. 7.1).
+            SpmspmWorkload probe;
+            probe.prepareSynthetic(4096, n);
+            RunConfig pc = cfg;
+            pc.mode = Mode::Tmu;
+            const sim::SimResult r = probe.run(pc).sim;
+            c.row({std::to_string(n), TextTable::num(intensity(r), 4),
+                   TextTable::num(r.gflops, 2),
+                   TextTable::num(r.achievedGBs, 1)});
+        }
+        c.print();
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Fig. 13: outQ read-to-write ratio per workload — the time the
+ * core takes to process (read) an outQ block over the time the TMU
+ * takes to produce (write) it, averaged over blocks.
+ *
+ * Expected shape: < 1 for TC, SpMV and MTTKRP (core faster than
+ * engine), ~1 for SpKAdd/SpTC (balanced), > 1 for SpMSpM, PR and
+ * CP-ALS (core-side compute is the bottleneck).
+ *
+ * An extra ablation sweeps the outQ chunk size (a DESIGN.md design
+ * choice) on SpMV.
+ */
+
+#include "bench_util.hpp"
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+int
+main()
+{
+    RunConfig cfg = defaultConfig(matrixScale());
+    printBanner("Fig. 13 - outQ read-to-write ratio", cfg);
+
+    TextTable t("read-to-write ratio (geomean inputs)");
+    t.header({"workload", "rw ratio", "speedup"});
+    for (const auto &name : allWorkloads()) {
+        auto wl = makeWorkload(name);
+        RunningStat rw;
+        std::vector<double> speedups;
+        const RunConfig wlCfg = defaultConfig(scaleFor(*wl));
+        for (const auto &input : wl->inputs()) {
+            wl->prepare(input, scaleFor(*wl));
+            const PairResult pr = runPair(*wl, wlCfg);
+            rw.add(pr.tmu.rwRatio);
+            speedups.push_back(pr.speedup());
+        }
+        t.row({name, TextTable::num(rw.mean(), 2),
+               TextTable::num(geomean(speedups), 2)});
+    }
+    t.print();
+
+    // Ablation: outQ chunk size on SpMV (double-buffered either way).
+    std::printf("\n");
+    TextTable ab("ablation - outQ chunk bytes (SpMV, M3)");
+    ab.header({"chunk B", "tmu cycles", "rw ratio"});
+    auto wl = makeWorkload("SpMV");
+    wl->prepare("M3", matrixScale());
+    for (const std::size_t chunk : {256u, 512u, 1024u, 4096u}) {
+        RunConfig c = cfg;
+        c.mode = Mode::Tmu;
+        c.tmu.chunkBytes = chunk;
+        const RunResult r = wl->run(c);
+        ab.row({std::to_string(chunk), std::to_string(r.sim.cycles),
+                TextTable::num(r.rwRatio, 2)});
+    }
+    ab.print();
+    return 0;
+}

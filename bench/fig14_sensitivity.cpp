@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Paper Fig. 14: design-space heatmap varying total engine storage
+ * {4, 8, 16, 32} KiB and SVE vector length {128, 256, 512} bits (the
+ * lane count follows the vector length: 512 b -> 8 lanes). Speedups
+ * are normalized to the evaluated 16 KiB / 512-bit design.
+ *
+ * Expected shape: SpMV is storage-sensitive (deeper queues = more MLP)
+ * and insensitive to vector length (rw ratio 0.5); SpMSpM is the
+ * opposite: vector length feeds the core-side bottleneck
+ * (rw ratio > 1).
+ */
+
+#include "bench_util.hpp"
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+int
+main()
+{
+    printBanner("Fig. 14 - storage x vector-length sensitivity",
+                defaultConfig(matrixScale()));
+
+    const std::vector<std::size_t> storages = {4096, 8192, 16384,
+                                               32768};
+    const std::vector<int> sveBits = {128, 256, 512};
+
+    for (const char *name : {"SpMV", "SpMSpM"}) {
+        auto wl = makeWorkload(name);
+
+        // Geomean cycles per configuration over M1-M6.
+        auto cells = std::vector<std::vector<double>>(
+            storages.size(), std::vector<double>(sveBits.size(), 1.0));
+        for (const auto &input : wl->inputs()) {
+            wl->prepare(input, scaleFor(*wl));
+            for (size_t s = 0; s < storages.size(); ++s) {
+                for (size_t v = 0; v < sveBits.size(); ++v) {
+                    RunConfig cfg = defaultConfig(scaleFor(*wl));
+                    cfg.mode = Mode::Tmu;
+                    cfg.system.simdBits = sveBits[v];
+                    cfg.programLanes = sveBits[v] / 64;
+                    cfg.tmu.lanes = cfg.programLanes;
+                    cfg.tmu.perLaneBytes =
+                        storages[s] /
+                        static_cast<std::size_t>(cfg.tmu.lanes);
+                    const RunResult r = wl->run(cfg);
+                    cells[s][v] *= static_cast<double>(r.sim.cycles);
+                }
+            }
+        }
+        const double exp =
+            1.0 / static_cast<double>(wl->inputs().size());
+        for (auto &rowv : cells)
+            for (auto &c : rowv)
+                c = std::pow(c, exp);
+
+        // Normalize to 16 KiB / 512 b (the Table 5 design point).
+        const double refCycles = cells[2][2];
+        TextTable t(std::string("Fig. 14 - ") + name +
+                    " (speedup normalized to 16KiB/512b)");
+        t.header({"storage", "SVE 128", "SVE 256", "SVE 512"});
+        for (size_t s = 0; s < storages.size(); ++s) {
+            t.row({std::to_string(storages[s] / 1024) + "KiB",
+                   TextTable::num(refCycles / cells[s][0], 2),
+                   TextTable::num(refCycles / cells[s][1], 2),
+                   TextTable::num(refCycles / cells[s][2], 2)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Paper Fig. 15: state-of-the-art comparison on SpMV and SpMSpM —
+ * IMP (indirect memory prefetcher, paper [67]), a Single-Lane engine
+ * with the full 16 KiB of storage (the HATS/SpZip proxy, Sec. 7.3),
+ * and the multi-lane TMU, all relative to the software baseline.
+ *
+ * Expected shape (paper: SpMV 1.25x/1.59x/3.32x, SpMSpM ~1x/1.50x/
+ * 2.82x): IMP helps SpMV but thrashes SpMSpM's partial results;
+ * Single-Lane gains from decoupling but lacks parallel loading.
+ */
+
+#include "bench_util.hpp"
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+int
+main()
+{
+    printBanner("Fig. 15 - IMP vs Single-Lane vs TMU",
+                defaultConfig(matrixScale()));
+
+    TextTable t("speedup over software baseline");
+    t.header({"workload", "input", "IMP", "Single-Lane", "TMU"});
+
+    for (const char *name : {"SpMV", "SpMSpM"}) {
+        auto wl = makeWorkload(name);
+        std::vector<double> gImp, gSingle, gTmu;
+        for (const auto &input : wl->inputs()) {
+            wl->prepare(input, scaleFor(*wl));
+
+            RunConfig cfg = defaultConfig(scaleFor(*wl));
+            cfg.mode = Mode::Baseline;
+            const RunResult base = wl->run(cfg);
+
+            cfg.system.impPrefetcher = true;
+            const RunResult imp = wl->run(cfg);
+            cfg.system.impPrefetcher = false;
+
+            cfg.mode = Mode::Tmu;
+            cfg.programLanes = 1;
+            cfg.tmu.perLaneBytes = 16 * 1024; // same total storage
+            const RunResult single = wl->run(cfg);
+
+            cfg.programLanes = 8;
+            cfg.tmu.perLaneBytes = 2048;
+            const RunResult tmu = wl->run(cfg);
+
+            auto speedup = [&](const RunResult &r) {
+                return static_cast<double>(base.sim.cycles) /
+                       static_cast<double>(r.sim.cycles);
+            };
+            t.row({name, input, TextTable::num(speedup(imp), 2),
+                   TextTable::num(speedup(single), 2),
+                   TextTable::num(speedup(tmu), 2)});
+            gImp.push_back(speedup(imp));
+            gSingle.push_back(speedup(single));
+            gTmu.push_back(speedup(tmu));
+        }
+        t.row({name, "geomean", TextTable::num(geomean(gImp), 2),
+               TextTable::num(geomean(gSingle), 2),
+               TextTable::num(geomean(gTmu), 2)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Paper Sec. 6 area analysis: TMU area from the analytical model
+ * calibrated against the published GF-22nm synthesis (0.0080 mm^2 per
+ * lane, 0.0704 mm^2 total, 1.52% of a Neoverse N1 core), plus a
+ * lanes x storage sweep matching the Fig. 14 design space.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "tmu/area.hpp"
+
+using namespace tmu;
+using namespace tmu::engine;
+
+int
+main()
+{
+    std::printf("### Area analysis (analytical model, GF 22nm FD-SOI "
+                "calibration)\n\n");
+
+    const AreaEstimate paper = estimateArea(8, 2048);
+    std::printf("Evaluated design (8 lanes x 2 KiB): %s\n",
+                describeArea(paper).c_str());
+    std::printf("Paper reference: lane 0.0080 mm2, total 0.0704 mm2, "
+                "1.52%% of an N1 core\n\n");
+
+    TextTable t("area across the Fig. 14 design space");
+    t.header({"lanes", "per-lane B", "total KiB", "lane mm2",
+              "total mm2", "% of N1 core"});
+    for (const int lanes : {2, 4, 8}) {
+        for (const std::size_t total :
+             {4096u, 8192u, 16384u, 32768u}) {
+            const std::size_t perLane =
+                total / static_cast<std::size_t>(lanes);
+            const AreaEstimate a = estimateArea(lanes, perLane);
+            t.row({std::to_string(lanes), std::to_string(perLane),
+                   std::to_string(total / 1024),
+                   TextTable::num(a.laneMm2, 4),
+                   TextTable::num(a.totalMm2, 4),
+                   TextTable::num(a.pctOfN1Core, 2)});
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-width lane predicates.
+ *
+ * TMU layers produce multi-hot predicates over at most 64 lanes (the
+ * evaluated design has 8). LaneMask wraps a uint64_t with the handful of
+ * operations the merge/lockstep FSMs need.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace tmu {
+
+/** Multi-hot predicate over up to 64 TMU lanes. Bit i == lane i active. */
+class LaneMask
+{
+  public:
+    constexpr LaneMask() = default;
+    constexpr explicit LaneMask(std::uint64_t bits) : bits_(bits) {}
+
+    /** Mask with lanes [0, n) set. */
+    static constexpr LaneMask
+    firstN(unsigned n)
+    {
+        return LaneMask(n >= 64 ? ~0ULL : ((1ULL << n) - 1));
+    }
+
+    constexpr std::uint64_t bits() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr bool test(unsigned lane) const { return (bits_ >> lane) & 1; }
+    constexpr int count() const { return std::popcount(bits_); }
+
+    void set(unsigned lane) { bits_ |= (1ULL << lane); }
+    void clear(unsigned lane) { bits_ &= ~(1ULL << lane); }
+
+    /** Index of the lowest set lane; mask must be non-empty. */
+    unsigned
+    lowest() const
+    {
+        TMU_ASSERT(bits_ != 0);
+        return static_cast<unsigned>(std::countr_zero(bits_));
+    }
+
+    constexpr LaneMask operator&(LaneMask o) const { return LaneMask(bits_ & o.bits_); }
+    constexpr LaneMask operator|(LaneMask o) const { return LaneMask(bits_ | o.bits_); }
+    constexpr LaneMask operator~() const { return LaneMask(~bits_); }
+    constexpr bool operator==(const LaneMask &) const = default;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace tmu

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO.
+ *
+ * TMU data streams are hardware circular queues carved out of the
+ * per-lane storage; capacity is fixed at configuration time and overflow
+ * is a programming error (the FSMs check space before pushing).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace tmu {
+
+/** Bounded FIFO with O(1) push/pop and random peek from the head. */
+template <typename T>
+class CircularQueue
+{
+  public:
+    CircularQueue() = default;
+
+    explicit CircularQueue(std::size_t capacity) { reset(capacity); }
+
+    /** Drop all contents and set a new capacity. */
+    void
+    reset(std::size_t capacity)
+    {
+        TMU_ASSERT(capacity > 0);
+        buf_.assign(capacity, T{});
+        head_ = 0;
+        size_ = 0;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == buf_.size(); }
+    std::size_t space() const { return buf_.size() - size_; }
+
+    void
+    push(T v)
+    {
+        TMU_ASSERT(!full(), "circular queue overflow (capacity %zu)",
+                   buf_.size());
+        buf_[(head_ + size_) % buf_.size()] = std::move(v);
+        ++size_;
+    }
+
+    /** Element at distance @p i from the head (i = 0 is the head). */
+    const T &
+    peek(std::size_t i = 0) const
+    {
+        TMU_ASSERT(i < size_);
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    T &
+    peek(std::size_t i = 0)
+    {
+        TMU_ASSERT(i < size_);
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    T
+    pop()
+    {
+        TMU_ASSERT(!empty());
+        T v = std::move(buf_[head_]);
+        head_ = (head_ + 1) % buf_.size();
+        --size_;
+        return v;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace tmu

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal C++20 coroutine generator.
+ *
+ * Baseline kernels are executed as coroutines that lazily yield micro-ops
+ * into the core timing model, so multi-gigabyte traces never materialize.
+ * std::generator is C++23; this is the small subset we need: move-only,
+ * input-iteration, exception propagation on resume.
+ */
+
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace tmu {
+
+/** Lazy, move-only single-pass sequence produced by a coroutine. */
+template <typename T>
+class Generator
+{
+  public:
+    struct promise_type
+    {
+        T current;
+        std::exception_ptr exception;
+
+        Generator
+        get_return_object()
+        {
+            return Generator(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+
+        std::suspend_always
+        yield_value(T value) noexcept(std::is_nothrow_move_assignable_v<T>)
+        {
+            current = std::move(value);
+            return {};
+        }
+
+        void return_void() noexcept {}
+        void unhandled_exception() { exception = std::current_exception(); }
+    };
+
+    Generator() = default;
+
+    explicit Generator(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Generator(Generator &&o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Generator &
+    operator=(Generator &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    Generator(const Generator &) = delete;
+    Generator &operator=(const Generator &) = delete;
+
+    ~Generator() { destroy(); }
+
+    /**
+     * Advance to the next value.
+     * @retval true a new value is available via value().
+     * @retval false the coroutine completed.
+     */
+    bool
+    next()
+    {
+        if (!handle_ || handle_.done())
+            return false;
+        handle_.resume();
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+        return !handle_.done();
+    }
+
+    /** Last value produced by next(). */
+    const T &value() const { return handle_.promise().current; }
+    T &value() { return handle_.promise().current; }
+
+    /** True if the underlying coroutine has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace tmu

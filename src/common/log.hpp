@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated: a bug in this library.
+ *            Aborts (so debuggers/core dumps can capture state).
+ * fatal()  — the *user* asked for something impossible (bad config,
+ *            inconsistent tensor). Exits with status 1.
+ * warn()   — something is off but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tmu {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define TMU_PANIC(...) \
+    ::tmu::detail::panicImpl(__FILE__, __LINE__, ::tmu::detail::format(__VA_ARGS__))
+
+#define TMU_FATAL(...) \
+    ::tmu::detail::fatalImpl(__FILE__, __LINE__, ::tmu::detail::format(__VA_ARGS__))
+
+#define TMU_WARN(...) ::tmu::detail::warnImpl(::tmu::detail::format(__VA_ARGS__))
+
+#define TMU_INFORM(...) ::tmu::detail::informImpl(::tmu::detail::format(__VA_ARGS__))
+
+/** Always-on assertion that panics with location info. */
+#define TMU_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::tmu::detail::panicImpl(__FILE__, __LINE__,                   \
+                std::string("assertion failed: " #cond)                   \
+                __VA_OPT__(+ " " + ::tmu::detail::format(__VA_ARGS__)));   \
+        }                                                                  \
+    } while (0)
+
+} // namespace tmu

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every synthetic input in the benchmark suite is produced from a fixed
+ * seed so that runs are reproducible across machines; std::mt19937 is
+ * avoided because its distributions are not portable across standard
+ * library implementations.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace tmu {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation), seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to spread the seed across the four state words.
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        TMU_ASSERT(bound > 0);
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform Index in [lo, hi). */
+    Index
+    nextIndex(Index lo, Index hi)
+    {
+        TMU_ASSERT(lo < hi);
+        return lo + static_cast<Index>(
+            nextBounded(static_cast<std::uint64_t>(hi - lo)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform Value in [lo, hi). */
+    Value
+    nextValue(Value lo, Value hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** True with probability @p p. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /**
+     * Approximate Zipf-distributed integer in [0, n) with exponent @p s,
+     * via inverse-CDF on the continuous bounded Pareto approximation.
+     * Used to synthesize power-law row-degree distributions.
+     */
+    Index
+    nextZipf(Index n, double s)
+    {
+        TMU_ASSERT(n > 0 && s > 0.0 && s != 1.0);
+        const double u = nextDouble();
+        const double oneMinusS = 1.0 - s;
+        const double hi = std::pow(static_cast<double>(n) + 1.0, oneMinusS);
+        const double x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / oneMinusS);
+        Index k = static_cast<Index>(x) - 1;
+        if (k < 0)
+            k = 0;
+        if (k >= n)
+            k = n - 1;
+        return k;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tmu

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulator and the bench harness.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace tmu {
+
+/** Streaming mean/min/max/variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Geometric mean of a set of strictly-positive samples. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    TMU_ASSERT(!xs.empty());
+    double acc = 0.0;
+    for (double x : xs) {
+        TMU_ASSERT(x > 0.0, "geomean requires positive samples, got %f", x);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Fixed-bucket histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {
+        TMU_ASSERT(hi > lo && buckets > 0);
+    }
+
+    void
+    add(double x)
+    {
+        const double t = (x - lo_) / (hi_ - lo_);
+        auto b = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+        b = std::clamp<std::int64_t>(b, 0,
+            static_cast<std::int64_t>(counts_.size()) - 1);
+        ++counts_[static_cast<std::size_t>(b)];
+        ++total_;
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Approximate quantile (0 <= q <= 1) from bucket midpoints. */
+    double
+    quantile(double q) const
+    {
+        TMU_ASSERT(total_ > 0);
+        const auto target =
+            static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen > target) {
+                const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+                return lo_ + (static_cast<double>(i) + 0.5) * w;
+            }
+        }
+        return hi_;
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace tmu

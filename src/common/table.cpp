@@ -1,0 +1,86 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace tmu {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    if (!header_.empty()) {
+        TMU_ASSERT(cells.size() == header_.size(),
+                   "row width %zu != header width %zu",
+                   cells.size(), header_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths across header and rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                line += "  ";
+            line += cells[i];
+            line.append(widths[i] - cells[i].size(), ' ');
+        }
+        // Trim trailing padding.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!title_.empty()) {
+        out += "== " + title_ + " ==\n";
+    }
+    if (!header_.empty()) {
+        const std::string h = renderRow(header_);
+        out += h;
+        out.append(std::max<std::size_t>(h.size(), 2) - 1, '-');
+        out += "\n";
+    }
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace tmu

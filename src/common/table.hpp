@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every bench binary prints the rows/series of one paper figure or table;
+ * TextTable keeps the output aligned and diffable.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmu {
+
+/** Column-aligned ASCII table with an optional title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width if one was set. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 2);
+
+    /** Render the full table (title, rule, header, rows). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tmu

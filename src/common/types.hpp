@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the TMU library.
+ *
+ * The whole code base traffics in three families of integers: tensor
+ * coordinates/pointers (Index), simulated time (Cycle), and simulated
+ * byte addresses (Addr). Keeping them as distinct aliases makes intent
+ * visible at interfaces even though they are not strong types.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmu {
+
+/** Tensor coordinate / position-array element. Signed to allow -1 sentinels. */
+using Index = std::int64_t;
+
+/** Non-zero value type used by all kernels and the engine. */
+using Value = double;
+
+/** Simulated time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address (host pointers reinterpreted for the timing model). */
+using Addr = std::uint64_t;
+
+/** Invalid/None sentinel for Index fields. */
+inline constexpr Index kInvalidIndex = -1;
+
+/** Cache line size used throughout the memory model, in bytes. */
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/** Return the cache line (block) address containing @p a. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Return the number of cache lines touched by [a, a+bytes). */
+constexpr std::uint32_t
+linesTouched(Addr a, std::uint32_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const Addr first = lineAddr(a);
+    const Addr last = lineAddr(a + bytes - 1);
+    return static_cast<std::uint32_t>((last - first) / kLineBytes + 1);
+}
+
+} // namespace tmu

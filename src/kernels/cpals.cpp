@@ -1,0 +1,120 @@
+#include "cpals.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/smallsolve.hpp"
+
+namespace tmu::kernels {
+
+using sim::MicroOp;
+using sim::SimdConfig;
+using sim::Trace;
+using tensor::CooTensor;
+using tensor::DenseMatrix;
+
+CpFactors
+cpalsInit(const CooTensor &a, const CpalsConfig &cfg)
+{
+    TMU_ASSERT(a.order() == 3 && cfg.rank > 0);
+    Rng rng(cfg.seed);
+    CpFactors f;
+    for (int m = 0; m < 3; ++m) {
+        f[static_cast<size_t>(m)] = DenseMatrix(a.dim(m), cfg.rank);
+        auto &fm = f[static_cast<size_t>(m)];
+        for (Index i = 0; i < fm.rows(); ++i) {
+            for (Index j = 0; j < fm.cols(); ++j)
+                fm(i, j) = rng.nextValue(0.1, 1.0);
+        }
+    }
+    return f;
+}
+
+void
+cpalsUpdateMode(const CooTensor &a, CpFactors &factors, int mode)
+{
+    const int m1 = mode == 0 ? 1 : 0;
+    const int m2 = mode == 2 ? 1 : 2;
+    DenseMatrix m = mttkrpRef(a, factors[static_cast<size_t>(m1)],
+                              factors[static_cast<size_t>(m2)], mode);
+    DenseMatrix g = gramMatrix(factors[static_cast<size_t>(m1)]);
+    hadamardInPlace(g, gramMatrix(factors[static_cast<size_t>(m2)]));
+    choleskySolveRows(g, m);
+    factors[static_cast<size_t>(mode)] = std::move(m);
+}
+
+CpFactors
+cpalsRef(const CooTensor &a, const CpalsConfig &cfg)
+{
+    CpFactors f = cpalsInit(a, cfg);
+    for (int it = 0; it < cfg.iterations; ++it) {
+        for (int m = 0; m < 3; ++m)
+            cpalsUpdateMode(a, f, m);
+    }
+    return f;
+}
+
+double
+cpalsFitAtNnz(const CooTensor &a, const CpFactors &f)
+{
+    const Index rank = f[0].cols();
+    double err = 0.0;
+    for (Index p = 0; p < a.nnz(); ++p) {
+        const Value *r0 = f[0].row(a.idx(0, p));
+        const Value *r1 = f[1].row(a.idx(1, p));
+        const Value *r2 = f[2].row(a.idx(2, p));
+        Value model = 0.0;
+        for (Index j = 0; j < rank; ++j)
+            model += r0[j] * r1[j] * r2[j];
+        const Value d = a.val(p) - model;
+        err += d * d;
+    }
+    return err;
+}
+
+namespace {
+
+enum CpalsPc : std::uint16_t { kPcGram = 70, kPcSolve = 71 };
+
+} // namespace
+
+Trace
+traceCpalsDense(Index rank, Index rowsOwned, SimdConfig simd)
+{
+    const int vl = simd.lanes();
+
+    // Gram contribution of the owned rows: rowsOwned * R * R FMAs,
+    // vectorized along one R dimension.
+    for (Index i = 0; i < rowsOwned; ++i) {
+        co_yield MicroOp::iop(); // factor row is cache-resident
+        for (Index p = 0; p < rank; ++p) {
+            for (Index q = 0; q < rank; q += vl) {
+                const int n =
+                    static_cast<int>(std::min<Index>(vl, rank - q));
+                co_yield MicroOp::flop(
+                    static_cast<std::uint16_t>(2 * n));
+            }
+            co_yield MicroOp::branch(kPcGram, p + 1 < rank);
+        }
+    }
+
+    // Cholesky factorization (~R^3/3 flops, replicated per core) and
+    // per-owned-row triangular solves (~2 R^2 flops each).
+    const auto r = static_cast<double>(rank);
+    const auto cholFlops = static_cast<Index>(r * r * r / 3.0);
+    for (Index c = 0; c < cholFlops; c += 64)
+        co_yield MicroOp::flop(static_cast<std::uint16_t>(
+            std::min<Index>(64, cholFlops - c)));
+    for (Index i = 0; i < rowsOwned; ++i) {
+        const auto solveFlops = static_cast<Index>(2.0 * r * r);
+        for (Index c = 0; c < solveFlops; c += 64)
+            co_yield MicroOp::flop(static_cast<std::uint16_t>(
+                std::min<Index>(64, solveFlops - c)));
+        co_yield MicroOp::branch(kPcSolve, i + 1 < rowsOwned);
+    }
+    co_yield MicroOp::halt();
+}
+
+} // namespace tmu::kernels

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Canonical Polyadic decomposition by Alternating Least Squares on an
+ * order-3 COO tensor (GenTen-style, paper [46][47]). Each mode update
+ * is an MTTKRP followed by a gram-matrix solve — the real-world
+ * workload where partial results must be evaluated on the core every
+ * iteration (paper Sec. 8).
+ */
+
+#pragma once
+
+#include <array>
+
+#include "sim/microop.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::kernels {
+
+/** CP-ALS configuration. */
+struct CpalsConfig
+{
+    Index rank = 16;
+    int iterations = 2;
+    std::uint64_t seed = 7;
+};
+
+/** The three factor matrices of an order-3 CP decomposition. */
+using CpFactors = std::array<tensor::DenseMatrix, 3>;
+
+/** Deterministic random initial factors for @p a. */
+CpFactors cpalsInit(const tensor::CooTensor &a, const CpalsConfig &cfg);
+
+/** Reference CP-ALS: @p cfg.iterations full sweeps over the 3 modes. */
+CpFactors cpalsRef(const tensor::CooTensor &a, const CpalsConfig &cfg);
+
+/**
+ * One reference ALS mode update in place: factors[mode] =
+ * mttkrp(a, ...) solved against the hadamard of the other grams.
+ */
+void cpalsUpdateMode(const tensor::CooTensor &a, CpFactors &factors,
+                     int mode);
+
+/**
+ * Relative reconstruction improvement check helper: squared Frobenius
+ * norm of the tensor minus the current model, evaluated at the stored
+ * nonzeros only (cheap fit proxy for tests).
+ */
+double cpalsFitAtNnz(const tensor::CooTensor &a, const CpFactors &f);
+
+/**
+ * Micro-op stream of the dense (non-MTTKRP) part of one mode update as
+ * executed by one core owning @p rowsOwned factor rows: gram products,
+ * hadamard, and the per-row Cholesky solves.
+ */
+sim::Trace traceCpalsDense(Index rank, Index rowsOwned,
+                           sim::SimdConfig simd);
+
+} // namespace tmu::kernels

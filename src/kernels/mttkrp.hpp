@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Matricized Tensor Times Khatri-Rao Product on a COO tensor:
+ * Z_ij = A_ikl * B_kj * C_lj (order-3 MTTKRP over mode 0, Table 4 rows
+ * MTTKRP P1/P2; the kernel of CP-ALS).
+ */
+
+#pragma once
+
+#include "sim/microop.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::kernels {
+
+/**
+ * Reference order-3 MTTKRP over @p mode: for each nonzero with
+ * coordinates (c0,c1,c2), Z[c_mode] += val * B[c_m1] .* C[c_m2] where
+ * m1/m2 are the other two modes in ascending order.
+ */
+tensor::DenseMatrix mttkrpRef(const tensor::CooTensor &a,
+                              const tensor::DenseMatrix &b,
+                              const tensor::DenseMatrix &c, int mode);
+
+/**
+ * Vectorized baseline MTTKRP (mode 0) over nonzeros [nnzBegin, nnzEnd):
+ * per nonzero, load three coordinates + value, two dense factor rows,
+ * FMA across the rank, accumulate into the output row (Phipps & Kolda
+ * permutation layout: nonzeros sorted by mode 0 so output rows stay
+ * resident). Adds into z, which the caller must zero-initialize.
+ */
+sim::Trace traceMttkrp(const tensor::CooTensor &a,
+                       const tensor::DenseMatrix &b,
+                       const tensor::DenseMatrix &c,
+                       tensor::DenseMatrix &z, Index nnzBegin,
+                       Index nnzEnd, sim::SimdConfig simd);
+
+} // namespace tmu::kernels

@@ -1,0 +1,97 @@
+#include "pagerank.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "tensor/convert.hpp"
+
+namespace tmu::kernels {
+
+using sim::MicroOp;
+using sim::SimdConfig;
+using sim::Trace;
+using sim::addrOf;
+using tensor::CsrMatrix;
+using tensor::DenseVector;
+
+tensor::DenseVector
+pagerankRef(const CsrMatrix &a, const PageRankConfig &cfg)
+{
+    TMU_ASSERT(a.rows() == a.cols());
+    const Index n = a.rows();
+    const double base = (1.0 - cfg.damping) / static_cast<double>(n);
+
+    // Out-degree of vertex j = nnz of column j = row j (symmetric
+    // inputs) — computed from the transpose for generality.
+    const CsrMatrix at = tensor::transposeCsr(a);
+    DenseVector outdeg(n, 0.0);
+    for (Index j = 0; j < n; ++j)
+        outdeg[j] = static_cast<Value>(std::max<Index>(1, at.rowNnz(j)));
+
+    DenseVector x(n, 1.0 / static_cast<double>(n));
+    DenseVector contrib(n), next(n);
+    for (int it = 0; it < cfg.iterations; ++it) {
+        for (Index j = 0; j < n; ++j)
+            contrib[j] = x[j] / outdeg[j];
+        for (Index i = 0; i < n; ++i) {
+            Value sum = 0.0;
+            for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+                sum += a.vals()[static_cast<size_t>(p)] *
+                       contrib[a.idxs()[static_cast<size_t>(p)]];
+            }
+            next[i] = base + cfg.damping * sum;
+        }
+        std::swap(x, next);
+    }
+    return x;
+}
+
+namespace {
+
+enum PrPc : std::uint16_t { kPcOuter = 50, kPcInner = 51 };
+
+} // namespace
+
+Trace
+tracePagerankIter(const CsrMatrix &a, const DenseVector &contrib,
+                  DenseVector &xNext, double damping, Index rowBegin,
+                  Index rowEnd, SimdConfig simd)
+{
+    const Index n = a.rows();
+    const double base = (1.0 - damping) / static_cast<double>(n);
+    const int vl = simd.lanes();
+
+    for (Index r = rowBegin; r < rowEnd; ++r) {
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), r), 8);
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), r + 1), 8);
+
+        const Index pb = a.rowBegin(r), pe = a.rowEnd(r);
+        Value sum = 0.0;
+        for (Index p = pb; p < pe; p += vl) {
+            const int lanes = static_cast<int>(std::min<Index>(vl, pe - p));
+            co_yield MicroOp::load(addrOf(a.idxs().data(), p),
+                                   static_cast<std::uint8_t>(lanes * 8));
+            co_yield MicroOp::load(addrOf(a.vals().data(), p),
+                                   static_cast<std::uint8_t>(lanes * 8));
+            for (int l = 0; l < lanes; ++l) {
+                const Index j = a.idxs()[static_cast<size_t>(p + l)];
+                co_yield MicroOp::load(addrOf(contrib.data(), j), 8,
+                                       static_cast<std::uint8_t>(l + 2),
+                                       addrOf(a.idxs().data(), p + l));
+                sum += a.vals()[static_cast<size_t>(p + l)] * contrib[j];
+            }
+            co_yield MicroOp::flop(static_cast<std::uint16_t>(2 * lanes));
+            co_yield MicroOp::branch(kPcInner, p + vl < pe);
+        }
+        // Weight update (not TMU-accelerated): base + d * sum.
+        if (pe > pb)
+            co_yield MicroOp::flop(static_cast<std::uint16_t>(vl));
+        co_yield MicroOp::flop(2);
+        xNext[r] = base + damping * sum;
+        co_yield MicroOp::store(addrOf(xNext.data(), r), 8);
+        co_yield MicroOp::branch(kPcOuter, r + 1 < rowEnd);
+    }
+    co_yield MicroOp::halt();
+}
+
+} // namespace tmu::kernels

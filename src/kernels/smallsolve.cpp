@@ -1,0 +1,85 @@
+#include "smallsolve.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace tmu::kernels {
+
+using tensor::DenseMatrix;
+
+DenseMatrix
+gramMatrix(const DenseMatrix &a)
+{
+    const Index n = a.rows(), r = a.cols();
+    DenseMatrix g(r, r, 0.0);
+    for (Index i = 0; i < n; ++i) {
+        const Value *row = a.row(i);
+        for (Index p = 0; p < r; ++p) {
+            for (Index q = 0; q < r; ++q)
+                g(p, q) += row[p] * row[q];
+        }
+    }
+    return g;
+}
+
+void
+hadamardInPlace(DenseMatrix &a, const DenseMatrix &b)
+{
+    TMU_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index j = 0; j < a.cols(); ++j)
+            a(i, j) *= b(i, j);
+    }
+}
+
+void
+choleskySolveRows(const DenseMatrix &gram, DenseMatrix &rhsInOut)
+{
+    const Index r = gram.rows();
+    TMU_ASSERT(gram.cols() == r && rhsInOut.cols() == r);
+
+    // Regularized copy: G + eps*trace(G)/r * I.
+    DenseMatrix l(r, r, 0.0);
+    double trace = 0.0;
+    for (Index i = 0; i < r; ++i)
+        trace += gram(i, i);
+    const double ridge = 1e-10 * (trace / static_cast<double>(r)) + 1e-12;
+
+    // Cholesky factorization G = L L^T.
+    for (Index i = 0; i < r; ++i) {
+        for (Index j = 0; j <= i; ++j) {
+            double s = gram(i, j) + (i == j ? ridge : 0.0);
+            for (Index k = 0; k < j; ++k)
+                s -= l(i, k) * l(j, k);
+            if (i == j) {
+                TMU_ASSERT(s > 0.0, "gram matrix not positive definite");
+                l(i, i) = std::sqrt(s);
+            } else {
+                l(i, j) = s / l(j, j);
+            }
+        }
+    }
+
+    // Solve x L L^T = rhs row-wise: forward then backward substitution
+    // on the transposed system.
+    for (Index row = 0; row < rhsInOut.rows(); ++row) {
+        Value *x = rhsInOut.row(row);
+        // Solve y L^T = rhs  =>  L y^T = rhs^T (forward).
+        for (Index i = 0; i < r; ++i) {
+            double s = x[i];
+            for (Index k = 0; k < i; ++k)
+                s -= l(i, k) * x[k];
+            x[i] = s / l(i, i);
+        }
+        // Solve x L = y (backward).
+        for (Index i = r - 1; i >= 0; --i) {
+            double s = x[i];
+            for (Index k = i + 1; k < r; ++k)
+                s -= l(k, i) * x[k];
+            x[i] = s / l(i, i);
+        }
+    }
+}
+
+} // namespace tmu::kernels

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Tiny dense linear algebra for CP-ALS: RxR symmetric positive
+ * (semi)definite solves via Cholesky with diagonal regularization.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::kernels {
+
+/**
+ * Solve X * G = RHS for X, where G is RxR SPD (the ALS gram matrix) and
+ * RHS/X are NxR row-major. G is regularized with a small diagonal ridge
+ * so rank-deficient grams (common with synthetic data) stay solvable.
+ */
+void choleskySolveRows(const tensor::DenseMatrix &gram,
+                       tensor::DenseMatrix &rhsInOut);
+
+/** G = A^T * A for a row-major NxR matrix (the ALS gram). */
+tensor::DenseMatrix gramMatrix(const tensor::DenseMatrix &a);
+
+/** Hadamard (element-wise) product in place: a *= b. */
+void hadamardInPlace(tensor::DenseMatrix &a, const tensor::DenseMatrix &b);
+
+} // namespace tmu::kernels

@@ -1,0 +1,25 @@
+#include "spmm.hpp"
+
+#include "common/log.hpp"
+
+namespace tmu::kernels {
+
+tensor::DenseMatrix
+spmmRef(const tensor::CsrMatrix &a, const tensor::DenseMatrix &b)
+{
+    TMU_ASSERT(a.cols() == b.rows());
+    tensor::DenseMatrix z(a.rows(), b.cols(), 0.0);
+    for (Index i = 0; i < a.rows(); ++i) {
+        Value *zi = z.row(i);
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            const Index k = a.idxs()[static_cast<size_t>(p)];
+            const Value av = a.vals()[static_cast<size_t>(p)];
+            const Value *bk = b.row(k);
+            for (Index j = 0; j < b.cols(); ++j)
+                zi[j] += av * bk[j];
+        }
+    }
+    return z;
+}
+
+} // namespace tmu::kernels

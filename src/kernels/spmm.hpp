@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Sparse matrix - dense matrix multiplication, Z_ij = A_ik * B_kj
+ * (Table 4 rows SpMM P0/P1/P2).
+ */
+
+#pragma once
+
+#include "tensor/csr.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::kernels {
+
+/** Reference SpMM: Z = A * B, A CSR, B/Z row-major dense. */
+tensor::DenseMatrix spmmRef(const tensor::CsrMatrix &a,
+                            const tensor::DenseMatrix &b);
+
+} // namespace tmu::kernels

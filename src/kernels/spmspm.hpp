@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Gustavson sparse matrix - sparse matrix multiplication,
+ * Z_ij = A_ik * B_kj with (ikj) schedule. The compute-stage proxy of
+ * the evaluation (run as Z = A * A^T there).
+ */
+
+#pragma once
+
+#include "sim/microop.hpp"
+#include "tensor/csr.hpp"
+
+namespace tmu::kernels {
+
+/** Reference Gustavson SpMSpM: Z = A * B, all CSR. */
+tensor::CsrMatrix spmspmRef(const tensor::CsrMatrix &a,
+                            const tensor::CsrMatrix &b);
+
+/**
+ * Count the nnz of each output row of A * B (the symbolic phase used to
+ * preallocate Z; paper Sec. 2.5).
+ */
+std::vector<Index> spmspmRowNnz(const tensor::CsrMatrix &a,
+                                const tensor::CsrMatrix &b);
+
+/**
+ * Vectorized baseline Gustavson over output rows [rowBegin, rowEnd):
+ * dense-accumulator workspace, per-row sort of touched columns, result
+ * appended to the caller's output triplet arrays (ptrs entry per row).
+ * Emits the corresponding micro-op stream.
+ */
+sim::Trace traceSpmspm(const tensor::CsrMatrix &a,
+                       const tensor::CsrMatrix &b,
+                       std::vector<Index> &outIdxs,
+                       std::vector<Value> &outVals,
+                       std::vector<Index> &outRowNnz, Index rowBegin,
+                       Index rowEnd, sim::SimdConfig simd);
+
+} // namespace tmu::kernels

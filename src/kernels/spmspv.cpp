@@ -1,0 +1,22 @@
+#include "spmspv.hpp"
+
+#include "common/log.hpp"
+#include "tensor/merge.hpp"
+
+namespace tmu::kernels {
+
+tensor::DenseVector
+spmspvRef(const tensor::CsrMatrix &a, const tensor::SparseVector &b)
+{
+    TMU_ASSERT(a.cols() == b.size());
+    tensor::DenseVector x(a.rows());
+    for (Index r = 0; r < a.rows(); ++r) {
+        Value sum = 0.0;
+        tensor::conjunctiveMerge2(a.row(r), b.view(),
+            [&](Index, auto getVal) { sum += getVal(0) * getVal(1); });
+        x[r] = sum;
+    }
+    return x;
+}
+
+} // namespace tmu::kernels

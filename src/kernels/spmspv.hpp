@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Sparse matrix - sparse vector multiplication, Z_i = A_ij * B_j with
+ * both operands compressed (conjunctive row merge, Table 4 row SpMSpV).
+ */
+
+#pragma once
+
+#include "tensor/csr.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/sparse_vector.hpp"
+
+namespace tmu::kernels {
+
+/** Reference SpMSpV: dense output, conjunctive merge per row. */
+tensor::DenseVector spmspvRef(const tensor::CsrMatrix &a,
+                              const tensor::SparseVector &b);
+
+} // namespace tmu::kernels

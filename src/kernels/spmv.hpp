@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Sparse matrix-vector multiplication, Z_i = A_ij * B_j, A in CSR
+ * (paper Fig. 4). The traversal-stage proxy of the evaluation.
+ */
+
+#pragma once
+
+#include "sim/microop.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::kernels {
+
+/** Reference SpMV: x = A * b. */
+tensor::DenseVector spmvRef(const tensor::CsrMatrix &a,
+                            const tensor::DenseVector &b);
+
+/**
+ * SVE-style vectorized baseline SpMV over the row range [rowBegin,
+ * rowEnd): computes x and yields the micro-op stream of the TACO/SVE
+ * implementation (vector loads of idxs/vals, gather of b, FMA, reduce,
+ * data-dependent loop branches). Operands must outlive the trace.
+ */
+sim::Trace traceSpmv(const tensor::CsrMatrix &a,
+                     const tensor::DenseVector &b, tensor::DenseVector &x,
+                     Index rowBegin, Index rowEnd, sim::SimdConfig simd);
+
+} // namespace tmu::kernels

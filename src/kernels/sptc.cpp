@@ -1,0 +1,211 @@
+#include "sptc.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tmu::kernels {
+
+using sim::MicroOp;
+using sim::Trace;
+using sim::addrOf;
+using tensor::CsfTensor;
+
+namespace {
+
+/** Position of coordinate @p c in idxs[range), or kInvalidIndex. */
+Index
+findCoord(const std::vector<Index> &idxs, Index lo, Index hi, Index c)
+{
+    const auto beg = idxs.begin() + lo;
+    const auto end = idxs.begin() + hi;
+    const auto it = std::lower_bound(beg, end, c);
+    if (it != end && *it == c)
+        return static_cast<Index>(it - idxs.begin());
+    return kInvalidIndex;
+}
+
+enum SptcPc : std::uint16_t {
+    kPcRoot = 40,
+    kPcK = 41,
+    kPcL = 42,
+    kPcSearch = 43,
+    kPcHit = 44,
+    kPcJ = 45,
+};
+
+/**
+ * Emit a Sparta-style hash-table probe over idxs[lo, hi): compute the
+ * hash, load the bucket head, then chase to the entry — two dependent
+ * loads and a hit/collision branch. The probed addresses land inside
+ * the coordinate array (same locality class as the real table).
+ */
+Trace
+searchTrace(const std::vector<Index> &idxs, Index lo, Index hi, Index c)
+{
+    if (lo >= hi) {
+        co_yield MicroOp::halt();
+        co_return;
+    }
+    // Deterministic pseudo-probe position within the range.
+    const Index span = hi - lo;
+    const Index slot = lo + ((c * 0x9E3779B1) % span + span) % span;
+    co_yield MicroOp::iop(); // hash
+    // Bucket head, then an average collision chain of two entries,
+    // each probe's address produced by the previous load.
+    co_yield MicroOp::load(addrOf(idxs.data(), slot), 8, 1);
+    co_yield MicroOp::iop();
+    co_yield MicroOp::branch(kPcSearch, (c & 1) != 0);
+    co_yield MicroOp::load(addrOf(idxs.data(), (slot + 1) % hi), 8, 3);
+    co_yield MicroOp::iop();
+    co_yield MicroOp::branch(kPcSearch, (c & 2) != 0);
+    co_yield MicroOp::load(
+        addrOf(idxs.data(), (slot + 2) % hi), 8, 3);
+    co_yield MicroOp::iop();
+    co_yield MicroOp::halt();
+}
+
+} // namespace
+
+std::vector<Index>
+sptcSymbolicRowsRef(const CsfTensor &a, const CsfTensor &b)
+{
+    TMU_ASSERT(a.order() == 3 && b.order() == 3);
+    TMU_ASSERT(a.dim(1) == b.dim(1) && a.dim(2) == b.dim(0));
+
+    std::vector<Index> rowNnz(static_cast<size_t>(a.numNodes(0)), 0);
+    std::vector<bool> seen(static_cast<size_t>(b.dim(2)), false);
+    std::vector<Index> touched;
+
+    for (Index ri = 0; ri < a.numNodes(0); ++ri) {
+        touched.clear();
+        for (Index nk = a.childBegin(0, ri); nk < a.childEnd(0, ri);
+             ++nk) {
+            const Index k = a.nodeCoord(1, nk);
+            for (Index nl = a.childBegin(1, nk); nl < a.childEnd(1, nk);
+                 ++nl) {
+                const Index l = a.nodeCoord(2, nl);
+                // B subtree (l, k, *).
+                const Index bl = findCoord(b.idxs(0), 0, b.numNodes(0), l);
+                if (bl == kInvalidIndex)
+                    continue;
+                const Index bk = findCoord(b.idxs(1), b.childBegin(0, bl),
+                                           b.childEnd(0, bl), k);
+                if (bk == kInvalidIndex)
+                    continue;
+                for (Index nj = b.childBegin(1, bk);
+                     nj < b.childEnd(1, bk); ++nj) {
+                    const auto j =
+                        static_cast<size_t>(b.nodeCoord(2, nj));
+                    if (!seen[j]) {
+                        seen[j] = true;
+                        touched.push_back(static_cast<Index>(j));
+                    }
+                }
+            }
+        }
+        rowNnz[static_cast<size_t>(ri)] =
+            static_cast<Index>(touched.size());
+        for (Index j : touched)
+            seen[static_cast<size_t>(j)] = false;
+    }
+    return rowNnz;
+}
+
+Index
+sptcSymbolicRef(const CsfTensor &a, const CsfTensor &b)
+{
+    Index total = 0;
+    for (Index n : sptcSymbolicRowsRef(a, b))
+        total += n;
+    return total;
+}
+
+Trace
+traceSptcSymbolic(const CsfTensor &a, const CsfTensor &b,
+                  std::vector<Index> &rowNnz, Index rootBegin,
+                  Index rootEnd, sim::SimdConfig /*simd*/)
+{
+    TMU_ASSERT(a.order() == 3 && b.order() == 3);
+    TMU_ASSERT(rowNnz.size() == static_cast<size_t>(a.numNodes(0)));
+
+    std::vector<std::uint8_t> seen(static_cast<size_t>(b.dim(2)), 0);
+    std::vector<Index> touched;
+
+    for (Index ri = rootBegin; ri < rootEnd; ++ri) {
+        touched.clear();
+        co_yield MicroOp::load(addrOf(a.ptrs(0).data(), ri), 8);
+        co_yield MicroOp::load(addrOf(a.ptrs(0).data(), ri + 1), 8);
+
+        for (Index nk = a.childBegin(0, ri); nk < a.childEnd(0, ri);
+             ++nk) {
+            const Index k = a.nodeCoord(1, nk);
+            co_yield MicroOp::load(addrOf(a.idxs(1).data(), nk), 8);
+            co_yield MicroOp::load(addrOf(a.ptrs(1).data(), nk), 8);
+            co_yield MicroOp::load(addrOf(a.ptrs(1).data(), nk + 1), 8);
+
+            for (Index nl = a.childBegin(1, nk); nl < a.childEnd(1, nk);
+                 ++nl) {
+                const Index l = a.nodeCoord(2, nl);
+                co_yield MicroOp::load(addrOf(a.idxs(2).data(), nl), 8);
+
+                // Binary search for B root l.
+                auto s0 = searchTrace(b.idxs(0), 0, b.numNodes(0), l);
+                while (s0.next()) {
+                    if (s0.value().kind != sim::OpKind::Halt)
+                        co_yield s0.value();
+                }
+                const Index bl = findCoord(b.idxs(0), 0, b.numNodes(0), l);
+                co_yield MicroOp::branch(kPcHit, bl != kInvalidIndex);
+                if (bl == kInvalidIndex)
+                    continue;
+
+                co_yield MicroOp::load(addrOf(b.ptrs(0).data(), bl), 8, 5);
+                co_yield MicroOp::load(addrOf(b.ptrs(0).data(), bl + 1),
+                                       8, 6);
+                auto s1 = searchTrace(b.idxs(1), b.childBegin(0, bl),
+                                      b.childEnd(0, bl), k);
+                while (s1.next()) {
+                    if (s1.value().kind != sim::OpKind::Halt)
+                        co_yield s1.value();
+                }
+                const Index bk = findCoord(b.idxs(1), b.childBegin(0, bl),
+                                           b.childEnd(0, bl), k);
+                co_yield MicroOp::branch(kPcHit, bk != kInvalidIndex);
+                if (bk == kInvalidIndex)
+                    continue;
+
+                co_yield MicroOp::load(addrOf(b.ptrs(1).data(), bk), 8, 5);
+                co_yield MicroOp::load(addrOf(b.ptrs(1).data(), bk + 1),
+                                       8, 6);
+                // Union the j fiber into the bitmap workspace.
+                for (Index nj = b.childBegin(1, bk);
+                     nj < b.childEnd(1, bk); ++nj) {
+                    const auto j =
+                        static_cast<size_t>(b.nodeCoord(2, nj));
+                    co_yield MicroOp::load(addrOf(b.idxs(2).data(), nj),
+                                           8);
+                    co_yield MicroOp::load(
+                        reinterpret_cast<Addr>(seen.data() + j), 1, 1);
+                    const bool fresh = !seen[j];
+                    co_yield MicroOp::branch(kPcJ, fresh);
+                    if (fresh) {
+                        seen[j] = 1;
+                        touched.push_back(static_cast<Index>(j));
+                        co_yield MicroOp::iop();
+                    }
+                }
+                co_yield MicroOp::branch(kPcL, nl + 1 < a.childEnd(1, nk));
+            }
+            co_yield MicroOp::branch(kPcK, nk + 1 < a.childEnd(0, ri));
+        }
+        rowNnz[static_cast<size_t>(ri)] =
+            static_cast<Index>(touched.size());
+        for (Index j : touched)
+            seen[static_cast<size_t>(j)] = false;
+        co_yield MicroOp::branch(kPcRoot, ri + 1 < rootEnd);
+    }
+    co_yield MicroOp::halt();
+}
+
+} // namespace tmu::kernels

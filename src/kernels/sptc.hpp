@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Sparse tensor contraction of two CSF tensors:
+ * Z_ij = A_ikl * B_lkj, contracting modes (k, l) of A against (l, k) of
+ * B (the Sparta expression, paper [35]). The evaluation runs the
+ * *symbolic* phase, which computes the output structure size.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "sim/microop.hpp"
+#include "tensor/csf.hpp"
+
+namespace tmu::kernels {
+
+/**
+ * Reference symbolic SpTC: the number of structurally non-zero output
+ * entries (i, j) of Z_ij = A_ikl * B_lkj.
+ */
+Index sptcSymbolicRef(const tensor::CsfTensor &a,
+                      const tensor::CsfTensor &b);
+
+/** Per-root-i output nnz (for partitioned checking and the TMU path). */
+std::vector<Index> sptcSymbolicRowsRef(const tensor::CsfTensor &a,
+                                       const tensor::CsfTensor &b);
+
+/**
+ * Baseline symbolic SpTC over A root nodes [rootBegin, rootEnd): per
+ * (i,k,l) leaf of A, look up B subtree (l,k,*) by binary search over
+ * the compressed levels (dependent loads + data-dependent branches),
+ * then union the j fibers into a bitmap workspace. Accumulates output
+ * counts into @p rowNnz (caller-zeroed, indexed by root position).
+ */
+sim::Trace traceSptcSymbolic(const tensor::CsfTensor &a,
+                             const tensor::CsfTensor &b,
+                             std::vector<Index> &rowNnz, Index rootBegin,
+                             Index rootEnd, sim::SimdConfig simd);
+
+} // namespace tmu::kernels

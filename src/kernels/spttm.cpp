@@ -1,0 +1,40 @@
+#include "spttm.hpp"
+
+#include "common/log.hpp"
+
+namespace tmu::kernels {
+
+SpttmResult
+spttmRef(const tensor::CsfTensor &a, const tensor::DenseMatrix &b)
+{
+    TMU_ASSERT(a.order() == 3 && a.dim(2) == b.rows());
+    const Index l = b.cols();
+
+    // Count (i, j) fibers first to size the dense block.
+    Index fibers = 0;
+    for (Index ni = 0; ni < a.numNodes(0); ++ni)
+        fibers += a.childEnd(0, ni) - a.childBegin(0, ni);
+
+    SpttmResult out;
+    out.rows = tensor::DenseMatrix(fibers, l, 0.0);
+    Index t = 0;
+    for (Index ni = 0; ni < a.numNodes(0); ++ni) {
+        const Index i = a.nodeCoord(0, ni);
+        for (Index nj = a.childBegin(0, ni); nj < a.childEnd(0, ni);
+             ++nj) {
+            out.coords.push_back({i, a.nodeCoord(1, nj)});
+            Value *zr = out.rows.row(t);
+            for (Index nk = a.childBegin(1, nj); nk < a.childEnd(1, nj);
+                 ++nk) {
+                const Value v = a.vals()[static_cast<size_t>(nk)];
+                const Value *br = b.row(a.nodeCoord(2, nk));
+                for (Index c = 0; c < l; ++c)
+                    zr[c] += v * br[c];
+            }
+            ++t;
+        }
+    }
+    return out;
+}
+
+} // namespace tmu::kernels

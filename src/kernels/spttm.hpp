@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Sparse Tensor Times Matrix: Z_ijl = A_ijk * B_kl, A in CSF
+ * (Table 4 row SpTTM). Output is sparse in (i, j), dense in l.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "kernels/spttv.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::kernels {
+
+/** Semi-sparse SpTTM result: one dense row of length L per (i,j). */
+struct SpttmResult
+{
+    std::vector<Coord2> coords;
+    tensor::DenseMatrix rows; //!< rows.row(t) is the fiber of coords[t]
+};
+
+/** Reference SpTTM. */
+SpttmResult spttmRef(const tensor::CsfTensor &a,
+                     const tensor::DenseMatrix &b);
+
+} // namespace tmu::kernels

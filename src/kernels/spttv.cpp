@@ -1,0 +1,30 @@
+#include "spttv.hpp"
+
+#include "common/log.hpp"
+
+namespace tmu::kernels {
+
+SpttvResult
+spttvRef(const tensor::CsfTensor &a, const tensor::DenseVector &b)
+{
+    TMU_ASSERT(a.order() == 3 && a.dim(2) == b.size());
+    SpttvResult out;
+    for (Index ni = 0; ni < a.numNodes(0); ++ni) {
+        const Index i = a.nodeCoord(0, ni);
+        for (Index nj = a.childBegin(0, ni); nj < a.childEnd(0, ni);
+             ++nj) {
+            const Index j = a.nodeCoord(1, nj);
+            Value sum = 0.0;
+            for (Index nk = a.childBegin(1, nj); nk < a.childEnd(1, nj);
+                 ++nk) {
+                sum += a.vals()[static_cast<size_t>(nk)] *
+                       b[a.nodeCoord(2, nk)];
+            }
+            out.coords.push_back({i, j});
+            out.vals.push_back(sum);
+        }
+    }
+    return out;
+}
+
+} // namespace tmu::kernels

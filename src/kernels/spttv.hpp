@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Sparse Tensor Times Vector: Z_ij = A_ijk * B_k, A in CSF
+ * (Table 4 row SpTTV). The output is sparse in (i, j).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/csf.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::kernels {
+
+/** One output entry of SpTTV/SpTTM: the (i, j) position. */
+struct Coord2
+{
+    Index i = 0;
+    Index j = 0;
+    bool operator==(const Coord2 &) const = default;
+};
+
+/** Sparse-by-(i,j) result of SpTTV. */
+struct SpttvResult
+{
+    std::vector<Coord2> coords;
+    std::vector<Value> vals;
+};
+
+/** Reference SpTTV: one value per (i, j) fiber of A. */
+SpttvResult spttvRef(const tensor::CsfTensor &a,
+                     const tensor::DenseVector &b);
+
+} // namespace tmu::kernels

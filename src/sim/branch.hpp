@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Gshare branch predictor.
+ *
+ * Baseline traces carry *real* branch outcomes, so prediction accuracy
+ * on data-dependent merge/traversal branches emerges from the data
+ * itself — the mechanism behind the frontend stalls of paper Figs. 3
+ * and 11.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmu::sim {
+
+/** Global-history XOR-indexed table of 2-bit saturating counters. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(int historyBits = 12)
+        : historyBits_(historyBits),
+          table_(std::size_t{1} << historyBits, kWeaklyTaken)
+    {}
+
+    /**
+     * Predict and train on one branch.
+     * @param pc static branch id.
+     * @param taken actual outcome.
+     * @retval true the prediction was correct.
+     */
+    bool
+    predict(std::uint16_t pc, bool taken)
+    {
+        const std::size_t mask = table_.size() - 1;
+        const std::size_t idx =
+            (static_cast<std::size_t>(pc) * 0x9e3779b9u ^ history_) & mask;
+        const bool predicted = table_[idx] >= kWeaklyTaken;
+        // Train the counter and shift the outcome into the history.
+        if (taken && table_[idx] < 3)
+            ++table_[idx];
+        if (!taken && table_[idx] > 0)
+            --table_[idx];
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & mask;
+        ++lookups_;
+        mispredicts_ += predicted != taken;
+        return predicted == taken;
+    }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    double
+    mispredictRate() const
+    {
+        return lookups_ ? static_cast<double>(mispredicts_) /
+                              static_cast<double>(lookups_)
+                        : 0.0;
+    }
+
+  private:
+    static constexpr std::uint8_t kWeaklyTaken = 2;
+
+    int historyBits_;
+    std::vector<std::uint8_t> table_;
+    std::size_t history_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace tmu::sim

@@ -1,0 +1,79 @@
+#include "config.hpp"
+
+#include "common/log.hpp"
+
+namespace tmu::sim {
+
+SystemConfig
+SystemConfig::neoverseN1()
+{
+    return SystemConfig{}; // defaults are the Table 5 system
+}
+
+SystemConfig
+SystemConfig::a64fxLike()
+{
+    SystemConfig cfg;
+    cfg.name = "a64fx-like";
+    // Modest out-of-order resources, weaker branch handling...
+    cfg.core.robEntries = 128;
+    cfg.core.loadQueue = 40;
+    cfg.core.storeQueue = 24;
+    cfg.core.dispatchWidth = 4;
+    cfg.core.commitWidth = 4;
+    cfg.core.issueWidth = 4;
+    cfg.core.mispredictPenalty = 18;
+    cfg.core.ghistBits = 8;
+    // ...small L1, a big shared L2 as the only other level (the A64FX
+    // has no L3), and lots of per-core HBM bandwidth.
+    cfg.l1 = CacheConfig{64 * 1024, 4, 3, 16};
+    cfg.l2 = CacheConfig{256 * 1024, 8, 10, 24};
+    cfg.llcSlice = CacheConfig{512 * 1024, 16, 24, 16};
+    cfg.mem.memChannels = 8;
+    cfg.mem.channelGBs = 32.0;    // ~21 GB/s per core aggregate
+    cfg.mem.dramLatency = 130;    // HBM trades latency for bandwidth
+    cfg.mem.dramRowHitLatency = 90;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::graviton3Like()
+{
+    SystemConfig cfg;
+    cfg.name = "graviton3-like";
+    // Aggressive core with large caches, less per-core bandwidth.
+    cfg.core.robEntries = 256;
+    cfg.core.loadQueue = 96;
+    cfg.core.storeQueue = 64;
+    cfg.core.dispatchWidth = 8;
+    cfg.core.commitWidth = 8;
+    cfg.core.issueWidth = 8;
+    cfg.core.mispredictPenalty = 11;
+    cfg.core.ghistBits = 14;
+    cfg.l1 = CacheConfig{64 * 1024, 4, 2, 32};
+    cfg.l2 = CacheConfig{1024 * 1024, 8, 10, 64};
+    cfg.llcSlice = CacheConfig{4 * 1024 * 1024, 16, 18, 16};
+    cfg.mem.memChannels = 4;
+    cfg.mem.channelGBs = 19.0; // DDR5-class: ample for a few cores,
+                               // ~9.5 GB/s per core with all 8 active
+    return cfg;
+}
+
+std::string
+SystemConfig::describe() const
+{
+    return detail::format(
+        "%s: %d cores, SVE %d b, ROB %d, LSQ %d/%d, "
+        "L1 %lluKiB/%d-way/%d MSHR, L2 %lluKiB/%d-way/%d MSHR, "
+        "LLC %dx%lluKiB/%d-way, %d HBM ch x %.1f GB/s",
+        name.c_str(), cores, simdBits, core.robEntries, core.loadQueue,
+        core.storeQueue,
+        static_cast<unsigned long long>(l1.sizeBytes / 1024), l1.ways,
+        l1.mshrs,
+        static_cast<unsigned long long>(l2.sizeBytes / 1024), l2.ways,
+        l2.mshrs, mem.llcSlices,
+        static_cast<unsigned long long>(llcSlice.sizeBytes / 1024),
+        llcSlice.ways, mem.memChannels, mem.channelGBs);
+}
+
+} // namespace tmu::sim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Architectural parameters of the simulated multicore (paper Table 5),
+ * plus the A64FX-like and Graviton3-like presets used by the Fig. 3
+ * motivation study.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/tlb.hpp"
+
+namespace tmu::sim {
+
+/** One cache level's parameters. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    int ways = 4;
+    Cycle latency = 2; //!< data access latency on hit
+    int mshrs = 32;    //!< outstanding-miss capacity
+};
+
+/** Out-of-order core parameters. */
+struct CoreConfig
+{
+    int robEntries = 224;
+    int loadQueue = 96;
+    int storeQueue = 96;
+    int dispatchWidth = 6;  //!< µops renamed/dispatched per cycle
+    int commitWidth = 6;    //!< µops retired per cycle
+    int issueWidth = 8;     //!< µops issued to FUs per cycle
+    int loadIssuePerCycle = 2;
+    int storeIssuePerCycle = 2;
+    int fpIssuePerCycle = 2;
+    Cycle fpLatency = 4;
+    Cycle branchResolveMin = 8;   //!< min front-to-resolve depth
+    Cycle mispredictPenalty = 12; //!< redirect + refill after resolve
+    int ghistBits = 12;           //!< gshare global-history length
+};
+
+/** Memory-side parameters: NoC + DRAM channels. */
+struct MemConfig
+{
+    int llcSlices = 8;
+    int memChannels = 4;
+    double channelGBs = 37.5; //!< per-channel bandwidth
+    double coreGHz = 2.4;
+    Cycle dramLatency = 90;   //!< closed-page access latency
+    Cycle dramRowHitLatency = 60;
+    Cycle nocHopLatency = 2;  //!< per-hop (1 cycle router + 1 link)
+    int meshDim = 4;          //!< 4x4 2D mesh
+
+    /** DRAM line service time in core cycles (bandwidth bound). */
+    double
+    lineServiceCycles() const
+    {
+        const double bytesPerCycle = channelGBs / coreGHz;
+        return static_cast<double>(kLineBytes) / bytesPerCycle;
+    }
+
+    /** Aggregate peak DRAM bandwidth in GB/s. */
+    double peakGBs() const { return channelGBs * memChannels; }
+};
+
+/** Full system description. */
+struct SystemConfig
+{
+    std::string name = "neoverse-n1-like";
+    int cores = 8;
+    int simdBits = 512; //!< SVE vector width (Fig. 14 knob)
+    CoreConfig core;
+    CacheConfig l1{64 * 1024, 4, 2, 32};
+    CacheConfig l2{512 * 1024, 8, 8, 64};
+    CacheConfig llcSlice{1024 * 1024, 16, 12, 16}; //!< per slice (x8)
+    MemConfig mem;
+    bool l1StridePrefetcher = true;
+    bool l2BestOffsetPrefetcher = true;
+    bool impPrefetcher = false; //!< Fig. 15 comparator
+    /**
+     * Model address translation (Sec. 5.6): cores translate through
+     * their two-level TLB, the TMU through the host core's L2 TLB.
+     * Off by default in the scaled-down benches (see DESIGN.md).
+     */
+    bool modelTlb = false;
+    TlbConfig tlb;
+
+    /** Peak FP throughput in GFLOP/s (FMA on full-width vectors). */
+    double
+    peakGflops() const
+    {
+        const double lanesPerOp = simdBits / 64.0;
+        return mem.coreGHz * cores * lanesPerOp * 2.0 *
+               core.fpIssuePerCycle;
+    }
+
+    /** Paper Table 5 baseline. */
+    static SystemConfig neoverseN1();
+    /** Fig. 3: HPC-class part - modest OoO, high per-core bandwidth. */
+    static SystemConfig a64fxLike();
+    /** Fig. 3: datacenter part - aggressive OoO, larger caches. */
+    static SystemConfig graviton3Like();
+
+    /** Render the Table-5 style parameter block. */
+    std::string describe() const;
+};
+
+} // namespace tmu::sim

@@ -1,0 +1,284 @@
+#include "core.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tmu::sim {
+
+namespace {
+
+/** Issue-queue scan depth (entries from the ROB head considered). */
+constexpr std::size_t kIssueWindow = 64;
+
+/** How many immediately-preceding ops gate a branch's resolution. */
+constexpr std::uint64_t kBranchDepWindow = 3;
+
+} // namespace
+
+Core::Core(int id, const CoreConfig &cfg, MemorySystem &mem)
+    : id_(id), cfg_(cfg), mem_(mem), predictor_(cfg.ghistBits),
+      rob_(static_cast<std::size_t>(cfg.robEntries))
+{
+}
+
+void
+Core::attach(TraceSource *source)
+{
+    source_ = source;
+}
+
+bool
+Core::depReady(const RobEntry &e, Cycle now) const
+{
+    if (e.op.depDist == 0)
+        return true;
+    if (e.seq < e.op.depDist)
+        return true;
+    const std::uint64_t prod = e.seq - e.op.depDist;
+    if (prod < headSeq_)
+        return true; // producer already retired
+    const auto idx = static_cast<std::size_t>(prod - headSeq_);
+    const RobEntry &p = rob_.peek(idx);
+    return p.state == OpState::Complete && p.complete <= now;
+}
+
+void
+Core::retire(Cycle now, int &retired)
+{
+    while (!rob_.empty() && retired < cfg_.commitWidth) {
+        const RobEntry &head = rob_.peek(0);
+        if (head.state != OpState::Complete || head.complete > now)
+            break;
+        if (head.op.kind == OpKind::Load)
+            --loadsInFlight_;
+        if (head.op.kind == OpKind::Store)
+            --storesInFlight_;
+        rob_.pop();
+        ++headSeq_;
+        ++retired;
+        ++stats_.retiredOps;
+    }
+}
+
+void
+Core::issue(Cycle now)
+{
+    int issued = 0;
+    int loadsIssued = 0, storesIssued = 0, fpIssued = 0;
+    bool allPriorIssued = true;
+
+    const std::size_t window = std::min(rob_.size(), kIssueWindow);
+    for (std::size_t i = 0; i < window && issued < cfg_.issueWidth; ++i) {
+        RobEntry &e = rob_.peek(i);
+        if (e.state != OpState::Dispatched) {
+            continue;
+        }
+
+        switch (e.op.kind) {
+          case OpKind::Load: {
+            if (loadsIssued >= cfg_.loadIssuePerCycle) {
+                allPriorIssued = false;
+                continue;
+            }
+            if (!depReady(e, now)) {
+                allPriorIssued = false;
+                continue;
+            }
+            MemAccess res = mem_.coreAccess(id_, e.op.addr, false, now);
+            if (!res.accepted) {
+                allPriorIssued = false;
+                continue; // L1 MSHRs full: retry next cycle
+            }
+            Cycle complete = res.complete;
+            if (linesTouched(e.op.addr, e.op.size) > 1) {
+                const MemAccess res2 = mem_.coreAccess(
+                    id_, lineAddr(e.op.addr) + kLineBytes, false, now);
+                if (res2.accepted)
+                    complete = std::max(complete, res2.complete);
+            }
+            if (e.op.prodAddr != 0)
+                mem_.observeIndirect(id_, e.op.prodAddr, e.op.addr, now);
+            e.state = OpState::Complete;
+            e.issued = now;
+            e.complete = complete;
+            ++stats_.loads;
+            stats_.loadLatencySum += complete - now;
+            ++loadsIssued;
+            ++issued;
+            break;
+          }
+          case OpKind::Store: {
+            if (storesIssued >= cfg_.storeIssuePerCycle) {
+                allPriorIssued = false;
+                continue;
+            }
+            const MemAccess res =
+                mem_.coreAccess(id_, e.op.addr, true, now);
+            if (!res.accepted) {
+                allPriorIssued = false;
+                continue;
+            }
+            // Stores retire via the store buffer: completion is fast.
+            e.state = OpState::Complete;
+            e.issued = now;
+            e.complete = now + 1;
+            ++stats_.stores;
+            ++storesIssued;
+            ++issued;
+            break;
+          }
+          case OpKind::Flop: {
+            if (fpIssued >= cfg_.fpIssuePerCycle) {
+                allPriorIssued = false;
+                continue;
+            }
+            e.state = OpState::Complete;
+            e.issued = now;
+            e.complete = now + cfg_.fpLatency;
+            stats_.flops += e.op.flops;
+            ++fpIssued;
+            ++issued;
+            break;
+          }
+          case OpKind::Iop: {
+            e.state = OpState::Complete;
+            e.issued = now;
+            e.complete = now + 1;
+            ++issued;
+            break;
+          }
+          case OpKind::Branch: {
+            // A branch resolves once the few ops feeding its condition
+            // have completed (data-dependent branches wait on loads).
+            Cycle depComplete = 0;
+            bool ready = true;
+            const std::uint64_t lookback =
+                std::min<std::uint64_t>(kBranchDepWindow,
+                                        e.seq - headSeq_);
+            for (std::uint64_t d = 1; d <= lookback; ++d) {
+                const RobEntry &p =
+                    rob_.peek(static_cast<std::size_t>(i) -
+                              static_cast<std::size_t>(d));
+                if (p.state != OpState::Complete) {
+                    ready = false;
+                    break;
+                }
+                depComplete = std::max(depComplete, p.complete);
+            }
+            if (!ready) {
+                allPriorIssued = false;
+                continue;
+            }
+            const Cycle resolve = std::max(
+                {now + 1, depComplete + 1,
+                 e.issued /*dispatchedAt*/ + cfg_.branchResolveMin});
+            e.state = OpState::Complete;
+            e.complete = resolve;
+            ++issued;
+            if (pendingMispredictSeq_ ==
+                static_cast<std::int64_t>(e.seq)) {
+                fetchBlockedUntil_ = resolve + cfg_.mispredictPenalty;
+                pendingMispredictSeq_ = -1;
+            }
+            break;
+          }
+          case OpKind::Halt:
+            e.state = OpState::Complete;
+            e.complete = now;
+            break;
+        }
+    }
+    (void)allPriorIssued;
+}
+
+void
+Core::dispatch(Cycle now)
+{
+    if (now < fetchBlockedUntil_ || pendingMispredictSeq_ >= 0)
+        return;
+    if (source_ == nullptr)
+        return;
+
+    int dispatched = 0;
+    while (dispatched < cfg_.dispatchWidth && !rob_.full()) {
+        if (!havePending_) {
+            if (!source_->pullOp(pendingOp_, now))
+                break; // source empty (or finished) this cycle
+            havePending_ = true;
+        }
+        // Structural checks that must hold before consuming the op.
+        if (pendingOp_.kind == OpKind::Load &&
+            loadsInFlight_ >= cfg_.loadQueue)
+            break;
+        if (pendingOp_.kind == OpKind::Store &&
+            storesInFlight_ >= cfg_.storeQueue)
+            break;
+
+        RobEntry e;
+        e.op = pendingOp_;
+        e.seq = nextSeq_++;
+        e.issued = now; // reused as dispatch stamp until issue
+        havePending_ = false;
+
+        if (e.op.kind == OpKind::Load)
+            ++loadsInFlight_;
+        if (e.op.kind == OpKind::Store)
+            ++storesInFlight_;
+
+        bool stopAfter = false;
+        if (e.op.kind == OpKind::Branch) {
+            ++stats_.branches;
+            const bool correct =
+                predictor_.predict(e.op.pc, e.op.taken);
+            if (!correct) {
+                ++stats_.mispredicts;
+                pendingMispredictSeq_ =
+                    static_cast<std::int64_t>(e.seq);
+                stopAfter = true; // wrong path: fetch redirects later
+            }
+        }
+        rob_.push(std::move(e));
+        ++dispatched;
+        if (stopAfter)
+            break;
+    }
+}
+
+bool
+Core::tick(Cycle now)
+{
+    if (drained())
+        return false;
+
+    ++stats_.cycles;
+    int retired = 0;
+    retire(now, retired);
+    issue(now);
+    dispatch(now);
+
+    if (retired > 0) {
+        ++stats_.commitCycles;
+    } else if (!rob_.empty()) {
+        ++stats_.backendStallCycles;
+    } else if (now < fetchBlockedUntil_ || pendingMispredictSeq_ >= 0) {
+        ++stats_.frontendStallCycles;
+    } else if (source_ != nullptr && !source_->done()) {
+        // Waiting on the instruction supply (e.g. an outQ chunk the
+        // TMU is still producing).
+        ++stats_.backendStallCycles;
+        ++stats_.supplyWaitCycles;
+    } else {
+        ++stats_.frontendStallCycles;
+    }
+    return true;
+}
+
+bool
+Core::drained() const
+{
+    return rob_.empty() && !havePending_ &&
+           (source_ == nullptr || source_->done());
+}
+
+} // namespace tmu::sim

@@ -1,0 +1,267 @@
+#include "memsys.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace tmu::sim {
+
+MemorySystem::MemorySystem(const SystemConfig &cfg) : cfg_(cfg)
+{
+    perCore_.reserve(static_cast<size_t>(cfg.cores));
+    for (int c = 0; c < cfg.cores; ++c) {
+        PerCore pc{Cache(detail::format("l1.%d", c), cfg.l1),
+                   Cache(detail::format("l2.%d", c), cfg.l2),
+                   StridePrefetcher(2), BestOffsetPrefetcher(),
+                   ImpPrefetcher(), Tlb(cfg.tlb)};
+        perCore_.push_back(std::move(pc));
+    }
+    for (int s = 0; s < cfg.mem.llcSlices; ++s)
+        slices_.emplace_back(detail::format("llc.%d", s), cfg.llcSlice);
+    channels_.resize(static_cast<size_t>(cfg.mem.memChannels));
+}
+
+int
+MemorySystem::sliceOf(Addr line) const
+{
+    // Hash the line address across slices (CHI-style SAM).
+    const Addr l = line / kLineBytes;
+    return static_cast<int>((l ^ (l >> 7)) %
+                            static_cast<Addr>(cfg_.mem.llcSlices));
+}
+
+Cycle
+MemorySystem::nocLatency(int coreId, int slice) const
+{
+    // Cores on mesh rows 0-1, LLC slices on rows 2-3 of the 4x4 mesh.
+    const int dim = cfg_.mem.meshDim;
+    const int cx = coreId % dim, cy = coreId / dim;
+    const int sx = slice % dim, sy = 2 + slice / dim;
+    const int hops = std::abs(cx - sx) + std::abs(cy - sy);
+    return 2 * static_cast<Cycle>(hops) * cfg_.mem.nocHopLatency;
+}
+
+Cycle
+MemorySystem::dramAccess(Addr line, Cycle t)
+{
+    const Addr l = line / kLineBytes;
+    auto &ch = channels_[static_cast<size_t>(
+        (l ^ (l >> 9)) % static_cast<Addr>(channels_.size()))];
+
+    const double start =
+        std::max(static_cast<double>(t), ch.nextFree);
+    ch.nextFree = start + cfg_.mem.lineServiceCycles();
+
+    const Addr row = line >> 13; // 8 KiB row buffer
+    const bool rowHit = row == ch.lastRow;
+    ch.lastRow = row;
+
+    dram_.readBytes += kLineBytes;
+    ++dram_.accesses;
+    dram_.rowHits += rowHit;
+
+    const Cycle lat =
+        rowHit ? cfg_.mem.dramRowHitLatency : cfg_.mem.dramLatency;
+    return static_cast<Cycle>(start) + lat;
+}
+
+void
+MemorySystem::dramWrite(Addr line, Cycle t)
+{
+    // Writebacks are fire-and-forget for the requester but occupy the
+    // channel like any other transfer (bandwidth is bidirectionally
+    // shared on HBM pseudo-channels).
+    const Addr l = line / kLineBytes;
+    auto &ch = channels_[static_cast<size_t>(
+        (l ^ (l >> 9)) % static_cast<Addr>(channels_.size()))];
+    const double start = std::max(static_cast<double>(t), ch.nextFree);
+    ch.nextFree = start + cfg_.mem.lineServiceCycles();
+    dram_.writeBytes += kLineBytes;
+    ++dram_.accesses;
+}
+
+Cycle
+MemorySystem::llcPath(int coreId, Addr line, Cycle t)
+{
+    const int s = sliceOf(line);
+    Cache &slice = slices_[static_cast<size_t>(s)];
+    const Cycle noc = nocLatency(coreId, s);
+
+    Addr evicted = 0;
+    Addr *evictedPtr = &evicted;
+    const CacheAccess res = slice.access(
+        line, t + noc / 2, false,
+        [&](Cycle t2) { return dramAccess(line, t2); }, evictedPtr);
+    if (!res.accepted)
+        return kMissRejected;
+    if (evicted != 0)
+        dramWrite(evicted, t); // dirty LLC victim -> DRAM
+    return res.complete + noc / 2 + (noc & 1);
+}
+
+Cycle
+MemorySystem::l2Path(int coreId, Addr line, Cycle t, bool isPrefetch)
+{
+    PerCore &pc = perCore_[static_cast<size_t>(coreId)];
+
+    if (!isPrefetch && cfg_.l2BestOffsetPrefetcher)
+        pc.bo.observe(line, pendingL2_);
+
+    Addr evicted = 0;
+    const CacheAccess res = pc.l2.access(
+        line, t, false,
+        [&](Cycle t2) { return llcPath(coreId, line, t2); }, &evicted);
+    if (!res.accepted)
+        return kMissRejected;
+    if (evicted != 0)
+        writebackToLlc(coreId, evicted, t);
+    return res.complete;
+}
+
+void
+MemorySystem::writebackToLlc(int coreId, Addr line, Cycle now)
+{
+    const int s = sliceOf(line);
+    Addr evicted = 0;
+    slices_[static_cast<size_t>(s)].installDirect(line, true, &evicted);
+    if (evicted != 0)
+        dramWrite(evicted, now);
+    (void)coreId;
+}
+
+MemAccess
+MemorySystem::coreAccess(int coreId, Addr addr, bool write, Cycle now)
+{
+    PerCore &pc = perCore_[static_cast<size_t>(coreId)];
+    const Addr line = lineAddr(addr);
+
+    // Address translation precedes the cache access (Sec. 5.6).
+    if (cfg_.modelTlb)
+        now += pc.tlb.access(addr).extraLatency;
+
+    int levelHit = 1;
+    Addr evicted = 0;
+    const CacheAccess res = pc.l1.access(
+        line, now, write,
+        [&](Cycle t) {
+            levelHit = 2;
+            // Peek whether this will go further down, for stats.
+            const Cycle c = l2Path(coreId, line, t, false);
+            return c;
+        },
+        &evicted);
+
+    if (!res.accepted)
+        return {false, 0, 0};
+
+    if (evicted != 0) {
+        // Dirty L1 victim: write through to L2 (and onwards if L2
+        // evicts in turn).
+        Addr l2Evicted = 0;
+        pc.l2.installDirect(evicted, true, &l2Evicted);
+        if (l2Evicted != 0)
+            writebackToLlc(coreId, l2Evicted, now);
+    }
+
+    // Demand-side prefetcher training (full address stream).
+    if (cfg_.l1StridePrefetcher)
+        pc.stride.observe(addr, pendingL1_);
+    flushPrefetches(coreId, now);
+
+    // Classify the hit level from the latency when it missed L1.
+    if (res.hit)
+        levelHit = 1;
+    return {true, res.complete, levelHit};
+}
+
+MemAccess
+MemorySystem::tmuAccess(int coreId, Addr addr, Cycle now)
+{
+    const Addr line = lineAddr(addr);
+    // The TMU shares the host core's MMU via the L2 TLB (Sec. 5.6).
+    if (cfg_.modelTlb) {
+        now += perCore_[static_cast<size_t>(coreId)]
+                   .tlb.accessL2(addr)
+                   .extraLatency;
+    }
+    const Cycle c = llcPath(coreId, line, now);
+    if (c == kMissRejected)
+        return {false, 0, 0};
+    return {true, c, 3};
+}
+
+void
+MemorySystem::outqInstall(int coreId, Addr line, Cycle now)
+{
+    PerCore &pc = perCore_[static_cast<size_t>(coreId)];
+    Addr evicted = 0;
+    pc.l2.installDirect(lineAddr(line), true, &evicted);
+    if (evicted != 0)
+        writebackToLlc(coreId, evicted, now);
+}
+
+void
+MemorySystem::registerIndexRegion(Addr base, std::uint64_t bytes)
+{
+    for (auto &pc : perCore_)
+        pc.imp.addIndexRegion(base, bytes);
+}
+
+void
+MemorySystem::observeIndirect(int coreId, Addr prodAddr, Addr consAddr,
+                              Cycle now)
+{
+    if (!cfg_.impPrefetcher)
+        return;
+    PerCore &pc = perCore_[static_cast<size_t>(coreId)];
+    pc.imp.observe(prodAddr, consAddr, pendingL1_);
+    flushPrefetches(coreId, now);
+}
+
+void
+MemorySystem::flushPrefetches(int coreId, Cycle now)
+{
+    PerCore &pc = perCore_[static_cast<size_t>(coreId)];
+
+    // L1-targeted candidates (stride + IMP): drop on any hazard.
+    for (const Addr line : pendingL1_) {
+        Addr evicted = 0;
+        pc.l1.access(
+            line, now, false,
+            [&](Cycle t) { return l2Path(coreId, line, t, true); },
+            &evicted);
+        if (evicted != 0) {
+            Addr l2Evicted = 0;
+            pc.l2.installDirect(evicted, true, &l2Evicted);
+            if (l2Evicted != 0)
+                writebackToLlc(coreId, l2Evicted, now);
+        }
+    }
+    pendingL1_.clear();
+
+    // L2-targeted candidates (best-offset).
+    for (const Addr line : pendingL2_) {
+        Addr evicted = 0;
+        pc.l2.access(
+            line, now, false,
+            [&](Cycle t) { return llcPath(coreId, line, t); }, &evicted);
+        if (evicted != 0)
+            writebackToLlc(coreId, evicted, now);
+    }
+    pendingL2_.clear();
+}
+
+double
+MemorySystem::achievedGBs(Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(dram_.readBytes) +
+                         static_cast<double>(dram_.writeBytes);
+    const double seconds =
+        static_cast<double>(cycles) / (cfg_.mem.coreGHz * 1e9);
+    return bytes / seconds / 1e9;
+}
+
+} // namespace tmu::sim

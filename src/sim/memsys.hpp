@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The shared memory hierarchy: per-core L1D/L2, an 8-slice shared LLC
+ * reached over a 4x4 mesh, and HBM2e channels (paper Table 5).
+ *
+ * Two entry points mirror the paper's integration (Sec. 5.6): cores
+ * access through their private hierarchy; TMUs read directly from the
+ * LLC (more MSHRs -> more MLP) and write their outQ into the host
+ * core's private L2.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/prefetch.hpp"
+#include "sim/tlb.hpp"
+
+namespace tmu::sim {
+
+/** Outcome of a memory-system access. */
+struct MemAccess
+{
+    bool accepted = false; //!< false: structural hazard, retry
+    Cycle complete = 0;    //!< data-available cycle
+    int levelHit = 0;      //!< 1=L1, 2=L2, 3=LLC, 4=DRAM (first hit)
+};
+
+/** DRAM traffic counters (roofline denominators). */
+struct DramStats
+{
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t accesses = 0;
+};
+
+/** The full shared memory system of one simulated multicore. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SystemConfig &cfg);
+
+    /** Demand access from core @p coreId (entered at its L1D). */
+    MemAccess coreAccess(int coreId, Addr addr, bool write, Cycle now);
+
+    /** TMU fiber-traversal read: enters at the LLC slice. */
+    MemAccess tmuAccess(int coreId, Addr addr, Cycle now);
+
+    /** TMU outQ line install into the host core's private L2. */
+    void outqInstall(int coreId, Addr line, Cycle now);
+
+    /** Register an index array for the IMP comparator's value reads. */
+    void registerIndexRegion(Addr base, std::uint64_t bytes);
+
+    /** Feed the IMP an observed (index element, consumer) pair. */
+    void observeIndirect(int coreId, Addr prodAddr, Addr consAddr,
+                         Cycle now);
+
+    const DramStats &dramStats() const { return dram_; }
+    const Cache &l1(int coreId) const
+    {
+        return perCore_[static_cast<size_t>(coreId)].l1;
+    }
+    const Cache &l2(int coreId) const
+    {
+        return perCore_[static_cast<size_t>(coreId)].l2;
+    }
+    const Cache &llcSlice(int s) const
+    {
+        return slices_[static_cast<size_t>(s)];
+    }
+    const Tlb &tlb(int coreId) const
+    {
+        return perCore_[static_cast<size_t>(coreId)].tlb;
+    }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Achieved DRAM bandwidth over [0, @p cycles] in GB/s. */
+    double achievedGBs(Cycle cycles) const;
+
+  private:
+    struct PerCore
+    {
+        Cache l1;
+        Cache l2;
+        StridePrefetcher stride{2};
+        BestOffsetPrefetcher bo;
+        ImpPrefetcher imp;
+        Tlb tlb;
+    };
+
+    struct Channel
+    {
+        double nextFree = 0.0;
+        Addr lastRow = ~Addr{0};
+    };
+
+    /** L2 access path (L1 miss handler). kMissRejected on hazard. */
+    Cycle l2Path(int coreId, Addr line, Cycle t, bool isPrefetch);
+    /** LLC access path (L2 miss / TMU entry). */
+    Cycle llcPath(int coreId, Addr line, Cycle t);
+    /** DRAM channel read. Always accepted; returns completion. */
+    Cycle dramAccess(Addr line, Cycle t);
+    /** DRAM channel writeback (occupies bandwidth, no completion). */
+    void dramWrite(Addr line, Cycle t);
+
+    /** Mesh round-trip latency between a core tile and an LLC slice. */
+    Cycle nocLatency(int coreId, int slice) const;
+
+    int sliceOf(Addr line) const;
+
+    /** Run queued prefetch candidates through the hierarchy. */
+    void flushPrefetches(int coreId, Cycle now);
+
+    /** Handle a dirty line evicted from a private L2 (towards LLC). */
+    void writebackToLlc(int coreId, Addr line, Cycle now);
+
+    SystemConfig cfg_;
+    std::vector<PerCore> perCore_;
+    std::vector<Cache> slices_;
+    std::vector<Channel> channels_;
+    DramStats dram_;
+    PrefetchList pendingL1_; //!< stride/IMP candidates (into L1)
+    PrefetchList pendingL2_; //!< best-offset candidates (into L2)
+};
+
+} // namespace tmu::sim

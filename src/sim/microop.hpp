@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The micro-op vocabulary connecting workloads to the core timing model.
+ *
+ * Baseline kernels execute as C++20 coroutines that *compute real
+ * results* while yielding a stream of MicroOps describing the dynamic
+ * instruction mix an SVE-vectorized implementation would execute:
+ * scalar/vector loads and stores (with true host addresses, so cache
+ * behaviour is faithful), FP/integer work, and branches carrying their
+ * real taken/not-taken outcome (so the core's gshare predictor sees real
+ * data-dependent entropy). The TMU path reuses the same vocabulary for
+ * the callback compute the host core performs.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/generator.hpp"
+#include "common/types.hpp"
+
+namespace tmu::sim {
+
+/** Dynamic micro-op kinds. */
+enum class OpKind : std::uint8_t {
+    Load,   //!< memory read: addr/size; depDist serializes address deps
+    Store,  //!< memory write: addr/size
+    Flop,   //!< floating-point work: count scalar flops in one µop
+    Iop,    //!< integer/address computation
+    Branch, //!< conditional branch: pc selects the predictor slot
+    Halt,   //!< end of a core's trace
+};
+
+/**
+ * One dynamic micro-op. 24 bytes; traces are never materialized, they
+ * stream out of coroutines into the core model.
+ */
+struct MicroOp
+{
+    OpKind kind = OpKind::Halt;
+    std::uint8_t size = 0;     //!< bytes touched (mem ops), <= 64
+    bool taken = false;        //!< branch outcome
+    /**
+     * Load address dependency distance: this load's *address* is
+     * produced by the depDist-th previous µop (0 = no dependency). The
+     * core will not issue the load until that producer completes —
+     * this is what makes scan-and-lookup pointer chases serialize in
+     * the baseline (paper Sec. 3).
+     */
+    std::uint8_t depDist = 0;
+    std::uint16_t pc = 0;      //!< static id: branch-predictor/fusion slot
+    std::uint16_t flops = 0;   //!< FP operations represented (Flop)
+    Addr addr = 0;             //!< effective address (mem ops)
+    /**
+     * For indirect consumer loads (B[idx[i]] gathers): the address of
+     * the 64-bit index element that produced this address. Consumed by
+     * the IMP prefetcher model (Fig. 15); 0 when not applicable.
+     */
+    Addr prodAddr = 0;
+
+    static MicroOp
+    load(Addr a, std::uint8_t bytes, std::uint8_t dep_dist = 0,
+         Addr prod_addr = 0)
+    {
+        MicroOp op;
+        op.kind = OpKind::Load;
+        op.addr = a;
+        op.size = bytes;
+        op.depDist = dep_dist;
+        op.prodAddr = prod_addr;
+        return op;
+    }
+
+    static MicroOp
+    store(Addr a, std::uint8_t bytes)
+    {
+        MicroOp op;
+        op.kind = OpKind::Store;
+        op.addr = a;
+        op.size = bytes;
+        return op;
+    }
+
+    static MicroOp
+    flop(std::uint16_t count)
+    {
+        MicroOp op;
+        op.kind = OpKind::Flop;
+        op.flops = count;
+        return op;
+    }
+
+    static MicroOp
+    iop()
+    {
+        MicroOp op;
+        op.kind = OpKind::Iop;
+        return op;
+    }
+
+    static MicroOp
+    branch(std::uint16_t pc, bool taken)
+    {
+        MicroOp op;
+        op.kind = OpKind::Branch;
+        op.pc = pc;
+        op.taken = taken;
+        return op;
+    }
+
+    static MicroOp
+    halt()
+    {
+        return MicroOp{};
+    }
+};
+
+/** A lazily-produced per-core micro-op stream. */
+using Trace = Generator<MicroOp>;
+
+/**
+ * SIMD shape of the (simulated) vector ISA. The paper's baselines are
+ * Arm SVE; vector width is the Fig. 14 sensitivity knob and ties to the
+ * TMU lane count (512 b = 8 lanes of 64-bit elements).
+ */
+struct SimdConfig
+{
+    int vectorBits = 512;
+
+    /** 64-bit elements per vector register. */
+    int lanes() const { return vectorBits / 64; }
+    /** Bytes per full vector register. */
+    int bytes() const { return vectorBits / 8; }
+};
+
+/** Helper for emitting a vector gather: one element load per lane. */
+inline Addr
+elementAddr(const void *base, Index element, std::size_t elemBytes)
+{
+    return reinterpret_cast<Addr>(base) +
+           static_cast<Addr>(element) * elemBytes;
+}
+
+/** Host address of element @p i of a contiguous array. */
+template <typename T>
+Addr
+addrOf(const T *base, Index i)
+{
+    return reinterpret_cast<Addr>(base + i);
+}
+
+} // namespace tmu::sim

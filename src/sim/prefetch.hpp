@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Hardware prefetcher models.
+ *
+ * StridePrefetcher   — per-page stride detector, degree 2 (Table 5 L1D).
+ * BestOffsetPrefetcher — Michaud's BO algorithm, simplified scoring
+ *                      (Table 5 L2).
+ * ImpPrefetcher      — Yu et al.'s Indirect Memory Prefetcher (paper
+ *                      [67], the Fig. 15 comparator): learns the
+ *                      coefficient/base of B[idx[i]] streams from
+ *                      (index value, consumer address) sample pairs and
+ *                      prefetches ahead by reading future index values,
+ *                      exactly as the hardware snoops fill data. Reads
+ *                      of future index values are bounded to the
+ *                      producer's registered index region for memory
+ *                      safety (see DESIGN.md).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tmu::sim {
+
+/** Candidate prefetch line addresses produced by one access. */
+using PrefetchList = std::vector<Addr>;
+
+/** Per-4KiB-page stride detector with configurable degree. */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(int degree = 2) : degree_(degree) {}
+
+    /** Observe a demand access; append prefetch lines to @p out. */
+    void observe(Addr addr, PrefetchList &out);
+
+  private:
+    struct Entry
+    {
+        Addr page = ~Addr{0};
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        int confidence = 0;
+    };
+
+    static constexpr std::size_t kEntries = 64;
+
+    int degree_;
+    std::array<Entry, kEntries> table_{};
+};
+
+/** Best-offset prefetcher (simplified single-degree scoring). */
+class BestOffsetPrefetcher
+{
+  public:
+    BestOffsetPrefetcher();
+
+    /** Observe a demand access (line address); append prefetches. */
+    void observe(Addr line, PrefetchList &out);
+
+    /** Currently selected offset in lines (introspection/tests). */
+    int currentOffset() const { return bestOffset_; }
+
+  private:
+    static constexpr int kRounds = 16;      //!< scoring round length
+    static constexpr std::size_t kRecent = 64; //!< recent-request window
+
+    std::vector<int> offsets_;   //!< candidate offsets (lines)
+    std::vector<int> scores_;
+    int bestOffset_ = 1;
+    int testIndex_ = 0;
+    int round_ = 0;
+    std::array<Addr, kRecent> recent_{};
+    std::size_t recentHead_ = 0;
+};
+
+/**
+ * Indirect Memory Prefetcher. The workload registers its index arrays
+ * (safety bound for value reads); the prefetcher then learns
+ * consumer = coeff * idxValue + base from observed pairs and, once
+ * trained, prefetches the consumers of idx[i + distance].
+ */
+class ImpPrefetcher
+{
+  public:
+    struct Config
+    {
+        int distance = 16;  //!< index elements of lookahead
+        int samplesToTrain = 2;
+    };
+
+    ImpPrefetcher() = default;
+    explicit ImpPrefetcher(Config cfg) : cfg_(cfg) {}
+
+    /** Register an index-array region [base, base+bytes). */
+    void addIndexRegion(Addr base, std::uint64_t bytes);
+
+    /**
+     * Observe an indirect consumer load: @p prodAddr is the address of
+     * the 64-bit index element that produced @p consAddr. Appends
+     * prefetch line candidates to @p out.
+     */
+    void observe(Addr prodAddr, Addr consAddr, PrefetchList &out);
+
+    bool trained() const { return trained_; }
+
+  private:
+    struct Region
+    {
+        Addr base = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Read an index value if the address lies in a registered region. */
+    bool readIndex(Addr addr, Index &value) const;
+
+    Config cfg_{};
+    std::vector<Region> regions_;
+    bool haveSample_ = false;
+    bool trained_ = false;
+    double coeff_ = 0.0;
+    double base_ = 0.0;
+    Index lastIdxValue_ = 0;
+    Addr lastConsAddr_ = 0;
+    int agreeingSamples_ = 0;
+};
+
+} // namespace tmu::sim

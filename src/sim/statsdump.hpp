@@ -1,0 +1,20 @@
+/**
+ * @file
+ * gem5-style plain-text statistics report: one `name  value  # desc`
+ * line per counter, covering the cores, the cache hierarchy, the TLBs
+ * and DRAM. Written for diffing between runs and for scripting.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "sim/memsys.hpp"
+#include "sim/system.hpp"
+
+namespace tmu::sim {
+
+/** Render the full statistics report for a finished run. */
+std::string dumpStats(const SimResult &result, const MemorySystem &mem);
+
+} // namespace tmu::sim

@@ -1,0 +1,94 @@
+#include "system.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tmu::sim {
+
+double
+SimResult::commitFrac() const
+{
+    const double c = static_cast<double>(total.cycles);
+    return c > 0 ? static_cast<double>(total.commitCycles) / c : 0.0;
+}
+
+double
+SimResult::frontendFrac() const
+{
+    const double c = static_cast<double>(total.cycles);
+    return c > 0 ? static_cast<double>(total.frontendStallCycles) / c
+                 : 0.0;
+}
+
+double
+SimResult::backendFrac() const
+{
+    const double c = static_cast<double>(total.cycles);
+    return c > 0 ? static_cast<double>(total.backendStallCycles) / c : 0.0;
+}
+
+System::System(const SystemConfig &cfg) : cfg_(cfg), mem_(cfg)
+{
+    for (int c = 0; c < cfg.cores; ++c)
+        cores_.push_back(std::make_unique<Core>(c, cfg.core, mem_));
+}
+
+void
+System::attachSource(int coreId, TraceSource *src)
+{
+    cores_[static_cast<size_t>(coreId)]->attach(src);
+}
+
+void
+System::addDevice(Tickable *dev)
+{
+    devices_.push_back(dev);
+}
+
+SimResult
+System::run(Cycle maxCycles)
+{
+    bool active = true;
+    while (active && now_ < maxCycles) {
+        ++now_;
+        active = false;
+        for (Tickable *dev : devices_)
+            active |= dev->tick(now_);
+        for (auto &core : cores_)
+            active |= core->tick(now_);
+    }
+    if (now_ >= maxCycles)
+        TMU_WARN("simulation hit the %llu-cycle safety cap",
+                 static_cast<unsigned long long>(maxCycles));
+
+    SimResult res;
+    for (auto &core : cores_) {
+        const CoreStats &s = core->stats();
+        res.perCore.push_back(s);
+        res.cycles = std::max(res.cycles, s.cycles);
+        res.total.cycles += s.cycles;
+        res.total.commitCycles += s.commitCycles;
+        res.total.frontendStallCycles += s.frontendStallCycles;
+        res.total.backendStallCycles += s.backendStallCycles;
+        res.total.supplyWaitCycles += s.supplyWaitCycles;
+        res.total.retiredOps += s.retiredOps;
+        res.total.loads += s.loads;
+        res.total.stores += s.stores;
+        res.total.flops += s.flops;
+        res.total.branches += s.branches;
+        res.total.mispredicts += s.mispredicts;
+        res.total.loadLatencySum += s.loadLatencySum;
+    }
+    res.dram = mem_.dramStats();
+    res.achievedGBs = mem_.achievedGBs(res.cycles);
+    if (res.cycles > 0) {
+        const double seconds = static_cast<double>(res.cycles) /
+                               (cfg_.mem.coreGHz * 1e9);
+        res.gflops =
+            static_cast<double>(res.total.flops) / seconds / 1e9;
+    }
+    return res;
+}
+
+} // namespace tmu::sim

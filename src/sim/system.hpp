@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The simulated multicore: N cores, their TraceSources, optional
+ * per-core devices (TMU engines), and the shared memory system, all
+ * advanced in lockstep one cycle at a time.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/memsys.hpp"
+
+namespace tmu::sim {
+
+/** Anything ticked once per cycle alongside the cores (TMU engines). */
+class Tickable
+{
+  public:
+    virtual ~Tickable() = default;
+
+    /** Advance one cycle. @retval false permanently idle (drained). */
+    virtual bool tick(Cycle now) = 0;
+};
+
+/** Whole-run result summary. */
+struct SimResult
+{
+    Cycle cycles = 0;          //!< wall-clock cycles (max over cores)
+    CoreStats total;           //!< summed core counters
+    std::vector<CoreStats> perCore;
+    DramStats dram;
+    double achievedGBs = 0.0;
+    double gflops = 0.0;       //!< achieved FP throughput
+
+    /** Fraction helpers for the Fig. 3 / Fig. 11 breakdowns. */
+    double commitFrac() const;
+    double frontendFrac() const;
+    double backendFrac() const;
+};
+
+/** One simulated machine instance. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    MemorySystem &mem() { return mem_; }
+    Core &core(int i) { return *cores_[static_cast<size_t>(i)]; }
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Attach a core's micro-op supply (not owned). */
+    void attachSource(int coreId, TraceSource *src);
+
+    /** Attach a per-cycle device such as a TMU engine (not owned). */
+    void addDevice(Tickable *dev);
+
+    /**
+     * Run until every core is drained and every device idle (or the
+     * safety cap is hit). Returns the result summary.
+     */
+    SimResult run(Cycle maxCycles = 2'000'000'000ULL);
+
+  private:
+    SystemConfig cfg_;
+    MemorySystem mem_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Tickable *> devices_;
+    Cycle now_ = 0;
+};
+
+} // namespace tmu::sim

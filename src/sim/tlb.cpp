@@ -1,0 +1,37 @@
+#include "tlb.hpp"
+
+namespace tmu::sim {
+
+TlbAccess
+Tlb::access(Addr addr)
+{
+    const Addr page = addr / cfg_.pageBytes;
+    if (l1_.lookup(page)) {
+        ++l1Hits_;
+        return {0, 1};
+    }
+    if (l2_.lookup(page)) {
+        ++l2Hits_;
+        l1_.insert(page, cfg_.l1Entries);
+        return {cfg_.l2Latency, 2};
+    }
+    ++walks_;
+    l2_.insert(page, cfg_.l2Entries);
+    l1_.insert(page, cfg_.l1Entries);
+    return {cfg_.l2Latency + cfg_.walkLatency, 3};
+}
+
+TlbAccess
+Tlb::accessL2(Addr addr)
+{
+    const Addr page = addr / cfg_.pageBytes;
+    if (l2_.lookup(page)) {
+        ++l2Hits_;
+        return {cfg_.l2Latency, 2};
+    }
+    ++walks_;
+    l2_.insert(page, cfg_.l2Entries);
+    return {cfg_.l2Latency + cfg_.walkLatency, 3};
+}
+
+} // namespace tmu::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Two-level TLB model (paper Sec. 5.6).
+ *
+ * Cores translate through their L1/L2 TLBs; the TMU shares the host
+ * core's MMU and queries the L2 TLB directly, taking the same walk
+ * penalty on a miss (the paper's page-fault interrupt path is the
+ * extreme case of a walk; major faults do not occur for the resident
+ * synthetic inputs). Disabled by default in the scaled-down benches —
+ * a 4 KiB page is disproportionate against 1/128-scale data — and
+ * exercised by tests and full-scale runs via
+ * SystemConfig::modelTlb.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace tmu::sim {
+
+/** TLB parameters (Neoverse-class defaults). */
+struct TlbConfig
+{
+    int l1Entries = 48;
+    int l2Entries = 1280;
+    Cycle l2Latency = 4;    //!< extra cycles on an L1 TLB miss
+    Cycle walkLatency = 60; //!< page-table walk on an L2 miss
+    std::uint64_t pageBytes = 4096;
+};
+
+/** Result of one translation. */
+struct TlbAccess
+{
+    Cycle extraLatency = 0; //!< added to the memory access
+    int levelHit = 1;       //!< 1, 2, or 3 (= walk)
+};
+
+/** Two-level LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg = TlbConfig{}) : cfg_(cfg) {}
+
+    /** Translate the page containing @p addr. */
+    TlbAccess access(Addr addr);
+
+    /** L2-only lookup (the TMU's path through the host MMU). */
+    TlbAccess accessL2(Addr addr);
+
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Hits() const { return l2Hits_; }
+    std::uint64_t walks() const { return walks_; }
+
+  private:
+    struct Level
+    {
+        std::unordered_map<Addr, std::uint64_t> entries; //!< page->use
+        std::uint64_t clock = 0;
+
+        bool
+        lookup(Addr page)
+        {
+            const auto it = entries.find(page);
+            if (it == entries.end())
+                return false;
+            it->second = ++clock;
+            return true;
+        }
+
+        void
+        insert(Addr page, int capacity)
+        {
+            if (entries.count(page)) {
+                entries[page] = ++clock;
+                return;
+            }
+            if (static_cast<int>(entries.size()) >= capacity) {
+                auto victim = entries.begin();
+                for (auto it = entries.begin(); it != entries.end();
+                     ++it) {
+                    if (it->second < victim->second)
+                        victim = it;
+                }
+                entries.erase(victim);
+            }
+            entries.emplace(page, ++clock);
+        }
+    };
+
+    TlbConfig cfg_;
+    Level l1_;
+    Level l2_;
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t l2Hits_ = 0;
+    std::uint64_t walks_ = 0;
+};
+
+} // namespace tmu::sim

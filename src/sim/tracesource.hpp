@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The core model's instruction supply abstraction.
+ *
+ * A baseline core pulls from a kernel coroutine; a TMU-accelerated core
+ * pulls from the outQ consumer, which can be transiently *empty* while
+ * the engine fills the next chunk — pullOp() distinguishes "no op this
+ * cycle" from "trace finished".
+ */
+
+#pragma once
+
+#include "common/generator.hpp"
+#include "sim/microop.hpp"
+
+namespace tmu::sim {
+
+/** Pull-based micro-op supply for one core. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Try to pull the next micro-op.
+     * @param now the core's current cycle (time-dependent sources such
+     *        as the TMU outQ use it to gate availability).
+     * @retval true  @p op was filled.
+     * @retval false nothing available *this cycle*; check done().
+     */
+    virtual bool pullOp(MicroOp &op, Cycle now) = 0;
+
+    /** True once the stream has ended (Halt reached). */
+    virtual bool done() const = 0;
+};
+
+/** TraceSource over a kernel coroutine (the software baseline path). */
+class CoroutineSource : public TraceSource
+{
+  public:
+    explicit CoroutineSource(Trace trace) : trace_(std::move(trace)) {}
+
+    bool
+    pullOp(MicroOp &op, Cycle /*now*/) override
+    {
+        if (done_)
+            return false;
+        if (!trace_.next()) {
+            done_ = true;
+            return false;
+        }
+        if (trace_.value().kind == OpKind::Halt) {
+            done_ = true;
+            return false;
+        }
+        op = trace_.value();
+        return true;
+    }
+
+    bool done() const override { return done_; }
+
+  private:
+    Trace trace_;
+    bool done_ = false;
+};
+
+} // namespace tmu::sim

@@ -1,0 +1,198 @@
+#include "convert.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tmu::tensor {
+
+CsrMatrix
+cooToCsr(const CooTensor &coo)
+{
+    TMU_ASSERT(coo.order() == 2, "cooToCsr requires an order-2 tensor");
+    TMU_ASSERT(coo.isCanonical(), "cooToCsr requires canonical COO");
+
+    const Index rows = coo.dim(0);
+    const Index cols = coo.dim(1);
+    std::vector<Index> ptrs(static_cast<size_t>(rows) + 1, 0);
+    for (Index p = 0; p < coo.nnz(); ++p)
+        ++ptrs[static_cast<size_t>(coo.idx(0, p)) + 1];
+    for (size_t r = 0; r < static_cast<size_t>(rows); ++r)
+        ptrs[r + 1] += ptrs[r];
+
+    // Entries are already sorted (i, j), so idxs/vals copy through.
+    std::vector<Index> idxs(coo.idxs(1));
+    std::vector<Value> vals(coo.vals());
+    return CsrMatrix(rows, cols, std::move(ptrs), std::move(idxs),
+                     std::move(vals));
+}
+
+CooTensor
+csrToCoo(const CsrMatrix &csr)
+{
+    CooTensor coo({csr.rows(), csr.cols()});
+    for (Index r = 0; r < csr.rows(); ++r) {
+        for (Index p = csr.rowBegin(r); p < csr.rowEnd(r); ++p) {
+            coo.push2(r, csr.idxs()[static_cast<size_t>(p)],
+                      csr.vals()[static_cast<size_t>(p)]);
+        }
+    }
+    // Already canonical: rows ascend, columns ascend within rows.
+    return coo;
+}
+
+DcsrMatrix
+csrToDcsr(const CsrMatrix &csr)
+{
+    std::vector<Index> rowIdxs;
+    std::vector<Index> rowPtrs{0};
+    for (Index r = 0; r < csr.rows(); ++r) {
+        if (csr.rowNnz(r) > 0) {
+            rowIdxs.push_back(r);
+            rowPtrs.push_back(csr.rowEnd(r));
+        }
+    }
+    return DcsrMatrix(csr.rows(), csr.cols(), std::move(rowIdxs),
+                      std::move(rowPtrs), csr.idxs(), csr.vals());
+}
+
+CsrMatrix
+dcsrToCsr(const DcsrMatrix &dcsr)
+{
+    std::vector<Index> ptrs(static_cast<size_t>(dcsr.rows()) + 1, 0);
+    for (Index s = 0; s < dcsr.numStoredRows(); ++s) {
+        const auto r = static_cast<size_t>(dcsr.storedRowCoord(s));
+        ptrs[r + 1] = dcsr.storedRow(s).size();
+    }
+    for (size_t r = 0; r < static_cast<size_t>(dcsr.rows()); ++r)
+        ptrs[r + 1] += ptrs[r];
+    return CsrMatrix(dcsr.rows(), dcsr.cols(), std::move(ptrs),
+                     dcsr.colIdxs(), dcsr.vals());
+}
+
+CsfTensor
+cooToCsf(const CooTensor &coo)
+{
+    TMU_ASSERT(coo.order() >= 2);
+    TMU_ASSERT(coo.isCanonical(), "cooToCsf requires canonical COO");
+    const auto order = static_cast<size_t>(coo.order());
+    const auto nnz = static_cast<size_t>(coo.nnz());
+    TMU_ASSERT(nnz > 0, "cannot build CSF from an empty tensor");
+
+    std::vector<std::vector<Index>> idxs(order);
+    std::vector<std::vector<Index>> ptrs(order - 1);
+
+    // Walk the sorted entries once; open a new node at level l whenever
+    // any coordinate at level <= l changes.
+    for (size_t p = 0; p < nnz; ++p) {
+        size_t firstChanged = 0;
+        if (p > 0) {
+            firstChanged = order;
+            for (size_t l = 0; l < order; ++l) {
+                if (coo.idx(static_cast<int>(l), static_cast<Index>(p)) !=
+                    coo.idx(static_cast<int>(l), static_cast<Index>(p - 1))) {
+                    firstChanged = l;
+                    break;
+                }
+            }
+            TMU_ASSERT(firstChanged < order, "duplicate COO coordinate");
+        }
+        for (size_t l = firstChanged; l < order; ++l) {
+            if (l + 1 < order) {
+                ptrs[l].push_back(
+                    static_cast<Index>(idxs[l + 1].size()));
+            }
+            idxs[l].push_back(
+                coo.idx(static_cast<int>(l), static_cast<Index>(p)));
+        }
+    }
+    // Close the ptr arrays.
+    for (size_t l = 0; l + 1 < order; ++l)
+        ptrs[l].push_back(static_cast<Index>(idxs[l + 1].size()));
+
+    return CsfTensor(coo.dims(), std::move(idxs), std::move(ptrs),
+                     coo.vals());
+}
+
+namespace {
+
+void
+csfWalk(const CsfTensor &t, int level, Index node,
+        std::vector<Index> &coord, CooTensor &out)
+{
+    coord[static_cast<size_t>(level)] = t.nodeCoord(level, node);
+    if (level + 1 == t.order()) {
+        out.push(coord, t.vals()[static_cast<size_t>(node)]);
+        return;
+    }
+    for (Index c = t.childBegin(level, node); c < t.childEnd(level, node);
+         ++c) {
+        csfWalk(t, level + 1, c, coord, out);
+    }
+}
+
+} // namespace
+
+CooTensor
+csfToCoo(const CsfTensor &csf)
+{
+    CooTensor coo(csf.dims());
+    std::vector<Index> coord(static_cast<size_t>(csf.order()), 0);
+    for (Index root = 0; root < csf.numNodes(0); ++root)
+        csfWalk(csf, 0, root, coord, coo);
+    return coo; // depth-first order of a sorted tree is canonical
+}
+
+CsrMatrix
+transposeCsr(const CsrMatrix &a)
+{
+    std::vector<Index> ptrs(static_cast<size_t>(a.cols()) + 1, 0);
+    for (Index c : a.idxs())
+        ++ptrs[static_cast<size_t>(c) + 1];
+    for (size_t c = 0; c < static_cast<size_t>(a.cols()); ++c)
+        ptrs[c + 1] += ptrs[c];
+
+    std::vector<Index> idxs(static_cast<size_t>(a.nnz()));
+    std::vector<Value> vals(static_cast<size_t>(a.nnz()));
+    std::vector<Index> cursor(ptrs.begin(), ptrs.end() - 1);
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index p = a.rowBegin(r); p < a.rowEnd(r); ++p) {
+            const auto c = static_cast<size_t>(
+                a.idxs()[static_cast<size_t>(p)]);
+            const auto q = static_cast<size_t>(cursor[c]++);
+            idxs[q] = r;
+            vals[q] = a.vals()[static_cast<size_t>(p)];
+        }
+    }
+    return CsrMatrix(a.cols(), a.rows(), std::move(ptrs), std::move(idxs),
+                     std::move(vals));
+}
+
+DenseMatrix
+csrToDense(const CsrMatrix &a)
+{
+    DenseMatrix d(a.rows(), a.cols());
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index p = a.rowBegin(r); p < a.rowEnd(r); ++p) {
+            d(r, a.idxs()[static_cast<size_t>(p)]) =
+                a.vals()[static_cast<size_t>(p)];
+        }
+    }
+    return d;
+}
+
+CsrMatrix
+denseToCsr(const DenseMatrix &a)
+{
+    TMU_ASSERT(a.rows() > 0 && a.cols() > 0);
+    CooTensor coo({a.rows(), a.cols()});
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c) {
+            if (a(r, c) != 0.0)
+                coo.push2(r, c, a(r, c));
+        }
+    }
+    return cooToCsr(coo);
+}
+
+} // namespace tmu::tensor

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Conversions between tensor formats.
+ *
+ * COO is the interchange hub: every compressed format converts to/from a
+ * canonical (sorted, deduplicated) COO tensor. All converters are pure
+ * and validated by round-trip tests.
+ */
+
+#pragma once
+
+#include "tensor/coo.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/dcsr.hpp"
+#include "tensor/dense.hpp"
+
+namespace tmu::tensor {
+
+/** COO (order 2, canonical) -> CSR. */
+CsrMatrix cooToCsr(const CooTensor &coo);
+
+/** CSR -> COO (canonical by construction). */
+CooTensor csrToCoo(const CsrMatrix &csr);
+
+/** CSR -> DCSR (drops empty rows). */
+DcsrMatrix csrToDcsr(const CsrMatrix &csr);
+
+/** DCSR -> CSR (rematerializes empty rows). */
+CsrMatrix dcsrToCsr(const DcsrMatrix &dcsr);
+
+/** COO (any order >= 2, canonical) -> CSF. */
+CsfTensor cooToCsf(const CooTensor &coo);
+
+/** CSF -> COO (canonical by construction). */
+CooTensor csfToCoo(const CsfTensor &csf);
+
+/** Transpose a CSR matrix (counting sort over columns). */
+CsrMatrix transposeCsr(const CsrMatrix &a);
+
+/** CSR -> row-major dense matrix (testing aid). */
+DenseMatrix csrToDense(const CsrMatrix &a);
+
+/** Dense -> CSR, dropping exact zeros (testing aid). */
+CsrMatrix denseToCsr(const DenseMatrix &a);
+
+} // namespace tmu::tensor

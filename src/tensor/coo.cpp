@@ -1,0 +1,69 @@
+#include "coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tmu::tensor {
+
+int
+CooTensor::compareEntries(Index p, Index q) const
+{
+    for (const auto &mode : idxs_) {
+        const Index a = mode[static_cast<size_t>(p)];
+        const Index b = mode[static_cast<size_t>(q)];
+        if (a < b)
+            return -1;
+        if (a > b)
+            return 1;
+    }
+    return 0;
+}
+
+void
+CooTensor::sortAndCombine()
+{
+    const auto n = static_cast<size_t>(nnz());
+    if (n == 0)
+        return;
+
+    // Sort a permutation rather than the arrays themselves.
+    std::vector<Index> perm(n);
+    std::iota(perm.begin(), perm.end(), Index{0});
+    std::sort(perm.begin(), perm.end(), [&](Index a, Index b) {
+        return compareEntries(a, b) < 0;
+    });
+
+    // Apply the permutation while summing runs of equal coordinates.
+    std::vector<std::vector<Index>> newIdxs(idxs_.size());
+    std::vector<Value> newVals;
+    newVals.reserve(n);
+    for (auto &v : newIdxs)
+        v.reserve(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        const auto p = static_cast<size_t>(perm[i]);
+        if (!newVals.empty() &&
+            compareEntries(perm[i], perm[i - 1]) == 0) {
+            newVals.back() += vals_[p];
+            continue;
+        }
+        for (size_t m = 0; m < idxs_.size(); ++m)
+            newIdxs[m].push_back(idxs_[m][p]);
+        newVals.push_back(vals_[p]);
+    }
+
+    idxs_ = std::move(newIdxs);
+    vals_ = std::move(newVals);
+}
+
+bool
+CooTensor::isCanonical() const
+{
+    for (Index p = 1; p < nnz(); ++p) {
+        if (compareEntries(p - 1, p) >= 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace tmu::tensor

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Order-n coordinate (COO) tensor.
+ *
+ * Stores one singleton coordinate array per mode (structure-of-arrays)
+ * plus a value array, kept sorted in lexicographic mode order. This is
+ * the interchange format every other compressed format converts through,
+ * and the storage format of the MTTKRP workloads (Table 4).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "tensor/levels.hpp"
+
+namespace tmu::tensor {
+
+/** Sorted order-n COO tensor. */
+class CooTensor
+{
+  public:
+    CooTensor() = default;
+
+    /** Create an empty tensor with the given mode sizes. */
+    explicit CooTensor(std::vector<Index> dims)
+        : dims_(std::move(dims)), idxs_(dims_.size())
+    {
+        TMU_ASSERT(!dims_.empty());
+        for (Index d : dims_)
+            TMU_ASSERT(d > 0);
+    }
+
+    int order() const { return static_cast<int>(dims_.size()); }
+    const std::vector<Index> &dims() const { return dims_; }
+    Index dim(int mode) const { return dims_.at(static_cast<size_t>(mode)); }
+    Index nnz() const { return static_cast<Index>(vals_.size()); }
+
+    /** Coordinate array of one mode (length nnz). */
+    const std::vector<Index> &idxs(int mode) const
+    {
+        return idxs_.at(static_cast<size_t>(mode));
+    }
+    const std::vector<Value> &vals() const { return vals_; }
+    std::vector<Value> &vals() { return vals_; }
+
+    /** Coordinate of entry @p p in mode @p mode. */
+    Index idx(int mode, Index p) const
+    {
+        return idxs_[static_cast<size_t>(mode)][static_cast<size_t>(p)];
+    }
+    Value val(Index p) const { return vals_[static_cast<size_t>(p)]; }
+
+    /** Append an entry; call sortAndCombine() before reading back. */
+    void
+    push(const std::vector<Index> &coord, Value v)
+    {
+        TMU_ASSERT(coord.size() == dims_.size());
+        for (size_t m = 0; m < coord.size(); ++m) {
+            TMU_ASSERT(coord[m] >= 0 && coord[m] < dims_[m],
+                       "coord %lld out of range in mode %zu",
+                       static_cast<long long>(coord[m]), m);
+            idxs_[m].push_back(coord[m]);
+        }
+        vals_.push_back(v);
+    }
+
+    /** Convenience for order-2 and order-3 pushes. */
+    void push2(Index i, Index j, Value v) { push({i, j}, v); }
+    void push3(Index i, Index j, Index k, Value v) { push({i, j, k}, v); }
+
+    /**
+     * Sort entries lexicographically by coordinates and sum duplicates.
+     * Establishes the invariant the traversal/merge code relies on.
+     */
+    void sortAndCombine();
+
+    /** True if entries are sorted with strictly-unique coordinates. */
+    bool isCanonical() const;
+
+    /** Lexicographic coordinate comparison of entries p and q. */
+    int compareEntries(Index p, Index q) const;
+
+    FormatDesc format() const { return FormatDesc::coo(order()); }
+
+  private:
+    std::vector<Index> dims_;
+    std::vector<std::vector<Index>> idxs_;
+    std::vector<Value> vals_;
+};
+
+} // namespace tmu::tensor

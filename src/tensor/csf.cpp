@@ -1,0 +1,61 @@
+#include "csf.hpp"
+
+namespace tmu::tensor {
+
+CsfTensor::CsfTensor(std::vector<Index> dims,
+                     std::vector<std::vector<Index>> idxs,
+                     std::vector<std::vector<Index>> ptrs,
+                     std::vector<Value> vals)
+    : dims_(std::move(dims)), idxs_(std::move(idxs)),
+      ptrs_(std::move(ptrs)), vals_(std::move(vals))
+{
+    TMU_ASSERT(valid(), "malformed CSF tensor");
+}
+
+bool
+CsfTensor::valid() const
+{
+    const auto n = dims_.size();
+    if (n < 2)
+        return false;
+    if (idxs_.size() != n || ptrs_.size() != n - 1)
+        return false;
+    if (vals_.size() != idxs_[n - 1].size())
+        return false;
+
+    for (size_t l = 0; l < n; ++l) {
+        for (Index c : idxs_[l]) {
+            if (c < 0 || c >= dims_[l])
+                return false;
+        }
+    }
+
+    // ptr arrays must partition the next level's nodes, and children
+    // must be strictly sorted within a parent.
+    for (size_t l = 0; l + 1 < n; ++l) {
+        const auto &ptr = ptrs_[l];
+        if (ptr.size() != idxs_[l].size() + 1)
+            return false;
+        if (ptr.empty() || ptr.front() != 0 ||
+            ptr.back() != static_cast<Index>(idxs_[l + 1].size()))
+            return false;
+        for (size_t k = 0; k + 1 < ptr.size(); ++k) {
+            if (ptr[k] >= ptr[k + 1])
+                return false; // every node has at least one child
+            for (Index p = ptr[k] + 1; p < ptr[k + 1]; ++p) {
+                if (idxs_[l + 1][static_cast<size_t>(p - 1)] >=
+                    idxs_[l + 1][static_cast<size_t>(p)])
+                    return false;
+            }
+        }
+    }
+
+    // Root coordinates must be strictly sorted as well.
+    for (size_t k = 1; k < idxs_[0].size(); ++k) {
+        if (idxs_[0][k - 1] >= idxs_[0][k])
+            return false;
+    }
+    return true;
+}
+
+} // namespace tmu::tensor

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Compressed Sparse Fiber tensor (all-compressed level hierarchy).
+ *
+ * CSF (Smith & Karypis) generalizes DCSR to arbitrary order: each level l
+ * stores the coordinates of the tree nodes at depth l (idxs[l]) and, for
+ * non-leaf levels, a ptr array delimiting each node's children at level
+ * l+1. Values are attached to the leaves. SpTC, SpTTV and SpTTM consume
+ * CSF operands (Table 4).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "tensor/levels.hpp"
+
+namespace tmu::tensor {
+
+/** Order-n CSF tensor as parallel per-level node/ptr arrays. */
+class CsfTensor
+{
+  public:
+    CsfTensor() = default;
+
+    /**
+     * Build from per-level arrays.
+     * @param dims mode sizes, defines the order n.
+     * @param idxs n arrays; idxs[l][k] is the coordinate of node k at
+     *             level l, sorted within each parent.
+     * @param ptrs n-1 arrays; ptrs[l][k]..ptrs[l][k+1] delimit the
+     *             children (level l+1 nodes) of node k at level l.
+     * @param vals one value per leaf (idxs[n-1] entry).
+     */
+    CsfTensor(std::vector<Index> dims,
+              std::vector<std::vector<Index>> idxs,
+              std::vector<std::vector<Index>> ptrs,
+              std::vector<Value> vals);
+
+    int order() const { return static_cast<int>(dims_.size()); }
+    const std::vector<Index> &dims() const { return dims_; }
+    Index dim(int mode) const { return dims_.at(static_cast<size_t>(mode)); }
+    Index nnz() const { return static_cast<Index>(vals_.size()); }
+
+    /** Node count at level @p l. */
+    Index
+    numNodes(int l) const
+    {
+        return static_cast<Index>(idxs_.at(static_cast<size_t>(l)).size());
+    }
+
+    const std::vector<Index> &idxs(int l) const
+    {
+        return idxs_.at(static_cast<size_t>(l));
+    }
+    const std::vector<Index> &ptrs(int l) const
+    {
+        return ptrs_.at(static_cast<size_t>(l));
+    }
+    const std::vector<Value> &vals() const { return vals_; }
+
+    /** Coordinate of node @p k at level @p l. */
+    Index
+    nodeCoord(int l, Index k) const
+    {
+        return idxs_[static_cast<size_t>(l)][static_cast<size_t>(k)];
+    }
+
+    /** [begin, end) child node range of node @p k at level @p l. */
+    Index childBegin(int l, Index k) const
+    {
+        return ptrs_[static_cast<size_t>(l)][static_cast<size_t>(k)];
+    }
+    Index childEnd(int l, Index k) const
+    {
+        return ptrs_[static_cast<size_t>(l)][static_cast<size_t>(k) + 1];
+    }
+
+    /** Verify all structural invariants. */
+    bool valid() const;
+
+    FormatDesc format() const { return FormatDesc::csf(order()); }
+
+  private:
+    std::vector<Index> dims_;
+    std::vector<std::vector<Index>> idxs_; //!< per-level node coordinates
+    std::vector<std::vector<Index>> ptrs_; //!< per-level child delimiters
+    std::vector<Value> vals_;              //!< leaf values
+};
+
+} // namespace tmu::tensor

@@ -1,0 +1,61 @@
+#include "csr.hpp"
+
+#include <algorithm>
+
+namespace tmu::tensor {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Index> ptrs,
+                     std::vector<Index> idxs, std::vector<Value> vals)
+    : rows_(rows), cols_(cols), ptrs_(std::move(ptrs)),
+      idxs_(std::move(idxs)), vals_(std::move(vals))
+{
+    TMU_ASSERT(valid(), "malformed CSR matrix");
+}
+
+Value
+CsrMatrix::at(Index r, Index c) const
+{
+    TMU_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    const auto row = this->row(r);
+    const auto it = std::lower_bound(row.idxs.begin(), row.idxs.end(), c);
+    if (it != row.idxs.end() && *it == c)
+        return row.vals[static_cast<size_t>(it - row.idxs.begin())];
+    return 0.0;
+}
+
+Index
+CsrMatrix::countNonemptyRows() const
+{
+    Index n = 0;
+    for (Index r = 0; r < rows_; ++r)
+        n += rowNnz(r) > 0;
+    return n;
+}
+
+bool
+CsrMatrix::valid() const
+{
+    if (rows_ < 0 || cols_ < 0)
+        return false;
+    if (ptrs_.size() != static_cast<size_t>(rows_) + 1)
+        return false;
+    if (ptrs_.front() != 0 ||
+        ptrs_.back() != static_cast<Index>(vals_.size()))
+        return false;
+    if (idxs_.size() != vals_.size())
+        return false;
+    for (size_t r = 0; r < static_cast<size_t>(rows_); ++r) {
+        if (ptrs_[r] > ptrs_[r + 1])
+            return false;
+        for (Index p = ptrs_[r]; p < ptrs_[r + 1]; ++p) {
+            const Index c = idxs_[static_cast<size_t>(p)];
+            if (c < 0 || c >= cols_)
+                return false;
+            if (p > ptrs_[r] && idxs_[static_cast<size_t>(p - 1)] >= c)
+                return false; // not strictly sorted within the row
+        }
+    }
+    return true;
+}
+
+} // namespace tmu::tensor

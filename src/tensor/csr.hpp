@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Compressed Sparse Row matrix (dense row level + compressed column level).
+ *
+ * The workhorse format of the evaluation: SpMV, SpMSpM, SpMM, PageRank
+ * and TriangleCount all consume CSR operands (paper Fig. 1b, Table 4).
+ * Column indexes are sorted within each row.
+ */
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "tensor/levels.hpp"
+
+namespace tmu::tensor {
+
+/** A borrowed view of one compressed fiber: parallel (idx, val) spans. */
+struct FiberView
+{
+    std::span<const Index> idxs;
+    std::span<const Value> vals;
+
+    Index size() const { return static_cast<Index>(idxs.size()); }
+    bool empty() const { return idxs.empty(); }
+};
+
+/** CSR sparse matrix with sorted column indexes per row. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Build from raw arrays; validates the CSR invariants. */
+    CsrMatrix(Index rows, Index cols, std::vector<Index> ptrs,
+              std::vector<Index> idxs, std::vector<Value> vals);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(vals_.size()); }
+
+    const std::vector<Index> &ptrs() const { return ptrs_; }
+    const std::vector<Index> &idxs() const { return idxs_; }
+    const std::vector<Value> &vals() const { return vals_; }
+    std::vector<Value> &vals() { return vals_; }
+
+    /** Start/end positions of row @p r in the idx/val arrays. */
+    Index rowBegin(Index r) const { return ptrs_[static_cast<size_t>(r)]; }
+    Index rowEnd(Index r) const { return ptrs_[static_cast<size_t>(r) + 1]; }
+    Index rowNnz(Index r) const { return rowEnd(r) - rowBegin(r); }
+
+    /** Borrowed view of the compressed fiber of row @p r. */
+    FiberView
+    row(Index r) const
+    {
+        const auto b = static_cast<size_t>(rowBegin(r));
+        const auto e = static_cast<size_t>(rowEnd(r));
+        return {std::span(idxs_).subspan(b, e - b),
+                std::span(vals_).subspan(b, e - b)};
+    }
+
+    /** Value at (r, c), 0 if not stored. O(log rowNnz). */
+    Value at(Index r, Index c) const;
+
+    /** Number of rows with at least one stored entry. */
+    Index countNonemptyRows() const;
+
+    /** Mean stored entries per row. */
+    double
+    nnzPerRow() const
+    {
+        return rows_ ? static_cast<double>(nnz()) / static_cast<double>(rows_)
+                     : 0.0;
+    }
+
+    /** Verify all structural invariants (used by tests/debug). */
+    bool valid() const;
+
+    static FormatDesc format() { return FormatDesc::csr(); }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> ptrs_; //!< length rows + 1
+    std::vector<Index> idxs_; //!< length nnz, sorted per row
+    std::vector<Value> vals_; //!< length nnz
+};
+
+} // namespace tmu::tensor

@@ -1,0 +1,46 @@
+#include "dcsr.hpp"
+
+namespace tmu::tensor {
+
+DcsrMatrix::DcsrMatrix(Index rows, Index cols, std::vector<Index> rowIdxs,
+                       std::vector<Index> rowPtrs,
+                       std::vector<Index> colIdxs, std::vector<Value> vals)
+    : rows_(rows), cols_(cols), rowIdxs_(std::move(rowIdxs)),
+      rowPtrs_(std::move(rowPtrs)), colIdxs_(std::move(colIdxs)),
+      vals_(std::move(vals))
+{
+    TMU_ASSERT(valid(), "malformed DCSR matrix");
+}
+
+bool
+DcsrMatrix::valid() const
+{
+    if (rows_ < 0 || cols_ < 0)
+        return false;
+    if (rowPtrs_.size() != rowIdxs_.size() + 1)
+        return false;
+    if (rowPtrs_.empty() || rowPtrs_.front() != 0 ||
+        rowPtrs_.back() != static_cast<Index>(vals_.size()))
+        return false;
+    if (colIdxs_.size() != vals_.size())
+        return false;
+    for (size_t s = 0; s < rowIdxs_.size(); ++s) {
+        const Index r = rowIdxs_[s];
+        if (r < 0 || r >= rows_)
+            return false;
+        if (s > 0 && rowIdxs_[s - 1] >= r)
+            return false; // row coords must be strictly sorted
+        if (rowPtrs_[s] >= rowPtrs_[s + 1])
+            return false; // stored rows must be nonempty
+        for (Index p = rowPtrs_[s]; p < rowPtrs_[s + 1]; ++p) {
+            const Index c = colIdxs_[static_cast<size_t>(p)];
+            if (c < 0 || c >= cols_)
+                return false;
+            if (p > rowPtrs_[s] && colIdxs_[static_cast<size_t>(p - 1)] >= c)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tmu::tensor

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Doubly-Compressed Sparse Row matrix (two compressed levels).
+ *
+ * DCSR additionally compresses empty rows: rowIdxs lists the nonempty
+ * row coordinates and rowPtrs delimits their entries (paper Fig. 1c).
+ * SpKAdd consumes DCSR operands so that *both* dimensions exercise the
+ * TMU's disjunctive mergers (Table 4).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/levels.hpp"
+
+namespace tmu::tensor {
+
+/** DCSR sparse matrix: only nonempty rows are materialized. */
+class DcsrMatrix
+{
+  public:
+    DcsrMatrix() = default;
+
+    DcsrMatrix(Index rows, Index cols, std::vector<Index> rowIdxs,
+               std::vector<Index> rowPtrs, std::vector<Index> colIdxs,
+               std::vector<Value> vals);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index nnz() const { return static_cast<Index>(vals_.size()); }
+
+    /** Number of materialized (nonempty) rows. */
+    Index numStoredRows() const { return static_cast<Index>(rowIdxs_.size()); }
+
+    const std::vector<Index> &rowIdxs() const { return rowIdxs_; }
+    const std::vector<Index> &rowPtrs() const { return rowPtrs_; }
+    const std::vector<Index> &colIdxs() const { return colIdxs_; }
+    const std::vector<Value> &vals() const { return vals_; }
+
+    /** Row coordinate of stored row @p s. */
+    Index storedRowCoord(Index s) const
+    {
+        return rowIdxs_[static_cast<size_t>(s)];
+    }
+
+    /** Borrowed fiber view of stored row @p s. */
+    FiberView
+    storedRow(Index s) const
+    {
+        const auto b = static_cast<size_t>(rowPtrs_[static_cast<size_t>(s)]);
+        const auto e =
+            static_cast<size_t>(rowPtrs_[static_cast<size_t>(s) + 1]);
+        return {std::span(colIdxs_).subspan(b, e - b),
+                std::span(vals_).subspan(b, e - b)};
+    }
+
+    /** Verify all structural invariants. */
+    bool valid() const;
+
+    static FormatDesc format() { return FormatDesc::dcsr(); }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Index> rowIdxs_; //!< sorted nonempty row coordinates
+    std::vector<Index> rowPtrs_; //!< length numStoredRows + 1
+    std::vector<Index> colIdxs_; //!< length nnz, sorted per row
+    std::vector<Value> vals_;    //!< length nnz
+};
+
+} // namespace tmu::tensor

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dense vector and row-major dense matrix operands.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "tensor/levels.hpp"
+
+namespace tmu::tensor {
+
+/** Contiguous dense vector of Values. */
+class DenseVector
+{
+  public:
+    DenseVector() = default;
+    explicit DenseVector(Index n, Value fill = 0.0)
+        : data_(static_cast<size_t>(n), fill)
+    {
+        TMU_ASSERT(n >= 0);
+    }
+
+    Index size() const { return static_cast<Index>(data_.size()); }
+
+    Value &operator[](Index i) { return data_[static_cast<size_t>(i)]; }
+    Value operator[](Index i) const { return data_[static_cast<size_t>(i)]; }
+
+    Value &
+    at(Index i)
+    {
+        TMU_ASSERT(i >= 0 && i < size(), "index %lld out of range %lld",
+                   static_cast<long long>(i), static_cast<long long>(size()));
+        return data_[static_cast<size_t>(i)];
+    }
+
+    const Value *data() const { return data_.data(); }
+    Value *data() { return data_.data(); }
+
+    void fill(Value v) { std::fill(data_.begin(), data_.end(), v); }
+
+    static FormatDesc format() { return FormatDesc::denseVector(); }
+
+  private:
+    std::vector<Value> data_;
+};
+
+/** Row-major dense matrix of Values. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+    DenseMatrix(Index rows, Index cols, Value fill = 0.0)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows * cols), fill)
+    {
+        TMU_ASSERT(rows >= 0 && cols >= 0);
+    }
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    Value &
+    operator()(Index r, Index c)
+    {
+        return data_[static_cast<size_t>(r * cols_ + c)];
+    }
+
+    Value
+    operator()(Index r, Index c) const
+    {
+        return data_[static_cast<size_t>(r * cols_ + c)];
+    }
+
+    /** Pointer to the start of row @p r. */
+    const Value *row(Index r) const
+    {
+        return data_.data() + static_cast<size_t>(r * cols_);
+    }
+    Value *row(Index r)
+    {
+        return data_.data() + static_cast<size_t>(r * cols_);
+    }
+
+    const Value *data() const { return data_.data(); }
+    Value *data() { return data_.data(); }
+
+    void fill(Value v) { std::fill(data_.begin(), data_.end(), v); }
+
+    static FormatDesc format() { return FormatDesc::denseMatrix(); }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Value> data_;
+};
+
+} // namespace tmu::tensor

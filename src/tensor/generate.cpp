@@ -1,0 +1,251 @@
+#include "generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "tensor/convert.hpp"
+
+namespace tmu::tensor {
+
+namespace {
+
+/** Draw a row length from the configured distribution. */
+Index
+drawRowLen(const CsrGenConfig &cfg, Rng &rng)
+{
+    const double mean = cfg.nnzPerRow;
+    switch (cfg.rowDist) {
+      case RowDist::Fixed:
+        return std::max<Index>(1, static_cast<Index>(mean + 0.5));
+      case RowDist::Uniform: {
+        const auto hi = std::max<Index>(2, static_cast<Index>(2.0 * mean));
+        return rng.nextIndex(1, hi);
+      }
+      case RowDist::Zipf: {
+        // Zipf rank -> length: most rows short, few rows very long.
+        // Calibrate so the mean is roughly cfg.nnzPerRow.
+        const Index maxLen = std::min<Index>(
+            cfg.cols, std::max<Index>(4, static_cast<Index>(mean * 40)));
+        const Index rank = rng.nextZipf(maxLen, cfg.zipfExponent);
+        return std::max<Index>(1, rank + 1);
+      }
+    }
+    return 1;
+}
+
+/** Draw one column index for row @p r from the configured pattern. */
+Index
+drawCol(const CsrGenConfig &cfg, Index r, Rng &rng)
+{
+    switch (cfg.colPattern) {
+      case ColPattern::Uniform:
+        return rng.nextIndex(0, cfg.cols);
+      case ColPattern::Banded: {
+        const Index lo = std::max<Index>(0, r - cfg.bandwidth);
+        const Index hi = std::min<Index>(cfg.cols, r + cfg.bandwidth + 1);
+        return rng.nextIndex(lo, hi);
+      }
+      case ColPattern::Clustered: {
+        // Pick a cluster anchor hashed from the row, then a nearby col.
+        const Index clusters = std::max<Index>(1, cfg.cols / cfg.clusterSize);
+        const Index anchor =
+            (r * 2654435761u + rng.nextBounded(4) * 40503u) % clusters;
+        const Index base = anchor * cfg.clusterSize;
+        const Index hi = std::min<Index>(cfg.cols, base + cfg.clusterSize);
+        return rng.nextIndex(base, hi);
+      }
+    }
+    return 0;
+}
+
+} // namespace
+
+CsrMatrix
+randomCsr(const CsrGenConfig &cfg)
+{
+    TMU_ASSERT(cfg.rows > 0 && cfg.cols > 0 && cfg.nnzPerRow > 0);
+    Rng rng(cfg.seed);
+
+    std::vector<Index> ptrs{0};
+    std::vector<Index> idxs;
+    std::vector<Value> vals;
+    ptrs.reserve(static_cast<size_t>(cfg.rows) + 1);
+    idxs.reserve(static_cast<size_t>(
+        static_cast<double>(cfg.rows) * cfg.nnzPerRow * 1.1));
+
+    // Draw all row lengths first; skewed distributions are then rescaled
+    // so the realized mean matches cfg.nnzPerRow.
+    std::vector<Index> lens(static_cast<size_t>(cfg.rows));
+    double lenSum = 0.0;
+    for (auto &len : lens) {
+        len = drawRowLen(cfg, rng);
+        lenSum += static_cast<double>(len);
+    }
+    if (cfg.rowDist == RowDist::Zipf && lenSum > 0.0) {
+        const double scale =
+            cfg.nnzPerRow * static_cast<double>(cfg.rows) / lenSum;
+        for (auto &len : lens) {
+            len = std::max<Index>(
+                1, static_cast<Index>(static_cast<double>(len) * scale));
+        }
+    }
+
+    std::vector<Index> rowCols;
+    for (Index r = 0; r < cfg.rows; ++r) {
+        const Index want =
+            std::min<Index>(lens[static_cast<size_t>(r)], cfg.cols);
+        rowCols.clear();
+        for (Index k = 0; k < want; ++k)
+            rowCols.push_back(drawCol(cfg, r, rng));
+        std::sort(rowCols.begin(), rowCols.end());
+        rowCols.erase(std::unique(rowCols.begin(), rowCols.end()),
+                      rowCols.end());
+        for (Index c : rowCols) {
+            idxs.push_back(c);
+            vals.push_back(rng.nextValue(0.5, 1.5));
+        }
+        ptrs.push_back(static_cast<Index>(idxs.size()));
+    }
+    return CsrMatrix(cfg.rows, cfg.cols, std::move(ptrs), std::move(idxs),
+                     std::move(vals));
+}
+
+CsrMatrix
+fixedNnzCsr(Index rows, Index n)
+{
+    TMU_ASSERT(rows > 0 && n > 0);
+    std::vector<Index> ptrs(static_cast<size_t>(rows) + 1);
+    std::vector<Index> idxs(static_cast<size_t>(rows * n));
+    std::vector<Value> vals(static_cast<size_t>(rows * n), 1.0);
+    for (Index r = 0; r <= rows; ++r)
+        ptrs[static_cast<size_t>(r)] = r * n;
+    for (Index r = 0; r < rows; ++r) {
+        for (Index k = 0; k < n; ++k)
+            idxs[static_cast<size_t>(r * n + k)] = k;
+    }
+    return CsrMatrix(rows, std::max<Index>(n, 1), std::move(ptrs),
+                     std::move(idxs), std::move(vals));
+}
+
+CsrMatrix
+rmatGraph(int scale, Index edgeFactor, std::uint64_t seed)
+{
+    TMU_ASSERT(scale > 0 && scale < 31 && edgeFactor > 0);
+    const Index n = Index{1} << scale;
+    const Index edges = n * edgeFactor;
+    Rng rng(seed);
+
+    // Standard RMAT probabilities (a, b, c, d) = (.57, .19, .19, .05).
+    CooTensor coo({n, n});
+    for (Index e = 0; e < edges; ++e) {
+        Index r = 0, c = 0;
+        for (int bit = 0; bit < scale; ++bit) {
+            const double u = rng.nextDouble();
+            int quad;
+            if (u < 0.57)
+                quad = 0;
+            else if (u < 0.76)
+                quad = 1;
+            else if (u < 0.95)
+                quad = 2;
+            else
+                quad = 3;
+            r = (r << 1) | (quad >> 1);
+            c = (c << 1) | (quad & 1);
+        }
+        if (r == c)
+            continue; // no self loops
+        coo.push2(r, c, 1.0);
+        coo.push2(c, r, 1.0); // symmetrize
+    }
+    coo.sortAndCombine();
+    for (auto &v : coo.vals())
+        v = 1.0; // collapse multi-edges
+    return cooToCsr(coo);
+}
+
+CooTensor
+randomCooTensor(const std::vector<Index> &dims, Index nnz, double modeSkew,
+                std::uint64_t seed)
+{
+    TMU_ASSERT(dims.size() >= 2 && nnz > 0);
+    Rng rng(seed);
+    CooTensor coo(dims);
+    std::vector<Index> coord(dims.size());
+
+    // Oversample then canonicalize; duplicates collapse, so iterate
+    // until we reach the target (or the space saturates).
+    Index want = nnz;
+    for (int rounds = 0; rounds < 8 && coo.nnz() < nnz; ++rounds) {
+        for (Index e = coo.nnz(); e < want; ++e) {
+            for (size_t m = 0; m < dims.size(); ++m) {
+                if (m == 0 && modeSkew > 0.0 && modeSkew != 1.0) {
+                    coord[m] = rng.nextZipf(dims[m], modeSkew);
+                } else {
+                    coord[m] = rng.nextIndex(0, dims[m]);
+                }
+            }
+            coo.push(coord, rng.nextValue(0.5, 1.5));
+        }
+        coo.sortAndCombine();
+        want = nnz + (nnz - coo.nnz());
+    }
+    for (auto &v : coo.vals())
+        v = std::min(v, 1.5); // duplicates summed above; re-bound values
+    return coo;
+}
+
+std::vector<DcsrMatrix>
+splitCyclic(const CsrMatrix &a, int k)
+{
+    TMU_ASSERT(k > 0);
+    // Input x receives original row i*k + x as its row i, so row i of
+    // all k inputs collide and must be disjunctively merged (paper
+    // Sec. 6: "A^x_i = A_{i*k+x}").
+    const Index outRows = (a.rows() + k - 1) / k;
+    std::vector<DcsrMatrix> out;
+    out.reserve(static_cast<size_t>(k));
+    for (int x = 0; x < k; ++x) {
+        std::vector<Index> rowIdxs;
+        std::vector<Index> rowPtrs{0};
+        std::vector<Index> colIdxs;
+        std::vector<Value> vals;
+        for (Index r = x; r < a.rows(); r += k) {
+            if (a.rowNnz(r) == 0)
+                continue;
+            rowIdxs.push_back((r - x) / k);
+            for (Index p = a.rowBegin(r); p < a.rowEnd(r); ++p) {
+                colIdxs.push_back(a.idxs()[static_cast<size_t>(p)]);
+                vals.push_back(a.vals()[static_cast<size_t>(p)]);
+            }
+            rowPtrs.push_back(static_cast<Index>(colIdxs.size()));
+        }
+        out.emplace_back(outRows, a.cols(), std::move(rowIdxs),
+                         std::move(rowPtrs), std::move(colIdxs),
+                         std::move(vals));
+    }
+    return out;
+}
+
+CsrMatrix
+lowerTriangle(const CsrMatrix &a)
+{
+    std::vector<Index> ptrs{0};
+    std::vector<Index> idxs;
+    std::vector<Value> vals;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index p = a.rowBegin(r); p < a.rowEnd(r); ++p) {
+            const Index c = a.idxs()[static_cast<size_t>(p)];
+            if (c < r) {
+                idxs.push_back(c);
+                vals.push_back(a.vals()[static_cast<size_t>(p)]);
+            }
+        }
+        ptrs.push_back(static_cast<Index>(idxs.size()));
+    }
+    return CsrMatrix(a.rows(), a.cols(), std::move(ptrs), std::move(idxs),
+                     std::move(vals));
+}
+
+} // namespace tmu::tensor

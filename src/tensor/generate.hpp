@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic synthetic tensor generators.
+ *
+ * The paper evaluates on SuiteSparse matrices and FROSTT tensors that are
+ * not redistributable here; these generators synthesize surrogates that
+ * match the statistics the TMU's behaviour keys on — row/fiber counts,
+ * nnz totals, nnz-per-row distribution shape, and column locality class
+ * (see DESIGN.md, substitutions). All generators are pure functions of
+ * their seed.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/dcsr.hpp"
+
+namespace tmu::tensor {
+
+/** Row-length distribution families for randomCsr(). */
+enum class RowDist {
+    Fixed,   //!< every row has exactly the mean length
+    Uniform, //!< lengths uniform in [1, 2*mean)
+    Zipf,    //!< power-law lengths (circuit-style skew)
+};
+
+/** Column placement families for randomCsr(). */
+enum class ColPattern {
+    Uniform,   //!< columns uniform over [0, cols)
+    Banded,    //!< columns within a band around the diagonal
+    Clustered, //!< a few dense column clusters per row (community-like)
+};
+
+/** Knobs for the generic random CSR generator. */
+struct CsrGenConfig
+{
+    Index rows = 0;
+    Index cols = 0;
+    double nnzPerRow = 1.0; //!< mean stored entries per row
+    RowDist rowDist = RowDist::Uniform;
+    ColPattern colPattern = ColPattern::Uniform;
+    double zipfExponent = 1.4; //!< RowDist::Zipf skew
+    Index bandwidth = 64;      //!< ColPattern::Banded half-width
+    Index clusterSize = 32;    //!< ColPattern::Clustered cluster width
+    std::uint64_t seed = 1;
+};
+
+/** Generic random CSR generator driven by CsrGenConfig. */
+CsrMatrix randomCsr(const CsrGenConfig &cfg);
+
+/**
+ * Matrix with exactly @p n entries per row at columns {0..n-1}
+ * (paper Fig. 12c locality-ceiling inputs).
+ */
+CsrMatrix fixedNnzCsr(Index rows, Index n);
+
+/**
+ * Symmetric power-law graph adjacency matrix (RMAT-style recursive
+ * partitioning), values 1.0; used by PageRank and TriangleCount.
+ * @param scale   log2 of the vertex count.
+ * @param edgeFactor  directed edges per vertex before symmetrization.
+ */
+CsrMatrix rmatGraph(int scale, Index edgeFactor, std::uint64_t seed);
+
+/**
+ * Random order-n COO tensor with @p nnz unique coordinates; mode-0
+ * coordinates optionally Zipf-skewed (FROSTT tensors are mode-skewed).
+ */
+CooTensor randomCooTensor(const std::vector<Index> &dims, Index nnz,
+                          double modeSkew, std::uint64_t seed);
+
+/**
+ * Split matrix A into k inputs for SpKAdd the way the paper does
+ * (Sec. 6): input x receives rows r with r % k == x, keeping the row
+ * coordinate, so each input is naturally hypersparse -> DCSR.
+ */
+std::vector<DcsrMatrix> splitCyclic(const CsrMatrix &a, int k);
+
+/** Strict lower triangle of a symmetric adjacency (TriangleCount input). */
+CsrMatrix lowerTriangle(const CsrMatrix &a);
+
+} // namespace tmu::tensor

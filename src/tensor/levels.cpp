@@ -1,0 +1,31 @@
+#include "levels.hpp"
+
+namespace tmu::tensor {
+
+const char *
+levelKindName(LevelKind k)
+{
+    switch (k) {
+      case LevelKind::Dense:
+        return "dense";
+      case LevelKind::Compressed:
+        return "compressed";
+      case LevelKind::Singleton:
+        return "singleton";
+    }
+    return "?";
+}
+
+std::string
+FormatDesc::name() const
+{
+    std::string out;
+    for (size_t i = 0; i < levels_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += levelKindName(levels_[i]);
+    }
+    return out;
+}
+
+} // namespace tmu::tensor

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Chou-style level-format abstraction.
+ *
+ * Every tensor format in this library is describable as a hierarchy of
+ * per-dimension *level formats* (Chou et al., OOPSLA 2018): CSR is
+ * dense+compressed, DCSR is compressed+compressed, COO is a chain of
+ * singletons, CSF is all-compressed. The descriptors here are used for
+ * format introspection, for the Table-4 mapping bench, and to validate
+ * that a TMU program's traversal primitives match its operand formats.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmu::tensor {
+
+/** Per-dimension storage discipline. */
+enum class LevelKind {
+    /** All coordinates in [0, size) are materialized implicitly. */
+    Dense,
+    /** A ptr array delimits the coordinates stored per parent position. */
+    Compressed,
+    /** One coordinate per non-zero, shared nnz count with siblings (COO). */
+    Singleton,
+};
+
+/** Human-readable name of a level kind. */
+const char *levelKindName(LevelKind k);
+
+/** An ordered stack of level formats describing one tensor format. */
+class FormatDesc
+{
+  public:
+    FormatDesc() = default;
+    explicit FormatDesc(std::vector<LevelKind> levels)
+        : levels_(std::move(levels))
+    {}
+
+    /** Canonical descriptors for the formats this library implements. */
+    static FormatDesc denseVector() { return FormatDesc({LevelKind::Dense}); }
+    static FormatDesc denseMatrix()
+    {
+        return FormatDesc({LevelKind::Dense, LevelKind::Dense});
+    }
+    static FormatDesc csr()
+    {
+        return FormatDesc({LevelKind::Dense, LevelKind::Compressed});
+    }
+    static FormatDesc dcsr()
+    {
+        return FormatDesc({LevelKind::Compressed, LevelKind::Compressed});
+    }
+    static FormatDesc coo(int order)
+    {
+        return FormatDesc(
+            std::vector<LevelKind>(static_cast<size_t>(order),
+                                   LevelKind::Singleton));
+    }
+    static FormatDesc csf(int order)
+    {
+        return FormatDesc(
+            std::vector<LevelKind>(static_cast<size_t>(order),
+                                   LevelKind::Compressed));
+    }
+
+    int order() const { return static_cast<int>(levels_.size()); }
+    LevelKind level(int i) const { return levels_.at(static_cast<size_t>(i)); }
+    const std::vector<LevelKind> &levels() const { return levels_; }
+
+    /** e.g. "dense,compressed" for CSR. */
+    std::string name() const;
+
+    bool operator==(const FormatDesc &) const = default;
+
+  private:
+    std::vector<LevelKind> levels_;
+};
+
+} // namespace tmu::tensor

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fiber co-iteration: disjunctive and conjunctive merging (paper Sec. 2.4).
+ *
+ * Disjunctive merging walks k sorted fibers, at each step emitting the
+ * minimum coordinate together with a multi-hot mask of the fibers that
+ * hold it (union semantics, used by addition). Conjunctive merging only
+ * emits coordinates present in *all* fibers (intersection semantics,
+ * used by element-wise multiplication). These templates are the software
+ * reference the TMU's TG mergers are verified against, and the building
+ * block of the baseline merge-intensive kernels.
+ */
+
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "common/bitvec.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "tensor/csr.hpp"
+
+namespace tmu::tensor {
+
+/**
+ * Disjunctively merge up to 64 sorted fibers.
+ *
+ * @param fibers  the co-iterated fibers (sorted, unique coordinates).
+ * @param emit    called once per distinct coordinate in ascending order
+ *                with (coord, mask of fibers holding it, per-fiber value
+ *                getter). values(f) is only valid when mask.test(f).
+ */
+template <typename Emit>
+void
+disjunctiveMerge(std::span<const FiberView> fibers, Emit &&emit)
+{
+    TMU_ASSERT(fibers.size() <= 64);
+    std::vector<Index> pos(fibers.size(), 0);
+
+    for (;;) {
+        // Find the minimum head coordinate across active fibers.
+        Index minCoord = kInvalidIndex;
+        for (size_t f = 0; f < fibers.size(); ++f) {
+            if (pos[f] < fibers[f].size()) {
+                const Index c =
+                    fibers[f].idxs[static_cast<size_t>(pos[f])];
+                if (minCoord == kInvalidIndex || c < minCoord)
+                    minCoord = c;
+            }
+        }
+        if (minCoord == kInvalidIndex)
+            break; // all fibers exhausted
+
+        LaneMask mask;
+        for (size_t f = 0; f < fibers.size(); ++f) {
+            if (pos[f] < fibers[f].size() &&
+                fibers[f].idxs[static_cast<size_t>(pos[f])] == minCoord) {
+                mask.set(static_cast<unsigned>(f));
+            }
+        }
+
+        auto values = [&](unsigned f) -> Value {
+            TMU_ASSERT(mask.test(f));
+            return fibers[f].vals[static_cast<size_t>(pos[f])];
+        };
+        emit(minCoord, mask, values);
+
+        for (size_t f = 0; f < fibers.size(); ++f) {
+            if (mask.test(static_cast<unsigned>(f)))
+                ++pos[f];
+        }
+    }
+}
+
+/**
+ * Conjunctively merge up to 64 sorted fibers: emit only coordinates
+ * present in every fiber. @p emit receives (coord, values getter).
+ */
+template <typename Emit>
+void
+conjunctiveMerge(std::span<const FiberView> fibers, Emit &&emit)
+{
+    TMU_ASSERT(fibers.size() <= 64 && !fibers.empty());
+    std::vector<Index> pos(fibers.size(), 0);
+
+    for (;;) {
+        // Advance until all heads agree or any fiber is exhausted.
+        Index target = kInvalidIndex;
+        bool done = false;
+        for (size_t f = 0; f < fibers.size(); ++f) {
+            if (pos[f] >= fibers[f].size()) {
+                done = true;
+                break;
+            }
+            const Index c = fibers[f].idxs[static_cast<size_t>(pos[f])];
+            if (c > target)
+                target = c;
+        }
+        if (done)
+            break;
+
+        bool aligned = true;
+        for (size_t f = 0; f < fibers.size(); ++f) {
+            while (pos[f] < fibers[f].size() &&
+                   fibers[f].idxs[static_cast<size_t>(pos[f])] < target) {
+                ++pos[f];
+            }
+            if (pos[f] >= fibers[f].size()) {
+                done = true;
+                break;
+            }
+            if (fibers[f].idxs[static_cast<size_t>(pos[f])] != target)
+                aligned = false;
+        }
+        if (done)
+            break;
+        if (!aligned)
+            continue; // some fiber skipped past target; retry with new max
+
+        auto values = [&](unsigned f) -> Value {
+            return fibers[f].vals[static_cast<size_t>(pos[f])];
+        };
+        emit(target, values);
+        for (auto &p : pos)
+            ++p;
+    }
+}
+
+/** Disjunctive merge of exactly two fibers (common case sugar). */
+template <typename Emit>
+void
+disjunctiveMerge2(const FiberView &a, const FiberView &b, Emit &&emit)
+{
+    const std::array<FiberView, 2> fibers{a, b};
+    disjunctiveMerge(std::span<const FiberView>(fibers),
+                     std::forward<Emit>(emit));
+}
+
+/** Conjunctive merge of exactly two fibers (common case sugar). */
+template <typename Emit>
+void
+conjunctiveMerge2(const FiberView &a, const FiberView &b, Emit &&emit)
+{
+    const std::array<FiberView, 2> fibers{a, b};
+    conjunctiveMerge(std::span<const FiberView>(fibers),
+                     std::forward<Emit>(emit));
+}
+
+} // namespace tmu::tensor

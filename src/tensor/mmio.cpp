@@ -1,0 +1,172 @@
+#include "mmio.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "tensor/convert.hpp"
+
+namespace tmu::tensor {
+
+CooTensor
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        TMU_FATAL("MatrixMarket: empty stream");
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    std::istringstream hdr(line);
+    std::string banner, object, fmt, field, symmetry;
+    hdr >> banner >> object >> fmt >> field >> symmetry;
+    if (banner != "%%MatrixMarket" || object != "matrix" ||
+        fmt != "coordinate") {
+        TMU_FATAL("MatrixMarket: unsupported header '%s'", line.c_str());
+    }
+    const bool pattern = field == "pattern";
+    if (!pattern && field != "real" && field != "integer")
+        TMU_FATAL("MatrixMarket: unsupported field '%s'", field.c_str());
+    const bool symmetric = symmetry == "symmetric";
+    if (!symmetric && symmetry != "general")
+        TMU_FATAL("MatrixMarket: unsupported symmetry '%s'",
+                  symmetry.c_str());
+
+    // Skip comments, then read the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream size(line);
+    Index rows = 0, cols = 0, entries = 0;
+    size >> rows >> cols >> entries;
+    if (rows <= 0 || cols <= 0 || entries < 0)
+        TMU_FATAL("MatrixMarket: bad size line '%s'", line.c_str());
+
+    CooTensor coo({rows, cols});
+    for (Index e = 0; e < entries; ++e) {
+        if (!std::getline(in, line))
+            TMU_FATAL("MatrixMarket: truncated after %lld entries",
+                      static_cast<long long>(e));
+        std::istringstream row(line);
+        Index i = 0, j = 0;
+        double v = 1.0;
+        row >> i >> j;
+        if (!pattern)
+            row >> v;
+        if (i < 1 || i > rows || j < 1 || j > cols)
+            TMU_FATAL("MatrixMarket: entry (%lld,%lld) out of range",
+                      static_cast<long long>(i), static_cast<long long>(j));
+        coo.push2(i - 1, j - 1, v); // 1-based on disk
+        if (symmetric && i != j)
+            coo.push2(j - 1, i - 1, v);
+    }
+    coo.sortAndCombine();
+    return coo;
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        TMU_FATAL("cannot open '%s'", path.c_str());
+    return cooToCsr(readMatrixMarket(in));
+}
+
+CooTensor
+readTns(std::istream &in)
+{
+    std::string lineStr;
+    std::vector<std::vector<Index>> coords;
+    std::vector<Value> vals;
+    int order = -1;
+
+    while (std::getline(in, lineStr)) {
+        if (lineStr.empty() || lineStr[0] == '#')
+            continue;
+        std::istringstream row(lineStr);
+        std::vector<double> fields;
+        double f;
+        while (row >> f)
+            fields.push_back(f);
+        if (fields.size() < 3)
+            TMU_FATAL(".tns: need >= 2 coordinates + value, got '%s'",
+                      lineStr.c_str());
+        const int thisOrder = static_cast<int>(fields.size()) - 1;
+        if (order < 0) {
+            order = thisOrder;
+            coords.resize(static_cast<size_t>(order));
+        } else if (order != thisOrder) {
+            TMU_FATAL(".tns: inconsistent order (%d vs %d)", order,
+                      thisOrder);
+        }
+        for (int m = 0; m < order; ++m) {
+            const auto c = static_cast<Index>(fields[static_cast<size_t>(
+                               m)]) - 1; // 1-based on disk
+            if (c < 0)
+                TMU_FATAL(".tns: coordinate < 1 in '%s'",
+                          lineStr.c_str());
+            coords[static_cast<size_t>(m)].push_back(c);
+        }
+        vals.push_back(fields.back());
+    }
+    if (order < 0 || vals.empty())
+        TMU_FATAL(".tns: no entries");
+
+    std::vector<Index> dims(static_cast<size_t>(order), 1);
+    for (int m = 0; m < order; ++m) {
+        for (const Index c : coords[static_cast<size_t>(m)]) {
+            dims[static_cast<size_t>(m)] =
+                std::max(dims[static_cast<size_t>(m)], c + 1);
+        }
+    }
+    CooTensor t(dims);
+    std::vector<Index> coord(static_cast<size_t>(order));
+    for (size_t e = 0; e < vals.size(); ++e) {
+        for (int m = 0; m < order; ++m)
+            coord[static_cast<size_t>(m)] =
+                coords[static_cast<size_t>(m)][e];
+        t.push(coord, vals[e]);
+    }
+    t.sortAndCombine();
+    return t;
+}
+
+CooTensor
+readTnsFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        TMU_FATAL("cannot open '%s'", path.c_str());
+    return readTns(in);
+}
+
+void
+writeTns(std::ostream &out, const CooTensor &t)
+{
+    const auto oldPrecision = out.precision(17);
+    for (Index p = 0; p < t.nnz(); ++p) {
+        for (int m = 0; m < t.order(); ++m)
+            out << (t.idx(m, p) + 1) << " ";
+        out << t.val(p) << "\n";
+    }
+    out.precision(oldPrecision);
+}
+
+void
+writeMatrixMarket(std::ostream &out, const CsrMatrix &a)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index p = a.rowBegin(r); p < a.rowEnd(r); ++p) {
+            out << (r + 1) << " "
+                << (a.idxs()[static_cast<size_t>(p)] + 1) << " "
+                << a.vals()[static_cast<size_t>(p)] << "\n";
+        }
+    }
+}
+
+} // namespace tmu::tensor

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * MatrixMarket coordinate I/O.
+ *
+ * Lets users run the library on real SuiteSparse matrices: supports the
+ * "matrix coordinate real/integer/pattern general/symmetric" profile,
+ * which covers the Table-6 inputs.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo.hpp"
+#include "tensor/csr.hpp"
+
+namespace tmu::tensor {
+
+/** Parse a MatrixMarket stream into canonical order-2 COO. */
+CooTensor readMatrixMarket(std::istream &in);
+
+/** Load a .mtx file into CSR; fatals on malformed input. */
+CsrMatrix readMatrixMarketFile(const std::string &path);
+
+/** Write CSR as "matrix coordinate real general". */
+void writeMatrixMarket(std::ostream &out, const CsrMatrix &a);
+
+/**
+ * Parse a FROSTT .tns stream (one `i j k ... value` line per nonzero,
+ * 1-based coordinates, `#` comments) into canonical COO. Mode sizes
+ * are taken from the maximum coordinate per mode.
+ */
+CooTensor readTns(std::istream &in);
+
+/** Load a .tns file; fatals on malformed input. */
+CooTensor readTnsFile(const std::string &path);
+
+/** Write a COO tensor in FROSTT .tns format. */
+void writeTns(std::ostream &out, const CooTensor &t);
+
+} // namespace tmu::tensor

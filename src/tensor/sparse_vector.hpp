@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Compressed sparse vector (one compressed level).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/levels.hpp"
+
+namespace tmu::tensor {
+
+/** Sparse vector: sorted (idx, val) pairs over a dense extent. */
+class SparseVector
+{
+  public:
+    SparseVector() = default;
+
+    SparseVector(Index size, std::vector<Index> idxs,
+                 std::vector<Value> vals)
+        : size_(size), idxs_(std::move(idxs)), vals_(std::move(vals))
+    {
+        TMU_ASSERT(valid(), "malformed sparse vector");
+    }
+
+    Index size() const { return size_; }
+    Index nnz() const { return static_cast<Index>(vals_.size()); }
+    const std::vector<Index> &idxs() const { return idxs_; }
+    const std::vector<Value> &vals() const { return vals_; }
+
+    FiberView view() const { return {idxs_, vals_}; }
+
+    bool
+    valid() const
+    {
+        if (size_ < 0 || idxs_.size() != vals_.size())
+            return false;
+        for (size_t i = 0; i < idxs_.size(); ++i) {
+            if (idxs_[i] < 0 || idxs_[i] >= size_)
+                return false;
+            if (i > 0 && idxs_[i - 1] >= idxs_[i])
+                return false;
+        }
+        return true;
+    }
+
+    static FormatDesc format()
+    {
+        return FormatDesc({LevelKind::Compressed});
+    }
+
+  private:
+    Index size_ = 0;
+    std::vector<Index> idxs_;
+    std::vector<Value> vals_;
+};
+
+} // namespace tmu::tensor

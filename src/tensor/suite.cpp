@@ -1,0 +1,121 @@
+#include "suite.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "tensor/generate.hpp"
+
+namespace tmu::tensor {
+
+namespace {
+
+/**
+ * Map a Table-6 entry to generator knobs. The structure class is chosen
+ * per the matrix's application domain:
+ *  - structural / fluid dynamics -> banded (stencil-like locality)
+ *  - circuit / semiconductor     -> power-law rows, clustered columns
+ *  - road network                -> ~2 nnz/row in a narrow band
+ */
+CsrGenConfig
+configFor(const MatrixInput &in, Index scaleDiv)
+{
+    TMU_ASSERT(scaleDiv >= 1);
+    CsrGenConfig cfg;
+    cfg.rows = std::max<Index>(64, in.paperRows / scaleDiv);
+    cfg.cols = cfg.rows; // all Table-6 matrices are square
+    cfg.nnzPerRow = in.paperNnzPerRow;
+    cfg.seed = 0xC0FFEE ^ static_cast<std::uint64_t>(in.id[1]);
+
+    if (in.domain == "structural" || in.domain == "fluid dynamics" ||
+        in.domain == "weather") {
+        cfg.rowDist = RowDist::Fixed;
+        cfg.colPattern = ColPattern::Banded;
+        cfg.bandwidth = std::max<Index>(8,
+            static_cast<Index>(in.paperNnzPerRow * 2));
+    } else if (in.domain == "circuit simulation" ||
+               in.domain == "semiconductor") {
+        cfg.rowDist = RowDist::Zipf;
+        cfg.colPattern = ColPattern::Clustered;
+        cfg.clusterSize = 64;
+    } else if (in.domain == "road network") {
+        cfg.rowDist = RowDist::Uniform; // lengths in [1, 2*mean)
+        cfg.colPattern = ColPattern::Banded;
+        cfg.bandwidth = 16;
+    } else {
+        cfg.rowDist = RowDist::Uniform;
+        cfg.colPattern = ColPattern::Uniform;
+    }
+    return cfg;
+}
+
+} // namespace
+
+CsrMatrix
+MatrixInput::generate(Index scaleDiv) const
+{
+    return randomCsr(configFor(*this, scaleDiv));
+}
+
+CooTensor
+TensorInput::generate(Index scaleDiv) const
+{
+    TMU_ASSERT(scaleDiv >= 1);
+    std::vector<Index> dims(paperDims);
+    // Scale the largest mode(s) down; small modes (e.g. 24 hours)
+    // stay intact, which matches how these tensors shrink in practice.
+    for (auto &d : dims) {
+        if (d > 512)
+            d = std::max<Index>(512, d / scaleDiv);
+    }
+    const Index nnz = std::max<Index>(1024, paperNnz / scaleDiv);
+    return randomCooTensor(dims, nnz, modeSkew,
+                           0xBEEF ^ static_cast<std::uint64_t>(id[1]));
+}
+
+const std::vector<MatrixInput> &
+matrixSuite()
+{
+    static const std::vector<MatrixInput> suite = {
+        {"M1", "af_0_k101", "structural", 504000, 17600000, 35.0},
+        {"M2", "atmosmodm", "fluid dynamics", 1500000, 10300000, 6.9},
+        {"M3", "Freescale1", "circuit simulation", 3400000, 17100000, 5.0},
+        {"M4", "gb_osm", "road network", 7700000, 13300000, 1.7},
+        {"M5", "halfb", "structural", 225000, 12400000, 55.0},
+        {"M6", "test1", "semiconductor", 393000, 9400000, 24.0},
+    };
+    return suite;
+}
+
+const std::vector<TensorInput> &
+tensorSuite()
+{
+    static const std::vector<TensorInput> suite = {
+        {"T1", "Chicago-crime", "count", {6186, 24, 77}, 5000000, 1.3},
+        {"T2", "LBNL-network", "network", {2000, 4000, 2000}, 2000000, 1.6},
+        {"T3", "NIPS pubs", "text", {3000, 3000, 14000}, 3000000, 1.4},
+        {"T4", "Uber pickups", "map", {183, 24, 1140}, 3000000, 1.2},
+    };
+    return suite;
+}
+
+const MatrixInput &
+matrixInput(const std::string &id)
+{
+    for (const auto &m : matrixSuite()) {
+        if (m.id == id)
+            return m;
+    }
+    TMU_FATAL("unknown matrix input '%s'", id.c_str());
+}
+
+const TensorInput &
+tensorInput(const std::string &id)
+{
+    for (const auto &t : tensorSuite()) {
+        if (t.id == id)
+            return t;
+    }
+    TMU_FATAL("unknown tensor input '%s'", id.c_str());
+}
+
+} // namespace tmu::tensor

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The evaluation input suite (paper Table 6) as synthetic surrogates.
+ *
+ * Each entry records the published statistics of the SuiteSparse matrix
+ * or FROSTT tensor it stands in for, and a generator that synthesizes a
+ * surrogate at a configurable scale (rows and nnz scaled down together,
+ * nnz/row preserved). Benches print both the published and the
+ * generated statistics so the substitution is auditable.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/csr.hpp"
+
+namespace tmu::tensor {
+
+/** One Table-6 matrix row: published stats + surrogate generator. */
+struct MatrixInput
+{
+    std::string id;         //!< "M1".."M6"
+    std::string name;       //!< SuiteSparse name it stands in for
+    std::string domain;     //!< application domain (Table 6)
+    Index paperRows;        //!< published row count
+    Index paperNnz;         //!< published nnz count
+    double paperNnzPerRow;  //!< published mean nnz/row
+
+    /** Synthesize the surrogate at 1/scaleDiv of the published size. */
+    CsrMatrix generate(Index scaleDiv) const;
+};
+
+/** One Table-6 tensor row: published stats + surrogate generator. */
+struct TensorInput
+{
+    std::string id;     //!< "T1".."T4"
+    std::string name;   //!< FROSTT name it stands in for
+    std::string domain; //!< application domain (Table 6)
+    std::vector<Index> paperDims;
+    Index paperNnz;
+    double modeSkew; //!< mode-0 Zipf skew of the surrogate
+
+    /** Synthesize the surrogate at 1/scaleDiv of the published size. */
+    CooTensor generate(Index scaleDiv) const;
+};
+
+/** The six matrices M1..M6 of Table 6. */
+const std::vector<MatrixInput> &matrixSuite();
+
+/** The four tensors T1..T4 of Table 6. */
+const std::vector<TensorInput> &tensorSuite();
+
+/** Look up a matrix entry by id ("M3"); fatals if unknown. */
+const MatrixInput &matrixInput(const std::string &id);
+
+/** Look up a tensor entry by id ("T2"); fatals if unknown. */
+const TensorInput &tensorInput(const std::string &id);
+
+} // namespace tmu::tensor

@@ -1,0 +1,57 @@
+#include "area.hpp"
+
+#include "common/log.hpp"
+
+namespace tmu::engine {
+
+namespace {
+
+// Calibration anchors from the paper's 22nm synthesis (Sec. 6).
+constexpr double kPaperLaneMm2 = 0.0080;  // 2 KiB storage per lane
+constexpr double kPaperTotalMm2 = 0.0704; // 8-lane TMU
+constexpr double kPaperPctOfN1 = 1.52;    // percent of an N1 core
+constexpr std::size_t kPaperLaneBytes = 2048;
+constexpr int kPaperLanes = 8;
+
+// Split a lane into fixed logic and SRAM that scales with storage.
+// Dense SRAM dominates: assume 60% of the lane is storage at 2 KiB.
+constexpr double kLaneLogicMm2 = kPaperLaneMm2 * 0.4;
+constexpr double kLaneSramMm2PerKib =
+    kPaperLaneMm2 * 0.6 / (kPaperLaneBytes / 1024.0);
+
+// Shared logic (mergers, arbiter, outQ writer) from the residual.
+constexpr double kSharedBaseMm2 =
+    kPaperTotalMm2 - kPaperLanes * kPaperLaneMm2;
+
+// Implied N1 core area at this node.
+constexpr double kN1CoreMm2 = kPaperTotalMm2 / (kPaperPctOfN1 / 100.0);
+
+} // namespace
+
+AreaEstimate
+estimateArea(int lanes, std::size_t perLaneBytes)
+{
+    TMU_ASSERT(lanes > 0 && perLaneBytes > 0);
+    AreaEstimate a;
+    a.laneMm2 = kLaneLogicMm2 +
+                kLaneSramMm2PerKib *
+                    (static_cast<double>(perLaneBytes) / 1024.0);
+    // Merger/arbiter complexity grows mildly with the lane count.
+    a.sharedMm2 =
+        kSharedBaseMm2 * (0.5 + 0.5 * static_cast<double>(lanes) /
+                                     static_cast<double>(kPaperLanes));
+    a.totalMm2 = a.sharedMm2 + static_cast<double>(lanes) * a.laneMm2;
+    a.pctOfN1Core = 100.0 * a.totalMm2 / kN1CoreMm2;
+    return a;
+}
+
+std::string
+describeArea(const AreaEstimate &a)
+{
+    return detail::format(
+        "lane %.4f mm2, shared %.4f mm2, total %.4f mm2 (%.2f%% of an "
+        "N1 core)",
+        a.laneMm2, a.sharedMm2, a.totalMm2, a.pctOfN1Core);
+}
+
+} // namespace tmu::engine

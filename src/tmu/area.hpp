@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Analytical area model calibrated to the paper's RTL results
+ * (GlobalFoundries 22nm FD-SOI, Sec. 6): 8 lanes with 2 KiB of storage
+ * each cost 0.0080 mm^2 per lane, 0.0704 mm^2 total, i.e. 1.52% of a
+ * Neoverse N1 core scaled to the same node.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tmu::engine {
+
+/** Area estimate for one TMU configuration. */
+struct AreaEstimate
+{
+    double laneMm2 = 0.0;    //!< one lane (logic + its storage)
+    double sharedMm2 = 0.0;  //!< mergers, arbiter, outQ writer
+    double totalMm2 = 0.0;
+    double pctOfN1Core = 0.0;
+};
+
+/** Estimate area for @p lanes lanes with @p perLaneBytes storage. */
+AreaEstimate estimateArea(int lanes, std::size_t perLaneBytes);
+
+/** Human-readable area line for the bench harness. */
+std::string describeArea(const AreaEstimate &a);
+
+} // namespace tmu::engine

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Cycle-level TMU engine (paper Sec. 5).
+ *
+ * Models, per cycle:
+ *  - TU FSMs (fbeg/fite/fend) pushing elements into bounded stream
+ *    queues carved from the per-lane storage (Secs. 5.1, 5.5);
+ *  - the hierarchical memory arbiter issuing cacheline requests to the
+ *    LLC — leftmost layer first, round-robin across a layer's TUs,
+ *    config-order across a TU's streams, in-order within a queue,
+ *    bounded outstanding requests (Secs. 5.4, 5.6);
+ *  - TG FSMs (gbeg/gite/gend) merging/co-iterating lanes and producing
+ *    predicates (Sec. 5.2);
+ *  - the serialized outQ writer with double-buffered chunks installed
+ *    into the host core's L2 (Secs. 5.3, 5.6).
+ *
+ * The engine computes real values; its record stream is verified
+ * against the functional interpreter in tests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/circular_queue.hpp"
+#include "sim/memsys.hpp"
+#include "sim/system.hpp"
+#include "tmu/functional.hpp"
+#include "tmu/program.hpp"
+#include "tmu/sizing.hpp"
+
+namespace tmu::engine {
+
+/** Engine configuration (paper Table 5 TMU row). */
+struct EngineConfig
+{
+    int lanes = 8;
+    std::size_t perLaneBytes = 2048;
+    int maxOutstanding = 128;
+    int issuePerCycle = 2;          //!< memory requests per cycle
+    std::size_t chunkBytes = 1024;  //!< outQ chunk size
+    int recordsPerCycle = 2;        //!< serializer bandwidth
+    std::size_t stepQueueDepth = 16;
+    std::size_t eventQueueDepth = 32;
+    /**
+     * Conjunctive-merge skip rate: mismatching (non-emitting) merge
+     * steps retired per cycle. Intersections fast-forward through
+     * disjoint key ranges with a comparator tree over the queue heads;
+     * 1 = strictly one gite per cycle.
+     */
+    int conjSkipPerCycle = 4;
+};
+
+/** Engine-side counters. */
+struct EngineStats
+{
+    std::uint64_t requestsIssued = 0;
+    std::uint64_t coalescedLoads = 0;
+    std::uint64_t elementsPushed = 0;
+    std::uint64_t recordsEmitted = 0;
+    std::uint64_t chunksSealed = 0;
+    std::uint64_t outqBytes = 0;
+    Cycle busyCycles = 0;
+    double rwRatioSum = 0.0; //!< per-chunk read/write time ratios
+    std::uint64_t rwChunks = 0;
+
+    double
+    readToWriteRatio() const
+    {
+        return rwChunks ? rwRatioSum / static_cast<double>(rwChunks)
+                        : 0.0;
+    }
+};
+
+/**
+ * Minimal architectural context saved on a context switch
+ * (paper Sec. 5.6): the engine quiesces at an outer-element boundary;
+ * the saved iteration head lets the OS rebuild and resume the program.
+ */
+struct TmuContext
+{
+    Index outerResumeBeg = 0;
+};
+
+/**
+ * One per-core TMU engine. Ticks as a System device; the host core
+ * consumes its records through OutqSource.
+ */
+class TmuEngine : public sim::Tickable
+{
+  public:
+    TmuEngine(int coreId, const EngineConfig &cfg,
+              sim::MemorySystem &mem, const TmuProgram &program);
+
+    bool tick(Cycle now) override;
+
+    /** True when traversal, merging and marshaling all completed. */
+    bool producerDone() const;
+
+    /**
+     * Pop the next record if available (its chunk sealed by @p now).
+     * @param outqAddr out: host address of the record payload inside
+     *        the outQ buffer (for the core's operand loads).
+     */
+    bool popRecord(Cycle now, OutqRecord &rec, Addr &outqAddr);
+
+    /** True when every produced record has been consumed. */
+    bool allConsumed() const;
+
+    /** Ask the engine to stop at the next outer-element boundary. */
+    void requestQuiesce();
+
+    /** After requestQuiesce(): drained and ready to save? */
+    bool quiesced() const;
+
+    /** Save the minimal context (valid once quiesced). */
+    TmuContext saveContext() const;
+
+    /**
+     * Rebuild a program to resume from a saved context: the layer-0
+     * dense traversal restarts at the saved iteration head.
+     */
+    static TmuProgram rebaseProgram(TmuProgram program,
+                                    const TmuContext &ctx);
+
+    const EngineStats &stats() const { return stats_; }
+    const QueuePlan &queuePlan() const { return plan_; }
+    int coreId() const { return coreId_; }
+
+    /** One-line-per-unit dump of FSM/queue state (deadlock triage). */
+    std::string debugState() const;
+
+  private:
+    /** Readiness/request state of one mem-slot of one element. */
+    struct MemSlotState
+    {
+        bool requested = false;
+        Cycle ready = 0;
+    };
+
+    /** One element pushed into a TU's (jointly-controlled) streams. */
+    struct TimedElem
+    {
+        std::vector<std::uint64_t> vals; //!< per stream slot
+        std::vector<MemSlotState> mem;   //!< per mem-slot ordinal
+        bool end = false;                //!< fiber-end control token
+        Cycle pushed = 0;
+    };
+
+    /** One inter-layer step published by a TG. */
+    struct StepRecord
+    {
+        LaneMask mask;
+        std::vector<std::vector<std::uint64_t>> vals; //!< per lane
+    };
+
+    /** Serializer token: the structural event stream of one TG. */
+    struct EventToken
+    {
+        CallbackEvent kind = CallbackEvent::GroupIte;
+        bool descend = false;
+        std::vector<OutqRecord> records; //!< registered callbacks only
+    };
+
+    /** Per-TU dynamic state. */
+    struct TuState
+    {
+        TuRef ref;
+        enum class Phase { WaitStep, Iter, PushEnd, Done } phase =
+            Phase::WaitStep;
+        Index cur = 0;
+        Index end = 0;
+        std::uint64_t stepCursor = 0; //!< parent steps examined
+        StepRecord view;              //!< current instance's parent step
+        bool hasView = false;
+        CircularQueue<TimedElem> q;
+        /** Arbiter issue pointer per mem-slot ordinal. */
+        struct SlotPtr
+        {
+            std::size_t elem = 0;
+            Addr lastLine = ~Addr{0};
+            Cycle lastReady = 0;
+        };
+        std::vector<SlotPtr> slotPtr;
+        std::vector<int> memOrdinalOfSlot; //!< stream slot -> ordinal|-1
+        std::vector<int> slotOfMemOrdinal;
+    };
+
+    /** Per-layer (TG) dynamic state. */
+    struct TgState
+    {
+        int layer = 0;
+        enum class Phase { WaitParent, Begin, Iterate, Flush, Finish,
+                           Done } phase = Phase::WaitParent;
+        std::uint64_t parentCursor = 0;
+        LaneMask active;
+        LaneMask flushRemaining; //!< Flush: lanes whose END is pending
+        std::deque<StepRecord> steps; //!< published for layer+1
+        std::uint64_t stepsBase = 0;  //!< seq of steps.front()
+        std::uint64_t stepsProduced = 0;
+        CircularQueue<EventToken> events;
+        std::uint64_t eventsProduced = 0;
+        bool doneFlag = false;
+    };
+
+    /** One outQ chunk. */
+    struct Chunk
+    {
+        enum class State { Free, Filling, Sealed } state = State::Free;
+        std::deque<std::pair<OutqRecord, Addr>> records;
+        std::size_t usedBytes = 0;
+        Cycle fillStart = 0;
+        Cycle sealAt = 0;
+        Cycle consumeStart = 0;
+        bool consuming = false;
+    };
+
+    void tickTus(Cycle now);
+    void tickArbiter(Cycle now);
+    void tickTgs(Cycle now);
+    void tickSerializer(Cycle now);
+    void popConsumedSteps(int layer);
+
+    /** Outcome of one TG co-iteration attempt. */
+    enum class IterOutcome { Blocked, Skipped, Emitted, Transitioned };
+    IterOutcome tgIterateOnce(TgState &tg, Cycle now);
+    void popTuHead(int layer, int lane);
+    std::vector<OutqRecord> makeRecords(int layer, CallbackEvent ev,
+                                        LaneMask mask,
+                                        bool withOperands);
+
+    LaneMask activeForStep(int layer, LaneMask parentMask) const;
+    std::uint64_t resolveValue(const TuState &tu, const StreamRef &ref,
+                               const std::vector<std::uint64_t> &vals)
+        const;
+    Cycle parentReady(const TuState &tu, const TimedElem &e,
+                      const StreamRef &parent) const;
+    Cycle slotDepReady(const TuState &tu, const TimedElem &e,
+                       int slot) const;
+    bool elemReady(const TuState &tu, const TimedElem &e,
+                   Cycle now) const;
+    Index mergeKeyOf(const TuState &tu, const TimedElem &e) const;
+    void pushElement(TuState &tu, Cycle now);
+    bool tuDone(const TuState &tu) const;
+    void sealChunk(int c, Cycle now);
+    int fillingChunk(Cycle now);
+
+    int coreId_;
+    EngineConfig cfg_;
+    sim::MemorySystem &mem_;
+    TmuProgram prog_;
+    QueuePlan plan_;
+    EngineStats stats_;
+
+    std::vector<std::vector<TuState>> tus_; //!< [layer][lane]
+    std::vector<TgState> tgs_;
+    std::vector<int> laneRr_; //!< arbiter round-robin start per layer
+
+    std::vector<Cycle> outstanding_; //!< in-flight request completions
+    /**
+     * In-flight cacheline requests engine-wide: the arbiter works at
+     * cacheline granularity (Sec. 5.4), so lanes traversing interleaved
+     * slices of one fiber share a single request per line.
+     */
+    std::unordered_map<Addr, Cycle> inflightLines_;
+
+    // Serializer state.
+    std::vector<int> stack_;
+    bool serializerDone_ = false;
+
+    // outQ double buffer (real host memory for the cache model).
+    std::vector<std::uint8_t> outqBuf_;
+    Chunk chunks_[2];
+    int curChunk_ = -1;     //!< chunk being filled, -1 none
+    int nextFill_ = 0;      //!< chunk index that fills next
+    int consumeChunk_ = 0;  //!< chunk index next consumed
+
+    bool quiesceRequested_ = false;
+    Index resumeCur_ = 0;
+};
+
+} // namespace tmu::engine

@@ -1,0 +1,419 @@
+#include "functional.hpp"
+
+#include <cstring>
+#include <memory>
+
+#include "common/log.hpp"
+
+namespace tmu::engine {
+
+double
+OutqRecord::f64(int o, int i) const
+{
+    double v;
+    std::memcpy(&v,
+                &operands[static_cast<size_t>(o)][static_cast<size_t>(i)],
+                sizeof(v));
+    return v;
+}
+
+Index
+OutqRecord::i64(int o, int i) const
+{
+    Index v;
+    std::memcpy(&v,
+                &operands[static_cast<size_t>(o)][static_cast<size_t>(i)],
+                sizeof(v));
+    return v;
+}
+
+std::size_t
+OutqRecord::bytes() const
+{
+    std::size_t n = 8; // callback id + mask header
+    for (const auto &op : operands)
+        n += op.size() * 8;
+    return n;
+}
+
+namespace {
+
+/** Raw 8-byte element values of one lane's current step: per slot. */
+using LaneValues = std::vector<std::uint64_t>;
+
+/** Values of all lanes of one layer at the current step. */
+struct StepView
+{
+    int layer = -1;
+    LaneMask mask;                     //!< lanes with valid values
+    std::vector<LaneValues> perLane;   //!< indexed by lane
+
+    std::uint64_t
+    value(const StreamRef &ref) const
+    {
+        TMU_ASSERT(ref.tu.layer == layer,
+                   "stream reference crosses more than one layer");
+        TMU_ASSERT(mask.test(static_cast<unsigned>(ref.tu.lane)),
+                   "reading a stream of an inactive lane (%d,%d)",
+                   ref.tu.layer, ref.tu.lane);
+        return perLane[static_cast<size_t>(ref.tu.lane)]
+                      [static_cast<size_t>(ref.slot)];
+    }
+};
+
+std::uint64_t
+loadElem(Addr addr)
+{
+    std::uint64_t v;
+    std::memcpy(&v, reinterpret_cast<const void *>(addr), sizeof(v));
+    return v;
+}
+
+/** A lane's fiber instance: evaluates stream values per iteration. */
+class FiberIter
+{
+  public:
+    FiberIter(const TmuProgram &prog, TuRef ref, const StepView *parent)
+        : prog_(prog), tu_(prog.tu(ref)), parent_(parent)
+    {
+        switch (tu_.kind) {
+          case TraversalKind::Dense:
+            cur_ = tu_.beg;
+            end_ = tu_.end;
+            break;
+          case TraversalKind::Range: {
+            TMU_ASSERT(parent_ != nullptr);
+            const auto beg = static_cast<Index>(
+                parent_->value(tu_.begStream));
+            const auto end = static_cast<Index>(
+                parent_->value(tu_.endStream));
+            cur_ = beg + tu_.offset;
+            end_ = end;
+            break;
+          }
+          case TraversalKind::Index: {
+            TMU_ASSERT(parent_ != nullptr);
+            const auto beg = static_cast<Index>(
+                parent_->value(tu_.begStream));
+            cur_ = beg + tu_.offset;
+            end_ = beg + tu_.size;
+            break;
+          }
+        }
+    }
+
+    bool done() const { return cur_ >= end_; }
+
+    /** Evaluate all stream slots at the current index, then advance. */
+    LaneValues
+    next()
+    {
+        TMU_ASSERT(!done());
+        LaneValues vals(tu_.streams.size(), 0);
+        for (size_t s = 0; s < tu_.streams.size(); ++s) {
+            const StreamDesc &sd = tu_.streams[s];
+            switch (sd.kind) {
+              case StreamKind::Ite:
+                vals[s] = static_cast<std::uint64_t>(cur_);
+                break;
+              case StreamKind::Mem: {
+                Index x = parentValue(sd.parent, vals);
+                if (sd.parent2.valid())
+                    x += parentValue(sd.parent2, vals);
+                vals[s] = loadElem(sd.base +
+                                   static_cast<Addr>(x) * 8);
+                break;
+              }
+              case StreamKind::Lin: {
+                const Index x = parentValue(sd.parent, vals);
+                auto v = static_cast<Index>(
+                    sd.linA * static_cast<double>(x) + sd.linB);
+                if (sd.parent2.valid())
+                    v += parentValue(sd.parent2, vals);
+                vals[s] = static_cast<std::uint64_t>(v);
+                break;
+              }
+              case StreamKind::Map: {
+                const Index x = parentValue(sd.parent, vals);
+                TMU_ASSERT(x >= 0 && static_cast<size_t>(x) <
+                                         sd.map.size(),
+                           "map index %lld out of range",
+                           static_cast<long long>(x));
+                vals[s] = static_cast<std::uint64_t>(
+                    sd.map[static_cast<size_t>(x)]);
+                break;
+              }
+              case StreamKind::Ldr: {
+                Index x = parentValue(sd.parent, vals);
+                if (sd.parent2.valid())
+                    x += parentValue(sd.parent2, vals);
+                vals[s] = sd.base + static_cast<Addr>(x) * 8;
+                break;
+              }
+              case StreamKind::Fwd:
+                TMU_ASSERT(parent_ != nullptr);
+                vals[s] = parent_->value(sd.fwdSource);
+                break;
+            }
+        }
+        cur_ += tu_.stride;
+        return vals;
+    }
+
+  private:
+    /** Resolve an index parent: same-TU earlier slot or leftward. */
+    Index
+    parentValue(const StreamRef &ref, const LaneValues &vals) const
+    {
+        if (parent_ != nullptr && ref.tu.layer == parent_->layer)
+            return static_cast<Index>(parent_->value(ref));
+        // Same-TU parent: must be an earlier slot (config order).
+        return static_cast<Index>(vals[static_cast<size_t>(ref.slot)]);
+    }
+
+    const TmuProgram &prog_;
+    const TuDesc &tu_;
+    const StepView *parent_;
+    Index cur_ = 0;
+    Index end_ = 0;
+};
+
+/** The recursive interpreter. */
+class Interp
+{
+  public:
+    Interp(const TmuProgram &prog, const RecordSink &sink)
+        : prog_(prog), sink_(sink)
+    {}
+
+    void
+    run()
+    {
+        runLayer(0, LaneMask::firstN(
+                        static_cast<unsigned>(prog_.layer(0).lanes())),
+                 nullptr);
+    }
+
+  private:
+    /** Fire all callbacks registered for (layer, event). */
+    void
+    fire(int layer, CallbackEvent event, LaneMask mask,
+         const StepView *step)
+    {
+        for (const CallbackDesc &cb :
+             prog_.layer(layer).callbacks) {
+            if (cb.event != event)
+                continue;
+            OutqRecord rec;
+            rec.layer = layer;
+            rec.event = event;
+            rec.callbackId = cb.callbackId;
+            rec.mask = mask;
+            for (int o : cb.operands) {
+                std::vector<std::uint64_t> vals;
+                if (o == kMskOperand) {
+                    vals.push_back(mask.bits());
+                } else if (step != nullptr) {
+                    const GroupStreamDesc &gs =
+                        prog_.layer(layer)
+                            .groupStreams[static_cast<size_t>(o)];
+                    for (unsigned r = 0; r < gs.perLane.size(); ++r) {
+                        if (mask.test(r))
+                            vals.push_back(step->value(gs.perLane[r]));
+                    }
+                }
+                rec.operands.push_back(std::move(vals));
+            }
+            sink_(rec);
+        }
+    }
+
+    /** Lanes of layer l+1 activated by a step of layer l. */
+    LaneMask
+    nextMask(int layer, LaneMask predicate) const
+    {
+        if (layer + 1 >= prog_.numLayers())
+            return LaneMask();
+        const GroupMode mode = prog_.layer(layer).mode;
+        const int nextLanes = prog_.layer(layer + 1).lanes();
+        switch (mode) {
+          case GroupMode::BCast:
+            return LaneMask::firstN(static_cast<unsigned>(nextLanes));
+          case GroupMode::Single:
+          case GroupMode::Keep: {
+            LaneMask m;
+            m.set(0);
+            return m;
+          }
+          case GroupMode::LockStep:
+          case GroupMode::DisjMrg:
+          case GroupMode::ConjMrg:
+            return predicate &
+                   LaneMask::firstN(static_cast<unsigned>(nextLanes));
+        }
+        return LaneMask();
+    }
+
+    void
+    step(int layer, LaneMask predicate, const StepView &view)
+    {
+        fire(layer, CallbackEvent::GroupIte, predicate, &view);
+        if (layer + 1 < prog_.numLayers()) {
+            const LaneMask down = nextMask(layer, predicate);
+            if (!down.empty())
+                runLayer(layer + 1, down, &view);
+        }
+    }
+
+    void
+    runLayer(int layer, LaneMask active, const StepView *parent)
+    {
+        const LayerDesc &desc = prog_.layer(layer);
+        const GroupMode mode = desc.mode;
+
+        // Restrict to lanes that actually have TUs.
+        active = active &
+                 LaneMask::firstN(static_cast<unsigned>(desc.lanes()));
+
+        fire(layer, CallbackEvent::GroupBegin, active, nullptr);
+
+        StepView view;
+        view.layer = layer;
+        view.perLane.resize(static_cast<size_t>(desc.lanes()));
+
+        if (mode == GroupMode::Single || mode == GroupMode::BCast ||
+            mode == GroupMode::Keep) {
+            const int lane = mode == GroupMode::Keep ? desc.keepLane : 0;
+            if (active.test(static_cast<unsigned>(lane))) {
+                FiberIter it(prog_, TuRef{layer, lane}, parent);
+                while (!it.done()) {
+                    view.perLane[static_cast<size_t>(lane)] = it.next();
+                    LaneMask p;
+                    p.set(static_cast<unsigned>(lane));
+                    view.mask = p;
+                    step(layer, p, view);
+                }
+            }
+        } else {
+            // Parallel lanes: instantiate an iterator per active lane.
+            std::vector<std::unique_ptr<FiberIter>> iters(
+                static_cast<size_t>(desc.lanes()));
+            std::vector<bool> hasValue(static_cast<size_t>(desc.lanes()),
+                                       false);
+            for (int r = 0; r < desc.lanes(); ++r) {
+                if (active.test(static_cast<unsigned>(r))) {
+                    iters[static_cast<size_t>(r)] =
+                        std::make_unique<FiberIter>(
+                            prog_, TuRef{layer, r}, parent);
+                }
+            }
+
+            auto advance = [&](int r) {
+                view.perLane[static_cast<size_t>(r)] =
+                    iters[static_cast<size_t>(r)]->next();
+                hasValue[static_cast<size_t>(r)] = true;
+            };
+            // Prime the heads.
+            for (int r = 0; r < desc.lanes(); ++r) {
+                if (iters[static_cast<size_t>(r)] &&
+                    !iters[static_cast<size_t>(r)]->done()) {
+                    advance(r);
+                }
+            }
+
+            auto keyOf = [&](int r) {
+                const TuDesc &t = prog_.tu(TuRef{layer, r});
+                const int slot = t.mergeKey.valid() ? t.mergeKey.slot : 0;
+                return static_cast<Index>(
+                    view.perLane[static_cast<size_t>(r)]
+                                [static_cast<size_t>(slot)]);
+            };
+
+            for (;;) {
+                // Lanes holding a current (unconsumed) element.
+                LaneMask have;
+                for (int r = 0; r < desc.lanes(); ++r) {
+                    if (hasValue[static_cast<size_t>(r)])
+                        have.set(static_cast<unsigned>(r));
+                }
+                if (have.empty())
+                    break;
+
+                LaneMask predicate;
+                if (mode == GroupMode::LockStep) {
+                    predicate = have;
+                } else {
+                    // Merge modes: lanes at the minimum key.
+                    Index minKey = 0;
+                    bool first = true;
+                    for (int r = 0; r < desc.lanes(); ++r) {
+                        if (!have.test(static_cast<unsigned>(r)))
+                            continue;
+                        const Index k = keyOf(r);
+                        if (first || k < minKey) {
+                            minKey = k;
+                            first = false;
+                        }
+                    }
+                    for (int r = 0; r < desc.lanes(); ++r) {
+                        if (have.test(static_cast<unsigned>(r)) &&
+                            keyOf(r) == minKey)
+                            predicate.set(static_cast<unsigned>(r));
+                    }
+                }
+
+                view.mask = predicate;
+                const bool emit =
+                    mode != GroupMode::ConjMrg || predicate == active;
+                if (emit)
+                    step(layer, predicate, view);
+
+                // Consume the stepped lanes and refill their heads.
+                for (int r = 0; r < desc.lanes(); ++r) {
+                    if (!predicate.test(static_cast<unsigned>(r)))
+                        continue;
+                    hasValue[static_cast<size_t>(r)] = false;
+                    if (!iters[static_cast<size_t>(r)]->done())
+                        advance(r);
+                }
+
+                // Conjunctive merging ends when any active lane runs dry.
+                if (mode == GroupMode::ConjMrg) {
+                    bool anyDry = false;
+                    for (int r = 0; r < desc.lanes(); ++r) {
+                        if (active.test(static_cast<unsigned>(r)) &&
+                            !hasValue[static_cast<size_t>(r)])
+                            anyDry = true;
+                    }
+                    if (anyDry)
+                        break;
+                }
+            }
+        }
+
+        fire(layer, CallbackEvent::GroupEnd, active, nullptr);
+    }
+
+    const TmuProgram &prog_;
+    const RecordSink &sink_;
+};
+
+} // namespace
+
+void
+interpret(const TmuProgram &program, const RecordSink &sink)
+{
+    program.validate(program.maxLanes());
+    Interp interp(program, sink);
+    interp.run();
+}
+
+std::vector<OutqRecord>
+interpretToVector(const TmuProgram &program)
+{
+    std::vector<OutqRecord> out;
+    interpret(program, [&](const OutqRecord &r) { out.push_back(r); });
+    return out;
+}
+
+} // namespace tmu::engine

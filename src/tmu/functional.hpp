@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Functional (untimed) TMU interpreter — the golden model.
+ *
+ * Executes a TmuProgram against real host memory and produces the exact
+ * ordered stream of callback records the hardware would marshal into
+ * the outQ. The cycle-level engine (engine.hpp) is verified against
+ * this interpreter record-for-record, and every workload's TMU mapping
+ * is verified against its software kernel through it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "tmu/program.hpp"
+
+namespace tmu::engine {
+
+/** One marshaled callback record (what the core pops from the outQ). */
+struct OutqRecord
+{
+    int layer = 0;
+    CallbackEvent event = CallbackEvent::GroupIte;
+    int callbackId = 0;
+    LaneMask mask; //!< active lanes of the triggering step
+    /**
+     * One entry per registered operand, each holding the raw 8-byte
+     * values of the active lanes in ascending lane order. For a
+     * kMskOperand entry the single value is the mask bits.
+     */
+    std::vector<std::vector<std::uint64_t>> operands;
+
+    /** Interpret operand @p o lane-slot @p i as a double. */
+    double f64(int o, int i) const;
+    /** Interpret operand @p o lane-slot @p i as an Index. */
+    Index i64(int o, int i) const;
+    /** Total marshaled payload in bytes (header + operands). */
+    std::size_t bytes() const;
+};
+
+/** Record consumer callback. */
+using RecordSink = std::function<void(const OutqRecord &)>;
+
+/**
+ * Run @p program functionally, invoking @p sink for every callback
+ * record in exact sequential (nested-loop) order.
+ */
+void interpret(const TmuProgram &program, const RecordSink &sink);
+
+/** Convenience: collect all records into a vector. */
+std::vector<OutqRecord> interpretToVector(const TmuProgram &program);
+
+} // namespace tmu::engine

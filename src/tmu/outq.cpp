@@ -1,0 +1,56 @@
+#include "outq.hpp"
+
+#include "common/log.hpp"
+
+namespace tmu::engine {
+
+bool
+OutqSource::pullOp(sim::MicroOp &op, Cycle now)
+{
+    if (pendingHead_ < pending_.size()) {
+        op = pending_[pendingHead_++];
+        return true;
+    }
+    pending_.clear();
+    pendingHead_ = 0;
+
+    OutqRecord rec;
+    Addr addr = 0;
+    if (!engine_.popRecord(now, rec, addr))
+        return false;
+    ++consumed_;
+
+    // Operand loads from the outQ chunk (L2-resident): one vector load
+    // per operand, past the 8-byte record header.
+    Addr off = 8;
+    for (const auto &operand : rec.operands) {
+        if (!operand.empty()) {
+            pending_.push_back(sim::MicroOp::load(
+                addr + off,
+                static_cast<std::uint8_t>(operand.size() * 8)));
+            off += operand.size() * 8;
+        }
+    }
+
+    const auto it = handlers_.find(rec.callbackId);
+    TMU_ASSERT(it != handlers_.end(),
+               "no handler registered for callback %d", rec.callbackId);
+    it->second(rec, pending_);
+
+    if (pendingHead_ < pending_.size()) {
+        op = pending_[pendingHead_++];
+        return true;
+    }
+    // Handler contributed no micro-ops (e.g. a pure bookkeeping
+    // callback with no operands): consume a dispatch slot anyway.
+    op = sim::MicroOp::iop();
+    return true;
+}
+
+bool
+OutqSource::done() const
+{
+    return pendingHead_ >= pending_.size() && engine_.allConsumed();
+}
+
+} // namespace tmu::engine

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Core-side outQ consumption (paper Sec. 4.3): a TraceSource that pops
+ * callback records from the engine's sealed chunks and expands each
+ * into the micro-ops the host core executes — operand vector loads
+ * (which hit the L2, where the engine installed the chunk) followed by
+ * the workload-registered compute micro-ops. The registered handler
+ * also performs the *real* computation, so the TMU path produces
+ * checked results.
+ */
+
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/tracesource.hpp"
+#include "tmu/engine.hpp"
+
+namespace tmu::engine {
+
+/**
+ * Per-callback compute model and implementation.
+ * Receives the record; performs the real computation (side effects on
+ * the workload's output buffers) and appends the compute micro-ops the
+ * core would execute (FMAs, reduces, result stores).
+ */
+using CallbackHandler =
+    std::function<void(const OutqRecord &, std::vector<sim::MicroOp> &)>;
+
+/** TraceSource adapter between a TmuEngine and its host core. */
+class OutqSource : public sim::TraceSource
+{
+  public:
+    explicit OutqSource(TmuEngine &engine) : engine_(engine) {}
+
+    /** Register the HBT callback body for @p callbackId. */
+    void
+    setHandler(int callbackId, CallbackHandler handler)
+    {
+        handlers_[callbackId] = std::move(handler);
+    }
+
+    bool pullOp(sim::MicroOp &op, Cycle now) override;
+    bool done() const override;
+
+    /** Records consumed so far (tests/stats). */
+    std::uint64_t recordsConsumed() const { return consumed_; }
+
+  private:
+    TmuEngine &engine_;
+    std::unordered_map<int, CallbackHandler> handlers_;
+    std::vector<sim::MicroOp> pending_;
+    std::size_t pendingHead_ = 0;
+    std::uint64_t consumed_ = 0;
+};
+
+} // namespace tmu::engine

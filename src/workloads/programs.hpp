@@ -1,0 +1,116 @@
+/**
+ * @file
+ * TMU program builders for every Table-4 kernel mapping.
+ *
+ * Each builder returns the dataflow configuration for one core's slice
+ * of the computation; the callback ids below are what the host-core
+ * handlers (in the wl_*.cpp workload bindings) register against. These
+ * builders are also introspected by bench/table4_mapping to regenerate
+ * the paper's Table 4.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/dcsr.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/sparse_vector.hpp"
+#include "tmu/program.hpp"
+
+namespace tmu::workloads {
+
+/** Callback ids shared by programs and handlers. */
+enum Cb : int {
+    kCbRi = 1,   //!< SpMV/PR row-iteration body (Fig. 6)
+    kCbRe,       //!< SpMV/PR row-end store (Fig. 6)
+    kCbSetA,     //!< SpMSpM: latch the current A value
+    kCbAcc,      //!< SpMSpM: accumulate a B-row chunk
+    kCbFlush,    //!< SpMSpM: row finished, write the workspace out
+    kCbRow,      //!< SpKAdd: merged row coordinate
+    kCbCol,      //!< SpKAdd: merged column group (Fig. 7)
+    kCbRowEnd,   //!< SpKAdd: row finished
+    kCbNnz,      //!< MTTKRP: latch nonzero value / output row
+    kCbJ,        //!< MTTKRP: rank chunk
+    kCbHit,      //!< TriangleCount: intersection hit
+    kCbRoot,     //!< SpTC: new output row (A root)
+    kCbJCoord,   //!< SpTC: candidate output column
+    kCbRootEnd,  //!< SpTC: A root finished
+};
+
+/** SpMV P1 (Fig. 8): inner-loop lanes over one CSR row. */
+engine::TmuProgram buildSpmvP1(const tensor::CsrMatrix &a,
+                               const tensor::DenseVector &b, int lanes,
+                               Index rowBeg, Index rowEnd);
+
+/** SpMV P0: outer-loop lanes, one row per lane (Table 4). */
+engine::TmuProgram buildSpmvP0(const tensor::CsrMatrix &a,
+                               const tensor::DenseVector &b, int lanes,
+                               Index rowBeg, Index rowEnd);
+
+/** Gustavson SpMSpM P2: i single, k broadcast, j lanes (Table 4). */
+engine::TmuProgram buildSpmspmP2(const tensor::CsrMatrix &a,
+                                 const tensor::CsrMatrix &b, int lanes,
+                                 Index rowBeg, Index rowEnd);
+
+/** SpKAdd: K DCSR inputs in K lanes, hierarchical disjunctive merge. */
+engine::TmuProgram buildSpkadd(const std::vector<tensor::DcsrMatrix> &in,
+                               Index rowBeg, Index rowEnd);
+
+/** TriangleCount: per edge (i,k), conjunctive merge of rows i and k. */
+engine::TmuProgram buildTricount(const tensor::CsrMatrix &l,
+                                 Index rowBeg, Index rowEnd);
+
+/** MTTKRP P1: mode-level lanes (one nonzero per lane, Table 4). */
+engine::TmuProgram buildMttkrpP1(const tensor::CooTensor &t,
+                                 const tensor::DenseMatrix &b,
+                                 const tensor::DenseMatrix &c,
+                                 const tensor::DenseMatrix &z, int lanes,
+                                 Index nnzBeg, Index nnzEnd);
+
+/** MTTKRP P2: rank-level lanes (one j slice per lane, Table 4). */
+engine::TmuProgram buildMttkrpP2(const tensor::CooTensor &t,
+                                 const tensor::DenseMatrix &b,
+                                 const tensor::DenseMatrix &c,
+                                 const tensor::DenseMatrix &z, int lanes,
+                                 Index nnzBeg, Index nnzEnd);
+
+/** SpTC symbolic: A(i,k,l) against B(l,k,j), merge-based lookup. */
+engine::TmuProgram buildSptcSymbolic(const tensor::CsfTensor &a,
+                                     const tensor::CsfTensor &b,
+                                     Index rootBeg, Index rootEnd);
+
+/** SpMSpV: conjunctive merge of each CSR row with a sparse vector. */
+engine::TmuProgram buildSpmspv(const tensor::CsrMatrix &a,
+                               const tensor::SparseVector &b,
+                               Index rowBeg, Index rowEnd);
+
+/** SpMM P1: dense B rows scanned per A nonzero, lanes over columns. */
+engine::TmuProgram buildSpmmP1(const tensor::CsrMatrix &a,
+                               const tensor::DenseMatrix &b, int lanes,
+                               Index rowBeg, Index rowEnd);
+
+/** SpMM P0: full-nest lockstep, one output row per lane (Table 4). */
+engine::TmuProgram buildSpmmP0(const tensor::CsrMatrix &a,
+                               const tensor::DenseMatrix &b, int lanes,
+                               Index rowBeg, Index rowEnd);
+
+/** SpMSpM P0: full-nest lockstep, one output row per lane (Table 4). */
+engine::TmuProgram buildSpmspmP0(const tensor::CsrMatrix &a,
+                                 const tensor::CsrMatrix &b, int lanes,
+                                 Index rowBeg, Index rowEnd);
+
+/** SpTTV: CSF tensor times vector, lanes over the k fiber. */
+engine::TmuProgram buildSpttv(const tensor::CsfTensor &a,
+                              const tensor::DenseVector &b, int lanes,
+                              Index rootBeg, Index rootEnd);
+
+/** SpTTM: CSF tensor times matrix, lanes over the dense l columns. */
+engine::TmuProgram buildSpttm(const tensor::CsfTensor &a,
+                              const tensor::DenseMatrix &b, int lanes,
+                              Index rootBeg, Index rootEnd);
+
+} // namespace tmu::workloads

@@ -1,0 +1,60 @@
+#include "registry.hpp"
+
+#include "common/log.hpp"
+#include "workloads/wl_merge.hpp"
+#include "workloads/wl_spmspm.hpp"
+#include "workloads/wl_spmv.hpp"
+#include "workloads/wl_tensor.hpp"
+
+namespace tmu::workloads {
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "SpMV")
+        return std::make_unique<SpmvWorkload>();
+    if (name == "PR")
+        return std::make_unique<PagerankWorkload>();
+    if (name == "SpMSpM")
+        return std::make_unique<SpmspmWorkload>();
+    if (name == "TC")
+        return std::make_unique<TricountWorkload>();
+    if (name == "SpKAdd")
+        return std::make_unique<SpkaddWorkload>();
+    if (name == "SpAdd")
+        return std::make_unique<SpaddWorkload>();
+    if (name == "MTTKRP_MP")
+        return std::make_unique<MttkrpWorkload>(
+            MttkrpWorkload::Variant::P1);
+    if (name == "MTTKRP_CP")
+        return std::make_unique<MttkrpWorkload>(
+            MttkrpWorkload::Variant::P2);
+    if (name == "SpTC")
+        return std::make_unique<SptcWorkload>();
+    if (name == "CP-ALS")
+        return std::make_unique<CpalsWorkload>();
+    TMU_FATAL("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+linearAlgebraWorkloads()
+{
+    return {"SpMV", "SpMSpM", "SpKAdd", "PR", "TC"};
+}
+
+std::vector<std::string>
+tensorAlgebraWorkloads()
+{
+    return {"MTTKRP_MP", "MTTKRP_CP", "SpTC", "CP-ALS"};
+}
+
+std::vector<std::string>
+allWorkloads()
+{
+    auto all = linearAlgebraWorkloads();
+    for (auto &t : tensorAlgebraWorkloads())
+        all.push_back(t);
+    return all;
+}
+
+} // namespace tmu::workloads

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Workload registry: the evaluated workload set by name (paper Sec. 6).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace tmu::workloads {
+
+/** Instantiate a workload by name; fatals on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** All evaluated workload names, Fig. 10 order. */
+std::vector<std::string> linearAlgebraWorkloads(); //!< matrix inputs
+std::vector<std::string> tensorAlgebraWorkloads(); //!< tensor inputs
+std::vector<std::string> allWorkloads();
+
+} // namespace tmu::workloads

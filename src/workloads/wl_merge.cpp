@@ -1,0 +1,219 @@
+#include "wl_merge.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "kernels/spadd.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/generate.hpp"
+#include "tensor/suite.hpp"
+#include "tmu/outq.hpp"
+#include "workloads/programs.hpp"
+
+namespace tmu::workloads {
+
+using engine::OutqRecord;
+using sim::MicroOp;
+using sim::addrOf;
+
+namespace {
+
+/** Per-core merged-output collector shared by SpKAdd and SpAdd. */
+struct MergeOut
+{
+    std::vector<Index> rows;
+    std::vector<Index> idxs;
+    std::vector<Value> vals;
+    Index curRow = kInvalidIndex;
+};
+
+/** Compare stitched per-core triples against a reference CSR. */
+bool
+verifyMerged(const std::vector<MergeOut> &out, const tensor::CsrMatrix &ref)
+{
+    size_t q[64] = {};
+    for (Index i = 0; i < ref.rows(); ++i) {
+        // Find the core that emitted row i (row-partitioned: at most 1).
+        for (Index p = ref.rowBegin(i); p < ref.rowEnd(i); ++p) {
+            bool found = false;
+            for (size_t c = 0; c < out.size() && !found; ++c) {
+                size_t &cq = q[c];
+                if (cq < out[c].rows.size() && out[c].rows[cq] == i) {
+                    if (out[c].idxs[cq] !=
+                            ref.idxs()[static_cast<size_t>(p)] ||
+                        std::abs(out[c].vals[cq] -
+                                 ref.vals()[static_cast<size_t>(p)]) >
+                            1e-9) {
+                        return false;
+                    }
+                    ++cq;
+                    found = true;
+                }
+            }
+            if (!found)
+                return false;
+        }
+    }
+    size_t total = 0;
+    for (const auto &o : out)
+        total += o.idxs.size();
+    return total == static_cast<size_t>(ref.nnz());
+}
+
+/** SpKAdd-shaped run over @p parts with reference @p ref. */
+RunResult
+runKAdd(const RunConfig &cfg,
+        const std::vector<tensor::DcsrMatrix> &parts,
+        const tensor::CsrMatrix &ref, sim::Trace (*traceFn)(
+            const std::vector<tensor::DcsrMatrix> &,
+            std::vector<Index> &, std::vector<Value> &,
+            std::vector<Index> &, Index, Index, sim::SimdConfig))
+{
+    RunHarness h(cfg);
+    const int cores = h.cores();
+    const Index rows = ref.rows();
+
+    std::vector<MergeOut> out(static_cast<size_t>(cores));
+    // Baseline collectors (per-core triplet arrays + rowNnz).
+    struct BaseOut
+    {
+        std::vector<Index> idxs;
+        std::vector<Value> vals;
+        std::vector<Index> rowNnz;
+        Index rowBeg = 0;
+    };
+    std::vector<BaseOut> baseOut(static_cast<size_t>(cores));
+
+    if (cfg.mode == Mode::Baseline) {
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(rows, cores, c);
+            BaseOut &bo = baseOut[static_cast<size_t>(c)];
+            bo.rowBeg = beg;
+            h.addBaselineTrace(c, traceFn(parts, bo.idxs, bo.vals,
+                                          bo.rowNnz, beg, end,
+                                          h.simd()));
+        }
+    } else {
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(rows, cores, c);
+            auto &src = h.addTmuProgram(c, buildSpkadd(parts, beg, end));
+            MergeOut &mo = out[static_cast<size_t>(c)];
+            src.setHandler(kCbRow, [&mo](const OutqRecord &rec,
+                                         std::vector<MicroOp> &ops) {
+                mo.curRow = rec.i64(0, 0);
+                ops.push_back(MicroOp::iop());
+            });
+            src.setHandler(kCbCol, [&mo](const OutqRecord &rec,
+                                         std::vector<MicroOp> &ops) {
+                // Fig. 7: *out_ptr++ = vec_reduce(nnz_els).
+                Value sum = 0.0;
+                const auto n = rec.operands[1].size();
+                for (size_t i = 0; i < n; ++i)
+                    sum += rec.f64(1, static_cast<int>(i));
+                mo.rows.push_back(mo.curRow);
+                mo.idxs.push_back(rec.i64(0, 0));
+                mo.vals.push_back(sum);
+                ops.push_back(
+                    MicroOp::flop(static_cast<std::uint16_t>(n)));
+                ops.push_back(MicroOp::store(
+                    addrOf(mo.vals.data(),
+                           static_cast<Index>(mo.vals.size() - 1)),
+                    8));
+            });
+            src.setHandler(kCbRowEnd,
+                           [](const OutqRecord &,
+                              std::vector<MicroOp> &ops) {
+                               ops.push_back(MicroOp::iop());
+                           });
+        }
+    }
+
+    RunResult res = h.finish();
+
+    if (cfg.mode == Mode::Baseline) {
+        // Rebuild MergeOut from the baseline collectors for one shared
+        // verification path.
+        for (int c = 0; c < cores; ++c) {
+            const BaseOut &bo = baseOut[static_cast<size_t>(c)];
+            MergeOut &mo = out[static_cast<size_t>(c)];
+            size_t q = 0;
+            for (size_t lr = 0; lr < bo.rowNnz.size(); ++lr) {
+                for (Index e = 0; e < bo.rowNnz[lr]; ++e, ++q) {
+                    mo.rows.push_back(bo.rowBeg +
+                                      static_cast<Index>(lr));
+                    mo.idxs.push_back(bo.idxs[q]);
+                    mo.vals.push_back(bo.vals[q]);
+                }
+            }
+        }
+    }
+    res.verified = verifyMerged(out, ref);
+    return res;
+}
+
+} // namespace
+
+void
+SpkaddWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    const tensor::CsrMatrix a =
+        tensor::matrixInput(inputId).generate(scaleDiv);
+    parts_ = tensor::splitCyclic(a, kInputs);
+    ref_ = kernels::spkaddRef(parts_);
+}
+
+RunResult
+SpkaddWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(!parts_.empty(), "prepare() was not called");
+    return runKAdd(cfg, parts_, ref_, &kernels::traceSpkadd);
+}
+
+void
+SpaddWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    const auto &in = tensor::matrixInput(inputId);
+    a_ = in.generate(scaleDiv);
+    // A structurally-similar second operand from a different seed.
+    tensor::CsrGenConfig gen;
+    gen.rows = a_.rows();
+    gen.cols = a_.cols();
+    gen.nnzPerRow = std::max(1.0, a_.nnzPerRow());
+    gen.seed = 0xABCD ^ static_cast<std::uint64_t>(inputId[1]);
+    b_ = tensor::randomCsr(gen);
+    asDcsr_ = {tensor::csrToDcsr(a_), tensor::csrToDcsr(b_)};
+    ref_ = kernels::spaddRef(a_, b_);
+}
+
+RunResult
+SpaddWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
+    if (cfg.mode == Mode::Tmu)
+        return runKAdd(cfg, asDcsr_, ref_, &kernels::traceSpkadd);
+
+    RunHarness h(cfg);
+    const int cores = h.cores();
+    struct BaseOut
+    {
+        std::vector<Index> idxs;
+        std::vector<Value> vals;
+        std::vector<Index> rowNnz;
+    };
+    std::vector<BaseOut> out(static_cast<size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        BaseOut &bo = out[static_cast<size_t>(c)];
+        h.addBaselineTrace(c, kernels::traceSpadd(a_, b_, bo.idxs,
+                                                  bo.vals, bo.rowNnz,
+                                                  beg, end, h.simd()));
+    }
+    RunResult res = h.finish();
+    Index total = 0;
+    for (const auto &bo : out)
+        total += static_cast<Index>(bo.idxs.size());
+    res.verified = total == ref_.nnz();
+    return res;
+}
+
+} // namespace tmu::workloads

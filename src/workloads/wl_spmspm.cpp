@@ -1,0 +1,229 @@
+#include "wl_spmspm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "kernels/spmspm.hpp"
+#include "kernels/tricount.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/generate.hpp"
+#include "tensor/suite.hpp"
+#include "tmu/outq.hpp"
+#include "workloads/programs.hpp"
+
+namespace tmu::workloads {
+
+using engine::OutqRecord;
+using sim::MicroOp;
+using sim::addrOf;
+
+void
+SpmspmWorkload::prepareSynthetic(Index rows, Index nnzPerRow)
+{
+    a_ = tensor::fixedNnzCsr(rows, nnzPerRow);
+    bt_ = tensor::fixedNnzCsr(nnzPerRow, nnzPerRow);
+    ref_ = kernels::spmspmRef(a_, bt_);
+}
+
+void
+SpmspmWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    // SpMSpM in the paper gets denser matrices than SpMV at the same
+    // scale budget; scale a bit harder to keep runs tractable.
+    a_ = tensor::matrixInput(inputId).generate(scaleDiv * 4);
+    bt_ = tensor::transposeCsr(a_);
+    ref_ = kernels::spmspmRef(a_, bt_);
+}
+
+RunResult
+SpmspmWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
+    RunHarness h(cfg);
+    const int cores = h.cores();
+
+    // Per-core output triplets (row-partitioned).
+    struct CoreOut
+    {
+        std::vector<Index> idxs;
+        std::vector<Value> vals;
+        std::vector<Index> rowNnz;
+        // TMU-mode accumulator workspace.
+        std::vector<Value> acc;
+        std::vector<Index> touched;
+        Value aVal = 0.0;
+    };
+    std::vector<CoreOut> out(static_cast<size_t>(cores));
+
+    if (cfg.mode == Mode::Baseline) {
+        h.system().mem().registerIndexRegion(
+            reinterpret_cast<Addr>(a_.idxs().data()),
+            a_.idxs().size() * sizeof(Index));
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(a_.rows(), cores, c);
+            CoreOut &co = out[static_cast<size_t>(c)];
+            h.addBaselineTrace(
+                c, kernels::traceSpmspm(a_, bt_, co.idxs, co.vals,
+                                        co.rowNnz, beg, end, h.simd()));
+        }
+    } else {
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(a_.rows(), cores, c);
+            CoreOut &co = out[static_cast<size_t>(c)];
+            co.acc.assign(static_cast<size_t>(bt_.cols()), 0.0);
+            auto &src = h.addTmuProgram(
+                c, buildSpmspmP2(a_, bt_, cfg.programLanes, beg, end));
+
+            src.setHandler(kCbSetA, [&co](const OutqRecord &rec,
+                                          std::vector<MicroOp> &ops) {
+                co.aVal = rec.f64(0, 0);
+                ops.push_back(MicroOp::iop());
+            });
+            src.setHandler(kCbAcc, [&co](const OutqRecord &rec,
+                                         std::vector<MicroOp> &ops) {
+                const auto n = rec.operands[0].size();
+                // Scatter-accumulate into the workspace: per lane a
+                // load + FMA + store on acc[j].
+                for (size_t i = 0; i < n; ++i) {
+                    const auto j =
+                        static_cast<size_t>(rec.i64(0,
+                                                    static_cast<int>(i)));
+                    if (co.acc[j] == 0.0)
+                        co.touched.push_back(static_cast<Index>(j));
+                    co.acc[j] +=
+                        co.aVal * rec.f64(1, static_cast<int>(i));
+                    ops.push_back(MicroOp::load(
+                        addrOf(co.acc.data(), static_cast<Index>(j)),
+                        8));
+                    ops.push_back(MicroOp::store(
+                        addrOf(co.acc.data(), static_cast<Index>(j)),
+                        8));
+                }
+                ops.push_back(MicroOp::flop(
+                    static_cast<std::uint16_t>(2 * n)));
+            });
+            src.setHandler(kCbFlush, [&co](const OutqRecord &,
+                                           std::vector<MicroOp> &ops) {
+                std::sort(co.touched.begin(), co.touched.end());
+                const auto tn = static_cast<double>(co.touched.size());
+                const auto cmps = static_cast<Index>(
+                    tn > 1.0 ? tn * std::log2(tn) : 0.0);
+                for (Index i = 0; i < cmps; ++i)
+                    ops.push_back(MicroOp::iop());
+                for (const Index j : co.touched) {
+                    co.idxs.push_back(j);
+                    co.vals.push_back(co.acc[static_cast<size_t>(j)]);
+                    co.acc[static_cast<size_t>(j)] = 0.0;
+                    ops.push_back(MicroOp::load(
+                        addrOf(co.acc.data(), j), 8));
+                    ops.push_back(MicroOp::store(
+                        addrOf(co.vals.data(),
+                               static_cast<Index>(co.vals.size() - 1)),
+                        8));
+                }
+                co.rowNnz.push_back(
+                    static_cast<Index>(co.touched.size()));
+                co.touched.clear();
+            });
+        }
+    }
+
+    RunResult res = h.finish();
+
+    // Stitch the row partitions together and compare against the
+    // reference product.
+    res.verified = true;
+    for (int c = 0; c < cores && res.verified; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const CoreOut &co = out[static_cast<size_t>(c)];
+        if (co.rowNnz.size() != static_cast<size_t>(end - beg)) {
+            res.verified = false;
+            break;
+        }
+        size_t q = 0;
+        for (Index i = beg; i < end && res.verified; ++i) {
+            if (co.rowNnz[static_cast<size_t>(i - beg)] !=
+                ref_.rowNnz(i)) {
+                res.verified = false;
+                break;
+            }
+            for (Index p = ref_.rowBegin(i); p < ref_.rowEnd(i);
+                 ++p, ++q) {
+                if (co.idxs[q] !=
+                        ref_.idxs()[static_cast<size_t>(p)] ||
+                    std::abs(co.vals[q] -
+                             ref_.vals()[static_cast<size_t>(p)]) >
+                        1e-9) {
+                    res.verified = false;
+                    break;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+void
+TricountWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    // Build a symmetric graph from the suite matrix's pattern, then
+    // keep the strict lower triangle.
+    tensor::CsrMatrix a =
+        tensor::matrixInput(inputId).generate(scaleDiv * 4);
+    tensor::CooTensor coo = tensor::csrToCoo(a);
+    tensor::CooTensor sym({a.rows(), a.rows()});
+    for (Index p = 0; p < coo.nnz(); ++p) {
+        const Index i = coo.idx(0, p);
+        const Index j = coo.idx(1, p) % a.rows();
+        if (i == j)
+            continue;
+        sym.push2(i, j, 1.0);
+        sym.push2(j, i, 1.0);
+    }
+    sym.sortAndCombine();
+    for (auto &v : sym.vals())
+        v = 1.0;
+    l_ = tensor::lowerTriangle(tensor::cooToCsr(sym));
+    ref_ = kernels::tricountRef(l_);
+}
+
+RunResult
+TricountWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(l_.rows() > 0, "prepare() was not called");
+    RunHarness h(cfg);
+    const int cores = h.cores();
+    std::vector<std::uint64_t> counts(static_cast<size_t>(cores), 0);
+
+    if (cfg.mode == Mode::Baseline) {
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(l_.rows(), cores, c);
+            h.addBaselineTrace(
+                c, kernels::traceTricount(
+                       l_, counts[static_cast<size_t>(c)], beg, end,
+                       h.simd()));
+        }
+    } else {
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(l_.rows(), cores, c);
+            auto &src =
+                h.addTmuProgram(c, buildTricount(l_, beg, end));
+            auto &count = counts[static_cast<size_t>(c)];
+            src.setHandler(kCbHit, [&count](const OutqRecord &,
+                                            std::vector<MicroOp> &ops) {
+                ++count;
+                ops.push_back(MicroOp::iop());
+            });
+        }
+    }
+
+    RunResult res = h.finish();
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    res.verified = total == ref_;
+    return res;
+}
+
+} // namespace tmu::workloads

@@ -1,0 +1,148 @@
+#include "wl_spmv.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/spmv.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/suite.hpp"
+#include "tmu/outq.hpp"
+#include "workloads/programs.hpp"
+
+namespace tmu::workloads {
+
+using engine::OutqRecord;
+using sim::MicroOp;
+using tensor::DenseVector;
+
+namespace {
+
+/** Shared SpMV-shaped run: x = A * contrib, optional weight update. */
+RunResult
+runSpmvShaped(const RunConfig &cfg, const tensor::CsrMatrix &a,
+              const DenseVector &b, const DenseVector &ref,
+              bool pagerankUpdate, double damping)
+{
+    RunHarness h(cfg);
+    const int cores = h.cores();
+    DenseVector x(a.rows());
+    const double base =
+        (1.0 - damping) / static_cast<double>(a.rows());
+
+    // Per-core row-iteration state for the TMU callbacks.
+    struct CoreState
+    {
+        Index row = 0;
+        Value sum = 0.0;
+    };
+    std::vector<CoreState> state(static_cast<size_t>(cores));
+
+    if (cfg.mode == Mode::Baseline) {
+        h.system().mem().registerIndexRegion(
+            reinterpret_cast<Addr>(a.idxs().data()),
+            a.idxs().size() * sizeof(Index));
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(a.rows(), cores, c);
+            if (pagerankUpdate) {
+                h.addBaselineTrace(
+                    c, kernels::tracePagerankIter(a, b, x, damping, beg,
+                                                  end, h.simd()));
+            } else {
+                h.addBaselineTrace(c, kernels::traceSpmv(a, b, x, beg,
+                                                         end, h.simd()));
+            }
+        }
+    } else {
+        for (int c = 0; c < cores; ++c) {
+            const auto [beg, end] = partition(a.rows(), cores, c);
+            auto &src = h.addTmuProgram(
+                c, buildSpmvP1(a, b, cfg.programLanes, beg, end));
+            CoreState &st = state[static_cast<size_t>(c)];
+            st.row = beg;
+            src.setHandler(kCbRi, [&st](const OutqRecord &rec,
+                                        std::vector<MicroOp> &ops) {
+                for (size_t i = 0; i < rec.operands[0].size(); ++i)
+                    st.sum += rec.f64(0, static_cast<int>(i)) *
+                              rec.f64(1, static_cast<int>(i));
+                ops.push_back(MicroOp::flop(static_cast<std::uint16_t>(
+                    2 * rec.operands[0].size())));
+            });
+            src.setHandler(
+                kCbRe, [&st, &x, pagerankUpdate, damping, base](
+                           const OutqRecord &,
+                           std::vector<MicroOp> &ops) {
+                    Value v = st.sum;
+                    if (pagerankUpdate) {
+                        v = base + damping * v;
+                        ops.push_back(MicroOp::flop(2));
+                    }
+                    x[st.row] = v;
+                    ops.push_back(MicroOp::store(
+                        sim::addrOf(x.data(), st.row), 8));
+                    ++st.row;
+                    st.sum = 0.0;
+                });
+        }
+    }
+
+    RunResult res = h.finish();
+    res.verified = true;
+    for (Index i = 0; i < a.rows(); ++i) {
+        if (std::abs(x[i] - ref[i]) > 1e-9 * (1.0 + std::abs(ref[i]))) {
+            res.verified = false;
+            break;
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+void
+SpmvWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    a_ = tensor::matrixInput(inputId).generate(scaleDiv);
+    b_ = DenseVector(a_.cols());
+    Rng rng(17);
+    for (Index i = 0; i < b_.size(); ++i)
+        b_[i] = rng.nextValue(0.1, 1.0);
+    ref_ = kernels::spmvRef(a_, b_);
+}
+
+RunResult
+SpmvWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
+    return runSpmvShaped(cfg, a_, b_, ref_, false, 0.0);
+}
+
+void
+PagerankWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    a_ = tensor::matrixInput(inputId).generate(scaleDiv);
+    const Index n = a_.rows();
+
+    // One Jacobi iteration from the uniform start vector.
+    const tensor::CsrMatrix at = tensor::transposeCsr(a_);
+    contrib_ = DenseVector(n);
+    for (Index j = 0; j < n; ++j) {
+        const auto outdeg =
+            static_cast<Value>(std::max<Index>(1, at.rowNnz(j)));
+        contrib_[j] = (1.0 / static_cast<double>(n)) / outdeg;
+    }
+    kernels::PageRankConfig prc;
+    prc.iterations = 1;
+    prc.damping = damping_;
+    ref_ = kernels::pagerankRef(a_, prc);
+}
+
+RunResult
+PagerankWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
+    return runSpmvShaped(cfg, a_, contrib_, ref_, true, damping_);
+}
+
+} // namespace tmu::workloads

@@ -1,0 +1,56 @@
+#include "workload.hpp"
+
+#include "common/log.hpp"
+#include "tmu/outq.hpp"
+
+namespace tmu::workloads {
+
+RunHarness::RunHarness(const RunConfig &cfg)
+    : cfg_(cfg), system_(std::make_unique<sim::System>(cfg.system))
+{
+}
+
+void
+RunHarness::addBaselineTrace(int c, sim::Trace trace)
+{
+    TMU_ASSERT(cfg_.mode == Mode::Baseline);
+    traces_.push_back(
+        std::make_unique<sim::CoroutineSource>(std::move(trace)));
+    system_->attachSource(c, traces_.back().get());
+}
+
+engine::OutqSource &
+RunHarness::addTmuProgram(int c, const engine::TmuProgram &prog)
+{
+    TMU_ASSERT(cfg_.mode == Mode::Tmu);
+    engines_.push_back(std::make_unique<engine::TmuEngine>(
+        c, cfg_.tmu, system_->mem(), prog));
+    system_->addDevice(engines_.back().get());
+    outqs_.push_back(
+        std::make_unique<engine::OutqSource>(*engines_.back()));
+    system_->attachSource(c, outqs_.back().get());
+    return *outqs_.back();
+}
+
+RunResult
+RunHarness::finish()
+{
+    RunResult res;
+    res.sim = system_->run();
+    double rwSum = 0.0;
+    int rwCount = 0;
+    for (const auto &engine : engines_) {
+        const engine::EngineStats &s = engine->stats();
+        res.tmuRequests += s.requestsIssued;
+        res.tmuElements += s.elementsPushed;
+        if (s.rwChunks > 0) {
+            rwSum += s.readToWriteRatio();
+            ++rwCount;
+        }
+    }
+    if (rwCount > 0)
+        res.rwRatio = rwSum / rwCount;
+    return res;
+}
+
+} // namespace tmu::workloads

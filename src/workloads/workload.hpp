@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Workload abstraction: one evaluated kernel/application bound to both
+ * execution paths of the study —
+ *   Baseline: SVE-style traced software on the simulated cores;
+ *   Tmu:      per-core TMU engines marshaling into the cores.
+ * Every run checks its outputs against the reference kernel, so each
+ * data point in the benches is a verified computation.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/system.hpp"
+#include "tmu/engine.hpp"
+#include "tmu/outq.hpp"
+
+namespace tmu::workloads {
+
+/** Execution path selector. */
+enum class Mode {
+    Baseline, //!< traced software kernels on the cores
+    Tmu,      //!< per-core TMU engines + callback compute
+};
+
+/** One simulation run's knobs. */
+struct RunConfig
+{
+    sim::SystemConfig system = sim::SystemConfig::neoverseN1();
+    engine::EngineConfig tmu; //!< engine knobs (Tmu mode)
+    Mode mode = Mode::Baseline;
+    /**
+     * Lanes the TMU *programs* parallelize over. Tied to the SVE width
+     * (simdBits/64) in the default evaluation; set to 1 for the
+     * Fig. 15 Single-Lane comparator.
+     */
+    int programLanes = 8;
+};
+
+/** One run's outcome. */
+struct RunResult
+{
+    sim::SimResult sim;
+    bool verified = false;   //!< outputs matched the reference kernel
+    double rwRatio = 0.0;    //!< avg outQ read-to-write ratio (Tmu)
+    std::uint64_t tmuRequests = 0;
+    std::uint64_t tmuElements = 0;
+};
+
+/** Base class: prepare inputs once, run either path many times. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name, e.g. "SpMV". */
+    virtual std::string name() const = 0;
+
+    /** Workload class for the Fig. 10 grouping. */
+    enum class Class { MemoryIntensive, ComputeIntensive,
+                       MergeIntensive };
+    virtual Class workloadClass() const = 0;
+
+    /**
+     * Generate inputs for @p inputId ("M1".."M6" / "T1".."T4") at
+     * 1/scaleDiv of the published size and compute the reference
+     * outputs used for verification.
+     */
+    virtual void prepare(const std::string &inputId, Index scaleDiv) = 0;
+
+    /** Execute one simulation run. */
+    virtual RunResult run(const RunConfig &cfg) = 0;
+
+    /** Valid input ids for this workload. */
+    virtual std::vector<std::string> inputs() const = 0;
+};
+
+/** [begin, end) slice of @p total handed to core @p c of @p cores. */
+inline std::pair<Index, Index>
+partition(Index total, int cores, int c)
+{
+    const Index chunk = (total + cores - 1) / cores;
+    const Index beg = std::min<Index>(total, chunk * c);
+    const Index end = std::min<Index>(total, beg + chunk);
+    return {beg, end};
+}
+
+/**
+ * Shared run plumbing: owns the per-core sources/engines for one
+ * simulation and produces the RunResult scaffold.
+ */
+class RunHarness
+{
+  public:
+    explicit RunHarness(const RunConfig &cfg);
+
+    sim::System &system() { return *system_; }
+    int cores() const { return cfg_.system.cores; }
+    const RunConfig &config() const { return cfg_; }
+    sim::SimdConfig simd() const
+    {
+        return sim::SimdConfig{cfg_.system.simdBits};
+    }
+
+    /** Attach a baseline trace to core @p c. */
+    void addBaselineTrace(int c, sim::Trace trace);
+
+    /** Attach a TMU program + outQ source to core @p c. */
+    engine::OutqSource &addTmuProgram(int c,
+                                      const engine::TmuProgram &prog);
+
+    /** Run to completion and collect engine-side stats. */
+    RunResult finish();
+
+  private:
+    RunConfig cfg_;
+    std::unique_ptr<sim::System> system_;
+    std::vector<std::unique_ptr<sim::CoroutineSource>> traces_;
+    std::vector<std::unique_ptr<engine::TmuEngine>> engines_;
+    std::vector<std::unique_ptr<engine::OutqSource>> outqs_;
+};
+
+} // namespace tmu::workloads

@@ -1,0 +1,635 @@
+/**
+ * @file
+ * Unit and property tests for src/tensor: formats, converters, merge
+ * iterators, generators, the surrogate input suite, and MatrixMarket IO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/generate.hpp"
+#include "tensor/levels.hpp"
+#include "tensor/merge.hpp"
+#include "tensor/mmio.hpp"
+#include "tensor/suite.hpp"
+
+namespace tmu::tensor {
+namespace {
+
+/** The paper's Fig. 1 example matrix (4x4, 5 nnz). */
+CooTensor
+fig1Coo()
+{
+    CooTensor coo({4, 4});
+    coo.push2(0, 0, 1.0);
+    coo.push2(0, 2, 2.0);
+    coo.push2(1, 1, 3.0);
+    coo.push2(3, 0, 4.0);
+    coo.push2(3, 3, 5.0);
+    coo.sortAndCombine();
+    return coo;
+}
+
+/** Random canonical order-2 COO for property tests. */
+CooTensor
+randomCoo2(Index rows, Index cols, Index entries, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CooTensor coo({rows, cols});
+    for (Index e = 0; e < entries; ++e) {
+        coo.push2(rng.nextIndex(0, rows), rng.nextIndex(0, cols),
+                  rng.nextValue(-1.0, 1.0));
+    }
+    coo.sortAndCombine();
+    return coo;
+}
+
+TEST(Levels, FormatNames)
+{
+    EXPECT_EQ(FormatDesc::csr().name(), "dense,compressed");
+    EXPECT_EQ(FormatDesc::dcsr().name(), "compressed,compressed");
+    EXPECT_EQ(FormatDesc::coo(3).name(), "singleton,singleton,singleton");
+    EXPECT_EQ(FormatDesc::csf(3).order(), 3);
+    EXPECT_EQ(FormatDesc::csf(3).level(1), LevelKind::Compressed);
+}
+
+TEST(Coo, SortAndCombineSumsDuplicates)
+{
+    CooTensor coo({4, 4});
+    coo.push2(2, 1, 1.0);
+    coo.push2(0, 3, 2.0);
+    coo.push2(2, 1, 3.0);
+    coo.sortAndCombine();
+    EXPECT_EQ(coo.nnz(), 2);
+    EXPECT_TRUE(coo.isCanonical());
+    EXPECT_EQ(coo.idx(0, 0), 0);
+    EXPECT_EQ(coo.idx(1, 0), 3);
+    EXPECT_DOUBLE_EQ(coo.val(0), 2.0);
+    EXPECT_DOUBLE_EQ(coo.val(1), 4.0);
+}
+
+TEST(Coo, IsCanonicalDetectsDisorder)
+{
+    CooTensor coo({4, 4});
+    coo.push2(3, 0, 1.0);
+    coo.push2(0, 0, 1.0);
+    EXPECT_FALSE(coo.isCanonical());
+    coo.sortAndCombine();
+    EXPECT_TRUE(coo.isCanonical());
+}
+
+TEST(Csr, Fig1Structure)
+{
+    const CsrMatrix a = cooToCsr(fig1Coo());
+    // Paper Fig. 1b: row_ptrs = [0 2 3 3 5].
+    EXPECT_EQ(a.ptrs(), (std::vector<Index>{0, 2, 3, 3, 5}));
+    EXPECT_EQ(a.idxs(), (std::vector<Index>{0, 2, 1, 0, 3}));
+    EXPECT_EQ(a.nnz(), 5);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.countNonemptyRows(), 3);
+    EXPECT_DOUBLE_EQ(a.at(0, 2), 2.0);
+    EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
+}
+
+TEST(Csr, RowViews)
+{
+    const CsrMatrix a = cooToCsr(fig1Coo());
+    const FiberView r0 = a.row(0);
+    EXPECT_EQ(r0.size(), 2);
+    EXPECT_EQ(r0.idxs[0], 0);
+    EXPECT_EQ(r0.idxs[1], 2);
+    EXPECT_TRUE(a.row(2).empty());
+}
+
+TEST(Dcsr, Fig1Structure)
+{
+    const DcsrMatrix d = csrToDcsr(cooToCsr(fig1Coo()));
+    // Paper Fig. 1c: row_idxs = [0 1 3], row_ptrs = [0 2 3 5].
+    EXPECT_EQ(d.rowIdxs(), (std::vector<Index>{0, 1, 3}));
+    EXPECT_EQ(d.rowPtrs(), (std::vector<Index>{0, 2, 3, 5}));
+    EXPECT_EQ(d.numStoredRows(), 3);
+    EXPECT_TRUE(d.valid());
+}
+
+TEST(Dcsr, RoundTrip)
+{
+    const CsrMatrix a = cooToCsr(randomCoo2(50, 40, 120, 7));
+    const CsrMatrix back = dcsrToCsr(csrToDcsr(a));
+    EXPECT_EQ(back.ptrs(), a.ptrs());
+    EXPECT_EQ(back.idxs(), a.idxs());
+    EXPECT_EQ(back.vals(), a.vals());
+}
+
+TEST(Csf, RoundTripOrder3)
+{
+    Rng rng(3);
+    CooTensor coo({10, 8, 6});
+    for (int e = 0; e < 60; ++e) {
+        coo.push3(rng.nextIndex(0, 10), rng.nextIndex(0, 8),
+                  rng.nextIndex(0, 6), rng.nextValue(0.0, 1.0));
+    }
+    coo.sortAndCombine();
+    const CsfTensor csf = cooToCsf(coo);
+    EXPECT_TRUE(csf.valid());
+    EXPECT_EQ(csf.nnz(), coo.nnz());
+    const CooTensor back = csfToCoo(csf);
+    EXPECT_EQ(back.nnz(), coo.nnz());
+    for (Index p = 0; p < coo.nnz(); ++p) {
+        for (int m = 0; m < 3; ++m)
+            EXPECT_EQ(back.idx(m, p), coo.idx(m, p));
+        EXPECT_DOUBLE_EQ(back.val(p), coo.val(p));
+    }
+}
+
+TEST(Csf, CompressesSharedPrefixes)
+{
+    CooTensor coo({4, 4, 4});
+    coo.push3(1, 2, 0, 1.0);
+    coo.push3(1, 2, 3, 2.0);
+    coo.push3(1, 3, 1, 3.0);
+    coo.sortAndCombine();
+    const CsfTensor csf = cooToCsf(coo);
+    EXPECT_EQ(csf.numNodes(0), 1); // root "1" shared
+    EXPECT_EQ(csf.numNodes(1), 2); // fibers 2 and 3
+    EXPECT_EQ(csf.numNodes(2), 3); // three leaves
+    EXPECT_EQ(csf.childBegin(0, 0), 0);
+    EXPECT_EQ(csf.childEnd(0, 0), 2);
+}
+
+TEST(Convert, CsrCooRoundTrip)
+{
+    const CooTensor coo = randomCoo2(30, 30, 100, 11);
+    const CooTensor back = csrToCoo(cooToCsr(coo));
+    ASSERT_EQ(back.nnz(), coo.nnz());
+    for (Index p = 0; p < coo.nnz(); ++p) {
+        EXPECT_EQ(back.idx(0, p), coo.idx(0, p));
+        EXPECT_EQ(back.idx(1, p), coo.idx(1, p));
+        EXPECT_DOUBLE_EQ(back.val(p), coo.val(p));
+    }
+}
+
+TEST(Convert, TransposeTwiceIsIdentity)
+{
+    const CsrMatrix a = cooToCsr(randomCoo2(20, 35, 90, 13));
+    const CsrMatrix att = transposeCsr(transposeCsr(a));
+    EXPECT_EQ(att.rows(), a.rows());
+    EXPECT_EQ(att.cols(), a.cols());
+    EXPECT_EQ(att.ptrs(), a.ptrs());
+    EXPECT_EQ(att.idxs(), a.idxs());
+    EXPECT_EQ(att.vals(), a.vals());
+}
+
+TEST(Convert, TransposeMatchesDense)
+{
+    const CsrMatrix a = cooToCsr(randomCoo2(9, 12, 40, 17));
+    const CsrMatrix t = transposeCsr(a);
+    const DenseMatrix da = csrToDense(a);
+    const DenseMatrix dt = csrToDense(t);
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c)
+            EXPECT_DOUBLE_EQ(dt(c, r), da(r, c));
+    }
+}
+
+TEST(Convert, DenseRoundTrip)
+{
+    const CsrMatrix a = cooToCsr(randomCoo2(8, 8, 20, 19));
+    const CsrMatrix back = denseToCsr(csrToDense(a));
+    EXPECT_EQ(back.idxs(), a.idxs());
+    EXPECT_EQ(back.vals(), a.vals());
+}
+
+// --- Merge iterators ----------------------------------------------------
+
+/** Build a FiberView over persistent arrays. */
+struct OwnedFiber
+{
+    std::vector<Index> idxs;
+    std::vector<Value> vals;
+
+    FiberView view() const { return {idxs, vals}; }
+};
+
+TEST(Merge, DisjunctivePaperExample)
+{
+    // Paper Fig. 2: A = {0:a, 2:b, 3:c}, B = {0:d, 1:e, 3:f}
+    // (coordinates chosen to produce masks 11, 01, 10, 11).
+    const OwnedFiber a{{0, 2, 3}, {1.0, 2.0, 3.0}};
+    const OwnedFiber b{{0, 1, 3}, {10.0, 20.0, 30.0}};
+    std::vector<Index> coords;
+    std::vector<std::uint64_t> masks;
+    std::vector<Value> sums;
+    disjunctiveMerge2(a.view(), b.view(),
+        [&](Index c, LaneMask m, auto vals) {
+            coords.push_back(c);
+            masks.push_back(m.bits());
+            Value s = 0.0;
+            for (unsigned f = 0; f < 2; ++f) {
+                if (m.test(f))
+                    s += vals(f);
+            }
+            sums.push_back(s);
+        });
+    EXPECT_EQ(coords, (std::vector<Index>{0, 1, 2, 3}));
+    EXPECT_EQ(masks, (std::vector<std::uint64_t>{0b11, 0b10, 0b01, 0b11}));
+    EXPECT_EQ(sums, (std::vector<Value>{11.0, 20.0, 2.0, 33.0}));
+}
+
+TEST(Merge, ConjunctivePaperExample)
+{
+    const OwnedFiber a{{0, 2, 3}, {1.0, 2.0, 3.0}};
+    const OwnedFiber b{{0, 1, 3}, {10.0, 20.0, 30.0}};
+    std::vector<Index> coords;
+    std::vector<Value> prods;
+    conjunctiveMerge2(a.view(), b.view(), [&](Index c, auto vals) {
+        coords.push_back(c);
+        prods.push_back(vals(0) * vals(1));
+    });
+    EXPECT_EQ(coords, (std::vector<Index>{0, 3}));
+    EXPECT_EQ(prods, (std::vector<Value>{10.0, 90.0}));
+}
+
+TEST(Merge, EmptyFibers)
+{
+    const OwnedFiber a{{}, {}};
+    const OwnedFiber b{{1, 2}, {1.0, 2.0}};
+    int disjCount = 0, conjCount = 0;
+    disjunctiveMerge2(a.view(), b.view(),
+                      [&](Index, LaneMask, auto) { ++disjCount; });
+    conjunctiveMerge2(a.view(), b.view(),
+                      [&](Index, auto) { ++conjCount; });
+    EXPECT_EQ(disjCount, 2);
+    EXPECT_EQ(conjCount, 0);
+}
+
+/** Property: k-way merges match set union/intersection semantics. */
+class MergeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MergeProperty, MatchesSetSemantics)
+{
+    const int k = GetParam();
+    Rng rng(static_cast<std::uint64_t>(100 + k));
+    std::vector<OwnedFiber> owned(static_cast<size_t>(k));
+    std::map<Index, Value> unionSum;
+    std::map<Index, int> presence;
+    for (auto &f : owned) {
+        std::set<Index> used;
+        const Index len = rng.nextIndex(0, 20);
+        for (Index i = 0; i < len; ++i)
+            used.insert(rng.nextIndex(0, 30));
+        for (Index c : used) {
+            const Value v = rng.nextValue(0.1, 1.0);
+            f.idxs.push_back(c);
+            f.vals.push_back(v);
+            unionSum[c] += v;
+            ++presence[c];
+        }
+    }
+    std::vector<FiberView> views;
+    for (const auto &f : owned)
+        views.push_back(f.view());
+
+    std::map<Index, Value> gotUnion;
+    disjunctiveMerge(std::span<const FiberView>(views),
+        [&](Index c, LaneMask m, auto vals) {
+            Value s = 0.0;
+            for (unsigned f = 0; f < static_cast<unsigned>(k); ++f) {
+                if (m.test(f))
+                    s += vals(f);
+            }
+            ASSERT_EQ(gotUnion.count(c), 0u) << "duplicate coordinate";
+            gotUnion[c] = s;
+        });
+    ASSERT_EQ(gotUnion.size(), unionSum.size());
+    for (const auto &[c, v] : unionSum)
+        EXPECT_NEAR(gotUnion.at(c), v, 1e-12);
+
+    std::set<Index> gotInter;
+    conjunctiveMerge(std::span<const FiberView>(views),
+        [&](Index c, auto) { gotInter.insert(c); });
+    std::set<Index> wantInter;
+    for (const auto &[c, n] : presence) {
+        if (n == k)
+            wantInter.insert(c);
+    }
+    EXPECT_EQ(gotInter, wantInter);
+}
+
+INSTANTIATE_TEST_SUITE_P(KWays, MergeProperty,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+// --- Generators ----------------------------------------------------------
+
+TEST(Generate, RandomCsrRespectsShape)
+{
+    CsrGenConfig cfg;
+    cfg.rows = 500;
+    cfg.cols = 500;
+    cfg.nnzPerRow = 8;
+    cfg.seed = 5;
+    const CsrMatrix a = randomCsr(cfg);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.rows(), 500);
+    EXPECT_NEAR(a.nnzPerRow(), 8.0, 4.0);
+}
+
+TEST(Generate, RandomCsrDeterministic)
+{
+    CsrGenConfig cfg;
+    cfg.rows = 100;
+    cfg.cols = 100;
+    cfg.nnzPerRow = 4;
+    cfg.seed = 9;
+    const CsrMatrix a = randomCsr(cfg);
+    const CsrMatrix b = randomCsr(cfg);
+    EXPECT_EQ(a.idxs(), b.idxs());
+    EXPECT_EQ(a.vals(), b.vals());
+}
+
+TEST(Generate, BandedStaysInBand)
+{
+    CsrGenConfig cfg;
+    cfg.rows = 300;
+    cfg.cols = 300;
+    cfg.nnzPerRow = 6;
+    cfg.colPattern = ColPattern::Banded;
+    cfg.bandwidth = 10;
+    const CsrMatrix a = randomCsr(cfg);
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index p = a.rowBegin(r); p < a.rowEnd(r); ++p) {
+            const Index c = a.idxs()[static_cast<size_t>(p)];
+            EXPECT_GE(c, r - 10);
+            EXPECT_LE(c, r + 10);
+        }
+    }
+}
+
+TEST(Generate, ZipfRowsAreSkewed)
+{
+    CsrGenConfig cfg;
+    cfg.rows = 2000;
+    cfg.cols = 2000;
+    cfg.nnzPerRow = 5;
+    cfg.rowDist = RowDist::Zipf;
+    const CsrMatrix a = randomCsr(cfg);
+    Index maxRow = 0;
+    for (Index r = 0; r < a.rows(); ++r)
+        maxRow = std::max(maxRow, a.rowNnz(r));
+    // Power-law: the max row should far exceed the mean.
+    EXPECT_GT(static_cast<double>(maxRow), 4.0 * a.nnzPerRow());
+}
+
+TEST(Generate, FixedNnzCsrShape)
+{
+    const CsrMatrix a = fixedNnzCsr(100, 8);
+    EXPECT_EQ(a.nnz(), 800);
+    for (Index r = 0; r < a.rows(); ++r) {
+        ASSERT_EQ(a.rowNnz(r), 8);
+        for (Index k = 0; k < 8; ++k)
+            EXPECT_EQ(a.idxs()[static_cast<size_t>(a.rowBegin(r) + k)], k);
+    }
+}
+
+TEST(Generate, RmatIsSymmetricNoSelfLoops)
+{
+    const CsrMatrix g = rmatGraph(8, 4, 21);
+    EXPECT_TRUE(g.valid());
+    const CsrMatrix t = transposeCsr(g);
+    EXPECT_EQ(t.idxs(), g.idxs());
+    EXPECT_EQ(t.ptrs(), g.ptrs());
+    for (Index r = 0; r < g.rows(); ++r)
+        EXPECT_DOUBLE_EQ(g.at(r, r), 0.0);
+}
+
+TEST(Generate, RandomCooTensorHitsTargets)
+{
+    const CooTensor t = randomCooTensor({100, 50, 30}, 2000, 1.3, 31);
+    EXPECT_TRUE(t.isCanonical());
+    EXPECT_GE(t.nnz(), 1800);
+    EXPECT_LE(t.nnz(), 2200);
+    for (Index p = 0; p < t.nnz(); ++p) {
+        EXPECT_LT(t.idx(0, p), 100);
+        EXPECT_LT(t.idx(1, p), 50);
+        EXPECT_LT(t.idx(2, p), 30);
+    }
+}
+
+TEST(Generate, SplitCyclicPreservesEntries)
+{
+    const CsrMatrix a = cooToCsr(randomCoo2(40, 25, 200, 37));
+    const int k = 4;
+    const auto parts = splitCyclic(a, k);
+    ASSERT_EQ(parts.size(), 4u);
+    Index total = 0;
+    for (const auto &d : parts) {
+        EXPECT_TRUE(d.valid());
+        EXPECT_EQ(d.rows(), 10);
+        total += d.nnz();
+    }
+    EXPECT_EQ(total, a.nnz());
+    // Row i of part x must equal row i*k + x of A.
+    for (int x = 0; x < k; ++x) {
+        const auto &d = parts[static_cast<size_t>(x)];
+        for (Index s = 0; s < d.numStoredRows(); ++s) {
+            const Index origRow = d.storedRowCoord(s) * k + x;
+            const FiberView got = d.storedRow(s);
+            const FiberView want = a.row(origRow);
+            ASSERT_EQ(got.size(), want.size());
+            for (Index i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got.idxs[static_cast<size_t>(i)],
+                          want.idxs[static_cast<size_t>(i)]);
+            }
+        }
+    }
+}
+
+TEST(Generate, LowerTriangleIsStrict)
+{
+    const CsrMatrix g = rmatGraph(7, 4, 23);
+    const CsrMatrix l = lowerTriangle(g);
+    for (Index r = 0; r < l.rows(); ++r) {
+        for (Index p = l.rowBegin(r); p < l.rowEnd(r); ++p)
+            EXPECT_LT(l.idxs()[static_cast<size_t>(p)], r);
+    }
+    // Each undirected edge appears exactly once.
+    EXPECT_EQ(l.nnz() * 2, g.nnz());
+}
+
+// --- Suite ----------------------------------------------------------------
+
+TEST(Suite, HasAllTable6Entries)
+{
+    EXPECT_EQ(matrixSuite().size(), 6u);
+    EXPECT_EQ(tensorSuite().size(), 4u);
+    EXPECT_EQ(matrixInput("M4").name, "gb_osm");
+    EXPECT_EQ(tensorInput("T2").name, "LBNL-network");
+}
+
+class SuiteMatrixProperty
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteMatrixProperty, SurrogateMatchesPublishedShape)
+{
+    const MatrixInput &in = matrixInput(GetParam());
+    const Index scaleDiv = 256;
+    const CsrMatrix a = in.generate(scaleDiv);
+    EXPECT_TRUE(a.valid());
+    EXPECT_NEAR(static_cast<double>(a.rows()),
+                static_cast<double>(in.paperRows / scaleDiv),
+                static_cast<double>(in.paperRows / scaleDiv) * 0.05 + 65);
+    // nnz/row within 2x of published mean (skewed dists have variance).
+    EXPECT_GT(a.nnzPerRow(), in.paperNnzPerRow * 0.4);
+    EXPECT_LT(a.nnzPerRow(), in.paperNnzPerRow * 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, SuiteMatrixProperty,
+                         ::testing::Values("M1", "M2", "M3", "M4", "M5",
+                                           "M6"));
+
+class SuiteTensorProperty
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteTensorProperty, SurrogateIsCanonical)
+{
+    const TensorInput &in = tensorInput(GetParam());
+    const CooTensor t = in.generate(512);
+    EXPECT_TRUE(t.isCanonical());
+    EXPECT_GT(t.nnz(), 0);
+    EXPECT_EQ(t.order(), static_cast<int>(in.paperDims.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTensors, SuiteTensorProperty,
+                         ::testing::Values("T1", "T2", "T3", "T4"));
+
+// --- MatrixMarket IO -------------------------------------------------------
+
+TEST(Mmio, RoundTrip)
+{
+    const CsrMatrix a = cooToCsr(randomCoo2(15, 20, 60, 41));
+    std::stringstream ss;
+    writeMatrixMarket(ss, a);
+    const CsrMatrix b = cooToCsr(readMatrixMarket(ss));
+    EXPECT_EQ(b.rows(), a.rows());
+    EXPECT_EQ(b.cols(), a.cols());
+    EXPECT_EQ(b.ptrs(), a.ptrs());
+    EXPECT_EQ(b.idxs(), a.idxs());
+    for (size_t i = 0; i < a.vals().size(); ++i)
+        EXPECT_NEAR(b.vals()[i], a.vals()[i], 1e-6);
+}
+
+TEST(Mmio, TnsRoundTrip)
+{
+    const CooTensor t = randomCooTensor({12, 9, 7}, 120, 0.0, 71);
+    std::stringstream ss;
+    writeTns(ss, t);
+    const CooTensor back = readTns(ss);
+    ASSERT_EQ(back.nnz(), t.nnz());
+    ASSERT_EQ(back.order(), 3);
+    for (Index p = 0; p < t.nnz(); ++p) {
+        for (int m = 0; m < 3; ++m)
+            EXPECT_EQ(back.idx(m, p), t.idx(m, p));
+        EXPECT_NEAR(back.val(p), t.val(p), 1e-6);
+    }
+}
+
+TEST(Mmio, TnsSkipsCommentsAndInfersDims)
+{
+    std::stringstream ss;
+    ss << "# FROSTT-style comment\n"
+       << "1 1 1 2.5\n"
+       << "\n"
+       << "3 2 4 -1.0\n";
+    const CooTensor t = readTns(ss);
+    EXPECT_EQ(t.order(), 3);
+    EXPECT_EQ(t.dims(), (std::vector<Index>{3, 2, 4}));
+    EXPECT_EQ(t.nnz(), 2);
+    EXPECT_DOUBLE_EQ(t.val(0), 2.5);
+}
+
+// --- Algebraic properties ----------------------------------------------------
+
+TEST(Algebra, SpaddIsCommutative)
+{
+    const CsrMatrix a = cooToCsr(randomCoo2(25, 20, 120, 81));
+    const CsrMatrix b = cooToCsr(randomCoo2(25, 20, 120, 82));
+    // Verified through the merge iterators rather than kernels to keep
+    // this module self-contained.
+    auto add = [](const CsrMatrix &x, const CsrMatrix &y) {
+        std::vector<Index> ptrs{0}, idxs;
+        std::vector<Value> vals;
+        for (Index r = 0; r < x.rows(); ++r) {
+            disjunctiveMerge2(x.row(r), y.row(r),
+                [&](Index c, LaneMask m, auto get) {
+                    Value v = 0.0;
+                    if (m.test(0))
+                        v += get(0);
+                    if (m.test(1))
+                        v += get(1);
+                    idxs.push_back(c);
+                    vals.push_back(v);
+                });
+            ptrs.push_back(static_cast<Index>(idxs.size()));
+        }
+        return CsrMatrix(x.rows(), x.cols(), ptrs, idxs, vals);
+    };
+    const CsrMatrix ab = add(a, b);
+    const CsrMatrix ba = add(b, a);
+    EXPECT_EQ(ab.idxs(), ba.idxs());
+    for (size_t i = 0; i < ab.vals().size(); ++i)
+        EXPECT_NEAR(ab.vals()[i], ba.vals()[i], 1e-12);
+}
+
+TEST(Algebra, TransposeDistributesOverSpmv)
+{
+    // (A^T x)_j computed directly equals x^T A by symmetry of the
+    // dense reference.
+    const CsrMatrix a = cooToCsr(randomCoo2(14, 18, 80, 83));
+    const CsrMatrix at = transposeCsr(a);
+    const DenseMatrix da = csrToDense(a);
+    Rng rng(84);
+    std::vector<Value> x(static_cast<size_t>(a.rows()));
+    for (auto &v : x)
+        v = rng.nextValue(-1.0, 1.0);
+    for (Index j = 0; j < at.rows(); ++j) {
+        Value got = 0.0;
+        for (Index p = at.rowBegin(j); p < at.rowEnd(j); ++p) {
+            got += at.vals()[static_cast<size_t>(p)] *
+                   x[static_cast<size_t>(
+                       at.idxs()[static_cast<size_t>(p)])];
+        }
+        Value want = 0.0;
+        for (Index i = 0; i < a.rows(); ++i)
+            want += da(i, j) * x[static_cast<size_t>(i)];
+        EXPECT_NEAR(got, want, 1e-12);
+    }
+}
+
+TEST(Mmio, ParsesSymmetricPattern)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+       << "% comment line\n"
+       << "3 3 2\n"
+       << "2 1\n"
+       << "3 3\n";
+    const CooTensor coo = readMatrixMarket(ss);
+    const CsrMatrix a = cooToCsr(coo);
+    EXPECT_EQ(a.nnz(), 3); // (1,0), (0,1) mirrored, (2,2) diagonal once
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(2, 2), 1.0);
+}
+
+} // namespace
+} // namespace tmu::tensor

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Negative-path coverage: the structural validators must reject every
+ * class of malformed input (formats, programs, generators), and the
+ * analytical models must behave at their boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/csf.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/dcsr.hpp"
+#include "tensor/generate.hpp"
+#include "tensor/suite.hpp"
+#include "tmu/area.hpp"
+#include "tmu/program.hpp"
+#include "tmu/sizing.hpp"
+
+namespace tmu {
+namespace {
+
+using tensor::CsfTensor;
+using tensor::CsrMatrix;
+using tensor::DcsrMatrix;
+
+// --- CSR invariants -----------------------------------------------------------
+
+TEST(Validation, CsrRejectsBadPtrLength)
+{
+    EXPECT_DEATH(CsrMatrix(3, 3, {0, 1, 1}, {0}, {1.0}), "malformed");
+}
+
+TEST(Validation, CsrRejectsDecreasingPtrs)
+{
+    EXPECT_DEATH(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+                 "malformed");
+}
+
+TEST(Validation, CsrRejectsUnsortedColumns)
+{
+    EXPECT_DEATH(CsrMatrix(1, 4, {0, 2}, {2, 1}, {1.0, 2.0}),
+                 "malformed");
+}
+
+TEST(Validation, CsrRejectsOutOfRangeColumn)
+{
+    EXPECT_DEATH(CsrMatrix(1, 2, {0, 1}, {5}, {1.0}), "malformed");
+}
+
+TEST(Validation, CsrRejectsDuplicateColumns)
+{
+    EXPECT_DEATH(CsrMatrix(1, 4, {0, 2}, {1, 1}, {1.0, 2.0}),
+                 "malformed");
+}
+
+// --- DCSR invariants ------------------------------------------------------------
+
+TEST(Validation, DcsrRejectsEmptyStoredRow)
+{
+    // Stored rows must be nonempty.
+    EXPECT_DEATH(DcsrMatrix(4, 4, {0, 2}, {0, 0, 1}, {1}, {1.0}),
+                 "malformed");
+}
+
+TEST(Validation, DcsrRejectsUnsortedRowCoords)
+{
+    EXPECT_DEATH(
+        DcsrMatrix(4, 4, {2, 0}, {0, 1, 2}, {1, 1}, {1.0, 2.0}),
+        "malformed");
+}
+
+// --- CSF invariants --------------------------------------------------------------
+
+TEST(Validation, CsfRejectsChildCountMismatch)
+{
+    // ptr[0] arrays must partition the next level exactly.
+    EXPECT_DEATH(CsfTensor({2, 2}, {{0}, {0, 1}}, {{0, 1}},
+                           {1.0, 2.0}),
+                 "malformed");
+}
+
+TEST(Validation, CsfRejectsUnsortedChildren)
+{
+    EXPECT_DEATH(CsfTensor({2, 3}, {{0}, {2, 1}}, {{0, 2}},
+                           {1.0, 2.0}),
+                 "malformed");
+}
+
+// --- Program invariants ------------------------------------------------------------
+
+TEST(Validation, ProgramRejectsCrossLayerBounds)
+{
+    engine::TmuProgram p;
+    const int l0 = p.addLayer(engine::GroupMode::Single);
+    const auto t0 = p.dnsFbrT(l0, 0, 0, 4);
+    const auto s0 = p.iteStream(t0);
+    p.addLayer(engine::GroupMode::Single);
+    const int l2 = p.addLayer(engine::GroupMode::Single);
+    // Bounds must come from the *previous* layer, not layer 0.
+    p.idxFbrT(l2, 0, s0, 2);
+    p.dnsFbrT(1, 0, 0, 2);
+    EXPECT_DEATH(p.validate(8), "bounds must come from");
+}
+
+TEST(Validation, ProgramRejectsTooManyLanes)
+{
+    engine::TmuProgram p;
+    const int l0 = p.addLayer(engine::GroupMode::LockStep);
+    for (int r = 0; r < 4; ++r)
+        p.dnsFbrT(l0, r, 0, 4);
+    EXPECT_DEATH(p.validate(2), "lanes");
+}
+
+TEST(Validation, ProgramRejectsUnregisteredOperand)
+{
+    engine::TmuProgram p;
+    const int l0 = p.addLayer(engine::GroupMode::Single);
+    p.dnsFbrT(l0, 0, 0, 4);
+    EXPECT_DEATH(
+        p.addCallback(l0, engine::CallbackEvent::GroupIte, 1, {3}),
+        "operand");
+}
+
+TEST(Validation, ProgramRejectsZeroStride)
+{
+    engine::TmuProgram p;
+    const int l0 = p.addLayer(engine::GroupMode::Single);
+    p.dnsFbrT(l0, 0, 0, 4, 0);
+    EXPECT_DEATH(p.validate(8), "zero stride");
+}
+
+TEST(Validation, MergeKeyMustBelongToTu)
+{
+    engine::TmuProgram p;
+    const int l0 = p.addLayer(engine::GroupMode::DisjMrg);
+    const auto t0 = p.dnsFbrT(l0, 0, 0, 4);
+    const auto t1 = p.dnsFbrT(l0, 1, 0, 4);
+    EXPECT_DEATH(p.setMergeKey(t0, p.iteStream(t1)), "same TU");
+}
+
+// --- Generators -----------------------------------------------------------------
+
+TEST(Validation, GeneratorsRejectBadShapes)
+{
+    tensor::CsrGenConfig cfg;
+    cfg.rows = 0;
+    cfg.cols = 4;
+    EXPECT_DEATH(tensor::randomCsr(cfg), "");
+    EXPECT_DEATH(tensor::fixedNnzCsr(0, 4), "");
+    EXPECT_DEATH(tensor::splitCyclic(tensor::fixedNnzCsr(4, 2), 0), "");
+}
+
+TEST(Validation, SuiteRejectsUnknownIds)
+{
+    EXPECT_DEATH(tensor::matrixInput("M9"), "unknown matrix");
+    EXPECT_DEATH(tensor::tensorInput("T9"), "unknown tensor");
+}
+
+// --- Analytical models ---------------------------------------------------------------
+
+TEST(Validation, SizingHonoursMinimumDepth)
+{
+    engine::TmuProgram p;
+    const int l0 = p.addLayer(engine::GroupMode::Single);
+    const auto t0 = p.dnsFbrT(l0, 0, 0, 4);
+    // Many streams + tiny storage: the floor must hold.
+    std::vector<double> buf(16, 0.0);
+    for (int s = 0; s < 6; ++s)
+        p.addMemStream(t0, buf.data());
+    const engine::QueuePlan plan = engine::planQueues(p, 64, 2);
+    EXPECT_GE(plan.depth(0), 2);
+}
+
+TEST(Validation, AreaRejectsDegenerateConfigs)
+{
+    EXPECT_DEATH(engine::estimateArea(0, 2048), "");
+    EXPECT_DEATH(engine::estimateArea(8, 0), "");
+}
+
+} // namespace
+} // namespace tmu

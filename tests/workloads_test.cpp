@@ -1,0 +1,163 @@
+/**
+ * @file
+ * End-to-end workload tests: every evaluated workload runs both the
+ * baseline (traced software) and TMU paths on a small multicore and
+ * must produce reference-verified outputs on both. Also checks the
+ * headline direction: the TMU path is faster on a memory-intensive
+ * workload, and the Fig. 13 read-to-write instrumentation works.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.hpp"
+
+namespace tmu::workloads {
+namespace {
+
+RunConfig
+smallConfig(Mode mode)
+{
+    RunConfig cfg;
+    cfg.mode = mode;
+    cfg.system.cores = 2;
+    cfg.system.mem.llcSlices = 8;
+    cfg.programLanes = 8;
+    return cfg;
+}
+
+class WorkloadBothPaths
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadBothPaths, BaselineAndTmuVerify)
+{
+    auto wl = makeWorkload(GetParam());
+    const std::string input = wl->inputs().front();
+    wl->prepare(input, 1024);
+
+    const RunResult base = wl->run(smallConfig(Mode::Baseline));
+    EXPECT_TRUE(base.verified) << "baseline failed verification";
+    EXPECT_GT(base.sim.cycles, 0u);
+
+    const RunResult tmu = wl->run(smallConfig(Mode::Tmu));
+    EXPECT_TRUE(tmu.verified) << "TMU path failed verification";
+    EXPECT_GT(tmu.sim.cycles, 0u);
+    EXPECT_GT(tmu.tmuRequests, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadBothPaths,
+    ::testing::Values("SpMV", "PR", "SpMSpM", "TC", "SpKAdd", "SpAdd",
+                      "MTTKRP_MP", "MTTKRP_CP", "SpTC", "CP-ALS"));
+
+TEST(Workloads, SecondInputAlsoVerifies)
+{
+    auto wl = makeWorkload("SpMV");
+    wl->prepare("M4", 1024);
+    EXPECT_TRUE(wl->run(smallConfig(Mode::Baseline)).verified);
+    EXPECT_TRUE(wl->run(smallConfig(Mode::Tmu)).verified);
+}
+
+TEST(Workloads, TmuSpeedsUpSpmv)
+{
+    auto wl = makeWorkload("SpMV");
+    wl->prepare("M3", 256);
+    RunConfig cfg = smallConfig(Mode::Baseline);
+    cfg.system.cores = 4;
+    const RunResult base = wl->run(cfg);
+    cfg.mode = Mode::Tmu;
+    const RunResult tmu = wl->run(cfg);
+    ASSERT_TRUE(base.verified && tmu.verified);
+    EXPECT_GT(static_cast<double>(base.sim.cycles),
+              1.5 * static_cast<double>(tmu.sim.cycles))
+        << "base=" << base.sim.cycles << " tmu=" << tmu.sim.cycles;
+}
+
+TEST(Workloads, TmuSpeedsUpSpkadd)
+{
+    auto wl = makeWorkload("SpKAdd");
+    wl->prepare("M3", 256);
+    RunConfig cfg = smallConfig(Mode::Baseline);
+    cfg.system.cores = 4;
+    const RunResult base = wl->run(cfg);
+    cfg.mode = Mode::Tmu;
+    const RunResult tmu = wl->run(cfg);
+    ASSERT_TRUE(base.verified && tmu.verified);
+    EXPECT_GT(static_cast<double>(base.sim.cycles),
+              1.5 * static_cast<double>(tmu.sim.cycles))
+        << "base=" << base.sim.cycles << " tmu=" << tmu.sim.cycles;
+}
+
+TEST(Workloads, RwRatioReported)
+{
+    auto wl = makeWorkload("SpMV");
+    wl->prepare("M1", 512);
+    const RunResult tmu = wl->run(smallConfig(Mode::Tmu));
+    EXPECT_GT(tmu.rwRatio, 0.0);
+}
+
+TEST(Workloads, SingleLaneProgramsVerifyToo)
+{
+    for (const std::string name : {"SpMV", "SpMSpM"}) {
+        auto wl = makeWorkload(name);
+        wl->prepare("M2", 1024);
+        RunConfig cfg = smallConfig(Mode::Tmu);
+        cfg.programLanes = 1;
+        cfg.tmu.perLaneBytes = 16 * 1024; // same total storage
+        const RunResult res = wl->run(cfg);
+        EXPECT_TRUE(res.verified) << name;
+    }
+}
+
+TEST(Workloads, PartitionCoversRange)
+{
+    for (const Index total : {0, 1, 7, 64, 100}) {
+        Index covered = 0;
+        for (int c = 0; c < 8; ++c) {
+            const auto [beg, end] = partition(total, 8, c);
+            EXPECT_LE(beg, end);
+            covered += end - beg;
+        }
+        EXPECT_EQ(covered, total);
+    }
+}
+
+TEST(Workloads, ImpComparatorPathVerifies)
+{
+    // The Fig. 15 IMP configuration must not perturb correctness: the
+    // prefetcher reads index values but never the computation.
+    auto wl = makeWorkload("SpMV");
+    wl->prepare("M3", 1024);
+    RunConfig cfg = smallConfig(Mode::Baseline);
+    cfg.system.impPrefetcher = true;
+    const RunResult res = wl->run(cfg);
+    EXPECT_TRUE(res.verified);
+}
+
+TEST(Workloads, SensitivityConfigsVerify)
+{
+    // The Fig. 14 corner configurations (small storage, narrow SVE).
+    auto wl = makeWorkload("SpMV");
+    wl->prepare("M2", 1024);
+    RunConfig cfg = smallConfig(Mode::Tmu);
+    cfg.system.simdBits = 128;
+    cfg.programLanes = 2;
+    cfg.tmu.lanes = 2;
+    cfg.tmu.perLaneBytes = 512;
+    const RunResult res = wl->run(cfg);
+    EXPECT_TRUE(res.verified);
+}
+
+TEST(Workloads, RegistryKnowsAll)
+{
+    EXPECT_EQ(allWorkloads().size(), 9u); // SpAdd is Fig.3-only
+    for (const auto &name : allWorkloads()) {
+        auto wl = makeWorkload(name);
+        EXPECT_EQ(wl->name(), name);
+        EXPECT_FALSE(wl->inputs().empty());
+    }
+}
+
+} // namespace
+} // namespace tmu::workloads

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Command-line driver: run any evaluated workload/input through either
+ * execution path with configurable knobs and print the full result.
+ *
+ *   tmu_run [options]
+ *     --workload NAME   SpMV|SpMSpM|SpKAdd|PR|TC|SpAdd|MTTKRP_MP|
+ *                       MTTKRP_CP|SpTC|CP-ALS           (default SpMV)
+ *     --input ID        M1..M6 / T1..T4                 (default first)
+ *     --mode M          baseline|tmu|both               (default both)
+ *     --scale N         input scale divisor             (default 128)
+ *     --cores N         simulated cores                 (default 8)
+ *     --lanes N         TMU program lanes               (default 8)
+ *     --sve BITS        vector width 128|256|512        (default 512)
+ *     --storage BYTES   TMU per-lane storage            (default 2048)
+ *     --imp             enable the IMP prefetcher comparator
+ *     --tlb             model address translation
+ *     --shrink-caches   scale the cache hierarchy with the input
+ *     --list            list workloads and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/statsdump.hpp"
+#include "workloads/registry.hpp"
+
+using namespace tmu;
+using namespace tmu::workloads;
+
+namespace {
+
+sim::SystemConfig
+shrinkCaches(sim::SystemConfig cfg, Index div)
+{
+    auto shrink = [&](std::uint64_t bytes, std::uint64_t floor) {
+        return std::max<std::uint64_t>(
+            floor, bytes / static_cast<std::uint64_t>(div));
+    };
+    cfg.l1.sizeBytes = shrink(cfg.l1.sizeBytes, 2048);
+    cfg.l2.sizeBytes = shrink(cfg.l2.sizeBytes, 2048);
+    cfg.llcSlice.sizeBytes = shrink(cfg.llcSlice.sizeBytes, 4096);
+    return cfg;
+}
+
+void
+printResult(const std::string &path, const RunResult &r)
+{
+    TextTable t(path);
+    t.header({"cycles", "commit%", "frontend%", "backend%", "ld2use",
+              "GB/s", "GFLOP/s", "mispredicts", "verified"});
+    t.row({std::to_string(r.sim.cycles),
+           TextTable::num(100.0 * r.sim.commitFrac(), 1),
+           TextTable::num(100.0 * r.sim.frontendFrac(), 1),
+           TextTable::num(100.0 * r.sim.backendFrac(), 1),
+           TextTable::num(r.sim.total.avgLoadToUse(), 1),
+           TextTable::num(r.sim.achievedGBs, 1),
+           TextTable::num(r.sim.gflops, 2),
+           std::to_string(r.sim.total.mispredicts),
+           r.verified ? "yes" : "NO"});
+    t.print();
+    if (r.rwRatio > 0.0) {
+        std::printf("outQ read-to-write ratio: %.2f, %llu TMU line "
+                    "requests, %llu elements\n",
+                    r.rwRatio,
+                    static_cast<unsigned long long>(r.tmuRequests),
+                    static_cast<unsigned long long>(r.tmuElements));
+    }
+    std::printf("\n");
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr, "usage: %s [--workload N] [--input ID] "
+                         "[--mode baseline|tmu|both] [--scale N] "
+                         "[--cores N] [--lanes N] [--sve BITS] "
+                         "[--storage BYTES] [--imp] [--tlb] "
+                         "[--shrink-caches] [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "SpMV";
+    std::string input;
+    std::string mode = "both";
+    Index scale = 128;
+    int cores = 8;
+    int lanes = 8;
+    int sve = 512;
+    std::size_t storage = 2048;
+    bool imp = false, tlb = false, shrink = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            workload = next();
+        else if (arg == "--input")
+            input = next();
+        else if (arg == "--mode")
+            mode = next();
+        else if (arg == "--scale")
+            scale = std::atoll(next());
+        else if (arg == "--cores")
+            cores = std::atoi(next());
+        else if (arg == "--lanes")
+            lanes = std::atoi(next());
+        else if (arg == "--sve")
+            sve = std::atoi(next());
+        else if (arg == "--storage")
+            storage = static_cast<std::size_t>(std::atoll(next()));
+        else if (arg == "--imp")
+            imp = true;
+        else if (arg == "--tlb")
+            tlb = true;
+        else if (arg == "--shrink-caches")
+            shrink = true;
+        else if (arg == "--list") {
+            for (const auto &name : allWorkloads())
+                std::printf("%s\n", name.c_str());
+            std::printf("SpAdd\n");
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    auto wl = makeWorkload(workload);
+    if (input.empty())
+        input = wl->inputs().front();
+
+    std::printf("Preparing %s on %s at 1/%lld scale...\n",
+                workload.c_str(), input.c_str(),
+                static_cast<long long>(scale));
+    wl->prepare(input, scale);
+
+    RunConfig cfg;
+    cfg.system.cores = cores;
+    cfg.system.simdBits = sve;
+    cfg.system.impPrefetcher = imp;
+    cfg.system.modelTlb = tlb;
+    if (shrink)
+        cfg.system = shrinkCaches(cfg.system, scale);
+    cfg.programLanes = lanes;
+    cfg.tmu.lanes = std::max(lanes, 1);
+    cfg.tmu.perLaneBytes = storage;
+    std::printf("%s\n\n", cfg.system.describe().c_str());
+
+    RunResult base, tmuRes;
+    if (mode == "baseline" || mode == "both") {
+        cfg.mode = Mode::Baseline;
+        base = wl->run(cfg);
+        printResult("baseline", base);
+    }
+    if (mode == "tmu" || mode == "both") {
+        cfg.mode = Mode::Tmu;
+        tmuRes = wl->run(cfg);
+        printResult("tmu", tmuRes);
+    }
+    if (mode == "both" && tmuRes.sim.cycles > 0) {
+        std::printf("speedup: %.2fx\n",
+                    static_cast<double>(base.sim.cycles) /
+                        static_cast<double>(tmuRes.sim.cycles));
+    }
+    return 0;
+}

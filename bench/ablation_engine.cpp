@@ -32,6 +32,7 @@ runTmu(Workload &wl, RunConfig cfg)
 int
 main()
 {
+    BenchReport rep("ablation_engine");
     printBanner("Engine ablations (DESIGN.md section 7)",
                 defaultConfig(matrixScale()));
 
@@ -62,7 +63,7 @@ main()
                                           runTmu(*wl, cfg)),
                                   2)});
         }
-        t.print();
+        rep.print(t);
         std::printf("\n");
     }
 
@@ -85,7 +86,7 @@ main()
                                           runTmu(*wl, cfg)),
                                   2)});
         }
-        t.print();
+        rep.print(t);
         std::printf("\n");
     }
 
@@ -107,7 +108,7 @@ main()
                                           runTmu(*wl, cfg)),
                                   2)});
         }
-        t.print();
+        rep.print(t);
         std::printf("\n");
     }
 

@@ -15,10 +15,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/writers.hpp"
 #include "workloads/registry.hpp"
 
 namespace tmu::bench {
@@ -117,6 +119,98 @@ runPair(workloads::Workload &wl, workloads::RunConfig cfg)
     }
     return pr;
 }
+
+/**
+ * Machine-readable mirror of one bench binary's printed tables.
+ *
+ * Construct one per binary, route every table through print(): the
+ * table renders to stdout exactly as before AND is recorded. On save()
+ * (called by the destructor if needed) the recorded tables are written
+ * to BENCH_<name>.json — same cell strings as the printed output, so
+ * the JSON always matches the text.
+ *
+ * Environment: TMU_BENCH_JSON=0 disables the file; TMU_BENCH_JSON_DIR
+ * sets the output directory (default: the working directory).
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+    ~BenchReport() { save(); }
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** Print @p t to stdout and record it for the JSON report. */
+    void
+    print(const TextTable &t)
+    {
+        t.print();
+        tables_.push_back(t);
+    }
+
+    /** Attach a scalar result line (e.g. a geomean) to the report. */
+    void
+    note(const std::string &key, const std::string &value)
+    {
+        notes_.emplace_back(key, value);
+    }
+
+    /** Write BENCH_<name>.json. Idempotent. */
+    bool
+    save()
+    {
+        if (saved_)
+            return true;
+        saved_ = true;
+        if (const char *e = std::getenv("TMU_BENCH_JSON");
+            e != nullptr && std::string(e) == "0")
+            return false;
+        std::string dir = ".";
+        if (const char *d = std::getenv("TMU_BENCH_JSON_DIR"))
+            dir = d;
+
+        stats::JsonWriter jw;
+        jw.beginObject();
+        jw.key("bench").value(name_);
+        jw.key("notes").beginObject();
+        for (const auto &[k, v] : notes_)
+            jw.key(k).value(v);
+        jw.endObject();
+        jw.key("tables").beginArray();
+        for (const TextTable &t : tables_) {
+            jw.beginObject();
+            jw.key("title").value(t.title());
+            jw.key("header").beginArray();
+            for (const std::string &h : t.headerCells())
+                jw.value(h);
+            jw.endArray();
+            jw.key("rows").beginArray();
+            for (const auto &r : t.rowCells()) {
+                jw.beginArray();
+                for (const std::string &c : r)
+                    jw.value(c);
+                jw.endArray();
+            }
+            jw.endArray();
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+
+        const std::string path = dir + "/BENCH_" + name_ + ".json";
+        if (!stats::saveTextFile(path, jw.str()))
+            return false;
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::string name_;
+    std::vector<TextTable> tables_;
+    std::vector<std::pair<std::string, std::string>> notes_;
+    bool saved_ = false;
+};
 
 /** Print the Table-5 parameter banner every bench leads with. */
 inline void

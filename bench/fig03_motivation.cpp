@@ -32,6 +32,7 @@ main()
     const std::vector<std::string> inputs = {"M1", "M2", "M3",
                                              "M4", "M5", "M6"};
 
+    BenchReport rep("fig03_motivation");
     printBanner("Fig. 3 - motivation: cycle stall breakdown",
                 defaultConfig(matrixScale()));
 
@@ -73,8 +74,8 @@ main()
                      TextTable::num(backend[a].mean(), 3)});
         }
     }
-    t.print();
+    rep.print(t);
     std::printf("\n");
-    avg.print();
+    rep.print(avg);
     return 0;
 }

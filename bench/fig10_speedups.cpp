@@ -18,7 +18,7 @@ using namespace tmu::workloads;
 namespace {
 
 void
-printTable6()
+printTable6(BenchReport &rep)
 {
     TextTable t("Table 6 - inputs (published stats -> surrogate)");
     t.header({"id", "stands for", "domain", "paper rows/dims",
@@ -43,7 +43,7 @@ printTable6()
                std::to_string(ti.paperNnz), sdims,
                std::to_string(a.nnz())});
     }
-    t.print();
+    rep.print(t);
     std::printf("\n");
 }
 
@@ -52,9 +52,10 @@ printTable6()
 int
 main()
 {
+    BenchReport rep("fig10_speedups");
     RunConfig cfg = defaultConfig(matrixScale());
     printBanner("Fig. 10 - TMU speedups over software baselines", cfg);
-    printTable6();
+    printTable6(rep);
 
     TextTable t("Fig. 10 - speedup per workload and input");
     t.header({"workload", "input", "base cycles", "tmu cycles",
@@ -95,14 +96,18 @@ main()
         }
         gm.row({name, cls, TextTable::num(g, 2)});
     }
-    t.print();
+    rep.print(t);
     std::printf("\n");
-    gm.print();
+    rep.print(gm);
 
     std::printf("\nClass geomeans (paper: memory 3.58x, compute 2.82x, "
                 "merge 4.94x):\n");
     std::printf("  memory-intensive  %.2fx\n", geomean(memClass));
     std::printf("  compute-intensive %.2fx\n", geomean(computeClass));
     std::printf("  merge-intensive   %.2fx\n", geomean(mergeClass));
+    rep.note("geomean.memory", TextTable::num(geomean(memClass), 2));
+    rep.note("geomean.compute",
+             TextTable::num(geomean(computeClass), 2));
+    rep.note("geomean.merge", TextTable::num(geomean(mergeClass), 2));
     return 0;
 }

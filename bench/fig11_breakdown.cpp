@@ -20,6 +20,7 @@ using namespace tmu::workloads;
 int
 main()
 {
+    BenchReport rep("fig11_breakdown");
     RunConfig cfg = defaultConfig(matrixScale());
     printBanner("Fig. 11 - cycle breakdown and load-to-use latency",
                 cfg);
@@ -55,7 +56,7 @@ main()
                    TextTable::num(pr.tmu.sim.total.avgLoadToUse(), 1)});
         }
     }
-    t.print();
+    rep.print(t);
     std::printf("\nNote: in TMU runs, backend stalls include the core "
                 "waiting for the engine to fill\nthe next outQ chunk "
                 "(read-to-write ratio < 1, Fig. 13).\n");

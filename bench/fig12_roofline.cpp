@@ -48,6 +48,7 @@ addPoint(TextTable &t, const std::string &wl, const std::string &input,
 int
 main()
 {
+    BenchReport rep("fig12_roofline");
     RunConfig cfg = defaultConfig(matrixScale());
     printBanner("Fig. 12 - roofline models", cfg);
     std::printf("Roofs: DRAM %.1f GB/s, compute %.1f GFLOP/s\n\n",
@@ -69,7 +70,7 @@ main()
             addPoint(t, name, input, "base", pr.base.sim);
             addPoint(t, name, input, "tmu", pr.tmu.sim);
         }
-        t.print();
+        rep.print(t);
         std::printf("\n");
     }
 
@@ -87,7 +88,7 @@ main()
             addPoint(t, name, input, "base", pr.base.sim);
             addPoint(t, name, input, "tmu", pr.tmu.sim);
         }
-        t.print();
+        rep.print(t);
         std::printf("\n");
     }
 
@@ -103,7 +104,7 @@ main()
             addPoint(t, "SpMSpM", input, "base", pr.base.sim);
             addPoint(t, "SpMSpM", input, "tmu", pr.tmu.sim);
         }
-        t.print();
+        rep.print(t);
         std::printf("\n");
 
         TextTable c("Fig. 12c ceilings - synthetic fixed nnz/row, "
@@ -121,7 +122,7 @@ main()
                    TextTable::num(r.gflops, 2),
                    TextTable::num(r.achievedGBs, 1)});
         }
-        c.print();
+        rep.print(c);
     }
     return 0;
 }

@@ -21,6 +21,7 @@ using namespace tmu::workloads;
 int
 main()
 {
+    BenchReport rep("fig13_rw_ratio");
     RunConfig cfg = defaultConfig(matrixScale());
     printBanner("Fig. 13 - outQ read-to-write ratio", cfg);
 
@@ -40,7 +41,7 @@ main()
         t.row({name, TextTable::num(rw.mean(), 2),
                TextTable::num(geomean(speedups), 2)});
     }
-    t.print();
+    rep.print(t);
 
     // Ablation: outQ chunk size on SpMV (double-buffered either way).
     std::printf("\n");
@@ -56,6 +57,6 @@ main()
         ab.row({std::to_string(chunk), std::to_string(r.sim.cycles),
                 TextTable::num(r.rwRatio, 2)});
     }
-    ab.print();
+    rep.print(ab);
     return 0;
 }

@@ -20,6 +20,7 @@ using namespace tmu::workloads;
 int
 main()
 {
+    BenchReport rep("fig14_sensitivity");
     printBanner("Fig. 14 - storage x vector-length sensitivity",
                 defaultConfig(matrixScale()));
 
@@ -67,7 +68,7 @@ main()
                    TextTable::num(refCycles / cells[s][1], 2),
                    TextTable::num(refCycles / cells[s][2], 2)});
         }
-        t.print();
+        rep.print(t);
         std::printf("\n");
     }
     return 0;

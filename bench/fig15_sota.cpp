@@ -19,6 +19,7 @@ using namespace tmu::workloads;
 int
 main()
 {
+    BenchReport rep("fig15_sota");
     printBanner("Fig. 15 - IMP vs Single-Lane vs TMU",
                 defaultConfig(matrixScale()));
 
@@ -63,6 +64,6 @@ main()
                TextTable::num(geomean(gSingle), 2),
                TextTable::num(geomean(gTmu), 2)});
     }
-    t.print();
+    rep.print(t);
     return 0;
 }

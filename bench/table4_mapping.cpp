@@ -13,6 +13,7 @@
 #include <map>
 #include <set>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "tensor/convert.hpp"
@@ -143,6 +144,7 @@ main()
     rows.push_back({"SpTTM", "Z_ijl = A_ijk B_kl", "A=CSF",
                     buildSpttm(csfA, dm, 4, 0, csfA.numNodes(0))});
 
+    bench::BenchReport rep("table4_mapping");
     std::printf("### Table 4 - kernel -> TMU hardware mapping\n");
     std::printf("# (introspected from the executable program "
                 "builders; every program is run\n# through the "
@@ -158,6 +160,6 @@ main()
                std::to_string(row.program.numLayers()),
                summarize(row.program), std::to_string(records.size())});
     }
-    t.print();
+    rep.print(t);
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "tmu/area.hpp"
 
@@ -17,6 +18,7 @@ using namespace tmu::engine;
 int
 main()
 {
+    bench::BenchReport rep("table_area");
     std::printf("### Area analysis (analytical model, GF 22nm FD-SOI "
                 "calibration)\n\n");
 
@@ -42,6 +44,6 @@ main()
                    TextTable::num(a.pctOfN1Core, 2)});
         }
     }
-    t.print();
+    rep.print(t);
     return 0;
 }

@@ -30,7 +30,9 @@ class CircularQueue
     reset(std::size_t capacity)
     {
         TMU_ASSERT(capacity > 0);
-        buf_.assign(capacity, T{});
+        // clear+resize (not assign) so move-only element types work.
+        buf_.clear();
+        buf_.resize(capacity);
         head_ = 0;
         size_ = 0;
     }

@@ -1,0 +1,140 @@
+#include "statreg.hpp"
+
+#include "common/log.hpp"
+
+namespace tmu::stats {
+
+const SnapshotEntry *
+StatSnapshot::find(const std::string &name) const
+{
+    for (const SnapshotEntry &e : entries) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+StatRegistry::add(std::string name, std::string desc,
+                  std::function<void(std::vector<SnapshotEntry> &)> sample)
+{
+    TMU_ASSERT(!name.empty());
+    const auto [it, inserted] = byName_.emplace(name, defs_.size());
+    if (!inserted)
+        TMU_PANIC("duplicate stat name '%s'", name.c_str());
+    defs_.push_back({std::move(name), std::move(desc), std::move(sample)});
+}
+
+void
+StatRegistry::scalar(std::string name, std::string desc,
+                     const std::uint64_t *v)
+{
+    TMU_ASSERT(v != nullptr);
+    std::string n = name, d = desc;
+    add(std::move(name), std::move(desc),
+        [n = std::move(n), d = std::move(d),
+         v](std::vector<SnapshotEntry> &out) {
+            out.push_back({n, d, StatKind::U64, *v, 0.0});
+        });
+}
+
+void
+StatRegistry::scalar(std::string name, std::string desc, const double *v)
+{
+    TMU_ASSERT(v != nullptr);
+    std::string n = name, d = desc;
+    add(std::move(name), std::move(desc),
+        [n = std::move(n), d = std::move(d),
+         v](std::vector<SnapshotEntry> &out) {
+            out.push_back({n, d, StatKind::F64, 0, *v});
+        });
+}
+
+void
+StatRegistry::scalarU64(std::string name, std::string desc,
+                        std::function<std::uint64_t()> get)
+{
+    TMU_ASSERT(get != nullptr);
+    std::string n = name, d = desc;
+    add(std::move(name), std::move(desc),
+        [n = std::move(n), d = std::move(d),
+         get = std::move(get)](std::vector<SnapshotEntry> &out) {
+            out.push_back({n, d, StatKind::U64, get(), 0.0});
+        });
+}
+
+void
+StatRegistry::formula(std::string name, std::string desc,
+                      std::function<double()> get)
+{
+    TMU_ASSERT(get != nullptr);
+    std::string n = name, d = desc;
+    add(std::move(name), std::move(desc),
+        [n = std::move(n), d = std::move(d),
+         get = std::move(get)](std::vector<SnapshotEntry> &out) {
+            out.push_back({n, d, StatKind::F64, 0, get()});
+        });
+}
+
+void
+StatRegistry::vector(std::string name, std::string desc,
+                     const std::vector<std::uint64_t> *v)
+{
+    TMU_ASSERT(v != nullptr);
+    std::string n = name, d = desc;
+    add(std::move(name), std::move(desc),
+        [n = std::move(n), d = std::move(d),
+         v](std::vector<SnapshotEntry> &out) {
+            for (std::size_t i = 0; i < v->size(); ++i) {
+                out.push_back({n + "." + std::to_string(i), d,
+                               StatKind::U64, (*v)[i], 0.0});
+            }
+        });
+}
+
+void
+StatRegistry::histogram(std::string name, std::string desc,
+                        const Histogram *h)
+{
+    TMU_ASSERT(h != nullptr);
+    std::string n = name, d = desc;
+    add(std::move(name), std::move(desc),
+        [n = std::move(n), d = std::move(d),
+         h](std::vector<SnapshotEntry> &out) {
+            out.push_back({n + ".total", d + " (samples)", StatKind::U64,
+                           h->total(), 0.0});
+            out.push_back({n + ".lo", d + " (range low)", StatKind::F64,
+                           0, h->lo()});
+            out.push_back({n + ".hi", d + " (range high)", StatKind::F64,
+                           0, h->hi()});
+            for (std::size_t i = 0; i < h->buckets(); ++i) {
+                out.push_back({n + ".bucket" + std::to_string(i), d,
+                               StatKind::U64, h->bucket(i), 0.0});
+            }
+        });
+}
+
+bool
+StatRegistry::contains(const std::string &name) const
+{
+    return byName_.count(name) != 0;
+}
+
+std::string
+StatRegistry::describe(const std::string &name) const
+{
+    const auto it = byName_.find(name);
+    return it == byName_.end() ? std::string{} : defs_[it->second].desc;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    snap.entries.reserve(defs_.size());
+    for (const StatDef &def : defs_)
+        def.sample(snap.entries);
+    return snap;
+}
+
+} // namespace tmu::stats

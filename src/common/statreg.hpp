@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Hierarchical statistics registry in the gem5 tradition.
+ *
+ * Every model that owns counters registers them here under a dotted
+ * name ("core0.l1.accesses") with a one-line description. Stats are
+ * *live*: the registry borrows pointers/closures into the owning model
+ * and reads them lazily, so registration is free on the simulated hot
+ * path. snapshot() detaches a value copy that survives the models and
+ * feeds the text/JSON/CSV renderers (see writers.hpp).
+ *
+ * Kinds:
+ *  - scalar    a u64 or f64 counter read through a borrowed pointer;
+ *  - formula   a derived value (rates, ratios) computed at sample time;
+ *  - vector    a u64 sequence, flattened to name.0, name.1, ...;
+ *  - histogram a tmu::Histogram, flattened to name.total plus
+ *              name.bucket<i> (bucket bounds exported alongside).
+ *
+ * Registering the same name twice is a programming error and panics.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace tmu::stats {
+
+/** Value domain of one stat (drives text/JSON rendering). */
+enum class StatKind : std::uint8_t { U64, F64 };
+
+/** One flattened, detached (name, description, value) sample. */
+struct SnapshotEntry
+{
+    std::string name;
+    std::string desc;
+    StatKind kind = StatKind::U64;
+    std::uint64_t u = 0; //!< valid when kind == U64
+    double f = 0.0;      //!< valid when kind == F64
+
+    double
+    value() const
+    {
+        return kind == StatKind::U64 ? static_cast<double>(u) : f;
+    }
+};
+
+/** Detached value copy of a whole registry, in registration order. */
+struct StatSnapshot
+{
+    std::vector<SnapshotEntry> entries;
+
+    /** Entry with exactly @p name, or nullptr. */
+    const SnapshotEntry *find(const std::string &name) const;
+};
+
+/** Hierarchical dotted-name stat registry. */
+class StatRegistry
+{
+  public:
+    /** Live u64 counter (borrowed; must outlive the registry). */
+    void scalar(std::string name, std::string desc,
+                const std::uint64_t *v);
+
+    /** Live f64 value (borrowed). */
+    void scalar(std::string name, std::string desc, const double *v);
+
+    /** Derived u64 computed at snapshot time. */
+    void scalarU64(std::string name, std::string desc,
+                   std::function<std::uint64_t()> get);
+
+    /** Derived f64 (rates, ratios) computed at snapshot time. */
+    void formula(std::string name, std::string desc,
+                 std::function<double()> get);
+
+    /** Live u64 vector (borrowed), flattened to name.<i>. */
+    void vector(std::string name, std::string desc,
+                const std::vector<std::uint64_t> *v);
+
+    /**
+     * Live histogram (borrowed), flattened to name.total and
+     * name.bucket<i>; lo/hi bounds exported as name.lo / name.hi.
+     */
+    void histogram(std::string name, std::string desc,
+                   const Histogram *h);
+
+    /** Number of registered stats (vectors/histograms count once). */
+    std::size_t size() const { return defs_.size(); }
+
+    /** True if a stat was registered under exactly @p name. */
+    bool contains(const std::string &name) const;
+
+    /** Description of the stat registered under @p name ("" if none). */
+    std::string describe(const std::string &name) const;
+
+    /** Detach a value copy of every stat, in registration order. */
+    StatSnapshot snapshot() const;
+
+  private:
+    struct StatDef
+    {
+        std::string name;
+        std::string desc;
+        /** Appends this stat's flattened entries to the snapshot. */
+        std::function<void(std::vector<SnapshotEntry> &)> sample;
+    };
+
+    void add(std::string name, std::string desc,
+             std::function<void(std::vector<SnapshotEntry> &)> sample);
+
+    std::vector<StatDef> defs_;
+    std::unordered_map<std::string, std::size_t> byName_;
+};
+
+} // namespace tmu::stats

@@ -91,23 +91,43 @@ class Histogram
     std::uint64_t total() const { return total_; }
     std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
     std::size_t buckets() const { return counts_.size(); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
 
-    /** Approximate quantile (0 <= q <= 1) from bucket midpoints. */
+    /** Midpoint of bucket @p i. */
+    double
+    bucketMid(std::size_t i) const
+    {
+        const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+        return lo_ + (static_cast<double>(i) + 0.5) * w;
+    }
+
+    /**
+     * Approximate quantile (0 <= q <= 1) from bucket midpoints.
+     * quantile(0.0) is the midpoint of the first non-empty bucket and
+     * quantile(1.0) the midpoint of the last non-empty bucket, so every
+     * result is a value the histogram could actually represent.
+     */
     double
     quantile(double q) const
     {
         TMU_ASSERT(total_ > 0);
-        const auto target =
+        TMU_ASSERT(q >= 0.0 && q <= 1.0, "quantile %f out of [0,1]", q);
+        // target = number of samples strictly below the answer; q=1.0
+        // must not demand total_ samples below it (off-by-one: the
+        // old code fell off the loop and returned hi_, which is not a
+        // bucket midpoint).
+        auto target =
             static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        if (target >= total_)
+            target = total_ - 1;
         std::uint64_t seen = 0;
         for (std::size_t i = 0; i < counts_.size(); ++i) {
             seen += counts_[i];
-            if (seen > target) {
-                const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
-                return lo_ + (static_cast<double>(i) + 0.5) * w;
-            }
+            if (seen > target)
+                return bucketMid(i);
         }
-        return hi_;
+        return bucketMid(counts_.size() - 1); // unreachable if total_>0
     }
 
   private:

@@ -34,6 +34,16 @@ class TextTable
     /** Render to stdout. */
     void print() const;
 
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &headerCells() const
+    {
+        return header_;
+    }
+    const std::vector<std::vector<std::string>> &rowCells() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -1,0 +1,173 @@
+#include "tracewriter.hpp"
+
+#include <string_view>
+
+#include "common/writers.hpp"
+
+namespace tmu::stats {
+
+void
+TraceWriter::processName(int pid, const std::string &name)
+{
+    Event e;
+    e.ph = Event::Ph::Meta;
+    e.pid = pid;
+    e.name = "process_name";
+    e.arg = name;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::threadName(int pid, int tid, const std::string &name)
+{
+    Event e;
+    e.ph = Event::Ph::Meta;
+    e.pid = pid;
+    e.tid = tid;
+    e.name = "thread_name";
+    e.arg = name;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::complete(int pid, int tid, const std::string &cat,
+                      const std::string &name, std::uint64_t startCycle,
+                      std::uint64_t durCycles)
+{
+    Event e;
+    e.ph = Event::Ph::Complete;
+    e.pid = pid;
+    e.tid = tid;
+    e.cat = cat;
+    e.name = name;
+    e.ts = startCycle;
+    e.dur = durCycles;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::instant(int pid, int tid, const std::string &cat,
+                     const std::string &name, std::uint64_t cycle)
+{
+    Event e;
+    e.ph = Event::Ph::Instant;
+    e.pid = pid;
+    e.tid = tid;
+    e.cat = cat;
+    e.name = name;
+    e.ts = cycle;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::counter(int pid, const std::string &name,
+                     const std::string &series, double value,
+                     std::uint64_t cycle)
+{
+    Event e;
+    e.ph = Event::Ph::Counter;
+    e.pid = pid;
+    e.name = name;
+    e.arg = series;
+    e.ts = cycle;
+    e.value = value;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::closePhase(int pid, int tid, const OpenPhase &p)
+{
+    complete(pid, tid, "phase", p.name, p.start, p.last - p.start + 1);
+}
+
+void
+TraceWriter::phase(int pid, int tid, const char *name,
+                   std::uint64_t cycle)
+{
+    OpenPhase &p = open_[{pid, tid}];
+    if (p.name != nullptr) {
+        // Extend the open run only if the state is unchanged and the
+        // model did not skip cycles (drained cores stop ticking).
+        const bool same =
+            p.name == name || std::string_view(p.name) == name;
+        if (same && cycle == p.last + 1) {
+            p.last = cycle;
+            return;
+        }
+        closePhase(pid, tid, p);
+    }
+    p.name = name;
+    p.start = p.last = cycle;
+}
+
+void
+TraceWriter::flush()
+{
+    for (auto &[key, p] : open_) {
+        if (p.name != nullptr)
+            closePhase(key.first, key.second, p);
+        p.name = nullptr;
+    }
+}
+
+std::string
+TraceWriter::render() const
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("displayTimeUnit").value("ms");
+    jw.key("traceEvents").beginArray();
+    for (const Event &e : events_) {
+        jw.beginObject();
+        switch (e.ph) {
+          case Event::Ph::Meta:
+            jw.key("ph").value("M");
+            jw.key("pid").value(e.pid);
+            jw.key("tid").value(e.tid);
+            jw.key("name").value(e.name);
+            jw.key("args").beginObject().key("name").value(e.arg)
+                .endObject();
+            break;
+          case Event::Ph::Complete:
+            jw.key("ph").value("X");
+            jw.key("pid").value(e.pid);
+            jw.key("tid").value(e.tid);
+            jw.key("cat").value(e.cat);
+            jw.key("name").value(e.name);
+            jw.key("ts").value(e.ts);
+            jw.key("dur").value(e.dur);
+            break;
+          case Event::Ph::Instant:
+            jw.key("ph").value("i");
+            jw.key("pid").value(e.pid);
+            jw.key("tid").value(e.tid);
+            jw.key("cat").value(e.cat);
+            jw.key("name").value(e.name);
+            jw.key("ts").value(e.ts);
+            jw.key("s").value("t");
+            break;
+          case Event::Ph::Counter:
+            jw.key("ph").value("C");
+            jw.key("pid").value(e.pid);
+            jw.key("tid").value(0);
+            jw.key("name").value(e.name);
+            jw.key("ts").value(e.ts);
+            jw.key("args").beginObject().key(e.arg).value(e.value)
+                .endObject();
+            break;
+        }
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    return jw.str();
+}
+
+bool
+TraceWriter::save(const std::string &path)
+{
+    flush();
+    return saveTextFile(path, render());
+}
+
+} // namespace tmu::stats

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Chrome trace_event-format timeline writer (JSON Object Format),
+ * loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+ *
+ * Time axis: 1 simulated cycle = 1 trace microsecond, so the timeline
+ * reads directly in cycles.
+ *
+ * Three event families cover the simulator's needs:
+ *  - complete events ("ph":"X") — spans such as outQ chunk fills;
+ *  - counter events  ("ph":"C") — sampled tracks such as outQ
+ *    occupancy or in-flight TMU line requests;
+ *  - phase tracks — a per-(pid,tid) run-length encoder over per-cycle
+ *    states (commit / frontend_stall / backend_stall): models call
+ *    phase() every cycle with the current state and the writer emits
+ *    one complete event per contiguous run, not one per cycle.
+ *
+ * Models hold a borrowed TraceWriter* and may be compiled with tracing
+ * permanently wired: every hook is null-checked by the caller, so a
+ * run without --trace-out pays one branch per cycle.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tmu::stats {
+
+/** Buffered trace_event writer. */
+class TraceWriter
+{
+  public:
+    /** Name the process (timeline group) @p pid. */
+    void processName(int pid, const std::string &name);
+
+    /** Name thread (track) @p tid of process @p pid. */
+    void threadName(int pid, int tid, const std::string &name);
+
+    /** Complete event: [start, start+dur) span on a track. */
+    void complete(int pid, int tid, const std::string &cat,
+                  const std::string &name, std::uint64_t startCycle,
+                  std::uint64_t durCycles);
+
+    /** Instant event (a zero-duration marker). */
+    void instant(int pid, int tid, const std::string &cat,
+                 const std::string &name, std::uint64_t cycle);
+
+    /** Counter sample: one series point on track @p name. */
+    void counter(int pid, const std::string &name,
+                 const std::string &series, double value,
+                 std::uint64_t cycle);
+
+    /**
+     * Per-cycle phase attribution for track (pid, tid). Contiguous
+     * cycles with the same @p name coalesce into one complete event;
+     * a gap (the model skipped cycles) closes the open run.
+     */
+    void phase(int pid, int tid, const char *name, std::uint64_t cycle);
+
+    /** Close every open phase run (end of simulation). */
+    void flush();
+
+    /** Render the full JSON document. */
+    std::string render() const;
+
+    /** flush() + render() + write to @p path. */
+    bool save(const std::string &path);
+
+    /** Events buffered so far (metadata + spans + samples). */
+    std::size_t eventCount() const { return events_.size(); }
+
+  private:
+    /** One pre-typed event; rendered lazily. */
+    struct Event
+    {
+        enum class Ph : std::uint8_t { Meta, Complete, Instant, Counter };
+        Ph ph = Ph::Complete;
+        int pid = 0;
+        int tid = 0;
+        std::string cat;
+        std::string name;
+        std::string arg;    //!< Meta: name value; Counter: series
+        std::uint64_t ts = 0;
+        std::uint64_t dur = 0;
+        double value = 0.0; //!< Counter sample value
+    };
+
+    struct OpenPhase
+    {
+        const char *name = nullptr;
+        std::uint64_t start = 0;
+        std::uint64_t last = 0;
+    };
+
+    void closePhase(int pid, int tid, const OpenPhase &p);
+
+    std::vector<Event> events_;
+    std::map<std::pair<int, int>, OpenPhase> open_;
+};
+
+} // namespace tmu::stats

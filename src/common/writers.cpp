@@ -1,0 +1,303 @@
+#include "writers.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace tmu::stats {
+
+// --- JsonWriter --------------------------------------------------------------------
+
+void
+JsonWriter::comma()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return; // the key already emitted the separator logic
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ',';
+        needComma_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    TMU_ASSERT(!needComma_.empty() && !afterKey_);
+    needComma_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    TMU_ASSERT(!needComma_.empty() && !afterKey_);
+    needComma_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    TMU_ASSERT(!afterKey_, "two keys in a row");
+    comma();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    out_ += number(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    comma();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+// --- CsvWriter ---------------------------------------------------------------------
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : columns_(header.size())
+{
+    TMU_ASSERT(columns_ > 0);
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i)
+            out_ += ',';
+        out_ += escape(header[i]);
+    }
+    out_ += '\n';
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    TMU_ASSERT(cells.size() == columns_,
+               "CSV row has %zu cells, header has %zu", cells.size(),
+               columns_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ += ',';
+        out_ += escape(cells[i]);
+    }
+    out_ += '\n';
+}
+
+std::string
+CsvWriter::str() const
+{
+    return out_;
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+// --- Snapshot renderers ------------------------------------------------------------
+
+std::string
+renderStatsText(const StatSnapshot &snap)
+{
+    std::string out;
+    for (const SnapshotEntry &e : snap.entries) {
+        if (e.kind == StatKind::U64) {
+            out += detail::format("%-40s %18llu  # %s\n",
+                                  e.name.c_str(),
+                                  static_cast<unsigned long long>(e.u),
+                                  e.desc.c_str());
+        } else {
+            out += detail::format("%-40s %18.6f  # %s\n",
+                                  e.name.c_str(), e.f, e.desc.c_str());
+        }
+    }
+    return out;
+}
+
+void
+writeSnapshotObject(JsonWriter &jw, const StatSnapshot &snap)
+{
+    for (const SnapshotEntry &e : snap.entries) {
+        jw.key(e.name);
+        if (e.kind == StatKind::U64)
+            jw.value(e.u);
+        else
+            jw.value(e.f);
+    }
+}
+
+std::string
+renderStatsJson(const StatSnapshot &snap, const MetaList &meta)
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("meta").beginObject();
+    for (const auto &[k, v] : meta)
+        jw.key(k).value(v);
+    jw.endObject();
+    jw.key("stats").beginObject();
+    writeSnapshotObject(jw, snap);
+    jw.endObject();
+    jw.key("desc").beginObject();
+    for (const SnapshotEntry &e : snap.entries)
+        jw.key(e.name).value(e.desc);
+    jw.endObject();
+    jw.endObject();
+    return jw.str();
+}
+
+std::string
+renderStatsCsv(const StatSnapshot &snap)
+{
+    CsvWriter csv({"name", "value", "description"});
+    for (const SnapshotEntry &e : snap.entries) {
+        const std::string value =
+            e.kind == StatKind::U64 ? std::to_string(e.u)
+                                    : JsonWriter::number(e.f);
+        csv.row({e.name, value, e.desc});
+    }
+    return csv.str();
+}
+
+bool
+saveTextFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        TMU_WARN("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    if (n != content.size()) {
+        TMU_WARN("short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace tmu::stats

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Machine-readable output writers for the observability layer.
+ *
+ * JsonWriter — minimal streaming JSON builder (objects, arrays, typed
+ *              values, correct escaping; non-finite doubles become
+ *              null so output always parses).
+ * CsvWriter  — RFC-4180-style CSV with quoting.
+ *
+ * On top of those, renderers for a StatSnapshot:
+ *   renderStatsText — gem5-style `name value  # desc` lines,
+ *                     byte-compatible with the historical dumpStats
+ *                     report format;
+ *   renderStatsJson — {"meta": {...}, "stats": {...}, "desc": {...}};
+ *   renderStatsCsv  — name,value,description rows.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/statreg.hpp"
+
+namespace tmu::stats {
+
+/** Streaming JSON builder (beginObject/endObject/key/value calls). */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key inside an object; must be followed by a value/begin*. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** The document built so far. */
+    const std::string &str() const { return out_; }
+
+    /** JSON-escape @p s (without surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+    /** Format @p v as a JSON number ("null" if non-finite). */
+    static std::string number(double v);
+
+  private:
+    void comma();
+
+    std::string out_;
+    std::vector<bool> needComma_; //!< per open scope
+    bool afterKey_ = false;
+};
+
+/** Column-oriented CSV writer with quoting. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    void row(const std::vector<std::string> &cells);
+
+    /** The full document (header + rows, "\n" line ends). */
+    std::string str() const;
+
+    /** Quote one cell if it contains a comma, quote, or newline. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::size_t columns_;
+    std::string out_;
+};
+
+/** Key/value metadata attached to a stats export. */
+using MetaList = std::vector<std::pair<std::string, std::string>>;
+
+/** gem5-style plain-text rendering of a snapshot (no banners). */
+std::string renderStatsText(const StatSnapshot &snap);
+
+/** Full JSON document for one snapshot. */
+std::string renderStatsJson(const StatSnapshot &snap,
+                            const MetaList &meta = {});
+
+/** Write @p snap's entries into an already-open JSON object scope. */
+void writeSnapshotObject(JsonWriter &jw, const StatSnapshot &snap);
+
+/** CSV document: name,value,description. */
+std::string renderStatsCsv(const StatSnapshot &snap);
+
+/** Write @p content to @p path. Warns and returns false on failure. */
+bool saveTextFile(const std::string &path, const std::string &content);
+
+} // namespace tmu::stats

@@ -91,6 +91,22 @@ Cache::reclaim(Cycle now)
 }
 
 void
+Cache::registerStats(stats::StatRegistry &reg, const std::string &prefix,
+                     const std::string &label, bool extended) const
+{
+    reg.scalar(prefix + "accesses", label + " accesses", &accesses_);
+    reg.formula(prefix + "hitRate", label + " hit rate",
+                [this] { return hitRate(); });
+    if (extended) {
+        reg.scalarU64(prefix + "hits",
+                      label + " hits (incl. MSHR merges)",
+                      [this] { return hits(); });
+        reg.scalar(prefix + "misses", label + " primary misses",
+                   &misses_);
+    }
+}
+
+void
 Cache::reset()
 {
     for (auto &w : ways_)

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/statreg.hpp"
 #include "common/types.hpp"
 #include "sim/config.hpp"
 
@@ -126,6 +127,17 @@ class Cache
 
     /** Drop all contents and statistics. */
     void reset();
+
+    /**
+     * Register this level's counters under @p prefix (e.g. "core0.l1.")
+     * with human descriptions built from @p label (e.g. "L1D"). The
+     * legacy set (accesses, hitRate) always registers, in the
+     * historical dumpStats order; @p extended adds hits and misses for
+     * the machine-readable exports.
+     */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix,
+                       const std::string &label, bool extended) const;
 
   private:
     struct Way

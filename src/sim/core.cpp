@@ -16,6 +16,39 @@ constexpr std::uint64_t kBranchDepWindow = 3;
 
 } // namespace
 
+void
+CoreStats::registerStats(stats::StatRegistry &reg,
+                         const std::string &prefix, bool summed,
+                         bool extended) const
+{
+    reg.scalar(prefix + "cycles",
+               summed ? "summed core cycles" : "core cycles", &cycles);
+    reg.scalar(prefix + "commitCycles",
+               "cycles retiring at least one op", &commitCycles);
+    reg.scalar(prefix + "frontendStallCycles",
+               "fetch-side stall cycles", &frontendStallCycles);
+    reg.scalar(prefix + "backendStallCycles",
+               "memory/resource stall cycles", &backendStallCycles);
+    reg.scalar(prefix + "supplyWaitCycles",
+               "of backend: instruction-supply (outQ) waits",
+               &supplyWaitCycles);
+    reg.scalar(prefix + "retiredOps", "micro-ops retired", &retiredOps);
+    reg.scalar(prefix + "loads", "loads issued", &loads);
+    reg.scalar(prefix + "stores", "stores issued", &stores);
+    reg.scalar(prefix + "flops", "floating-point operations", &flops);
+    reg.scalar(prefix + "branches", "branches", &branches);
+    reg.scalar(prefix + "mispredicts", "branch mispredictions",
+               &mispredicts);
+    reg.formula(prefix + "avgLoadToUse",
+                "average load-to-use latency (cycles)",
+                [this] { return avgLoadToUse(); });
+    if (extended) {
+        reg.scalar(prefix + "loadLatencySum",
+                   "sum of load (complete - issue) latencies",
+                   &loadLatencySum);
+    }
+}
+
 Core::Core(int id, const CoreConfig &cfg, MemorySystem &mem)
     : id_(id), cfg_(cfg), mem_(mem), predictor_(cfg.ghistBits),
       rob_(static_cast<std::size_t>(cfg.robEntries))
@@ -26,6 +59,13 @@ void
 Core::attach(TraceSource *source)
 {
     source_ = source;
+}
+
+void
+Core::setTracer(stats::TraceWriter *tracer, int pid)
+{
+    tracer_ = tracer;
+    tracePid_ = pid;
 }
 
 bool
@@ -257,20 +297,28 @@ Core::tick(Cycle now)
     issue(now);
     dispatch(now);
 
+    const char *phase;
     if (retired > 0) {
         ++stats_.commitCycles;
+        phase = "commit";
     } else if (!rob_.empty()) {
         ++stats_.backendStallCycles;
+        phase = "backend_stall";
     } else if (now < fetchBlockedUntil_ || pendingMispredictSeq_ >= 0) {
         ++stats_.frontendStallCycles;
+        phase = "frontend_stall";
     } else if (source_ != nullptr && !source_->done()) {
         // Waiting on the instruction supply (e.g. an outQ chunk the
         // TMU is still producing).
         ++stats_.backendStallCycles;
         ++stats_.supplyWaitCycles;
+        phase = "backend_stall";
     } else {
         ++stats_.frontendStallCycles;
+        phase = "frontend_stall";
     }
+    if (tracer_ != nullptr)
+        tracer_->phase(tracePid_, id_, phase, now);
     return true;
 }
 

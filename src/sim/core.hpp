@@ -18,8 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/circular_queue.hpp"
+#include "common/statreg.hpp"
+#include "common/tracewriter.hpp"
 #include "sim/branch.hpp"
 #include "sim/config.hpp"
 #include "sim/memsys.hpp"
@@ -53,6 +56,15 @@ struct CoreStats
                            static_cast<double>(loads)
                      : 0.0;
     }
+
+    /**
+     * Register every counter under @p prefix, in the historical
+     * dumpStats order/wording. @p summed selects the wording used for
+     * the all-cores aggregate; @p extended adds loadLatencySum.
+     */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix, bool summed,
+                       bool extended) const;
 };
 
 /** One simulated out-of-order core. */
@@ -63,6 +75,13 @@ class Core
 
     /** Attach the micro-op supply (not owned). */
     void attach(TraceSource *source);
+
+    /**
+     * Attach a timeline tracer (not owned; nullptr detaches). The core
+     * reports its per-cycle commit/frontend/backend attribution as a
+     * phase track on (pid, tid = core id).
+     */
+    void setTracer(stats::TraceWriter *tracer, int pid);
 
     /** Advance one cycle. @retval false the core is fully drained. */
     bool tick(Cycle now);
@@ -108,6 +127,9 @@ class Core
     std::int64_t pendingMispredictSeq_ = -1;
     MicroOp pendingOp_{};  //!< pulled but not yet dispatched
     bool havePending_ = false;
+
+    stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
+    int tracePid_ = 0;
 
     CoreStats stats_;
 };

@@ -252,6 +252,73 @@ MemorySystem::flushPrefetches(int coreId, Cycle now)
     pendingL2_.clear();
 }
 
+void
+MemorySystem::registerStats(stats::StatRegistry &reg, bool extended) const
+{
+    for (int c = 0; c < cfg_.cores; ++c) {
+        const PerCore &pc = perCore_[static_cast<std::size_t>(c)];
+        const std::string p = "core" + std::to_string(c) + ".";
+        pc.l1.registerStats(reg, p + "l1.", "L1D", extended);
+        pc.l2.registerStats(reg, p + "l2.", "L2", extended);
+        if (cfg_.modelTlb)
+            pc.tlb.registerStats(reg, p + "tlb.", extended);
+        if (extended) {
+            reg.scalarU64(p + "prefetch.strideCandidates",
+                          "stride prefetch candidates",
+                          [&pc] { return pc.stride.candidates(); });
+            reg.scalarU64(p + "prefetch.boCandidates",
+                          "best-offset prefetch candidates",
+                          [&pc] { return pc.bo.candidates(); });
+            reg.scalarU64(p + "prefetch.impCandidates",
+                          "IMP indirect prefetch candidates",
+                          [&pc] { return pc.imp.candidates(); });
+        }
+    }
+
+    reg.scalarU64("llc.accesses", "LLC accesses (all slices)", [this] {
+        std::uint64_t n = 0;
+        for (const Cache &s : slices_)
+            n += s.accesses();
+        return n;
+    });
+    reg.scalarU64("llc.misses", "LLC misses (all slices)", [this] {
+        std::uint64_t n = 0;
+        for (const Cache &s : slices_)
+            n += s.misses();
+        return n;
+    });
+    reg.formula("llc.hitRate", "LLC hit rate", [this] {
+        std::uint64_t acc = 0, miss = 0;
+        for (const Cache &s : slices_) {
+            acc += s.accesses();
+            miss += s.misses();
+        }
+        return acc ? 1.0 - static_cast<double>(miss) /
+                               static_cast<double>(acc)
+                   : 0.0;
+    });
+    if (extended) {
+        for (std::size_t s = 0; s < slices_.size(); ++s) {
+            slices_[s].registerStats(
+                reg, "llc.slice" + std::to_string(s) + ".", "LLC slice",
+                false);
+        }
+    }
+
+    reg.scalar("dram.readBytes", "bytes read from DRAM",
+               &dram_.readBytes);
+    reg.scalar("dram.writeBytes", "bytes written to DRAM",
+               &dram_.writeBytes);
+    reg.scalar("dram.accesses", "line transfers", &dram_.accesses);
+    reg.formula("dram.rowHitRate", "row-buffer hit rate", [this] {
+        return dram_.accesses ? static_cast<double>(dram_.rowHits) /
+                                    static_cast<double>(dram_.accesses)
+                              : 0.0;
+    });
+    if (extended)
+        reg.scalar("dram.rowHits", "row-buffer hits", &dram_.rowHits);
+}
+
 double
 MemorySystem::achievedGBs(Cycle cycles) const
 {

@@ -83,6 +83,15 @@ class MemorySystem
     /** Achieved DRAM bandwidth over [0, @p cycles] in GB/s. */
     double achievedGBs(Cycle cycles) const;
 
+    /**
+     * Register every memory-side counter: per-core L1/L2 (and TLB when
+     * modelled), the LLC aggregates, and DRAM — in the historical
+     * dumpStats order. @p extended adds the machine-readable extras
+     * (hits/misses per level, prefetcher candidates, per-slice LLC
+     * counts, DRAM row hits).
+     */
+    void registerStats(stats::StatRegistry &reg, bool extended) const;
+
   private:
     struct PerCore
     {

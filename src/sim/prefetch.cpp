@@ -43,6 +43,7 @@ StridePrefetcher::observe(Addr addr, PrefetchList &out)
                                 static_cast<std::int64_t>(d) * e.stride;
             if (target >= 0 && pageOf(static_cast<Addr>(target)) == page)
                 out.push_back(lineAddr(static_cast<Addr>(target)));
+                ++candidates_;
         }
     }
 }
@@ -85,6 +86,7 @@ BestOffsetPrefetcher::observe(Addr line, PrefetchList &out)
     }
 
     out.push_back(line + static_cast<Addr>(bestOffset_) * kLineBytes);
+    ++candidates_;
 }
 
 void
@@ -151,6 +153,7 @@ ImpPrefetcher::observe(Addr prodAddr, Addr consAddr, PrefetchList &out)
                 coeff_ * static_cast<double>(futureIdx) + base_;
             if (target >= 0.0)
                 out.push_back(lineAddr(static_cast<Addr>(target)));
+                ++candidates_;
         }
     }
 }

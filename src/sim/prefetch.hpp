@@ -38,7 +38,11 @@ class StridePrefetcher
     /** Observe a demand access; append prefetch lines to @p out. */
     void observe(Addr addr, PrefetchList &out);
 
+    /** Prefetch line candidates emitted so far. */
+    std::uint64_t candidates() const { return candidates_; }
+
   private:
+    std::uint64_t candidates_ = 0;
     struct Entry
     {
         Addr page = ~Addr{0};
@@ -65,7 +69,11 @@ class BestOffsetPrefetcher
     /** Currently selected offset in lines (introspection/tests). */
     int currentOffset() const { return bestOffset_; }
 
+    /** Prefetch line candidates emitted so far. */
+    std::uint64_t candidates() const { return candidates_; }
+
   private:
+    std::uint64_t candidates_ = 0;
     static constexpr int kRounds = 16;      //!< scoring round length
     static constexpr std::size_t kRecent = 64; //!< recent-request window
 
@@ -108,7 +116,11 @@ class ImpPrefetcher
 
     bool trained() const { return trained_; }
 
+    /** Prefetch line candidates emitted so far. */
+    std::uint64_t candidates() const { return candidates_; }
+
   private:
+    std::uint64_t candidates_ = 0;
     struct Region
     {
         Addr base = 0;

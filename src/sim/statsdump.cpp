@@ -1,101 +1,41 @@
 #include "statsdump.hpp"
 
-#include "common/log.hpp"
+#include "common/writers.hpp"
 
 namespace tmu::sim {
 
-namespace {
-
 void
-line(std::string &out, const std::string &name, double value,
-     const char *desc)
+buildSimRegistry(stats::StatRegistry &reg, const SimResult &result,
+                 const MemorySystem &mem, bool extended)
 {
-    out += detail::format("%-40s %18.6f  # %s\n", name.c_str(), value,
-                          desc);
-}
+    reg.scalar("sim.cycles", "wall-clock cycles (max over cores)",
+               &result.cycles);
+    reg.scalar("sim.achievedGBs", "DRAM bandwidth achieved (GB/s)",
+               &result.achievedGBs);
+    reg.scalar("sim.gflops", "FP throughput achieved (GFLOP/s)",
+               &result.gflops);
 
-void
-line(std::string &out, const std::string &name, std::uint64_t value,
-     const char *desc)
-{
-    out += detail::format("%-40s %18llu  # %s\n", name.c_str(),
-                          static_cast<unsigned long long>(value), desc);
-}
+    result.total.registerStats(reg, "cores.", /*summed=*/true, extended);
+    if (extended) {
+        for (std::size_t c = 0; c < result.perCore.size(); ++c) {
+            result.perCore[c].registerStats(
+                reg, "core" + std::to_string(c) + ".", /*summed=*/false,
+                extended);
+        }
+    }
 
-} // namespace
+    mem.registerStats(reg, extended);
+}
 
 std::string
 dumpStats(const SimResult &result, const MemorySystem &mem)
 {
+    stats::StatRegistry reg;
+    buildSimRegistry(reg, result, mem, /*extended=*/false);
+
     std::string out;
     out += "---------- Begin Simulation Statistics ----------\n";
-
-    line(out, "sim.cycles", result.cycles,
-         "wall-clock cycles (max over cores)");
-    line(out, "sim.achievedGBs", result.achievedGBs,
-         "DRAM bandwidth achieved (GB/s)");
-    line(out, "sim.gflops", result.gflops,
-         "FP throughput achieved (GFLOP/s)");
-
-    const CoreStats &t = result.total;
-    line(out, "cores.cycles", t.cycles, "summed core cycles");
-    line(out, "cores.commitCycles", t.commitCycles,
-         "cycles retiring at least one op");
-    line(out, "cores.frontendStallCycles", t.frontendStallCycles,
-         "fetch-side stall cycles");
-    line(out, "cores.backendStallCycles", t.backendStallCycles,
-         "memory/resource stall cycles");
-    line(out, "cores.supplyWaitCycles", t.supplyWaitCycles,
-         "of backend: instruction-supply (outQ) waits");
-    line(out, "cores.retiredOps", t.retiredOps, "micro-ops retired");
-    line(out, "cores.loads", t.loads, "loads issued");
-    line(out, "cores.stores", t.stores, "stores issued");
-    line(out, "cores.flops", t.flops, "floating-point operations");
-    line(out, "cores.branches", t.branches, "branches");
-    line(out, "cores.mispredicts", t.mispredicts,
-         "branch mispredictions");
-    line(out, "cores.avgLoadToUse", t.avgLoadToUse(),
-         "average load-to-use latency (cycles)");
-
-    for (int c = 0; c < mem.config().cores; ++c) {
-        const std::string p = detail::format("core%d.", c);
-        line(out, p + "l1.accesses", mem.l1(c).accesses(),
-             "L1D accesses");
-        line(out, p + "l1.hitRate", mem.l1(c).hitRate(),
-             "L1D hit rate");
-        line(out, p + "l2.accesses", mem.l2(c).accesses(),
-             "L2 accesses");
-        line(out, p + "l2.hitRate", mem.l2(c).hitRate(), "L2 hit rate");
-        if (mem.config().modelTlb) {
-            line(out, p + "tlb.walks", mem.tlb(c).walks(),
-                 "page-table walks");
-        }
-    }
-
-    std::uint64_t llcAccesses = 0, llcMisses = 0;
-    for (int s = 0; s < mem.config().mem.llcSlices; ++s) {
-        llcAccesses += mem.llcSlice(s).accesses();
-        llcMisses += mem.llcSlice(s).misses();
-    }
-    line(out, "llc.accesses", llcAccesses, "LLC accesses (all slices)");
-    line(out, "llc.misses", llcMisses, "LLC misses (all slices)");
-    line(out, "llc.hitRate",
-         llcAccesses ? 1.0 - static_cast<double>(llcMisses) /
-                                 static_cast<double>(llcAccesses)
-                     : 0.0,
-         "LLC hit rate");
-
-    const DramStats &d = result.dram;
-    line(out, "dram.readBytes", d.readBytes, "bytes read from DRAM");
-    line(out, "dram.writeBytes", d.writeBytes,
-         "bytes written to DRAM");
-    line(out, "dram.accesses", d.accesses, "line transfers");
-    line(out, "dram.rowHitRate",
-         d.accesses ? static_cast<double>(d.rowHits) /
-                          static_cast<double>(d.accesses)
-                    : 0.0,
-         "row-buffer hit rate");
-
+    out += stats::renderStatsText(reg.snapshot());
     out += "---------- End Simulation Statistics   ----------\n";
     return out;
 }

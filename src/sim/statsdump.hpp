@@ -3,16 +3,35 @@
  * gem5-style plain-text statistics report: one `name  value  # desc`
  * line per counter, covering the cores, the cache hierarchy, the TLBs
  * and DRAM. Written for diffing between runs and for scripting.
+ *
+ * The report is a text rendering of a StatRegistry; the same registry
+ * (with @c extended = true) backs the JSON/CSV exports, so the three
+ * formats can never drift apart.
  */
 
 #pragma once
 
 #include <string>
 
+#include "common/statreg.hpp"
 #include "sim/memsys.hpp"
 #include "sim/system.hpp"
 
 namespace tmu::sim {
+
+/**
+ * Register every simulation statistic for a finished run: the sim.*
+ * summary lines, the summed core counters, and the memory system.
+ * With @p extended false the set and order exactly match the
+ * historical dumpStats report; @p extended true adds the
+ * machine-readable extras (per-level hits/misses, prefetcher
+ * candidates, per-slice LLC counts, DRAM row hits).
+ *
+ * The registry borrows @p result and @p mem — snapshot() before they
+ * go out of scope.
+ */
+void buildSimRegistry(stats::StatRegistry &reg, const SimResult &result,
+                      const MemorySystem &mem, bool extended);
 
 /** Render the full statistics report for a finished run. */
 std::string dumpStats(const SimResult &result, const MemorySystem &mem);

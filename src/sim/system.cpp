@@ -46,6 +46,18 @@ System::addDevice(Tickable *dev)
     devices_.push_back(dev);
 }
 
+void
+System::setTracer(stats::TraceWriter *tracer, int pid)
+{
+    for (auto &core : cores_) {
+        core->setTracer(tracer, pid);
+        if (tracer != nullptr) {
+            tracer->threadName(pid, core->id(),
+                               "core" + std::to_string(core->id()));
+        }
+    }
+}
+
 SimResult
 System::run(Cycle maxCycles)
 {

@@ -59,6 +59,13 @@ class System
     void addDevice(Tickable *dev);
 
     /**
+     * Attach a timeline tracer (not owned; nullptr detaches). Each core
+     * becomes thread @c core<i> of process @p pid and reports its
+     * per-cycle commit/frontend/backend attribution as a phase track.
+     */
+    void setTracer(stats::TraceWriter *tracer, int pid);
+
+    /**
      * Run until every core is drained and every device idle (or the
      * safety cap is hit). Returns the result summary.
      */

@@ -34,4 +34,16 @@ Tlb::accessL2(Addr addr)
     return {cfg_.l2Latency + cfg_.walkLatency, 3};
 }
 
+void
+Tlb::registerStats(stats::StatRegistry &reg, const std::string &prefix,
+                   bool extended) const
+{
+    reg.scalar(prefix + "walks", "page-table walks", &walks_);
+    if (extended) {
+        reg.scalar(prefix + "l1Hits", "L1 TLB hits", &l1Hits_);
+        reg.scalar(prefix + "l2Hits", "L2 TLB hits", &l2Hits_);
+    }
+}
+
 } // namespace tmu::sim
+

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
+#include "common/statreg.hpp"
 #include "common/types.hpp"
 
 namespace tmu::sim {
@@ -53,6 +55,13 @@ class Tlb
     std::uint64_t l1Hits() const { return l1Hits_; }
     std::uint64_t l2Hits() const { return l2Hits_; }
     std::uint64_t walks() const { return walks_; }
+
+    /**
+     * Register counters under @p prefix. Legacy set: walks (the one
+     * line dumpStats prints); @p extended adds l1Hits / l2Hits.
+     */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix, bool extended) const;
 
   private:
     struct Level

@@ -25,7 +25,8 @@ TmuEngine::TmuEngine(int coreId, const EngineConfig &cfg,
                      sim::MemorySystem &mem, const TmuProgram &program)
     : coreId_(coreId), cfg_(cfg), mem_(mem), prog_(program),
       plan_(planQueues(program, cfg.perLaneBytes)),
-      outqBuf_(2 * cfg.chunkBytes)
+      outqBuf_(2 * cfg.chunkBytes),
+      occupancyHist_(0.0, static_cast<double>(2 * cfg.chunkBytes), 16)
 {
     prog_.validate(cfg.lanes);
     TMU_ASSERT(prog_.layer(0).tus[0].kind == TraversalKind::Dense,
@@ -753,6 +754,11 @@ TmuEngine::sealChunk(int c, Cycle now)
     for (std::size_t off = 0; off < ch.usedBytes; off += kLineBytes)
         mem_.outqInstall(coreId_, base + off, now);
     ++stats_.chunksSealed;
+    if (tracer_ != nullptr) {
+        tracer_->complete(tracePid_, 200 + coreId_, "tmu", "chunk_fill",
+                          ch.fillStart,
+                          std::max<Cycle>(1, now - ch.fillStart));
+    }
     curChunk_ = -1;
     nextFill_ = 1 - nextFill_;
 }
@@ -793,6 +799,7 @@ TmuEngine::tickSerializer(Cycle now)
                 static_cast<Addr>(c) * cfg_.chunkBytes + ch.usedBytes;
             ch.usedBytes += bytes;
             stats_.outqBytes += bytes;
+            occupancyBytes_ += bytes;
             ++stats_.recordsEmitted;
             ch.records.emplace_back(std::move(rec), addr);
             tok.records.erase(tok.records.begin());
@@ -834,6 +841,22 @@ TmuEngine::tick(Cycle now)
     tickTus(now);
     tickArbiter(now);
     tickSerializer(now);
+
+    if ((now & 31) == 0) {
+        occupancyHist_.add(static_cast<double>(occupancyBytes_));
+        if (tracer_ != nullptr) {
+            tracer_->counter(tracePid_,
+                             "tmu" + std::to_string(coreId_) + ".outq",
+                             "bytes",
+                             static_cast<double>(occupancyBytes_), now);
+        }
+    }
+    if (tracer_ != nullptr) {
+        const char *state = curChunk_ >= 0      ? "fill"
+                            : serializerDone_   ? "drain"
+                                                : "traverse";
+        tracer_->phase(tracePid_, 100 + coreId_, state, now);
+    }
     return true;
 }
 
@@ -841,6 +864,52 @@ bool
 TmuEngine::producerDone() const
 {
     return serializerDone_ && curChunk_ < 0;
+}
+
+void
+TmuEngine::setTracer(stats::TraceWriter *tracer, int pid)
+{
+    tracer_ = tracer;
+    tracePid_ = pid;
+    if (tracer != nullptr) {
+        const std::string label = "tmu" + std::to_string(coreId_);
+        tracer->threadName(pid, 100 + coreId_, label);
+        tracer->threadName(pid, 200 + coreId_, label + ".outq");
+    }
+}
+
+void
+TmuEngine::registerStats(stats::StatRegistry &reg,
+                         const std::string &prefix, bool extended) const
+{
+    reg.scalar(prefix + "requestsIssued",
+               "memory requests issued to the LLC",
+               &stats_.requestsIssued);
+    reg.scalar(prefix + "coalescedLoads",
+               "line requests coalesced across lanes",
+               &stats_.coalescedLoads);
+    reg.scalar(prefix + "elementsPushed",
+               "elements pushed into stream queues",
+               &stats_.elementsPushed);
+    reg.scalar(prefix + "recordsEmitted", "outQ records emitted",
+               &stats_.recordsEmitted);
+    reg.scalar(prefix + "chunksSealed", "outQ chunks sealed",
+               &stats_.chunksSealed);
+    reg.scalar(prefix + "outqBytes", "bytes written to the outQ",
+               &stats_.outqBytes);
+    reg.scalar(prefix + "busyCycles", "cycles the engine was active",
+               &stats_.busyCycles);
+    reg.formula(prefix + "readToWriteRatio",
+                "mean per-chunk consume/fill time ratio",
+                [this] { return stats_.readToWriteRatio(); });
+    if (extended) {
+        reg.scalar(prefix + "rwChunks",
+                   "chunks with consume/fill accounting",
+                   &stats_.rwChunks);
+        reg.histogram(prefix + "outqOccupancy",
+                      "outQ resident bytes (sampled every 32 cycles)",
+                      &occupancyHist_);
+    }
 }
 
 std::string
@@ -890,6 +959,7 @@ TmuEngine::popRecord(Cycle now, OutqRecord &rec, Addr &outqAddr)
     rec = std::move(ch.records.front().first);
     outqAddr = ch.records.front().second;
     ch.records.pop_front();
+    occupancyBytes_ -= std::min(occupancyBytes_, rec.bytes());
     if (ch.records.empty()) {
         // Chunk fully consumed: account the read/write ratio and free.
         const double write = static_cast<double>(
@@ -898,6 +968,12 @@ TmuEngine::popRecord(Cycle now, OutqRecord &rec, Addr &outqAddr)
             std::max<Cycle>(1, now - ch.consumeStart + 1));
         stats_.rwRatioSum += read / write;
         ++stats_.rwChunks;
+        if (tracer_ != nullptr) {
+            tracer_->complete(
+                tracePid_, 200 + coreId_, "tmu", "chunk_drain",
+                ch.consumeStart,
+                std::max<Cycle>(1, now - ch.consumeStart + 1));
+        }
         ch.state = Chunk::State::Free;
         ch.consuming = false;
         consumeChunk_ = 1 - consumeChunk_;

@@ -22,10 +22,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/circular_queue.hpp"
+#include "common/statreg.hpp"
+#include "common/stats.hpp"
+#include "common/tracewriter.hpp"
 #include "sim/memsys.hpp"
 #include "sim/system.hpp"
 #include "tmu/functional.hpp"
@@ -129,6 +133,24 @@ class TmuEngine : public sim::Tickable
     const EngineStats &stats() const { return stats_; }
     const QueuePlan &queuePlan() const { return plan_; }
     int coreId() const { return coreId_; }
+
+    /**
+     * Attach a timeline tracer (not owned; nullptr detaches). The
+     * engine reports a fill/traverse/drain phase track on thread
+     * 100+coreId, chunk fill/drain spans on thread 200+coreId, and an
+     * outQ-occupancy counter track (sampled every 32 cycles).
+     */
+    void setTracer(stats::TraceWriter *tracer, int pid);
+
+    /**
+     * Register the engine counters under @p prefix (e.g. "tmu0.").
+     * @p extended adds the occupancy histogram and chunk accounting.
+     */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix, bool extended) const;
+
+    /** outQ resident-bytes histogram, sampled every 32 busy cycles. */
+    const Histogram &outqOccupancy() const { return occupancyHist_; }
 
     /** One-line-per-unit dump of FSM/queue state (deadlock triage). */
     std::string debugState() const;
@@ -280,6 +302,11 @@ class TmuEngine : public sim::Tickable
 
     bool quiesceRequested_ = false;
     Index resumeCur_ = 0;
+
+    stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
+    int tracePid_ = 0;
+    std::size_t occupancyBytes_ = 0; //!< record bytes resident in outQ
+    Histogram occupancyHist_;
 };
 
 } // namespace tmu::engine

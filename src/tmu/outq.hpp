@@ -48,6 +48,16 @@ class OutqSource : public sim::TraceSource
     /** Records consumed so far (tests/stats). */
     std::uint64_t recordsConsumed() const { return consumed_; }
 
+    /** Register consumption counters under @p prefix (e.g. "tmu0."). */
+    void
+    registerStats(stats::StatRegistry &reg,
+                  const std::string &prefix) const
+    {
+        reg.scalar(prefix + "recordsConsumed",
+                   "outQ records consumed by the host core",
+                   &consumed_);
+    }
+
   private:
     TmuEngine &engine_;
     std::unordered_map<int, CallbackHandler> handlers_;

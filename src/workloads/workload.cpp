@@ -1,6 +1,7 @@
 #include "workload.hpp"
 
 #include "common/log.hpp"
+#include "sim/statsdump.hpp"
 #include "tmu/outq.hpp"
 
 namespace tmu::workloads {
@@ -8,6 +9,8 @@ namespace tmu::workloads {
 RunHarness::RunHarness(const RunConfig &cfg)
     : cfg_(cfg), system_(std::make_unique<sim::System>(cfg.system))
 {
+    if (cfg_.trace != nullptr)
+        system_->setTracer(cfg_.trace, cfg_.tracePid);
 }
 
 void
@@ -25,6 +28,8 @@ RunHarness::addTmuProgram(int c, const engine::TmuProgram &prog)
     TMU_ASSERT(cfg_.mode == Mode::Tmu);
     engines_.push_back(std::make_unique<engine::TmuEngine>(
         c, cfg_.tmu, system_->mem(), prog));
+    if (cfg_.trace != nullptr)
+        engines_.back()->setTracer(cfg_.trace, cfg_.tracePid);
     system_->addDevice(engines_.back().get());
     outqs_.push_back(
         std::make_unique<engine::OutqSource>(*engines_.back()));
@@ -50,6 +55,19 @@ RunHarness::finish()
     }
     if (rwCount > 0)
         res.rwRatio = rwSum / rwCount;
+
+    // Snapshot the full registry while the harness models are alive so
+    // callers can export stats after this object is destroyed.
+    stats::StatRegistry reg;
+    sim::buildSimRegistry(reg, res.sim, system_->mem(),
+                          /*extended=*/true);
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        const std::string p =
+            "tmu" + std::to_string(engines_[i]->coreId()) + ".";
+        engines_[i]->registerStats(reg, p, /*extended=*/true);
+        outqs_[i]->registerStats(reg, p);
+    }
+    res.stats = reg.snapshot();
     return res;
 }
 

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/statreg.hpp"
+#include "common/tracewriter.hpp"
 #include "sim/config.hpp"
 #include "sim/system.hpp"
 #include "tmu/engine.hpp"
@@ -39,6 +41,13 @@ struct RunConfig
      * Fig. 15 Single-Lane comparator.
      */
     int programLanes = 8;
+
+    /**
+     * Optional timeline tracer (borrowed; must outlive the run). Cores
+     * and engines record into it as threads of process @c tracePid.
+     */
+    stats::TraceWriter *trace = nullptr;
+    int tracePid = 1;
 };
 
 /** One run's outcome. */
@@ -49,6 +58,12 @@ struct RunResult
     double rwRatio = 0.0;    //!< avg outQ read-to-write ratio (Tmu)
     std::uint64_t tmuRequests = 0;
     std::uint64_t tmuElements = 0;
+    /**
+     * Detached snapshot of the full (extended) stat registry — sim,
+     * memory system and any TMU engines — taken before the harness is
+     * destroyed, so callers can export JSON/CSV after the run.
+     */
+    stats::StatSnapshot stats;
 };
 
 /** Base class: prepare inputs once, run either path many times. */

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Render BENCH_*.json reports (written by the bench binaries via
+BenchReport) as GitHub-flavored markdown tables.
+
+Usage:
+    tools/bench_to_md.py BENCH_fig10_speedups.json [more.json ...]
+    tools/bench_to_md.py results/          # every BENCH_*.json inside
+    tools/bench_to_md.py                   # BENCH_*.json in the cwd
+
+Markdown goes to stdout; redirect to a file to keep it.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def md_escape(cell: str) -> str:
+    return str(cell).replace("|", "\\|")
+
+
+def render_table(table: dict) -> str:
+    lines = []
+    title = table.get("title", "")
+    if title:
+        lines.append(f"**{md_escape(title)}**")
+        lines.append("")
+    header = table.get("header", [])
+    rows = table.get("rows", [])
+    if not header and rows:
+        header = [f"col{i}" for i in range(len(rows[0]))]
+    if header:
+        lines.append("| " + " | ".join(md_escape(h) for h in header) + " |")
+        lines.append("|" + "---|" * len(header))
+    for row in rows:
+        lines.append("| " + " | ".join(md_escape(c) for c in row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(path: Path) -> str:
+    with path.open() as f:
+        report = json.load(f)
+    lines = [f"## {report.get('bench', path.stem)}", ""]
+    for table in report.get("tables", []):
+        lines.append(render_table(table))
+    notes = report.get("notes", {})
+    if notes:
+        lines.append("**Notes**")
+        lines.append("")
+        for key, value in notes.items():
+            lines.append(f"- `{key}`: {value}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def collect(args: list) -> list:
+    if not args:
+        args = ["."]
+    paths = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            paths.append(p)
+    return paths
+
+
+def main(argv: list) -> int:
+    paths = collect(argv[1:])
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    ok = True
+    for path in paths:
+        try:
+            print(render_report(path))
+        except BrokenPipeError:
+            raise
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error reading {path}: {e}", file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed early; not an error
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -16,6 +16,12 @@
  *     --imp             enable the IMP prefetcher comparator
  *     --tlb             model address translation
  *     --shrink-caches   scale the cache hierarchy with the input
+ *     --stats-json P    write the full stat registry as JSON to P
+ *     --stats-csv P     write the full stat registry as CSV to P
+ *     --trace-out P     write a Chrome trace_event / Perfetto timeline
+ *                       (per-core stall phases, TMU chunk spans, outQ
+ *                       occupancy counters) to P
+ *     --dump-stats      print the gem5-style plain-text report(s)
  *     --list            list workloads and exit
  */
 
@@ -23,8 +29,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
+#include "common/tracewriter.hpp"
+#include "common/writers.hpp"
 #include "sim/statsdump.hpp"
 #include "workloads/registry.hpp"
 
@@ -72,6 +82,56 @@ printResult(const std::string &path, const RunResult &r)
     std::printf("\n");
 }
 
+/**
+ * One JSON document covering every executed run:
+ * {"meta": {...}, "runs": {"baseline": {...}, "tmu": {...}}}.
+ */
+std::string
+exportJson(const stats::MetaList &meta,
+           const std::vector<std::pair<std::string, const RunResult *>>
+               &runs)
+{
+    stats::JsonWriter jw;
+    jw.beginObject();
+    jw.key("meta").beginObject();
+    for (const auto &[k, v] : meta)
+        jw.key(k).value(v);
+    jw.endObject();
+    jw.key("runs").beginObject();
+    for (const auto &[name, r] : runs) {
+        jw.key(name).beginObject();
+        jw.key("stats").beginObject();
+        stats::writeSnapshotObject(jw, r->stats);
+        jw.endObject();
+        jw.key("desc").beginObject();
+        for (const auto &e : r->stats.entries)
+            jw.key(e.name).value(e.desc);
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endObject();
+    jw.endObject();
+    return jw.str();
+}
+
+/** CSV rows: run,name,value,description. */
+std::string
+exportCsv(const std::vector<std::pair<std::string, const RunResult *>>
+              &runs)
+{
+    stats::CsvWriter csv({"run", "name", "value", "description"});
+    for (const auto &[name, r] : runs) {
+        for (const auto &e : r->stats.entries) {
+            const std::string value =
+                e.kind == stats::StatKind::U64
+                    ? std::to_string(e.u)
+                    : stats::JsonWriter::number(e.f);
+            csv.row({name, e.name, value, e.desc});
+        }
+    }
+    return csv.str();
+}
+
 [[noreturn]] void
 usage(const char *argv0)
 {
@@ -79,7 +139,9 @@ usage(const char *argv0)
                          "[--mode baseline|tmu|both] [--scale N] "
                          "[--cores N] [--lanes N] [--sve BITS] "
                          "[--storage BYTES] [--imp] [--tlb] "
-                         "[--shrink-caches] [--list]\n",
+                         "[--shrink-caches] [--stats-json P] "
+                         "[--stats-csv P] [--trace-out P] "
+                         "[--dump-stats] [--list]\n",
                  argv0);
     std::exit(2);
 }
@@ -98,6 +160,8 @@ main(int argc, char **argv)
     int sve = 512;
     std::size_t storage = 2048;
     bool imp = false, tlb = false, shrink = false;
+    std::string statsJson, statsCsv, traceOut;
+    bool dumpText = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -106,6 +170,27 @@ main(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
+        // Path-valued flags accept both `--flag P` and `--flag=P`.
+        auto pathFlag = [&](const char *flag, std::string &dst) {
+            const std::string eq = std::string(flag) + "=";
+            if (arg == flag) {
+                dst = next();
+                return true;
+            }
+            if (arg.rfind(eq, 0) == 0) {
+                dst = arg.substr(eq.size());
+                return true;
+            }
+            return false;
+        };
+        if (pathFlag("--stats-json", statsJson) ||
+            pathFlag("--stats-csv", statsCsv) ||
+            pathFlag("--trace-out", traceOut))
+            continue;
+        if (arg == "--dump-stats") {
+            dumpText = true;
+            continue;
+        }
         if (arg == "--workload")
             workload = next();
         else if (arg == "--input")
@@ -159,21 +244,67 @@ main(int argc, char **argv)
     cfg.tmu.perLaneBytes = storage;
     std::printf("%s\n\n", cfg.system.describe().c_str());
 
+    stats::TraceWriter tracer;
+    if (!traceOut.empty())
+        cfg.trace = &tracer;
+
     RunResult base, tmuRes;
+    std::vector<std::pair<std::string, const RunResult *>> runs;
     if (mode == "baseline" || mode == "both") {
         cfg.mode = Mode::Baseline;
+        cfg.tracePid = 1;
+        if (!traceOut.empty())
+            tracer.processName(1, "baseline");
         base = wl->run(cfg);
         printResult("baseline", base);
+        runs.emplace_back("baseline", &base);
     }
     if (mode == "tmu" || mode == "both") {
         cfg.mode = Mode::Tmu;
+        cfg.tracePid = 2;
+        if (!traceOut.empty())
+            tracer.processName(2, "tmu");
         tmuRes = wl->run(cfg);
         printResult("tmu", tmuRes);
+        runs.emplace_back("tmu", &tmuRes);
     }
     if (mode == "both" && tmuRes.sim.cycles > 0) {
         std::printf("speedup: %.2fx\n",
                     static_cast<double>(base.sim.cycles) /
                         static_cast<double>(tmuRes.sim.cycles));
+    }
+
+    if (dumpText) {
+        for (const auto &[name, r] : runs) {
+            std::printf("[%s]\n", name.c_str());
+            std::printf("---------- Begin Simulation Statistics "
+                        "----------\n");
+            std::fputs(stats::renderStatsText(r->stats).c_str(),
+                       stdout);
+            std::printf("---------- End Simulation Statistics   "
+                        "----------\n\n");
+        }
+    }
+    if (!statsJson.empty() || !statsCsv.empty()) {
+        const stats::MetaList meta = {
+            {"workload", workload},
+            {"input", input},
+            {"mode", mode},
+            {"scale", std::to_string(scale)},
+            {"cores", std::to_string(cores)},
+            {"lanes", std::to_string(lanes)},
+            {"sve", std::to_string(sve)},
+        };
+        if (!statsJson.empty() &&
+            stats::saveTextFile(statsJson, exportJson(meta, runs)))
+            std::printf("wrote %s\n", statsJson.c_str());
+        if (!statsCsv.empty() &&
+            stats::saveTextFile(statsCsv, exportCsv(runs)))
+            std::printf("wrote %s\n", statsCsv.c_str());
+    }
+    if (!traceOut.empty() && tracer.save(traceOut)) {
+        std::printf("wrote %s (%zu events)\n", traceOut.c_str(),
+                    tracer.eventCount());
     }
     return 0;
 }

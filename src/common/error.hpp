@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Recoverable error model: TmuError + Expected<T>.
+ *
+ * TMU_FATAL kills the process, which is the right call for internal
+ * invariant violations but the wrong one for anything derived from
+ * user input (a malformed .mtx file, an unknown workload name, a bad
+ * fault spec). Input-facing code paths return Expected<T> instead so
+ * callers such as tmu_run can skip the bad input, report the error in
+ * the stats export, and keep going — partial results instead of
+ * process death.
+ *
+ * TmuError carries an error code, a printf-formatted message and a
+ * chain of context frames ("while reading 'x.mtx'") accumulated as the
+ * error propagates outward, newest frame last.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace tmu {
+
+/** Error category of a recoverable failure. */
+enum class Errc : int {
+    ParseError = 1, //!< malformed text (header, token, spec syntax)
+    IoError,        //!< file missing/unreadable
+    Truncated,      //!< stream ended before the promised data
+    OutOfRange,     //!< value outside its valid domain
+    Overflow,       //!< numeric value does not fit its type
+    UnknownName,    //!< lookup miss (workload, input, preset)
+    ConfigError,    //!< inconsistent/unusable configuration
+    Corrupted,      //!< payload failed an integrity check
+};
+
+/** Stable short name of an error code ("ParseError"). */
+inline const char *
+errcName(Errc c)
+{
+    switch (c) {
+      case Errc::ParseError:  return "ParseError";
+      case Errc::IoError:     return "IoError";
+      case Errc::Truncated:   return "Truncated";
+      case Errc::OutOfRange:  return "OutOfRange";
+      case Errc::Overflow:    return "Overflow";
+      case Errc::UnknownName: return "UnknownName";
+      case Errc::ConfigError: return "ConfigError";
+      case Errc::Corrupted:   return "Corrupted";
+    }
+    return "Error";
+}
+
+/** One recoverable error: code + message + context chain. */
+class TmuError
+{
+  public:
+    TmuError(Errc code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    Errc code() const { return code_; }
+    const std::string &message() const { return message_; }
+    const std::vector<std::string> &contexts() const { return ctx_; }
+
+    /** Append a context frame (outermost last). Returns *this. */
+    TmuError &
+    context(std::string frame)
+    {
+        ctx_.push_back(std::move(frame));
+        return *this;
+    }
+
+    /** "ParseError: bad size line '1 2' (while reading 'a.mtx')". */
+    std::string
+    str() const
+    {
+        std::string out = std::string(errcName(code_)) + ": " + message_;
+        for (const std::string &c : ctx_)
+            out += " (" + c + ")";
+        return out;
+    }
+
+  private:
+    Errc code_;
+    std::string message_;
+    std::vector<std::string> ctx_;
+};
+
+/**
+ * Value-or-error result. Deliberately minimal: implicit construction
+ * from either side, bool conversion, deref accessors — enough for
+ * `if (auto r = tryX(); r) use(*r); else log(r.error())`.
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) : v_(std::move(value)) {}
+    Expected(TmuError error) : v_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    T &value() { return std::get<T>(v_); }
+    const T &value() const { return std::get<T>(v_); }
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    TmuError &error() { return std::get<TmuError>(v_); }
+    const TmuError &error() const { return std::get<TmuError>(v_); }
+
+    /** Add a context frame to the error side (no-op on success). */
+    Expected &&
+    context(std::string frame) &&
+    {
+        if (!ok())
+            error().context(std::move(frame));
+        return std::move(*this);
+    }
+
+    /** Value, or TMU_FATAL with the rendered error (legacy paths). */
+    T
+    valueOrFatal() &&
+    {
+        if (!ok())
+            TMU_FATAL("%s", error().str().c_str());
+        return std::move(value());
+    }
+
+  private:
+    std::variant<T, TmuError> v_;
+};
+
+/** Success-or-error result for operations with no value. */
+template <>
+class [[nodiscard]] Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(TmuError error) : e_(std::move(error)) {}
+
+    bool ok() const { return !e_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    TmuError &error() { return *e_; }
+    const TmuError &error() const { return *e_; }
+
+    Expected &&
+    context(std::string frame) &&
+    {
+        if (!ok())
+            e_->context(std::move(frame));
+        return std::move(*this);
+    }
+
+  private:
+    std::optional<TmuError> e_;
+};
+
+/** Build a TmuError with a printf-formatted message. */
+#define TMU_ERR(code, ...) \
+    ::tmu::TmuError((code), ::tmu::detail::format(__VA_ARGS__))
+
+} // namespace tmu

@@ -59,6 +59,90 @@ SystemConfig::graviton3Like()
     return cfg;
 }
 
+std::vector<std::string>
+SystemConfig::presetNames()
+{
+    return {"neoverse-n1", "a64fx", "graviton3"};
+}
+
+Expected<SystemConfig>
+SystemConfig::preset(const std::string &name)
+{
+    if (name == "neoverse-n1" || name == "neoverse-n1-like")
+        return neoverseN1();
+    if (name == "a64fx" || name == "a64fx-like")
+        return a64fxLike();
+    if (name == "graviton3" || name == "graviton3-like")
+        return graviton3Like();
+    std::string known;
+    for (const std::string &p : presetNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += p;
+    }
+    return TMU_ERR(Errc::UnknownName,
+                   "unknown system preset '%s' (known: %s)",
+                   name.c_str(), known.c_str());
+}
+
+Expected<void>
+SystemConfig::validate() const
+{
+    if (cores < 1)
+        return TMU_ERR(Errc::ConfigError, "cores must be >= 1, got %d",
+                       cores);
+    if (simdBits != 128 && simdBits != 256 && simdBits != 512) {
+        return TMU_ERR(Errc::ConfigError,
+                       "simdBits must be 128, 256 or 512, got %d",
+                       simdBits);
+    }
+    if (core.robEntries < 1 || core.loadQueue < 1 ||
+        core.storeQueue < 1) {
+        return TMU_ERR(Errc::ConfigError,
+                       "ROB/LSQ sizes must be >= 1 (rob %d, lq %d, "
+                       "sq %d)",
+                       core.robEntries, core.loadQueue,
+                       core.storeQueue);
+    }
+    if (core.dispatchWidth < 1 || core.commitWidth < 1 ||
+        core.issueWidth < 1) {
+        return TMU_ERR(Errc::ConfigError,
+                       "pipeline widths must be >= 1 (dispatch %d, "
+                       "commit %d, issue %d)",
+                       core.dispatchWidth, core.commitWidth,
+                       core.issueWidth);
+    }
+    for (const CacheConfig *c : {&l1, &l2, &llcSlice}) {
+        if (c->sizeBytes < kLineBytes || c->ways < 1 || c->mshrs < 1) {
+            return TMU_ERR(Errc::ConfigError,
+                           "cache level needs size >= %d B, ways >= 1, "
+                           "mshrs >= 1 (got %llu B, %d ways, %d mshrs)",
+                           static_cast<int>(kLineBytes),
+                           static_cast<unsigned long long>(
+                               c->sizeBytes),
+                           c->ways, c->mshrs);
+        }
+    }
+    if (mem.llcSlices < 1 || mem.memChannels < 1)
+        return TMU_ERR(Errc::ConfigError,
+                       "need >= 1 LLC slice and memory channel (got "
+                       "%d, %d)",
+                       mem.llcSlices, mem.memChannels);
+    if (mem.channelGBs <= 0.0 || mem.coreGHz <= 0.0)
+        return TMU_ERR(Errc::ConfigError,
+                       "channel bandwidth and clock must be positive "
+                       "(got %.2f GB/s, %.2f GHz)",
+                       mem.channelGBs, mem.coreGHz);
+    if (mem.meshDim < 1 || cores > mem.meshDim * mem.meshDim ||
+        mem.llcSlices > mem.meshDim * mem.meshDim) {
+        return TMU_ERR(Errc::ConfigError,
+                       "%dx%d mesh cannot host %d cores and %d LLC "
+                       "slices",
+                       mem.meshDim, mem.meshDim, cores, mem.llcSlices);
+    }
+    return {};
+}
+
 std::string
 SystemConfig::describe() const
 {

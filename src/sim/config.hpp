@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "sim/tlb.hpp"
 
@@ -87,6 +89,13 @@ struct SystemConfig
      */
     bool modelTlb = false;
     TlbConfig tlb;
+    /**
+     * Forward-progress watchdog window: a run with no committed work
+     * anywhere for this many cycles ends with a Deadlock/Livelock
+     * termination and an occupancy dump instead of spinning to the
+     * cycle cap. 0 disables the watchdog.
+     */
+    Cycle watchdogCycles = 1'000'000;
 
     /** Peak FP throughput in GFLOP/s (FMA on full-width vectors). */
     double
@@ -103,6 +112,23 @@ struct SystemConfig
     static SystemConfig a64fxLike();
     /** Fig. 3: datacenter part - aggressive OoO, larger caches. */
     static SystemConfig graviton3Like();
+
+    /** Known preset names accepted by preset(). */
+    static std::vector<std::string> presetNames();
+
+    /**
+     * Preset lookup by name ("neoverse-n1", "a64fx", "graviton3");
+     * UnknownName error on anything else, listing the known presets.
+     */
+    static Expected<SystemConfig> preset(const std::string &name);
+
+    /**
+     * Consistency check of a (possibly user-mutated) configuration:
+     * positive core/queue/cache/channel parameters, SVE width a
+     * supported power of two, the mesh large enough for the cores and
+     * LLC slices. ConfigError on the first violated constraint.
+     */
+    Expected<void> validate() const;
 
     /** Render the Table-5 style parameter block. */
     std::string describe() const;

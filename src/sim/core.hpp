@@ -92,6 +92,12 @@ class Core
     const CoreStats &stats() const { return stats_; }
     int id() const { return id_; }
 
+    /** Live queue occupancies (watchdog diagnostics). */
+    int robOccupancy() const { return static_cast<int>(rob_.size()); }
+    int robCapacity() const { return cfg_.robEntries; }
+    int loadQueueOccupancy() const { return loadsInFlight_; }
+    int storeQueueOccupancy() const { return storesInFlight_; }
+
   private:
     enum class OpState : std::uint8_t { Dispatched, Issued, Complete };
 

@@ -1,0 +1,248 @@
+#include "fault.hpp"
+
+#include <charconv>
+#include <cstring>
+
+namespace tmu::sim {
+
+namespace {
+
+constexpr const char *kKindNames[kNumFaultKinds] = {
+    "mem-lat", "drop-pf", "outq-stall", "outq-corrupt", "fill-delay",
+};
+
+/** Sites whose effect is latency-only and can never corrupt state. */
+bool
+timingOnly(FaultKind k)
+{
+    return k != FaultKind::OutqCorrupt;
+}
+
+Expected<double>
+parseProb(const std::string &tok)
+{
+    double v = 0.0;
+    const char *begin = tok.c_str();
+    const char *end = begin + tok.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr != end)
+        return TMU_ERR(Errc::ParseError, "bad probability '%s'",
+                       tok.c_str());
+    if (v < 0.0 || v > 1.0)
+        return TMU_ERR(Errc::OutOfRange,
+                       "probability %s outside [0, 1]", tok.c_str());
+    return v;
+}
+
+Expected<Cycle>
+parseCycles(const std::string &tok)
+{
+    std::uint64_t v = 0;
+    const char *begin = tok.c_str();
+    const char *end = begin + tok.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec == std::errc::result_out_of_range)
+        return TMU_ERR(Errc::Overflow, "cycle count '%s' overflows",
+                       tok.c_str());
+    if (ec != std::errc{} || ptr != end)
+        return TMU_ERR(Errc::ParseError, "bad cycle count '%s'",
+                       tok.c_str());
+    return static_cast<Cycle>(v);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    return kKindNames[static_cast<std::size_t>(k)];
+}
+
+bool
+FaultSpec::any() const
+{
+    for (const FaultSiteSpec &s : sites) {
+        if (s.probability > 0.0)
+            return true;
+    }
+    return false;
+}
+
+Expected<FaultSpec>
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec spec;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t sep = text.find(',', pos);
+        if (sep == std::string::npos)
+            sep = text.size();
+        const std::string item = text.substr(pos, sep - pos);
+        pos = sep + 1;
+        if (item.empty())
+            continue;
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            return TMU_ERR(Errc::ParseError,
+                           "expected site=prob[:cycles], got '%s'",
+                           item.c_str());
+        }
+        const std::string name = item.substr(0, eq);
+        int kind = -1;
+        for (int k = 0; k < kNumFaultKinds; ++k) {
+            if (name == kKindNames[k])
+                kind = k;
+        }
+        if (kind < 0) {
+            std::string known;
+            for (int k = 0; k < kNumFaultKinds; ++k) {
+                known += kKindNames[k];
+                if (k + 1 < kNumFaultKinds)
+                    known += ", ";
+            }
+            return TMU_ERR(Errc::UnknownName,
+                           "unknown fault site '%s' (known: %s)",
+                           name.c_str(), known.c_str());
+        }
+
+        std::string probTok = item.substr(eq + 1);
+        FaultSiteSpec &site =
+            spec.sites[static_cast<std::size_t>(kind)];
+        if (const std::size_t colon = probTok.find(':');
+            colon != std::string::npos) {
+            auto cycles = parseCycles(probTok.substr(colon + 1));
+            if (!cycles) {
+                return std::move(cycles.error())
+                    .context("in fault site '" + name + "'");
+            }
+            site.extraCycles = *cycles;
+            probTok = probTok.substr(0, colon);
+        }
+        auto prob = parseProb(probTok);
+        if (!prob) {
+            return std::move(prob.error())
+                .context("in fault site '" + name + "'");
+        }
+        site.probability = *prob;
+    }
+    return spec;
+}
+
+std::string
+FaultSpec::describe() const
+{
+    std::string out;
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+        const FaultSiteSpec &s = sites[static_cast<std::size_t>(k)];
+        if (s.probability <= 0.0)
+            continue;
+        if (!out.empty())
+            out += ",";
+        out += detail::format("%s=%g", kKindNames[k], s.probability);
+        if (s.extraCycles > 0) {
+            out += detail::format(
+                ":%llu", static_cast<unsigned long long>(s.extraCycles));
+        }
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, const FaultSpec &spec)
+    : seed_(seed), spec_(spec), corruptRng_(seed ^ 0xDEADBEEFCAFEULL)
+{
+    // One independent stream per site so the decision sequence of one
+    // site does not depend on how often the others are consulted.
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+        rngs_[static_cast<std::size_t>(k)].reseed(
+            seed ^ (0x9e3779b97f4a7c15ULL *
+                    static_cast<std::uint64_t>(k + 1)));
+    }
+}
+
+bool
+FaultInjector::shouldInject(FaultKind k)
+{
+    const std::size_t i = static_cast<std::size_t>(k);
+    const FaultSiteSpec &site = spec_.sites[i];
+    if (site.probability <= 0.0 ||
+        counts_[i].injected >= site.maxCount)
+        return false;
+    if (!rngs_[i].nextBool(site.probability))
+        return false;
+    ++counts_[i].injected;
+    if (timingOnly(k))
+        ++counts_[i].masked;
+    return true;
+}
+
+Cycle
+FaultInjector::extraCycles(FaultKind k) const
+{
+    return spec_.site(k).extraCycles;
+}
+
+std::uint64_t
+FaultInjector::corruptWord(std::uint64_t word)
+{
+    return word ^ (std::uint64_t{1} << corruptRng_.nextBounded(64));
+}
+
+void
+FaultInjector::recordDetected(FaultKind k)
+{
+    ++counts_[static_cast<std::size_t>(k)].detected;
+}
+
+const FaultCounts &
+FaultInjector::counts(FaultKind k) const
+{
+    return counts_[static_cast<std::size_t>(k)];
+}
+
+FaultCounts
+FaultInjector::totals() const
+{
+    FaultCounts t;
+    for (const FaultCounts &c : counts_) {
+        t.injected += c.injected;
+        t.masked += c.masked;
+        t.detected += c.detected;
+    }
+    return t;
+}
+
+void
+FaultInjector::registerStats(stats::StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+        const std::size_t i = static_cast<std::size_t>(k);
+        if (spec_.sites[i].probability <= 0.0)
+            continue;
+        const std::string site = kKindNames[i];
+        reg.scalar(prefix + site + ".injected",
+                   "faults injected at site " + site,
+                   &counts_[i].injected);
+        reg.scalar(prefix + site + ".masked",
+                   "timing-only faults absorbed at site " + site,
+                   &counts_[i].masked);
+        reg.scalar(prefix + site + ".detected",
+                   "corruptions detected at site " + site,
+                   &counts_[i].detected);
+    }
+    reg.scalarU64(prefix + "injected", "total faults injected",
+                  [this] { return totals().injected; });
+    reg.scalarU64(prefix + "masked", "total faults masked",
+                  [this] { return totals().masked; });
+    reg.scalarU64(prefix + "detected", "total faults detected",
+                  [this] { return totals().detected; });
+    reg.scalarU64(prefix + "unaccounted",
+                  "injected faults neither masked nor detected",
+                  [this] {
+                      const FaultCounts t = totals();
+                      return t.injected - t.masked - t.detected;
+                  });
+}
+
+} // namespace tmu::sim

@@ -4,8 +4,18 @@
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "sim/fault.hpp"
 
 namespace tmu::sim {
+
+Cycle
+MemorySystem::latencyFault()
+{
+    if (faults_ == nullptr ||
+        !faults_->shouldInject(FaultKind::MemLatencySpike))
+        return 0;
+    return faults_->extraCycles(FaultKind::MemLatencySpike);
+}
 
 MemorySystem::MemorySystem(const SystemConfig &cfg) : cfg_(cfg)
 {
@@ -172,7 +182,7 @@ MemorySystem::coreAccess(int coreId, Addr addr, bool write, Cycle now)
     // Classify the hit level from the latency when it missed L1.
     if (res.hit)
         levelHit = 1;
-    return {true, res.complete, levelHit};
+    return {true, res.complete + latencyFault(), levelHit};
 }
 
 MemAccess
@@ -188,7 +198,7 @@ MemorySystem::tmuAccess(int coreId, Addr addr, Cycle now)
     const Cycle c = llcPath(coreId, line, now);
     if (c == kMissRejected)
         return {false, 0, 0};
-    return {true, c, 3};
+    return {true, c + latencyFault(), 3};
 }
 
 void
@@ -226,6 +236,9 @@ MemorySystem::flushPrefetches(int coreId, Cycle now)
 
     // L1-targeted candidates (stride + IMP): drop on any hazard.
     for (const Addr line : pendingL1_) {
+        if (faults_ != nullptr &&
+            faults_->shouldInject(FaultKind::DropPrefetch))
+            continue;
         Addr evicted = 0;
         pc.l1.access(
             line, now, false,
@@ -242,6 +255,9 @@ MemorySystem::flushPrefetches(int coreId, Cycle now)
 
     // L2-targeted candidates (best-offset).
     for (const Addr line : pendingL2_) {
+        if (faults_ != nullptr &&
+            faults_->shouldInject(FaultKind::DropPrefetch))
+            continue;
         Addr evicted = 0;
         pc.l2.access(
             line, now, false,

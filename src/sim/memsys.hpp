@@ -22,6 +22,8 @@
 
 namespace tmu::sim {
 
+class FaultInjector;
+
 /** Outcome of a memory-system access. */
 struct MemAccess
 {
@@ -53,6 +55,13 @@ class MemorySystem
 
     /** TMU outQ line install into the host core's private L2. */
     void outqInstall(int coreId, Addr line, Cycle now);
+
+    /**
+     * Attach a fault injector (borrowed; nullptr detaches). Sites:
+     * extra latency on accepted accesses (mem-lat), dropped prefetch
+     * candidates (drop-pf). Timing-only — results stay correct.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     /** Register an index array for the IMP comparator's value reads. */
     void registerIndexRegion(Addr base, std::uint64_t bytes);
@@ -129,7 +138,11 @@ class MemorySystem
     /** Handle a dirty line evicted from a private L2 (towards LLC). */
     void writebackToLlc(int coreId, Addr line, Cycle now);
 
+    /** Fault hook: extra latency on an accepted access, if injecting. */
+    Cycle latencyFault();
+
     SystemConfig cfg_;
+    FaultInjector *faults_ = nullptr; //!< borrowed, may be null
     std::vector<PerCore> perCore_;
     std::vector<Cache> slices_;
     std::vector<Channel> channels_;

@@ -14,6 +14,17 @@ buildSimRegistry(stats::StatRegistry &reg, const SimResult &result,
                &result.achievedGBs);
     reg.scalar("sim.gflops", "FP throughput achieved (GFLOP/s)",
                &result.gflops);
+    if (extended) {
+        // Extended-only: the legacy text report is pinned by a golden
+        // test and predates the termination field.
+        reg.scalarU64(
+            "sim.terminationReason",
+            "how the run ended (0=completed 1=cycle-cap 2=deadlock "
+            "3=livelock)",
+            [&result] {
+                return static_cast<std::uint64_t>(result.termination);
+            });
+    }
 
     result.total.registerStats(reg, "cores.", /*summed=*/true, extended);
     if (extended) {

@@ -49,6 +49,8 @@ System::addDevice(Tickable *dev)
 void
 System::setTracer(stats::TraceWriter *tracer, int pid)
 {
+    tracer_ = tracer;
+    tracePid_ = pid;
     for (auto &core : cores_) {
         core->setTracer(tracer, pid);
         if (tracer != nullptr) {
@@ -58,9 +60,76 @@ System::setTracer(stats::TraceWriter *tracer, int pid)
     }
 }
 
+std::uint64_t
+System::progressCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &core : cores_)
+        n += core->stats().retiredOps;
+    for (const Tickable *dev : devices_)
+        n += dev->progressCount();
+    return n;
+}
+
+std::uint64_t
+System::activityCount() const
+{
+    std::uint64_t n = mem_.dramStats().accesses;
+    for (int c = 0; c < cfg_.cores; ++c)
+        n += mem_.l1(c).accesses() + mem_.l2(c).accesses();
+    for (int s = 0; s < cfg_.mem.llcSlices; ++s)
+        n += mem_.llcSlice(s).accesses();
+    return n;
+}
+
+std::string
+System::occupancyDump(Cycle now) const
+{
+    std::string out;
+    for (const auto &core : cores_) {
+        const int c = core->id();
+        out += detail::format(
+            "core%d: drained=%d rob=%d/%d lq=%d/%d sq=%d/%d "
+            "retired=%llu l1Mshr=%d/%d l2Mshr=%d/%d\n",
+            c, core->drained(), core->robOccupancy(),
+            core->robCapacity(), core->loadQueueOccupancy(),
+            cfg_.core.loadQueue, core->storeQueueOccupancy(),
+            cfg_.core.storeQueue,
+            static_cast<unsigned long long>(core->stats().retiredOps),
+            mem_.l1(c).inflight(), cfg_.l1.mshrs,
+            mem_.l2(c).inflight(), cfg_.l2.mshrs);
+    }
+    int llcInflight = 0;
+    for (int s = 0; s < cfg_.mem.llcSlices; ++s)
+        llcInflight += mem_.llcSlice(s).inflight();
+    out += detail::format(
+        "llc: mshr=%d/%d dram.accesses=%llu cycle=%llu\n", llcInflight,
+        cfg_.mem.llcSlices * cfg_.llcSlice.mshrs,
+        static_cast<unsigned long long>(mem_.dramStats().accesses),
+        static_cast<unsigned long long>(now));
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        const std::string state = devices_[d]->debugState();
+        if (state.empty())
+            continue;
+        out += detail::format(
+            "device%zu: progress=%llu\n", d,
+            static_cast<unsigned long long>(
+                devices_[d]->progressCount()));
+        out += state;
+    }
+    return out;
+}
+
 SimResult
 System::run(Cycle maxCycles)
 {
+    // Sampling the progress counters every cycle would dominate the
+    // loop; once per kPollInterval bounds detection latency to one
+    // extra interval while keeping the check off the hot path.
+    constexpr Cycle kPollInterval = 1024;
+    ProgressWatchdog watchdog(cfg_.watchdogCycles);
+
+    SimResult res;
     bool active = true;
     while (active && now_ < maxCycles) {
         ++now_;
@@ -69,12 +138,47 @@ System::run(Cycle maxCycles)
             active |= dev->tick(now_);
         for (auto &core : cores_)
             active |= core->tick(now_);
-    }
-    if (now_ >= maxCycles)
-        TMU_WARN("simulation hit the %llu-cycle safety cap",
-                 static_cast<unsigned long long>(maxCycles));
 
-    SimResult res;
+        if (watchdog.enabled() && (now_ % kPollInterval) == 0) {
+            const TerminationReason trip = watchdog.sample(
+                now_, progressCount(), activityCount());
+            if (trip != TerminationReason::Completed) {
+                res.termination = trip;
+                break;
+            }
+        }
+    }
+    if (res.completed() && active && now_ >= maxCycles)
+        res.termination = TerminationReason::CycleCap;
+
+    if (!res.completed()) {
+        if (res.termination == TerminationReason::CycleCap) {
+            res.diagnostic = detail::format(
+                "cycle-cap: still active at the %llu-cycle safety "
+                "cap\n",
+                static_cast<unsigned long long>(maxCycles));
+        } else {
+            res.diagnostic = detail::format(
+                "%s: no forward progress for %llu cycles "
+                "(watchdog window %llu)\n",
+                terminationName(res.termination),
+                static_cast<unsigned long long>(
+                    watchdog.stalledFor(now_)),
+                static_cast<unsigned long long>(watchdog.window()));
+        }
+        res.diagnostic += occupancyDump(now_);
+        TMU_WARN("simulation ended early (%s) at cycle %llu\n%s",
+                 terminationName(res.termination),
+                 static_cast<unsigned long long>(now_),
+                 res.diagnostic.c_str());
+        if (tracer_ != nullptr) {
+            tracer_->instant(tracePid_, 0, "watchdog",
+                             std::string("watchdog_") +
+                                 terminationName(res.termination),
+                             now_);
+        }
+    }
+
     for (auto &core : cores_) {
         const CoreStats &s = core->stats();
         res.perCore.push_back(s);

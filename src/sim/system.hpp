@@ -12,6 +12,7 @@
 
 #include "sim/core.hpp"
 #include "sim/memsys.hpp"
+#include "sim/watchdog.hpp"
 
 namespace tmu::sim {
 
@@ -23,6 +24,17 @@ class Tickable
 
     /** Advance one cycle. @retval false permanently idle (drained). */
     virtual bool tick(Cycle now) = 0;
+
+    /**
+     * Monotonic count of useful work done so far. The watchdog treats
+     * any change as forward progress, so a device doing real multi-
+     * cycle work (e.g. a TMU filling its first chunk) does not trip it
+     * even when no core has committed yet.
+     */
+    virtual std::uint64_t progressCount() const { return 0; }
+
+    /** Multi-line state dump for the watchdog diagnostic ("" = none). */
+    virtual std::string debugState() const { return {}; }
 };
 
 /** Whole-run result summary. */
@@ -34,6 +46,16 @@ struct SimResult
     DramStats dram;
     double achievedGBs = 0.0;
     double gflops = 0.0;       //!< achieved FP throughput
+
+    /** How the run ended; anything but Completed is a failed run. */
+    TerminationReason termination = TerminationReason::Completed;
+    /** Structured occupancy dump, set when termination != Completed. */
+    std::string diagnostic;
+
+    bool completed() const
+    {
+        return termination == TerminationReason::Completed;
+    }
 
     /** Fraction helpers for the Fig. 3 / Fig. 11 breakdowns. */
     double commitFrac() const;
@@ -66,17 +88,31 @@ class System
     void setTracer(stats::TraceWriter *tracer, int pid);
 
     /**
-     * Run until every core is drained and every device idle (or the
-     * safety cap is hit). Returns the result summary.
+     * Run until every core is drained and every device idle. A
+     * forward-progress watchdog (cfg.watchdogCycles; 0 disables)
+     * guards the loop: a window with no committed work anywhere ends
+     * the run with a Deadlock/Livelock termination and a structured
+     * occupancy dump in SimResult::diagnostic, instead of spinning to
+     * the @p maxCycles safety cap.
      */
     SimResult run(Cycle maxCycles = 2'000'000'000ULL);
 
+    /** Occupancy dump of every core, cache and device (diagnosis). */
+    std::string occupancyDump(Cycle now) const;
+
   private:
+    /** Committed work across cores and devices (watchdog signal). */
+    std::uint64_t progressCount() const;
+    /** Memory-side event count (watchdog trip classification). */
+    std::uint64_t activityCount() const;
+
     SystemConfig cfg_;
     MemorySystem mem_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<Tickable *> devices_;
     Cycle now_ = 0;
+    stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
+    int tracePid_ = 0;
 };
 
 } // namespace tmu::sim

@@ -1,119 +1,271 @@
 #include "mmio.hpp"
 
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
-#include <sstream>
+#include <string_view>
+#include <vector>
 
 #include "common/log.hpp"
 #include "tensor/convert.hpp"
 
 namespace tmu::tensor {
+namespace {
 
-CooTensor
-readMatrixMarket(std::istream &in)
+// Cap on declared entry counts so a corrupted size line cannot drive a
+// multi-terabyte allocation before the first entry line is even read.
+constexpr long long kMaxDeclaredEntries = 1LL << 40;
+
+/** Split @p line into whitespace-separated tokens. */
+std::vector<std::string_view>
+tokenize(std::string_view line)
+{
+    std::vector<std::string_view> toks;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        std::size_t j = i;
+        while (j < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[j])))
+            ++j;
+        if (j > i)
+            toks.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return toks;
+}
+
+/**
+ * Overflow-safe integer parse. Rejects trailing garbage ("12x"),
+ * empty tokens and values that do not fit a long long.
+ */
+Expected<long long>
+parseInt(std::string_view tok, long long lineNo)
+{
+    long long v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec == std::errc::result_out_of_range) {
+        return TMU_ERR(Errc::Overflow,
+                       "line %lld: integer '%.*s' overflows", lineNo,
+                       static_cast<int>(tok.size()), tok.data());
+    }
+    if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+        return TMU_ERR(Errc::ParseError,
+                       "line %lld: '%.*s' is not an integer", lineNo,
+                       static_cast<int>(tok.size()), tok.data());
+    }
+    return v;
+}
+
+/**
+ * Floating-point parse via strtod (from_chars<double> is incomplete on
+ * some libstdc++ configs). Accepts int/real/exponent forms; rejects
+ * trailing garbage, inf and nan.
+ */
+Expected<double>
+parseReal(std::string_view tok, long long lineNo)
+{
+    // strtod needs a NUL-terminated buffer; tokens are short.
+    const std::string buf(tok);
+    char *end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size() || buf.empty()) {
+        return TMU_ERR(Errc::ParseError,
+                       "line %lld: '%s' is not a number", lineNo,
+                       buf.c_str());
+    }
+    if (!std::isfinite(v)) {
+        return TMU_ERR(Errc::OutOfRange,
+                       "line %lld: non-finite value '%s'", lineNo,
+                       buf.c_str());
+    }
+    return v;
+}
+
+} // namespace
+
+Expected<CooTensor>
+tryReadMatrixMarket(std::istream &in)
 {
     std::string line;
+    long long lineNo = 0;
     if (!std::getline(in, line))
-        TMU_FATAL("MatrixMarket: empty stream");
+        return TMU_ERR(Errc::Truncated, "MatrixMarket: empty stream");
+    ++lineNo;
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    std::istringstream hdr(line);
-    std::string banner, object, fmt, field, symmetry;
-    hdr >> banner >> object >> fmt >> field >> symmetry;
-    if (banner != "%%MatrixMarket" || object != "matrix" ||
-        fmt != "coordinate") {
-        TMU_FATAL("MatrixMarket: unsupported header '%s'", line.c_str());
+    const auto hdr = tokenize(line);
+    if (hdr.size() < 5 || hdr[0] != "%%MatrixMarket" ||
+        hdr[1] != "matrix" || hdr[2] != "coordinate") {
+        return TMU_ERR(Errc::ParseError,
+                       "MatrixMarket: unsupported header '%s'",
+                       line.c_str());
     }
+    const std::string_view field = hdr[3], symmetry = hdr[4];
     const bool pattern = field == "pattern";
-    if (!pattern && field != "real" && field != "integer")
-        TMU_FATAL("MatrixMarket: unsupported field '%s'", field.c_str());
+    if (!pattern && field != "real" && field != "integer") {
+        return TMU_ERR(Errc::ParseError,
+                       "MatrixMarket: unsupported field '%.*s'",
+                       static_cast<int>(field.size()), field.data());
+    }
     const bool symmetric = symmetry == "symmetric";
-    if (!symmetric && symmetry != "general")
-        TMU_FATAL("MatrixMarket: unsupported symmetry '%s'",
-                  symmetry.c_str());
+    if (!symmetric && symmetry != "general") {
+        return TMU_ERR(Errc::ParseError,
+                       "MatrixMarket: unsupported symmetry '%.*s'",
+                       static_cast<int>(symmetry.size()),
+                       symmetry.data());
+    }
 
     // Skip comments, then read the size line.
+    bool haveSize = false;
     while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%')
+        ++lineNo;
+        if (!line.empty() && line[0] != '%') {
+            haveSize = true;
             break;
+        }
     }
-    std::istringstream size(line);
-    Index rows = 0, cols = 0, entries = 0;
-    size >> rows >> cols >> entries;
-    if (rows <= 0 || cols <= 0 || entries < 0)
-        TMU_FATAL("MatrixMarket: bad size line '%s'", line.c_str());
+    if (!haveSize)
+        return TMU_ERR(Errc::Truncated,
+                       "MatrixMarket: missing size line");
+    const auto sizeToks = tokenize(line);
+    if (sizeToks.size() != 3) {
+        return TMU_ERR(Errc::ParseError,
+                       "line %lld: size line needs 'rows cols nnz', "
+                       "got '%s'", lineNo, line.c_str());
+    }
+    auto rowsE = parseInt(sizeToks[0], lineNo);
+    auto colsE = parseInt(sizeToks[1], lineNo);
+    auto nnzE = parseInt(sizeToks[2], lineNo);
+    if (!rowsE)
+        return std::move(rowsE).error();
+    if (!colsE)
+        return std::move(colsE).error();
+    if (!nnzE)
+        return std::move(nnzE).error();
+    const long long rows = *rowsE, cols = *colsE, entries = *nnzE;
+    if (rows <= 0 || cols <= 0 || entries < 0 ||
+        entries > kMaxDeclaredEntries) {
+        return TMU_ERR(Errc::OutOfRange,
+                       "line %lld: bad size %lld x %lld, %lld entries",
+                       lineNo, rows, cols, entries);
+    }
 
-    CooTensor coo({rows, cols});
-    for (Index e = 0; e < entries; ++e) {
-        if (!std::getline(in, line))
-            TMU_FATAL("MatrixMarket: truncated after %lld entries",
-                      static_cast<long long>(e));
-        std::istringstream row(line);
-        Index i = 0, j = 0;
+    CooTensor coo({static_cast<Index>(rows), static_cast<Index>(cols)});
+    const std::size_t want = pattern ? 2u : 3u;
+    for (long long e = 0; e < entries; ++e) {
+        if (!std::getline(in, line)) {
+            return TMU_ERR(Errc::Truncated,
+                           "MatrixMarket: truncated after %lld of %lld "
+                           "entries", e, entries);
+        }
+        ++lineNo;
+        const auto toks = tokenize(line);
+        if (toks.size() < want) {
+            return TMU_ERR(Errc::ParseError,
+                           "line %lld: entry needs %zu fields, got %zu",
+                           lineNo, want, toks.size());
+        }
+        auto iE = parseInt(toks[0], lineNo);
+        if (!iE)
+            return std::move(iE).error();
+        auto jE = parseInt(toks[1], lineNo);
+        if (!jE)
+            return std::move(jE).error();
         double v = 1.0;
-        row >> i >> j;
-        if (!pattern)
-            row >> v;
-        if (i < 1 || i > rows || j < 1 || j > cols)
-            TMU_FATAL("MatrixMarket: entry (%lld,%lld) out of range",
-                      static_cast<long long>(i), static_cast<long long>(j));
-        coo.push2(i - 1, j - 1, v); // 1-based on disk
+        if (!pattern) {
+            auto vE = parseReal(toks[2], lineNo);
+            if (!vE)
+                return std::move(vE).error();
+            v = *vE;
+        }
+        const long long i = *iE, j = *jE;
+        if (i < 1 || i > rows || j < 1 || j > cols) {
+            return TMU_ERR(Errc::OutOfRange,
+                           "line %lld: entry (%lld,%lld) outside "
+                           "%lld x %lld", lineNo, i, j, rows, cols);
+        }
+        coo.push2(static_cast<Index>(i - 1),
+                  static_cast<Index>(j - 1), v); // 1-based on disk
         if (symmetric && i != j)
-            coo.push2(j - 1, i - 1, v);
+            coo.push2(static_cast<Index>(j - 1),
+                      static_cast<Index>(i - 1), v);
     }
-    coo.sortAndCombine();
+    coo.sortAndCombine(); // also merges duplicate entries by summation
     return coo;
 }
 
-CsrMatrix
-readMatrixMarketFile(const std::string &path)
+Expected<CsrMatrix>
+tryReadMatrixMarketFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        TMU_FATAL("cannot open '%s'", path.c_str());
-    return cooToCsr(readMatrixMarket(in));
+        return TMU_ERR(Errc::IoError, "cannot open '%s'", path.c_str());
+    auto coo = tryReadMatrixMarket(in);
+    if (!coo)
+        return coo.error().context("while reading '" + path + "'");
+    return cooToCsr(*coo);
 }
 
-CooTensor
-readTns(std::istream &in)
+Expected<CooTensor>
+tryReadTns(std::istream &in)
 {
     std::string lineStr;
     std::vector<std::vector<Index>> coords;
     std::vector<Value> vals;
     int order = -1;
+    long long lineNo = 0;
 
     while (std::getline(in, lineStr)) {
+        ++lineNo;
         if (lineStr.empty() || lineStr[0] == '#')
             continue;
-        std::istringstream row(lineStr);
-        std::vector<double> fields;
-        double f;
-        while (row >> f)
-            fields.push_back(f);
-        if (fields.size() < 3)
-            TMU_FATAL(".tns: need >= 2 coordinates + value, got '%s'",
-                      lineStr.c_str());
-        const int thisOrder = static_cast<int>(fields.size()) - 1;
+        const auto toks = tokenize(lineStr);
+        if (toks.empty())
+            continue;
+        if (toks.size() < 3) {
+            return TMU_ERR(Errc::ParseError,
+                           "line %lld: .tns entry needs >= 2 "
+                           "coordinates + value, got %zu fields",
+                           lineNo, toks.size());
+        }
+        const int thisOrder = static_cast<int>(toks.size()) - 1;
         if (order < 0) {
             order = thisOrder;
             coords.resize(static_cast<size_t>(order));
         } else if (order != thisOrder) {
-            TMU_FATAL(".tns: inconsistent order (%d vs %d)", order,
-                      thisOrder);
+            return TMU_ERR(Errc::ParseError,
+                           "line %lld: inconsistent order (%d vs %d)",
+                           lineNo, order, thisOrder);
         }
         for (int m = 0; m < order; ++m) {
-            const auto c = static_cast<Index>(fields[static_cast<size_t>(
-                               m)]) - 1; // 1-based on disk
-            if (c < 0)
-                TMU_FATAL(".tns: coordinate < 1 in '%s'",
-                          lineStr.c_str());
-            coords[static_cast<size_t>(m)].push_back(c);
+            auto cE = parseInt(toks[static_cast<size_t>(m)], lineNo);
+            if (!cE)
+                return std::move(cE).error();
+            const long long c = *cE - 1; // 1-based on disk
+            if (c < 0 || c >= std::numeric_limits<Index>::max()) {
+                return TMU_ERR(Errc::OutOfRange,
+                               "line %lld: coordinate %lld out of "
+                               "range", lineNo, *cE);
+            }
+            coords[static_cast<size_t>(m)].push_back(
+                static_cast<Index>(c));
         }
-        vals.push_back(fields.back());
+        auto vE = parseReal(toks.back(), lineNo);
+        if (!vE)
+            return std::move(vE).error();
+        vals.push_back(*vE);
     }
     if (order < 0 || vals.empty())
-        TMU_FATAL(".tns: no entries");
+        return TMU_ERR(Errc::Truncated, ".tns: no entries");
 
     std::vector<Index> dims(static_cast<size_t>(order), 1);
     for (int m = 0; m < order; ++m) {
@@ -134,13 +286,40 @@ readTns(std::istream &in)
     return t;
 }
 
-CooTensor
-readTnsFile(const std::string &path)
+Expected<CooTensor>
+tryReadTnsFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        TMU_FATAL("cannot open '%s'", path.c_str());
-    return readTns(in);
+        return TMU_ERR(Errc::IoError, "cannot open '%s'", path.c_str());
+    auto t = tryReadTns(in);
+    if (!t)
+        return t.error().context("while reading '" + path + "'");
+    return t;
+}
+
+CooTensor
+readMatrixMarket(std::istream &in)
+{
+    return tryReadMatrixMarket(in).valueOrFatal();
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    return tryReadMatrixMarketFile(path).valueOrFatal();
+}
+
+CooTensor
+readTns(std::istream &in)
+{
+    return tryReadTns(in).valueOrFatal();
+}
+
+CooTensor
+readTnsFile(const std::string &path)
+{
+    return tryReadTnsFile(path).valueOrFatal();
 }
 
 void

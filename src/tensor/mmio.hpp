@@ -5,6 +5,13 @@
  * Lets users run the library on real SuiteSparse matrices: supports the
  * "matrix coordinate real/integer/pattern general/symmetric" profile,
  * which covers the Table-6 inputs.
+ *
+ * The tryRead* entry points return Expected and never terminate the
+ * process: malformed headers, overflowing indices, out-of-range or
+ * garbage entries and truncated streams all come back as TmuErrors
+ * with line-number context, so drivers can skip a bad input and keep
+ * going. The legacy read* wrappers keep the historical fatal-on-error
+ * behavior.
  */
 
 #pragma once
@@ -12,29 +19,46 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/error.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/csr.hpp"
 
 namespace tmu::tensor {
 
-/** Parse a MatrixMarket stream into canonical order-2 COO. */
-CooTensor readMatrixMarket(std::istream &in);
+/**
+ * Parse a MatrixMarket stream into canonical order-2 COO. Duplicate
+ * entries are legal and combined by summation. Errors carry the
+ * offending line number.
+ */
+Expected<CooTensor> tryReadMatrixMarket(std::istream &in);
 
-/** Load a .mtx file into CSR; fatals on malformed input. */
-CsrMatrix readMatrixMarketFile(const std::string &path);
-
-/** Write CSR as "matrix coordinate real general". */
-void writeMatrixMarket(std::ostream &out, const CsrMatrix &a);
+/** Load a .mtx file into CSR; recoverable error on malformed input. */
+Expected<CsrMatrix> tryReadMatrixMarketFile(const std::string &path);
 
 /**
  * Parse a FROSTT .tns stream (one `i j k ... value` line per nonzero,
  * 1-based coordinates, `#` comments) into canonical COO. Mode sizes
  * are taken from the maximum coordinate per mode.
  */
+Expected<CooTensor> tryReadTns(std::istream &in);
+
+/** Load a .tns file; recoverable error on malformed input. */
+Expected<CooTensor> tryReadTnsFile(const std::string &path);
+
+/** Legacy wrapper: parse or TMU_FATAL with the rendered error. */
+CooTensor readMatrixMarket(std::istream &in);
+
+/** Legacy wrapper: load a .mtx file into CSR; fatals on bad input. */
+CsrMatrix readMatrixMarketFile(const std::string &path);
+
+/** Legacy wrapper: parse a .tns stream; fatals on bad input. */
 CooTensor readTns(std::istream &in);
 
-/** Load a .tns file; fatals on malformed input. */
+/** Legacy wrapper: load a .tns file; fatals on bad input. */
 CooTensor readTnsFile(const std::string &path);
+
+/** Write CSR as "matrix coordinate real general". */
+void writeMatrixMarket(std::ostream &out, const CsrMatrix &a);
 
 /** Write a COO tensor in FROSTT .tns format. */
 void writeTns(std::ostream &out, const CooTensor &t);

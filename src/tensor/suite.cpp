@@ -98,24 +98,77 @@ tensorSuite()
     return suite;
 }
 
-const MatrixInput &
-matrixInput(const std::string &id)
+const MatrixInput *
+findMatrixInput(const std::string &id)
 {
     for (const auto &m : matrixSuite()) {
         if (m.id == id)
-            return m;
+            return &m;
     }
-    TMU_FATAL("unknown matrix input '%s'", id.c_str());
+    return nullptr;
+}
+
+const TensorInput *
+findTensorInput(const std::string &id)
+{
+    for (const auto &t : tensorSuite()) {
+        if (t.id == id)
+            return &t;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** "M1..M6" / "T1..T4" style id list for error messages. */
+template <typename Suite>
+std::string
+idList(const Suite &suite)
+{
+    std::string ids;
+    for (const auto &e : suite)
+        ids += (ids.empty() ? "" : ", ") + e.id;
+    return ids;
+}
+
+} // namespace
+
+Expected<MatrixInput>
+tryMatrixInput(const std::string &id)
+{
+    if (const MatrixInput *m = findMatrixInput(id))
+        return *m;
+    return TMU_ERR(Errc::UnknownName,
+                   "unknown matrix input '%s' (known: %s)", id.c_str(),
+                   idList(matrixSuite()).c_str());
+}
+
+Expected<TensorInput>
+tryTensorInput(const std::string &id)
+{
+    if (const TensorInput *t = findTensorInput(id))
+        return *t;
+    return TMU_ERR(Errc::UnknownName,
+                   "unknown tensor input '%s' (known: %s)", id.c_str(),
+                   idList(tensorSuite()).c_str());
+}
+
+const MatrixInput &
+matrixInput(const std::string &id)
+{
+    const MatrixInput *m = findMatrixInput(id);
+    if (m == nullptr)
+        TMU_FATAL("unknown matrix input '%s'", id.c_str());
+    return *m;
 }
 
 const TensorInput &
 tensorInput(const std::string &id)
 {
-    for (const auto &t : tensorSuite()) {
-        if (t.id == id)
-            return t;
-    }
-    TMU_FATAL("unknown tensor input '%s'", id.c_str());
+    const TensorInput *t = findTensorInput(id);
+    if (t == nullptr)
+        TMU_FATAL("unknown tensor input '%s'", id.c_str());
+    return *t;
 }
 
 } // namespace tmu::tensor

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/csr.hpp"
 
@@ -52,6 +53,18 @@ const std::vector<MatrixInput> &matrixSuite();
 
 /** The four tensors T1..T4 of Table 6. */
 const std::vector<TensorInput> &tensorSuite();
+
+/** Look up a matrix entry by id ("M3"); nullptr if unknown. */
+const MatrixInput *findMatrixInput(const std::string &id);
+
+/** Look up a tensor entry by id ("T2"); nullptr if unknown. */
+const TensorInput *findTensorInput(const std::string &id);
+
+/** Look up a matrix entry; UnknownName error listing valid ids. */
+Expected<MatrixInput> tryMatrixInput(const std::string &id);
+
+/** Look up a tensor entry; UnknownName error listing valid ids. */
+Expected<TensorInput> tryTensorInput(const std::string &id);
 
 /** Look up a matrix entry by id ("M3"); fatals if unknown. */
 const MatrixInput &matrixInput(const std::string &id);

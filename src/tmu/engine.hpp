@@ -153,7 +153,32 @@ class TmuEngine : public sim::Tickable
     const Histogram &outqOccupancy() const { return occupancyHist_; }
 
     /** One-line-per-unit dump of FSM/queue state (deadlock triage). */
-    std::string debugState() const;
+    std::string debugState() const override;
+
+    /**
+     * Monotonic useful-work counter for the forward-progress watchdog:
+     * moves whenever the engine traverses, marshals, seals or drains —
+     * so long fill phases with no core commits do not trip it.
+     */
+    std::uint64_t
+    progressCount() const override
+    {
+        return stats_.elementsPushed + stats_.requestsIssued +
+               stats_.recordsEmitted + stats_.chunksSealed +
+               stats_.rwChunks;
+    }
+
+    /**
+     * Attach a fault injector (borrowed; nullptr detaches). Sites:
+     * delayed fills (fill-delay), consumer backpressure (outq-stall),
+     * and payload corruption (outq-corrupt) — the latter must be
+     * caught by the per-chunk checksum, which restores the payload at
+     * a modeled retransmit penalty, keeping results correct.
+     */
+    void setFaultInjector(sim::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
 
   private:
     /** Readiness/request state of one mem-slot of one element. */
@@ -228,6 +253,15 @@ class TmuEngine : public sim::Tickable
         bool doneFlag = false;
     };
 
+    /** Location + original value of an injected payload corruption. */
+    struct CorruptedWord
+    {
+        std::size_t record = 0;
+        std::size_t operand = 0;
+        std::size_t word = 0;
+        std::uint64_t original = 0;
+    };
+
     /** One outQ chunk. */
     struct Chunk
     {
@@ -236,8 +270,12 @@ class TmuEngine : public sim::Tickable
         std::size_t usedBytes = 0;
         Cycle fillStart = 0;
         Cycle sealAt = 0;
+        Cycle readyAt = 0; //!< sealAt, pushed out by fault recovery
         Cycle consumeStart = 0;
         bool consuming = false;
+        std::uint64_t checksum = 0; //!< FNV-1a over payloads at write
+        bool verified = false;      //!< checksum checked on first pop
+        std::vector<CorruptedWord> corrupted; //!< pending injections
     };
 
     void tickTus(Cycle now);
@@ -269,6 +307,10 @@ class TmuEngine : public sim::Tickable
     bool tuDone(const TuState &tu) const;
     void sealChunk(int c, Cycle now);
     int fillingChunk(Cycle now);
+    /** Append @p rec to chunk @p c: checksum + optional corruption. */
+    void writeRecord(Chunk &ch, OutqRecord rec, Addr addr);
+    /** First-pop integrity check; true once the chunk is consumable. */
+    bool verifyChunk(Chunk &ch, Cycle now);
 
     int coreId_;
     EngineConfig cfg_;
@@ -302,6 +344,9 @@ class TmuEngine : public sim::Tickable
 
     bool quiesceRequested_ = false;
     Index resumeCur_ = 0;
+
+    sim::FaultInjector *faults_ = nullptr; //!< borrowed, may be null
+    Cycle consumeStallUntil_ = 0; //!< outq-stall injection deadline
 
     stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
     int tracePid_ = 0;

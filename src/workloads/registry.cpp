@@ -8,32 +8,46 @@
 
 namespace tmu::workloads {
 
+Expected<std::unique_ptr<Workload>>
+tryMakeWorkload(const std::string &name)
+{
+    std::unique_ptr<Workload> wl;
+    if (name == "SpMV")
+        wl = std::make_unique<SpmvWorkload>();
+    else if (name == "PR")
+        wl = std::make_unique<PagerankWorkload>();
+    else if (name == "SpMSpM")
+        wl = std::make_unique<SpmspmWorkload>();
+    else if (name == "TC")
+        wl = std::make_unique<TricountWorkload>();
+    else if (name == "SpKAdd")
+        wl = std::make_unique<SpkaddWorkload>();
+    else if (name == "SpAdd")
+        wl = std::make_unique<SpaddWorkload>();
+    else if (name == "MTTKRP_MP")
+        wl = std::make_unique<MttkrpWorkload>(
+            MttkrpWorkload::Variant::P1);
+    else if (name == "MTTKRP_CP")
+        wl = std::make_unique<MttkrpWorkload>(
+            MttkrpWorkload::Variant::P2);
+    else if (name == "SpTC")
+        wl = std::make_unique<SptcWorkload>();
+    else if (name == "CP-ALS")
+        wl = std::make_unique<CpalsWorkload>();
+    if (wl != nullptr)
+        return wl;
+    std::string known;
+    for (const auto &w : allWorkloads())
+        known += (known.empty() ? "" : ", ") + w;
+    return TMU_ERR(Errc::UnknownName,
+                   "unknown workload '%s' (known: %s)", name.c_str(),
+                   known.c_str());
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name)
 {
-    if (name == "SpMV")
-        return std::make_unique<SpmvWorkload>();
-    if (name == "PR")
-        return std::make_unique<PagerankWorkload>();
-    if (name == "SpMSpM")
-        return std::make_unique<SpmspmWorkload>();
-    if (name == "TC")
-        return std::make_unique<TricountWorkload>();
-    if (name == "SpKAdd")
-        return std::make_unique<SpkaddWorkload>();
-    if (name == "SpAdd")
-        return std::make_unique<SpaddWorkload>();
-    if (name == "MTTKRP_MP")
-        return std::make_unique<MttkrpWorkload>(
-            MttkrpWorkload::Variant::P1);
-    if (name == "MTTKRP_CP")
-        return std::make_unique<MttkrpWorkload>(
-            MttkrpWorkload::Variant::P2);
-    if (name == "SpTC")
-        return std::make_unique<SptcWorkload>();
-    if (name == "CP-ALS")
-        return std::make_unique<CpalsWorkload>();
-    TMU_FATAL("unknown workload '%s'", name.c_str());
+    return tryMakeWorkload(name).valueOrFatal();
 }
 
 std::vector<std::string>

@@ -13,6 +13,13 @@
 
 namespace tmu::workloads {
 
+/**
+ * Instantiate a workload by name; UnknownName error (listing the known
+ * names) on a lookup miss, so drivers can skip and continue.
+ */
+Expected<std::unique_ptr<Workload>>
+tryMakeWorkload(const std::string &name);
+
 /** Instantiate a workload by name; fatals on unknown names. */
 std::unique_ptr<Workload> makeWorkload(const std::string &name);
 

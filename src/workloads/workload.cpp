@@ -1,6 +1,7 @@
 #include "workload.hpp"
 
 #include "common/log.hpp"
+#include "sim/fault.hpp"
 #include "sim/statsdump.hpp"
 #include "tmu/outq.hpp"
 
@@ -11,6 +12,7 @@ RunHarness::RunHarness(const RunConfig &cfg)
 {
     if (cfg_.trace != nullptr)
         system_->setTracer(cfg_.trace, cfg_.tracePid);
+    system_->mem().setFaultInjector(cfg_.faults);
 }
 
 void
@@ -30,6 +32,7 @@ RunHarness::addTmuProgram(int c, const engine::TmuProgram &prog)
         c, cfg_.tmu, system_->mem(), prog));
     if (cfg_.trace != nullptr)
         engines_.back()->setTracer(cfg_.trace, cfg_.tracePid);
+    engines_.back()->setFaultInjector(cfg_.faults);
     system_->addDevice(engines_.back().get());
     outqs_.push_back(
         std::make_unique<engine::OutqSource>(*engines_.back()));
@@ -67,6 +70,8 @@ RunHarness::finish()
         engines_[i]->registerStats(reg, p, /*extended=*/true);
         outqs_[i]->registerStats(reg, p);
     }
+    if (cfg_.faults != nullptr)
+        cfg_.faults->registerStats(reg, "faults.");
     res.stats = reg.snapshot();
     return res;
 }

@@ -48,6 +48,13 @@ struct RunConfig
      */
     stats::TraceWriter *trace = nullptr;
     int tracePid = 1;
+
+    /**
+     * Optional fault injector (borrowed; must outlive the run). Wired
+     * into the memory system and every TMU engine; its counters are
+     * registered under "faults." in the RunResult stats snapshot.
+     */
+    sim::FaultInjector *faults = nullptr;
 };
 
 /** One run's outcome. */

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Forward-progress watchdog: a stuck device must end the run with a
+ * Deadlock (no memory activity) or Livelock (activity but no progress)
+ * termination and a structured occupancy dump, instead of silently
+ * spinning to the cycle cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+#include "sim/watchdog.hpp"
+
+using namespace tmu;
+using namespace tmu::sim;
+
+namespace {
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.watchdogCycles = 20'000; // trip fast in the tests
+    return cfg;
+}
+
+/** Device that claims to be busy forever and never makes progress. */
+class StuckDevice : public Tickable
+{
+  public:
+    bool tick(Cycle) override { return true; }
+    std::uint64_t progressCount() const override { return 0; }
+    std::string debugState() const override
+    {
+        return "stuck-device: waiting on a response that never "
+               "arrives\n";
+    }
+};
+
+/**
+ * Device that hammers the memory system without ever finishing: the
+ * classic livelock shape (activity, no progress).
+ */
+class ThrashingDevice : public Tickable
+{
+  public:
+    explicit ThrashingDevice(MemorySystem &mem) : mem_(&mem) {}
+
+    bool
+    tick(Cycle now) override
+    {
+        mem_->tmuAccess(0, addr_, now);
+        addr_ += 64;
+        return true;
+    }
+    std::uint64_t progressCount() const override { return 0; }
+
+  private:
+    MemorySystem *mem_;
+    Addr addr_ = 0x1000;
+};
+
+/** Device that works for a while, then gets stuck. */
+class EventuallyStuckDevice : public Tickable
+{
+  public:
+    explicit EventuallyStuckDevice(Cycle healthyUntil)
+        : healthyUntil_(healthyUntil)
+    {
+    }
+
+    bool
+    tick(Cycle now) override
+    {
+        if (now < healthyUntil_)
+            ++progress_;
+        return true;
+    }
+    std::uint64_t progressCount() const override { return progress_; }
+
+  private:
+    Cycle healthyUntil_;
+    std::uint64_t progress_ = 0;
+};
+
+} // namespace
+
+TEST(Watchdog, CleanRunCompletes)
+{
+    System sys(tinyConfig());
+    const SimResult res = sys.run();
+    EXPECT_TRUE(res.completed());
+    EXPECT_EQ(res.termination, TerminationReason::Completed);
+    EXPECT_TRUE(res.diagnostic.empty());
+}
+
+TEST(Watchdog, StuckDeviceTripsDeadlock)
+{
+    System sys(tinyConfig());
+    StuckDevice dev;
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+
+    EXPECT_FALSE(res.completed());
+    EXPECT_EQ(res.termination, TerminationReason::Deadlock);
+    // Tripped by the watchdog, far before the safety cap.
+    EXPECT_LT(res.cycles, 1'000'000u);
+
+    // The diagnostic is a structured dump: per-core occupancies and
+    // the device's own state.
+    EXPECT_NE(res.diagnostic.find("deadlock"), std::string::npos)
+        << res.diagnostic;
+    EXPECT_NE(res.diagnostic.find("core0:"), std::string::npos)
+        << res.diagnostic;
+    EXPECT_NE(res.diagnostic.find("rob="), std::string::npos)
+        << res.diagnostic;
+    EXPECT_NE(res.diagnostic.find("llc:"), std::string::npos)
+        << res.diagnostic;
+    EXPECT_NE(res.diagnostic.find("stuck-device"), std::string::npos)
+        << res.diagnostic;
+}
+
+TEST(Watchdog, ThrashingDeviceTripsLivelock)
+{
+    System sys(tinyConfig());
+    ThrashingDevice dev(sys.mem());
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+
+    EXPECT_FALSE(res.completed());
+    EXPECT_EQ(res.termination, TerminationReason::Livelock);
+    EXPECT_NE(res.diagnostic.find("livelock"), std::string::npos)
+        << res.diagnostic;
+}
+
+TEST(Watchdog, ProgressPostponesTheTrip)
+{
+    SystemConfig cfg = tinyConfig();
+    System sys(cfg);
+    // Healthy for 3 windows, then stuck: must still trip, but only
+    // after the healthy phase.
+    EventuallyStuckDevice dev(3 * cfg.watchdogCycles);
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+
+    EXPECT_EQ(res.termination, TerminationReason::Deadlock);
+    EXPECT_GE(res.cycles, 0u); // res.cycles tracks core cycles
+}
+
+TEST(Watchdog, DisabledFallsBackToCycleCap)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.watchdogCycles = 0; // disabled
+    System sys(cfg);
+    StuckDevice dev;
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/100'000);
+
+    EXPECT_FALSE(res.completed());
+    EXPECT_EQ(res.termination, TerminationReason::CycleCap);
+    EXPECT_NE(res.diagnostic.find("cycle-cap"), std::string::npos)
+        << res.diagnostic;
+}
+
+TEST(Watchdog, TerminationNames)
+{
+    EXPECT_STREQ(terminationName(TerminationReason::Completed),
+                 "completed");
+    EXPECT_STREQ(terminationName(TerminationReason::CycleCap),
+                 "cycle-cap");
+    EXPECT_STREQ(terminationName(TerminationReason::Deadlock),
+                 "deadlock");
+    EXPECT_STREQ(terminationName(TerminationReason::Livelock),
+                 "livelock");
+}
+
+TEST(ProgressWatchdogUnit, SampleSemantics)
+{
+    ProgressWatchdog wd(1000);
+    ASSERT_TRUE(wd.enabled());
+    EXPECT_EQ(wd.window(), 1000u);
+
+    // Progress advancing: never trips.
+    EXPECT_EQ(wd.sample(100, 1, 0), TerminationReason::Completed);
+    EXPECT_EQ(wd.sample(2000, 2, 0), TerminationReason::Completed);
+
+    // Stalls shorter than the window: no trip.
+    EXPECT_EQ(wd.sample(2900, 2, 0), TerminationReason::Completed);
+
+    // Full window without progress and without activity: deadlock.
+    EXPECT_EQ(wd.sample(3100, 2, 0), TerminationReason::Deadlock);
+}
+
+TEST(ProgressWatchdogUnit, ActivityClassifiesLivelock)
+{
+    ProgressWatchdog wd(1000);
+    EXPECT_EQ(wd.sample(100, 5, 10), TerminationReason::Completed);
+    // No progress, but memory activity keeps changing: livelock.
+    EXPECT_EQ(wd.sample(600, 5, 20), TerminationReason::Completed);
+    EXPECT_EQ(wd.sample(1200, 5, 30), TerminationReason::Livelock);
+}
+
+TEST(ProgressWatchdogUnit, DisabledNeverTrips)
+{
+    ProgressWatchdog wd(0);
+    EXPECT_FALSE(wd.enabled());
+    for (Cycle c = 1; c < 100'000; c += 1000)
+        EXPECT_EQ(wd.sample(c, 0, 0), TerminationReason::Completed);
+}

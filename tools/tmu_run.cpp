@@ -1,10 +1,11 @@
 /**
  * @file
- * Command-line driver: run any evaluated workload/input through either
+ * Command-line driver: run evaluated workloads/inputs through either
  * execution path with configurable knobs and print the full result.
  *
  *   tmu_run [options]
- *     --workload NAME   SpMV|SpMSpM|SpKAdd|PR|TC|SpAdd|MTTKRP_MP|
+ *     --workload NAMES  comma-separated list of
+ *                       SpMV|SpMSpM|SpKAdd|PR|TC|SpAdd|MTTKRP_MP|
  *                       MTTKRP_CP|SpTC|CP-ALS           (default SpMV)
  *     --input ID        M1..M6 / T1..T4                 (default first)
  *     --mode M          baseline|tmu|both               (default both)
@@ -12,10 +13,16 @@
  *     --cores N         simulated cores                 (default 8)
  *     --lanes N         TMU program lanes               (default 8)
  *     --sve BITS        vector width 128|256|512        (default 512)
+ *     --preset NAME     system preset (neoverse-n1|a64fx|graviton3)
  *     --storage BYTES   TMU per-lane storage            (default 2048)
  *     --imp             enable the IMP prefetcher comparator
  *     --tlb             model address translation
  *     --shrink-caches   scale the cache hierarchy with the input
+ *     --watchdog-cycles N  forward-progress watchdog window
+ *                          (0 disables; default 1000000)
+ *     --fault-spec S    enable fault injection, e.g.
+ *                       "mem-lat=0.01:200,outq-corrupt=0.001"
+ *     --fault-seed N    fault injection seed             (default 1)
  *     --stats-json P    write the full stat registry as JSON to P
  *     --stats-csv P     write the full stat registry as CSV to P
  *     --trace-out P     write a Chrome trace_event / Perfetto timeline
@@ -23,11 +30,19 @@
  *                       occupancy counters) to P
  *     --dump-stats      print the gem5-style plain-text report(s)
  *     --list            list workloads and exit
+ *
+ * Robustness contract: an unknown workload name, an input id the
+ * workload does not accept, or a malformed fault spec never kills a
+ * multi-workload sweep. Bad workloads are reported (status "error" in
+ * the JSON export) and skipped; the exit code is 0 as long as at least
+ * one workload ran and verified.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,7 +50,9 @@
 #include "common/table.hpp"
 #include "common/tracewriter.hpp"
 #include "common/writers.hpp"
+#include "sim/fault.hpp"
 #include "sim/statsdump.hpp"
+#include "sim/watchdog.hpp"
 #include "workloads/registry.hpp"
 
 using namespace tmu;
@@ -72,6 +89,10 @@ printResult(const std::string &path, const RunResult &r)
            std::to_string(r.sim.total.mispredicts),
            r.verified ? "yes" : "NO"});
     t.print();
+    if (!r.sim.completed()) {
+        std::printf("termination: %s\n",
+                    sim::terminationName(r.sim.termination));
+    }
     if (r.rwRatio > 0.0) {
         std::printf("outQ read-to-write ratio: %.2f, %llu TMU line "
                     "requests, %llu elements\n",
@@ -82,14 +103,26 @@ printResult(const std::string &path, const RunResult &r)
     std::printf("\n");
 }
 
+/** One workload's outcome in a sweep. */
+struct WorkloadOutcome
+{
+    std::string name;
+    std::string input;
+    std::string error; //!< empty on success
+    bool verified = false;
+    std::vector<std::pair<std::string, RunResult>> runs;
+};
+
 /**
- * One JSON document covering every executed run:
- * {"meta": {...}, "runs": {"baseline": {...}, "tmu": {...}}}.
+ * One JSON document covering every requested workload:
+ * {"meta": {...},
+ *  "workloads": {"SpMV": {"status": "ok", "verified": true,
+ *                         "runs": {"baseline": {...}, "tmu": {...}}},
+ *                "Bogus": {"status": "error", "error": "..."}}}
  */
 std::string
 exportJson(const stats::MetaList &meta,
-           const std::vector<std::pair<std::string, const RunResult *>>
-               &runs)
+           const std::vector<WorkloadOutcome> &outcomes)
 {
     stats::JsonWriter jw;
     jw.beginObject();
@@ -97,15 +130,32 @@ exportJson(const stats::MetaList &meta,
     for (const auto &[k, v] : meta)
         jw.key(k).value(v);
     jw.endObject();
-    jw.key("runs").beginObject();
-    for (const auto &[name, r] : runs) {
-        jw.key(name).beginObject();
-        jw.key("stats").beginObject();
-        stats::writeSnapshotObject(jw, r->stats);
-        jw.endObject();
-        jw.key("desc").beginObject();
-        for (const auto &e : r->stats.entries)
-            jw.key(e.name).value(e.desc);
+    jw.key("workloads").beginObject();
+    for (const auto &wo : outcomes) {
+        jw.key(wo.name).beginObject();
+        if (!wo.error.empty()) {
+            jw.key("status").value("error");
+            jw.key("error").value(wo.error);
+            jw.endObject();
+            continue;
+        }
+        jw.key("status").value("ok");
+        jw.key("input").value(wo.input);
+        jw.key("verified").value(wo.verified);
+        jw.key("runs").beginObject();
+        for (const auto &[name, r] : wo.runs) {
+            jw.key(name).beginObject();
+            jw.key("termination")
+                .value(sim::terminationName(r.sim.termination));
+            jw.key("stats").beginObject();
+            stats::writeSnapshotObject(jw, r.stats);
+            jw.endObject();
+            jw.key("desc").beginObject();
+            for (const auto &e : r.stats.entries)
+                jw.key(e.name).value(e.desc);
+            jw.endObject();
+            jw.endObject();
+        }
         jw.endObject();
         jw.endObject();
     }
@@ -114,36 +164,72 @@ exportJson(const stats::MetaList &meta,
     return jw.str();
 }
 
-/** CSV rows: run,name,value,description. */
+/** CSV rows: workload,run,name,value,description. */
 std::string
-exportCsv(const std::vector<std::pair<std::string, const RunResult *>>
-              &runs)
+exportCsv(const std::vector<WorkloadOutcome> &outcomes)
 {
-    stats::CsvWriter csv({"run", "name", "value", "description"});
-    for (const auto &[name, r] : runs) {
-        for (const auto &e : r->stats.entries) {
-            const std::string value =
-                e.kind == stats::StatKind::U64
-                    ? std::to_string(e.u)
-                    : stats::JsonWriter::number(e.f);
-            csv.row({name, e.name, value, e.desc});
+    stats::CsvWriter csv(
+        {"workload", "run", "name", "value", "description"});
+    for (const auto &wo : outcomes) {
+        for (const auto &[name, r] : wo.runs) {
+            for (const auto &e : r.stats.entries) {
+                const std::string value =
+                    e.kind == stats::StatKind::U64
+                        ? std::to_string(e.u)
+                        : stats::JsonWriter::number(e.f);
+                csv.row({wo.name, name, e.name, value, e.desc});
+            }
         }
     }
     return csv.str();
 }
 
+/** Deterministic per-workload fault stream: FNV-1a of the name. */
+std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::fprintf(stderr, "usage: %s [--workload N] [--input ID] "
+    std::fprintf(stderr, "usage: %s [--workload N1,N2,...] "
+                         "[--input ID] "
                          "[--mode baseline|tmu|both] [--scale N] "
                          "[--cores N] [--lanes N] [--sve BITS] "
-                         "[--storage BYTES] [--imp] [--tlb] "
-                         "[--shrink-caches] [--stats-json P] "
+                         "[--preset NAME] [--storage BYTES] [--imp] "
+                         "[--tlb] [--shrink-caches] "
+                         "[--watchdog-cycles N] [--fault-spec S] "
+                         "[--fault-seed N] [--stats-json P] "
                          "[--stats-csv P] [--trace-out P] "
                          "[--dump-stats] [--list]\n",
                  argv0);
     std::exit(2);
+}
+
+/** Split "a,b,c" into its non-empty fields. */
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
 }
 
 } // namespace
@@ -151,7 +237,7 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    std::string workload = "SpMV";
+    std::string workloadArg = "SpMV";
     std::string input;
     std::string mode = "both";
     Index scale = 128;
@@ -160,7 +246,11 @@ main(int argc, char **argv)
     int sve = 512;
     std::size_t storage = 2048;
     bool imp = false, tlb = false, shrink = false;
+    std::string preset;
     std::string statsJson, statsCsv, traceOut;
+    std::string faultSpecText;
+    std::uint64_t faultSeed = 1;
+    Cycle watchdogCycles = sim::SystemConfig{}.watchdogCycles;
     bool dumpText = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -170,8 +260,8 @@ main(int argc, char **argv)
                 usage(argv[0]);
             return argv[++i];
         };
-        // Path-valued flags accept both `--flag P` and `--flag=P`.
-        auto pathFlag = [&](const char *flag, std::string &dst) {
+        // String-valued flags accept both `--flag V` and `--flag=V`.
+        auto strFlag = [&](const char *flag, std::string &dst) {
             const std::string eq = std::string(flag) + "=";
             if (arg == flag) {
                 dst = next();
@@ -183,21 +273,29 @@ main(int argc, char **argv)
             }
             return false;
         };
-        if (pathFlag("--stats-json", statsJson) ||
-            pathFlag("--stats-csv", statsCsv) ||
-            pathFlag("--trace-out", traceOut))
+        std::string num;
+        if (strFlag("--stats-json", statsJson) ||
+            strFlag("--stats-csv", statsCsv) ||
+            strFlag("--trace-out", traceOut) ||
+            strFlag("--workload", workloadArg) ||
+            strFlag("--input", input) ||
+            strFlag("--mode", mode) ||
+            strFlag("--preset", preset) ||
+            strFlag("--fault-spec", faultSpecText))
             continue;
+        if (strFlag("--fault-seed", num)) {
+            faultSeed = std::strtoull(num.c_str(), nullptr, 10);
+            continue;
+        }
+        if (strFlag("--watchdog-cycles", num)) {
+            watchdogCycles = std::strtoull(num.c_str(), nullptr, 10);
+            continue;
+        }
         if (arg == "--dump-stats") {
             dumpText = true;
             continue;
         }
-        if (arg == "--workload")
-            workload = next();
-        else if (arg == "--input")
-            input = next();
-        else if (arg == "--mode")
-            mode = next();
-        else if (arg == "--scale")
+        if (arg == "--scale")
             scale = std::atoll(next());
         else if (arg == "--cores")
             cores = std::atoi(next());
@@ -223,88 +321,188 @@ main(int argc, char **argv)
         }
     }
 
-    auto wl = makeWorkload(workload);
-    if (input.empty())
-        input = wl->inputs().front();
+    // A bad fault spec or preset is a command-line error, not a
+    // per-workload one: nothing would run the way the user asked.
+    sim::FaultSpec faultSpec;
+    if (!faultSpecText.empty()) {
+        auto spec = sim::FaultSpec::parse(faultSpecText);
+        if (!spec) {
+            std::fprintf(stderr, "tmu_run: %s\n",
+                         spec.error().str().c_str());
+            return 2;
+        }
+        faultSpec = *spec;
+    }
 
-    std::printf("Preparing %s on %s at 1/%lld scale...\n",
-                workload.c_str(), input.c_str(),
-                static_cast<long long>(scale));
-    wl->prepare(input, scale);
+    sim::SystemConfig sysCfg;
+    if (!preset.empty()) {
+        auto p = sim::SystemConfig::preset(preset);
+        if (!p) {
+            std::fprintf(stderr, "tmu_run: %s\n",
+                         p.error().str().c_str());
+            return 2;
+        }
+        sysCfg = *p;
+    }
 
-    RunConfig cfg;
-    cfg.system.cores = cores;
-    cfg.system.simdBits = sve;
-    cfg.system.impPrefetcher = imp;
-    cfg.system.modelTlb = tlb;
-    if (shrink)
-        cfg.system = shrinkCaches(cfg.system, scale);
-    cfg.programLanes = lanes;
-    cfg.tmu.lanes = std::max(lanes, 1);
-    cfg.tmu.perLaneBytes = storage;
-    std::printf("%s\n\n", cfg.system.describe().c_str());
+    const std::vector<std::string> names = splitList(workloadArg);
+    if (names.empty())
+        usage(argv[0]);
 
+    std::vector<WorkloadOutcome> outcomes;
     stats::TraceWriter tracer;
-    if (!traceOut.empty())
-        cfg.trace = &tracer;
+    int nextTracePid = 1;
+    int succeeded = 0;
 
-    RunResult base, tmuRes;
-    std::vector<std::pair<std::string, const RunResult *>> runs;
-    if (mode == "baseline" || mode == "both") {
-        cfg.mode = Mode::Baseline;
-        cfg.tracePid = 1;
+    for (const std::string &workload : names) {
+        WorkloadOutcome wo;
+        wo.name = workload;
+
+        auto wlE = tryMakeWorkload(workload);
+        if (!wlE) {
+            wo.error = wlE.error().str();
+            std::fprintf(stderr, "tmu_run: skipping: %s\n",
+                         wo.error.c_str());
+            outcomes.push_back(std::move(wo));
+            continue;
+        }
+        std::unique_ptr<Workload> wl = std::move(*wlE);
+
+        const auto valid = wl->inputs();
+        wo.input = input.empty() ? valid.front() : input;
+        if (std::find(valid.begin(), valid.end(), wo.input) ==
+            valid.end()) {
+            std::string known;
+            for (const auto &v : valid)
+                known += (known.empty() ? "" : ", ") + v;
+            wo.error = TMU_ERR(Errc::UnknownName,
+                               "input '%s' not valid for %s "
+                               "(known: %s)", wo.input.c_str(),
+                               workload.c_str(), known.c_str())
+                           .str();
+            std::fprintf(stderr, "tmu_run: skipping: %s\n",
+                         wo.error.c_str());
+            outcomes.push_back(std::move(wo));
+            continue;
+        }
+
+        std::printf("Preparing %s on %s at 1/%lld scale...\n",
+                    workload.c_str(), wo.input.c_str(),
+                    static_cast<long long>(scale));
+        wl->prepare(wo.input, scale);
+
+        RunConfig cfg;
+        cfg.system = sysCfg;
+        cfg.system.cores = cores;
+        cfg.system.simdBits = sve;
+        cfg.system.impPrefetcher = imp;
+        cfg.system.modelTlb = tlb;
+        cfg.system.watchdogCycles = watchdogCycles;
+        if (shrink)
+            cfg.system = shrinkCaches(cfg.system, scale);
+        cfg.programLanes = lanes;
+        cfg.tmu.lanes = std::max(lanes, 1);
+        cfg.tmu.perLaneBytes = storage;
+        if (auto v = cfg.system.validate(); !v) {
+            wo.error = v.error().str();
+            std::fprintf(stderr, "tmu_run: skipping: %s\n",
+                         wo.error.c_str());
+            outcomes.push_back(std::move(wo));
+            continue;
+        }
+        if (succeeded == 0)
+            std::printf("%s\n\n", cfg.system.describe().c_str());
+
         if (!traceOut.empty())
-            tracer.processName(1, "baseline");
-        base = wl->run(cfg);
-        printResult("baseline", base);
-        runs.emplace_back("baseline", &base);
-    }
-    if (mode == "tmu" || mode == "both") {
-        cfg.mode = Mode::Tmu;
-        cfg.tracePid = 2;
-        if (!traceOut.empty())
-            tracer.processName(2, "tmu");
-        tmuRes = wl->run(cfg);
-        printResult("tmu", tmuRes);
-        runs.emplace_back("tmu", &tmuRes);
-    }
-    if (mode == "both" && tmuRes.sim.cycles > 0) {
-        std::printf("speedup: %.2fx\n",
-                    static_cast<double>(base.sim.cycles) /
-                        static_cast<double>(tmuRes.sim.cycles));
+            cfg.trace = &tracer;
+
+        wo.verified = true;
+        auto runOne = [&](Mode m, const char *runName) {
+            // Independent, reproducible fault stream per (workload,
+            // path) so sweep composition doesn't shift decisions.
+            sim::FaultInjector faults(
+                mixSeed(faultSeed, workload + ":" + runName),
+                faultSpec);
+            cfg.mode = m;
+            cfg.faults = faultSpec.any() ? &faults : nullptr;
+            cfg.tracePid = nextTracePid++;
+            if (!traceOut.empty()) {
+                tracer.processName(cfg.tracePid,
+                                   workload + ":" + runName);
+            }
+            RunResult r = wl->run(cfg);
+            std::printf("[%s] ", workload.c_str());
+            printResult(runName, r);
+            if (faultSpec.any()) {
+                const auto t = faults.totals();
+                std::printf("faults: %llu injected, %llu masked, "
+                            "%llu detected%s\n",
+                            static_cast<unsigned long long>(t.injected),
+                            static_cast<unsigned long long>(t.masked),
+                            static_cast<unsigned long long>(t.detected),
+                            faults.allAccounted()
+                                ? "" : " (UNACCOUNTED)");
+            }
+            wo.verified = wo.verified && r.verified;
+            wo.runs.emplace_back(runName, std::move(r));
+        };
+
+        if (mode == "baseline" || mode == "both")
+            runOne(Mode::Baseline, "baseline");
+        if (mode == "tmu" || mode == "both")
+            runOne(Mode::Tmu, "tmu");
+        if (wo.runs.empty()) {
+            std::fprintf(stderr, "tmu_run: unknown mode '%s'\n",
+                         mode.c_str());
+            usage(argv[0]);
+        }
+        if (mode == "both" && wo.runs.size() == 2 &&
+            wo.runs[1].second.sim.cycles > 0) {
+            std::printf("speedup: %.2fx\n\n",
+                        static_cast<double>(
+                            wo.runs[0].second.sim.cycles) /
+                            static_cast<double>(
+                                wo.runs[1].second.sim.cycles));
+        }
+        ++succeeded;
+        outcomes.push_back(std::move(wo));
     }
 
     if (dumpText) {
-        for (const auto &[name, r] : runs) {
-            std::printf("[%s]\n", name.c_str());
-            std::printf("---------- Begin Simulation Statistics "
-                        "----------\n");
-            std::fputs(stats::renderStatsText(r->stats).c_str(),
-                       stdout);
-            std::printf("---------- End Simulation Statistics   "
-                        "----------\n\n");
+        for (const auto &wo : outcomes) {
+            for (const auto &[name, r] : wo.runs) {
+                std::printf("[%s %s]\n", wo.name.c_str(), name.c_str());
+                std::printf("---------- Begin Simulation Statistics "
+                            "----------\n");
+                std::fputs(stats::renderStatsText(r.stats).c_str(),
+                           stdout);
+                std::printf("---------- End Simulation Statistics   "
+                            "----------\n\n");
+            }
         }
     }
     if (!statsJson.empty() || !statsCsv.empty()) {
         const stats::MetaList meta = {
-            {"workload", workload},
-            {"input", input},
+            {"workload", workloadArg},
+            {"input", input.empty() ? "default" : input},
             {"mode", mode},
             {"scale", std::to_string(scale)},
             {"cores", std::to_string(cores)},
             {"lanes", std::to_string(lanes)},
             {"sve", std::to_string(sve)},
+            {"faultSpec", faultSpecText},
+            {"faultSeed", std::to_string(faultSeed)},
         };
         if (!statsJson.empty() &&
-            stats::saveTextFile(statsJson, exportJson(meta, runs)))
+            stats::saveTextFile(statsJson, exportJson(meta, outcomes)))
             std::printf("wrote %s\n", statsJson.c_str());
         if (!statsCsv.empty() &&
-            stats::saveTextFile(statsCsv, exportCsv(runs)))
+            stats::saveTextFile(statsCsv, exportCsv(outcomes)))
             std::printf("wrote %s\n", statsCsv.c_str());
     }
     if (!traceOut.empty() && tracer.save(traceOut)) {
         std::printf("wrote %s (%zu events)\n", traceOut.c_str(),
                     tracer.eventCount());
     }
-    return 0;
+    return succeeded > 0 ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/writers.hpp"
+#include "sim/sweep.hpp"
 #include "workloads/registry.hpp"
 
 namespace tmu::bench {
@@ -118,6 +119,70 @@ runPair(workloads::Workload &wl, workloads::RunConfig cfg)
                      pr.tmu.verified);
     }
     return pr;
+}
+
+/** Host threads for bench sweeps: TMU_BENCH_JOBS (default 1). */
+inline int
+benchJobs()
+{
+    if (const char *s = std::getenv("TMU_BENCH_JOBS")) {
+        const int v = std::atoi(s);
+        if (v >= 1)
+            return v;
+    }
+    return 1;
+}
+
+/**
+ * Run fn(0..count-1) on a SweepRunner pool. Tasks must be independent
+ * and write into caller-owned, index-addressed storage; consuming the
+ * results by index afterwards keeps every bench table byte-identical
+ * for any job count (see docs/PARALLEL_SWEEPS.md).
+ */
+inline void
+parallelFor(std::size_t count, int jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    sim::SweepRunner(jobs).run(count, fn);
+}
+
+/** One (workload, input) cell of a paired sweep. */
+struct PairCell
+{
+    std::string workload;
+    std::string input;
+    workloads::Workload::Class cls{};
+    PairResult pr;
+};
+
+/**
+ * The common figure-bench sweep: baseline+TMU for every input of every
+ * named workload, on a SweepRunner pool. Each task owns a private
+ * Workload instance (prepare() fills per-instance input state), so
+ * tasks never share mutable data; cells come back in (workload x
+ * input) enumeration order no matter which pool thread ran them.
+ */
+inline std::vector<PairCell>
+runPairSweep(const std::vector<std::string> &names, int jobs)
+{
+    std::vector<PairCell> cells;
+    for (const auto &name : names) {
+        const auto wl = workloads::makeWorkload(name);
+        for (const auto &input : wl->inputs()) {
+            PairCell c;
+            c.workload = name;
+            c.input = input;
+            c.cls = wl->workloadClass();
+            cells.push_back(std::move(c));
+        }
+    }
+    parallelFor(cells.size(), jobs, [&](std::size_t i) {
+        PairCell &c = cells[i];
+        const auto wl = workloads::makeWorkload(c.workload);
+        wl->prepare(c.input, scaleFor(*wl));
+        c.pr = runPair(*wl, defaultConfig(scaleFor(*wl)));
+    });
+    return cells;
 }
 
 /**

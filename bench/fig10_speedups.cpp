@@ -65,22 +65,26 @@ main()
     TextTable gm("per-workload geomean speedups");
     gm.header({"workload", "class", "geomean"});
 
-    for (const auto &name : allWorkloads()) {
-        auto wl = makeWorkload(name);
+    const std::vector<PairCell> cells =
+        runPairSweep(allWorkloads(), benchJobs());
+    for (std::size_t i = 0; i < cells.size();) {
+        // Cells are grouped by workload in enumeration order; fold one
+        // workload's inputs into its geomean row.
+        const std::string &name = cells[i].workload;
         std::vector<double> speedups;
-        RunConfig wlCfg = defaultConfig(scaleFor(*wl));
-        for (const auto &input : wl->inputs()) {
-            wl->prepare(input, scaleFor(*wl));
-            const PairResult pr = runPair(*wl, wlCfg);
-            t.row({name, input, std::to_string(pr.base.sim.cycles),
-                   std::to_string(pr.tmu.sim.cycles),
-                   TextTable::num(pr.speedup(), 2),
-                   pr.verified() ? "yes" : "NO"});
-            speedups.push_back(pr.speedup());
+        Workload::Class wlClass = cells[i].cls;
+        for (; i < cells.size() && cells[i].workload == name; ++i) {
+            const PairCell &c = cells[i];
+            t.row({name, c.input,
+                   std::to_string(c.pr.base.sim.cycles),
+                   std::to_string(c.pr.tmu.sim.cycles),
+                   TextTable::num(c.pr.speedup(), 2),
+                   c.pr.verified() ? "yes" : "NO"});
+            speedups.push_back(c.pr.speedup());
         }
         const double g = geomean(speedups);
         const char *cls = "";
-        switch (wl->workloadClass()) {
+        switch (wlClass) {
           case Workload::Class::MemoryIntensive:
             cls = "memory";
             memClass.push_back(g);

@@ -29,32 +29,26 @@ main()
     t.header({"workload", "input", "path", "commit", "frontend",
               "backend", "(outQ-wait)", "ld2use"});
 
-    for (const auto &name : allWorkloads()) {
-        auto wl = makeWorkload(name);
-        const RunConfig wlCfg = defaultConfig(scaleFor(*wl));
-        for (const auto &input : wl->inputs()) {
-            wl->prepare(input, scaleFor(*wl));
-            const PairResult pr = runPair(*wl, wlCfg);
-            auto waitFrac = [](const sim::SimResult &r) {
-                return r.total.cycles
-                           ? static_cast<double>(
-                                 r.total.supplyWaitCycles) /
-                                 static_cast<double>(r.total.cycles)
-                           : 0.0;
-            };
-            t.row({name, input, "B",
-                   TextTable::num(pr.base.sim.commitFrac(), 3),
-                   TextTable::num(pr.base.sim.frontendFrac(), 3),
-                   TextTable::num(pr.base.sim.backendFrac(), 3),
-                   TextTable::num(waitFrac(pr.base.sim), 3),
-                   TextTable::num(pr.base.sim.total.avgLoadToUse(), 1)});
-            t.row({name, input, "T",
-                   TextTable::num(pr.tmu.sim.commitFrac(), 3),
-                   TextTable::num(pr.tmu.sim.frontendFrac(), 3),
-                   TextTable::num(pr.tmu.sim.backendFrac(), 3),
-                   TextTable::num(waitFrac(pr.tmu.sim), 3),
-                   TextTable::num(pr.tmu.sim.total.avgLoadToUse(), 1)});
-        }
+    auto waitFrac = [](const sim::SimResult &r) {
+        return r.total.cycles
+                   ? static_cast<double>(r.total.supplyWaitCycles) /
+                         static_cast<double>(r.total.cycles)
+                   : 0.0;
+    };
+    for (const PairCell &c : runPairSweep(allWorkloads(), benchJobs())) {
+        const PairResult &pr = c.pr;
+        t.row({c.workload, c.input, "B",
+               TextTable::num(pr.base.sim.commitFrac(), 3),
+               TextTable::num(pr.base.sim.frontendFrac(), 3),
+               TextTable::num(pr.base.sim.backendFrac(), 3),
+               TextTable::num(waitFrac(pr.base.sim), 3),
+               TextTable::num(pr.base.sim.total.avgLoadToUse(), 1)});
+        t.row({c.workload, c.input, "T",
+               TextTable::num(pr.tmu.sim.commitFrac(), 3),
+               TextTable::num(pr.tmu.sim.frontendFrac(), 3),
+               TextTable::num(pr.tmu.sim.backendFrac(), 3),
+               TextTable::num(waitFrac(pr.tmu.sim), 3),
+               TextTable::num(pr.tmu.sim.total.avgLoadToUse(), 1)});
     }
     rep.print(t);
     std::printf("\nNote: in TMU runs, backend stalls include the core "

@@ -29,13 +29,19 @@ main()
     const std::vector<int> sveBits = {128, 256, 512};
 
     for (const char *name : {"SpMV", "SpMSpM"}) {
-        auto wl = makeWorkload(name);
+        const auto inputs = makeWorkload(name)->inputs();
 
-        // Geomean cycles per configuration over M1-M6.
-        auto cells = std::vector<std::vector<double>>(
-            storages.size(), std::vector<double>(sveBits.size(), 1.0));
-        for (const auto &input : wl->inputs()) {
-            wl->prepare(input, scaleFor(*wl));
+        // One sweep task per input: each prepares a private workload
+        // instance and fills its own cycles[storage][sve] grid; the
+        // geomean fold below consumes the grids in input order.
+        std::vector<std::vector<std::vector<double>>> grids(
+            inputs.size());
+        parallelFor(inputs.size(), benchJobs(), [&](std::size_t i) {
+            auto wl = makeWorkload(name);
+            wl->prepare(inputs[i], scaleFor(*wl));
+            auto &grid = grids[i];
+            grid.assign(storages.size(),
+                        std::vector<double>(sveBits.size(), 0.0));
             for (size_t s = 0; s < storages.size(); ++s) {
                 for (size_t v = 0; v < sveBits.size(); ++v) {
                     RunConfig cfg = defaultConfig(scaleFor(*wl));
@@ -47,12 +53,19 @@ main()
                         storages[s] /
                         static_cast<std::size_t>(cfg.tmu.lanes);
                     const RunResult r = wl->run(cfg);
-                    cells[s][v] *= static_cast<double>(r.sim.cycles);
+                    grid[s][v] = static_cast<double>(r.sim.cycles);
                 }
             }
-        }
-        const double exp =
-            1.0 / static_cast<double>(wl->inputs().size());
+        });
+
+        // Geomean cycles per configuration over the input suite.
+        auto cells = std::vector<std::vector<double>>(
+            storages.size(), std::vector<double>(sveBits.size(), 1.0));
+        for (const auto &grid : grids)
+            for (size_t s = 0; s < storages.size(); ++s)
+                for (size_t v = 0; v < sveBits.size(); ++v)
+                    cells[s][v] *= grid[s][v];
+        const double exp = 1.0 / static_cast<double>(inputs.size());
         for (auto &rowv : cells)
             for (auto &c : rowv)
                 c = std::pow(c, exp);

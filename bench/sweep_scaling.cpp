@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel sweep scaling: the four headline workloads (SpMV, SpMSpM,
+ * SpKAdd, PR) run as one paired baseline+TMU sweep on 1 and 4 host
+ * threads. Reports wall-clock per job count, the speedup over the
+ * serial sweep, and a cycle-exactness check between the two runs —
+ * the SweepRunner contract is that simulated results are byte-
+ * identical for any job count, so the only thing allowed to change
+ * is the wall clock.
+ *
+ * On a 4+ core host the 4-way sweep is expected to finish >= 2x
+ * faster than the serial one (four independent tasks, no shared
+ * state). The host's actual concurrency is recorded in the report:
+ * on fewer cores the speedup degrades toward 1x, which is honest,
+ * not a failure.
+ */
+
+#include "bench_util.hpp"
+
+#include <chrono>
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+namespace {
+
+struct Cell
+{
+    std::string workload;
+    std::string input;
+    PairResult pr;
+};
+
+/** Run the paired sweep on @p jobs threads; returns wall-clock ms. */
+double
+timedSweep(const std::vector<std::string> &names, int jobs,
+           std::vector<Cell> &cells)
+{
+    cells.clear();
+    for (const auto &name : names) {
+        Cell c;
+        c.workload = name;
+        c.input = makeWorkload(name)->inputs().front();
+        cells.push_back(std::move(c));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    parallelFor(cells.size(), jobs, [&](std::size_t i) {
+        Cell &c = cells[i];
+        auto wl = makeWorkload(c.workload);
+        wl->prepare(c.input, scaleFor(*wl));
+        c.pr = runPair(*wl, defaultConfig(scaleFor(*wl)));
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchReport rep("sweep");
+    printBanner("Parallel sweep scaling (--jobs 1 vs --jobs 4)",
+                defaultConfig(matrixScale()));
+
+    const std::vector<std::string> names = {"SpMV", "SpMSpM", "SpKAdd",
+                                            "PR"};
+    std::vector<Cell> serial, parallel4;
+    const double ms1 = timedSweep(names, 1, serial);
+    const double ms4 = timedSweep(names, 4, parallel4);
+
+    const unsigned hw = sim::SweepRunner::hardwareJobs();
+    TextTable t("sweep wall clock, 4 workloads, baseline+tmu each");
+    t.header({"jobs", "wall ms", "speedup"});
+    t.row({"1", TextTable::num(ms1, 1), "1.00"});
+    t.row({"4", TextTable::num(ms4, 1),
+           TextTable::num(ms4 > 0.0 ? ms1 / ms4 : 0.0, 2)});
+    rep.print(t);
+    std::printf("host hardware_concurrency: %u\n\n", hw);
+
+    // Determinism: the simulated cycle counts must not depend on the
+    // job count. Any mismatch is a bug in task isolation.
+    bool identical = serial.size() == parallel4.size();
+    TextTable d("jobs=1 vs jobs=4 simulated cycles");
+    d.header({"workload", "input", "base cycles", "tmu cycles",
+              "match"});
+    for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+        const Cell &a = serial[i];
+        const Cell &b = parallel4[i];
+        const bool match =
+            a.pr.base.sim.cycles == b.pr.base.sim.cycles &&
+            a.pr.tmu.sim.cycles == b.pr.tmu.sim.cycles;
+        identical = identical && match;
+        d.row({a.workload, a.input,
+               std::to_string(a.pr.base.sim.cycles),
+               std::to_string(a.pr.tmu.sim.cycles),
+               match ? "yes" : "NO"});
+    }
+    rep.print(d);
+    std::printf("deterministic across job counts: %s\n",
+                identical ? "yes" : "NO");
+
+    rep.note("wall_ms.jobs1", TextTable::num(ms1, 1));
+    rep.note("wall_ms.jobs4", TextTable::num(ms4, 1));
+    rep.note("speedup.jobs4",
+             TextTable::num(ms4 > 0.0 ? ms1 / ms4 : 0.0, 2));
+    rep.note("hardware_concurrency", std::to_string(hw));
+    rep.note("deterministic", identical ? "yes" : "no");
+    return identical ? 0 : 1;
+}

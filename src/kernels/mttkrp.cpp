@@ -76,18 +76,21 @@ traceMttkrp(const CooTensor &a, const DenseMatrix &b,
             const int n = static_cast<int>(std::min<Index>(vl, rank - j));
             const int back = 6 * chunk;
             co_yield MicroOp::load(
-                addrOf(bk, j), static_cast<std::uint8_t>(n * 8),
+                addrOf(b.data(), k * rank + j),
+                static_cast<std::uint8_t>(n * 8),
                 static_cast<std::uint8_t>(std::min(back + 3, 255)));
             co_yield MicroOp::load(
-                addrOf(cl, j), static_cast<std::uint8_t>(n * 8),
+                addrOf(c.data(), l * rank + j),
+                static_cast<std::uint8_t>(n * 8),
                 static_cast<std::uint8_t>(std::min(back + 3, 255)));
             co_yield MicroOp::load(
-                addrOf(zi, j), static_cast<std::uint8_t>(n * 8),
+                addrOf(z.data(), i * rank + j),
+                static_cast<std::uint8_t>(n * 8),
                 static_cast<std::uint8_t>(std::min(back + 6, 255)));
             co_yield MicroOp::flop(static_cast<std::uint16_t>(3 * n));
             for (int lane = 0; lane < n; ++lane)
                 zi[j + lane] += v * bk[j + lane] * cl[j + lane];
-            co_yield MicroOp::store(addrOf(zi, j),
+            co_yield MicroOp::store(addrOf(z.data(), i * rank + j),
                                     static_cast<std::uint8_t>(n * 8));
             co_yield MicroOp::branch(kPcRank, j + vl < rank);
         }

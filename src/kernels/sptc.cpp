@@ -186,7 +186,7 @@ traceSptcSymbolic(const CsfTensor &a, const CsfTensor &b,
                     co_yield MicroOp::load(addrOf(b.idxs(2).data(), nj),
                                            8);
                     co_yield MicroOp::load(
-                        reinterpret_cast<Addr>(seen.data() + j), 1, 1);
+                        addrOf(seen.data(), static_cast<Index>(j)), 1, 1);
                     const bool fresh = !seen[j];
                     co_yield MicroOp::branch(kPcJ, fresh);
                     if (fresh) {

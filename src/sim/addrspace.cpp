@@ -1,0 +1,60 @@
+#include "sim/addrspace.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmu::sim {
+
+namespace {
+
+/**
+ * Per-thread registry: a simulated run executes entirely on one host
+ * thread, so thread-locality gives each concurrent sweep task an
+ * independent, deterministic first-touch sequence.
+ */
+struct AddrSpace
+{
+    std::unordered_map<const void *, Addr> slotOf;
+    std::vector<const char *> hostBase; //!< indexed by slot
+};
+
+thread_local AddrSpace tls;
+
+} // namespace
+
+Addr
+canonBase(const void *hostBase)
+{
+    if (hostBase == nullptr)
+        return 0;
+    auto [it, inserted] = tls.slotOf.try_emplace(
+        hostBase, kCanonBase + tls.hostBase.size() * kCanonSlotBytes);
+    if (inserted)
+        tls.hostBase.push_back(static_cast<const char *>(hostBase));
+    return it->second;
+}
+
+void *
+hostPtr(Addr addr)
+{
+    // Anything outside the registered canonical range is a legacy raw
+    // pointer or a synthetic test constant: pass it through. (Host
+    // heap/stack addresses sit well above the canonical window.)
+    if (addr < kCanonBase ||
+        addr >= kCanonBase + tls.hostBase.size() * kCanonSlotBytes)
+        return reinterpret_cast<void *>(addr);
+    const Addr slot = (addr - kCanonBase) / kCanonSlotBytes;
+    return const_cast<char *>(tls.hostBase[static_cast<size_t>(slot)]) +
+           (addr - kCanonBase) % kCanonSlotBytes;
+}
+
+void
+resetAddrSpace()
+{
+    tls.slotOf.clear();
+    tls.hostBase.clear();
+}
+
+} // namespace tmu::sim

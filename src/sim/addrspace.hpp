@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Canonical simulated address space.
+ *
+ * Historically the timing model reinterpreted host pointers as
+ * simulated addresses. That made cycle counts a function of where the
+ * host allocator (and ASLR) happened to place each buffer: cache set
+ * indexing, page boundaries and DRAM row bits all change run to run.
+ * It also made parallel sweeps (`--jobs N`) non-reproducible, because
+ * worker threads draw from different malloc arenas.
+ *
+ * This layer assigns every simulated buffer a *canonical* base in a
+ * fixed virtual address space, in first-touch order: the first time a
+ * buffer's host base pointer is seen, it receives the next 256 MiB
+ * slot above 1 TiB. Slot bases are page- and line-aligned, and
+ * within-buffer offsets are preserved exactly, so spatial locality is
+ * faithful while placement is deterministic. The mapping is
+ * thread-local and reset whenever a System is constructed, so each
+ * simulated run owns an identical, reproducible layout regardless of
+ * which host thread executes it.
+ *
+ * Functional model code that must read real data through a simulated
+ * address (the TMU fiber walker, the IMP index snoop) translates back
+ * with hostPtr().
+ */
+
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tmu::sim {
+
+/** Base of the canonical space; host pointers below this pass through. */
+inline constexpr Addr kCanonBase = Addr{1} << 40;
+
+/** Canonical slot stride: one simulated buffer per 256 MiB slot. */
+inline constexpr Addr kCanonSlotBytes = Addr{1} << 28;
+
+/**
+ * Canonical base address for the buffer starting at host pointer
+ * @p hostBase. Assigns the next slot on first touch; returns the same
+ * slot for repeated queries. nullptr maps to address 0 (the legacy
+ * empty-buffer behaviour).
+ */
+Addr canonBase(const void *hostBase);
+
+/**
+ * Translate a canonical simulated address back to the host pointer it
+ * shadows (for functional reads through the timing model's address).
+ * Addresses below kCanonBase are passed through unchanged — they are
+ * either legacy raw pointers or synthetic test constants.
+ */
+void *hostPtr(Addr addr);
+
+/**
+ * Forget all buffer registrations on the calling thread. Called by the
+ * System constructor so every simulated run starts from an identical,
+ * empty canonical layout.
+ */
+void resetAddrSpace();
+
+} // namespace tmu::sim

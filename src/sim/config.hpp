@@ -90,6 +90,14 @@ struct SystemConfig
     bool modelTlb = false;
     TlbConfig tlb;
     /**
+     * Reference mode: the scheduler ignores wake hints and ticks every
+     * component every cycle — the pre-event-kernel per-cycle loop,
+     * through the same code path. Results must be identical to the
+     * event-driven default (pinned by tests); also settable via the
+     * TMU_SCHED_DENSE environment variable for A/B validation.
+     */
+    bool schedDense = false;
+    /**
      * Forward-progress watchdog window: a run with no committed work
      * anywhere for this many cycles ends with a Deadlock/Livelock
      * termination and an occupancy dump instead of spinning to the

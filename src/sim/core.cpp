@@ -130,6 +130,7 @@ Core::issue(Cycle now)
                 allPriorIssued = false;
                 continue; // L1 MSHRs full: retry next cycle
             }
+            --dispatchedCount_;
             Cycle complete = res.complete;
             if (linesTouched(e.op.addr, e.op.size) > 1) {
                 const MemAccess res2 = mem_.coreAccess(
@@ -160,6 +161,7 @@ Core::issue(Cycle now)
                 continue;
             }
             // Stores retire via the store buffer: completion is fast.
+            --dispatchedCount_;
             e.state = OpState::Complete;
             e.issued = now;
             e.complete = now + 1;
@@ -173,6 +175,7 @@ Core::issue(Cycle now)
                 allPriorIssued = false;
                 continue;
             }
+            --dispatchedCount_;
             e.state = OpState::Complete;
             e.issued = now;
             e.complete = now + cfg_.fpLatency;
@@ -182,6 +185,7 @@ Core::issue(Cycle now)
             break;
           }
           case OpKind::Iop: {
+            --dispatchedCount_;
             e.state = OpState::Complete;
             e.issued = now;
             e.complete = now + 1;
@@ -213,6 +217,7 @@ Core::issue(Cycle now)
             const Cycle resolve = std::max(
                 {now + 1, depComplete + 1,
                  e.issued /*dispatchedAt*/ + cfg_.branchResolveMin});
+            --dispatchedCount_;
             e.state = OpState::Complete;
             e.complete = resolve;
             ++issued;
@@ -224,6 +229,7 @@ Core::issue(Cycle now)
             break;
           }
           case OpKind::Halt:
+            --dispatchedCount_;
             e.state = OpState::Complete;
             e.complete = now;
             break;
@@ -243,8 +249,10 @@ Core::dispatch(Cycle now)
     int dispatched = 0;
     while (dispatched < cfg_.dispatchWidth && !rob_.full()) {
         if (!havePending_) {
-            if (!source_->pullOp(pendingOp_, now))
+            if (!source_->pullOp(pendingOp_, now)) {
+                dispatchStarved_ = true;
                 break; // source empty (or finished) this cycle
+            }
             havePending_ = true;
         }
         // Structural checks that must hold before consuming the op.
@@ -279,6 +287,7 @@ Core::dispatch(Cycle now)
             }
         }
         rob_.push(std::move(e));
+        ++dispatchedCount_;
         ++dispatched;
         if (stopAfter)
             break;
@@ -288,8 +297,26 @@ Core::dispatch(Cycle now)
 bool
 Core::tick(Cycle now)
 {
+    // Back-fill the cycles slept since the last tick: each was a
+    // provable no-op whose only effect in the per-cycle loop was one
+    // increment of `cycles` plus the stall bucket chosen when the
+    // sleep was declared. This runs before the drained() check — the
+    // supply can finish *while* the core is parked, and the slept
+    // waiting cycles must still be charged.
+    if (sleepBucket_ != nullptr && now > lastTicked_ + 1) {
+        const Cycle gap = now - lastTicked_ - 1;
+        stats_.cycles += gap;
+        stats_.*sleepBucket_ += gap;
+        if (sleepSupplyWait_)
+            stats_.supplyWaitCycles += gap;
+    }
+    sleepBucket_ = nullptr;
+    sleepSupplyWait_ = false;
+
     if (drained())
         return false;
+    lastTicked_ = now;
+    dispatchStarved_ = false;
 
     ++stats_.cycles;
     int retired = 0;
@@ -319,7 +346,69 @@ Core::tick(Cycle now)
     }
     if (tracer_ != nullptr)
         tracer_->phase(tracePid_, id_, phase, now);
+
+    // Pre-compute the bucket any slept cycle will be charged to: the
+    // phase logic above with retired == 0, evaluated on the post-tick
+    // state — which is exactly what the per-cycle loop would see,
+    // since that state is frozen for the whole no-op window.
+    if (!rob_.empty()) {
+        sleepBucket_ = &CoreStats::backendStallCycles;
+    } else if (pendingMispredictSeq_ >= 0 ||
+               fetchBlockedUntil_ > now + 1) {
+        sleepBucket_ = &CoreStats::frontendStallCycles;
+    } else if (source_ != nullptr && !source_->done()) {
+        sleepBucket_ = &CoreStats::backendStallCycles;
+        sleepSupplyWait_ = true;
+    } else {
+        sleepBucket_ = &CoreStats::frontendStallCycles;
+    }
     return true;
+}
+
+Cycle
+Core::wakeHint(Cycle now) const
+{
+    if (tracer_ != nullptr)
+        return now + 1; // the phase track must stay cycle-dense
+    if (drained())
+        return now + 1; // next tick returns false and retires us
+    if (dispatchedCount_ > 0)
+        return now + 1; // un-issued ops: issue may act any cycle
+
+    // Every ROB entry is Complete: nothing happens before the head's
+    // in-order retire deadline.
+    Cycle wake = kWakeNever;
+    if (!rob_.empty())
+        wake = rob_.peek(0).complete;
+
+    if (source_ != nullptr && !source_->done()) {
+        if (fetchBlockedUntil_ > now + 1) {
+            // Fetch redirect in flight: dispatch is dead until then.
+            wake = std::min(wake, fetchBlockedUntil_);
+        } else if (havePending_ || rob_.full()) {
+            // Structural block (LQ/SQ/ROB full): dispatch can only
+            // resume after a retire, and the retire deadline is
+            // already a wake candidate (both conditions imply a
+            // non-empty ROB).
+        } else if (dispatchStarved_) {
+            // Supply ran dry mid-tick: ask it when the next op could
+            // possibly appear (kWakeNever = park until a chunk-sealed
+            // consumer wake).
+            wake = std::min(wake, source_->nextPullCycle(now));
+        } else {
+            return now + 1; // dispatch stopped for width only: stay hot
+        }
+    }
+    if (wake == kWakeNever)
+        return kWakeNever;
+    return wake > now ? wake : now + 1;
+}
+
+void
+Core::bindScheduler(Scheduler &sched, int handle)
+{
+    if (source_ != nullptr)
+        source_->bindConsumer(sched, handle);
 }
 
 bool

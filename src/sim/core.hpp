@@ -27,6 +27,7 @@
 #include "sim/config.hpp"
 #include "sim/memsys.hpp"
 #include "sim/microop.hpp"
+#include "sim/sched.hpp"
 #include "sim/tracesource.hpp"
 
 namespace tmu::sim {
@@ -68,7 +69,7 @@ struct CoreStats
 };
 
 /** One simulated out-of-order core. */
-class Core
+class Core : public Tickable
 {
   public:
     Core(int id, const CoreConfig &cfg, MemorySystem &mem);
@@ -84,7 +85,20 @@ class Core
     void setTracer(stats::TraceWriter *tracer, int pid);
 
     /** Advance one cycle. @retval false the core is fully drained. */
-    bool tick(Cycle now);
+    bool tick(Cycle now) override;
+
+    /**
+     * Sleep-until hint (sim/sched.hpp): the core sleeps only through
+     * provable no-op windows — all in-flight ops issued and merely
+     * awaiting retirement, a fetch-redirect penalty, or instruction-
+     * supply starvation — and back-fills the skipped cycles' stall
+     * attribution on its next tick, so counters stay bit-identical to
+     * the tick-every-cycle loop.
+     */
+    Cycle wakeHint(Cycle now) const override;
+
+    /** Hand the supply a consumer-wake port (sealed-chunk wakes). */
+    void bindScheduler(Scheduler &sched, int handle) override;
 
     /** True when the trace ended and the pipeline is empty. */
     bool drained() const;
@@ -133,6 +147,14 @@ class Core
     std::int64_t pendingMispredictSeq_ = -1;
     MicroOp pendingOp_{};  //!< pulled but not yet dispatched
     bool havePending_ = false;
+
+    // Sleep/wake bookkeeping (event-driven scheduler).
+    int dispatchedCount_ = 0; //!< ROB entries still awaiting issue
+    bool dispatchStarved_ = false; //!< this tick ended on pullOp=false
+    Cycle lastTicked_ = 0;
+    /** Stall counter each slept cycle charges to (null = no sleep). */
+    Cycle CoreStats::*sleepBucket_ = nullptr;
+    bool sleepSupplyWait_ = false;
 
     stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
     int tracePid_ = 0;

@@ -18,6 +18,7 @@
 
 #include "common/generator.hpp"
 #include "common/types.hpp"
+#include "sim/addrspace.hpp"
 
 namespace tmu::sim {
 
@@ -137,16 +138,19 @@ struct SimdConfig
 inline Addr
 elementAddr(const void *base, Index element, std::size_t elemBytes)
 {
-    return reinterpret_cast<Addr>(base) +
-           static_cast<Addr>(element) * elemBytes;
+    return canonBase(base) + static_cast<Addr>(element) * elemBytes;
 }
 
-/** Host address of element @p i of a contiguous array. */
+/**
+ * Simulated address of element @p i of a contiguous array. The array
+ * base is mapped into the canonical address space (see addrspace.hpp)
+ * so timing is independent of host allocator placement.
+ */
 template <typename T>
 Addr
 addrOf(const T *base, Index i)
 {
-    return reinterpret_cast<Addr>(base + i);
+    return canonBase(base) + static_cast<Addr>(i) * sizeof(T);
 }
 
 } // namespace tmu::sim

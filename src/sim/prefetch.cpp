@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include "sim/addrspace.hpp"
 
 namespace tmu::sim {
 
@@ -102,8 +103,7 @@ ImpPrefetcher::readIndex(Addr addr, Index &value) const
         if (addr >= r.base && addr + sizeof(Index) <= r.base + r.bytes) {
             // The simulated address *is* a host pointer; this models
             // IMP's hardware snooping of fill data.
-            std::memcpy(&value, reinterpret_cast<const void *>(addr),
-                        sizeof(Index));
+            std::memcpy(&value, hostPtr(addr), sizeof(Index));
             return true;
         }
     }

@@ -1,0 +1,96 @@
+#include "sched.hpp"
+
+namespace tmu::sim {
+
+int
+Scheduler::add(Tickable *t)
+{
+    const int handle = static_cast<int>(entries_.size());
+    Entry e;
+    e.t = t;
+    e.due = now_ + 1;
+    e.lastRun = now_;
+    entries_.push_back(e);
+    ++liveCount_;
+    t->bindScheduler(*this, handle);
+    return handle;
+}
+
+void
+Scheduler::wake(int handle)
+{
+    Entry &e = entries_[static_cast<std::size_t>(handle)];
+    if (!e.live)
+        return;
+    ++stats_.wakeups;
+    if (inStep_ && static_cast<std::size_t>(handle) == cursor_) {
+        // Self-wake during the entry's own tick: applied after the
+        // wake hint so the hint cannot clobber it.
+        selfWoken_ = true;
+        return;
+    }
+    const Cycle target =
+        (inStep_ && static_cast<std::size_t>(handle) > cursor_)
+            ? now_
+            : now_ + 1;
+    if (e.due > target)
+        e.due = target;
+}
+
+Cycle
+Scheduler::nextDue() const
+{
+    Cycle min = kWakeNever;
+    for (const Entry &e : entries_) {
+        if (e.live && e.due < min)
+            min = e.due;
+    }
+    return min;
+}
+
+void
+Scheduler::step(Cycle t)
+{
+    now_ = t;
+    inStep_ = true;
+    for (cursor_ = 0; cursor_ < entries_.size(); ++cursor_) {
+        Entry &e = entries_[cursor_];
+        if (!e.live || e.due > t)
+            continue;
+        stats_.idleCyclesSkipped += t - e.lastRun - 1;
+        e.lastRun = t;
+        ++stats_.eventsDispatched;
+        selfWoken_ = false;
+        if (!e.t->tick(t)) {
+            e.live = false;
+            --liveCount_;
+            continue;
+        }
+        Cycle hint = dense_ ? t + 1 : e.t->wakeHint(t);
+        if (hint != kWakeNever && hint <= t)
+            hint = t + 1;
+        if (selfWoken_ && hint > t + 1)
+            hint = t + 1;
+        e.due = hint;
+    }
+    inStep_ = false;
+}
+
+void
+Scheduler::syncAll(Cycle t)
+{
+    advanceTo(t);
+    for (Entry &e : entries_) {
+        if (!e.live || e.lastRun >= t)
+            continue;
+        stats_.idleCyclesSkipped += t - e.lastRun - 1;
+        e.lastRun = t;
+        ++stats_.eventsDispatched;
+        if (!e.t->tick(t)) {
+            e.live = false;
+            --liveCount_;
+        }
+    }
+}
+
+} // namespace tmu::sim

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Event-driven simulation kernel: the Scheduler owns the clock and a
+ * wake-queue of components, replacing the tick-every-cycle loop.
+ *
+ * The memory model is latency-based (accesses return completion
+ * cycles), so components do not exchange timed messages; instead each
+ * component, after a tick, may declare a *provable no-op window*: a
+ * span of cycles during which its tick would change nothing except
+ * per-cycle counters (busy/stall attribution), which it back-fills on
+ * its next tick. The declaration is a wake hint:
+ *
+ *  - `now + 1`   — stay hot, tick again next cycle (the safe default);
+ *  - `t > now+1` — sleep until t (a known future event: a memory
+ *                  response, a retire deadline, a redirect);
+ *  - kWakeNever  — park: only a WakePort (a producer/consumer on the
+ *                  other side of a queue) can make this component
+ *                  runnable again.
+ *
+ * Correctness is asymmetric: waking *early* is always safe (the tick
+ * is the same no-op the old loop executed), only *skipping* a cycle
+ * where state would have changed is a bug. Components therefore sleep
+ * conservatively, and single-threaded runs reproduce the per-cycle
+ * loop's counters bit for bit (pinned by golden tests).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tmu::sim {
+
+/** Wake hint: never runnable again without an explicit port wake. */
+constexpr Cycle kWakeNever = ~Cycle{0};
+
+class Scheduler;
+
+/** Anything the Scheduler advances (cores, TMU engines, devices). */
+class Tickable
+{
+  public:
+    virtual ~Tickable() = default;
+
+    /** Advance one cycle. @retval false permanently idle (drained). */
+    virtual bool tick(Cycle now) = 0;
+
+    /**
+     * Earliest future cycle this component could change state, asked
+     * right after a tick that returned true. Default: next cycle
+     * (tick-every-cycle semantics — always correct, never fast).
+     */
+    virtual Cycle wakeHint(Cycle now) const { return now + 1; }
+
+    /**
+     * Called when the component is registered with a Scheduler; the
+     * component forwards (sched, handle) to the WakePorts of peers
+     * that must be able to re-wake it (e.g. a core hands its supply a
+     * consumer-wake port).
+     */
+    virtual void
+    bindScheduler(Scheduler &sched, int handle)
+    {
+        (void)sched;
+        (void)handle;
+    }
+
+    /**
+     * Monotonic count of useful work done so far. The watchdog treats
+     * any change as forward progress, so a device doing real multi-
+     * cycle work (e.g. a TMU filling its first chunk) does not trip it
+     * even when no core has committed yet.
+     */
+    virtual std::uint64_t progressCount() const { return 0; }
+
+    /** Multi-line state dump for the watchdog diagnostic ("" = none). */
+    virtual std::string debugState() const { return {}; }
+};
+
+/** Scheduler event/wake counters (sim.scheduler.* extended stats). */
+struct SchedulerStats
+{
+    std::uint64_t eventsDispatched = 0; //!< component ticks executed
+    std::uint64_t wakeups = 0;          //!< port wakes delivered
+    std::uint64_t idleCyclesSkipped = 0; //!< per-component slept cycles
+};
+
+/**
+ * The wake-queue. Deliberately a linear scan over the (few, ~O(cores))
+ * registered components rather than a binary heap: each component has
+ * exactly one pending wake time, and processing all components due at
+ * a cycle in *registration order* preserves the old loop's fixed
+ * device-before-core intra-cycle ordering, which components interacting
+ * through shared MemorySystem state rely on.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(Cycle start = 0) : now_(start) {}
+
+    /**
+     * Dense reference mode: ignore wake hints, keep every live
+     * component due next cycle (the historical per-cycle loop).
+     * Event-driven and dense runs must produce identical results.
+     */
+    void setDense(bool dense) { dense_ = dense; }
+
+    /** Register @p t (first due next cycle). Returns its handle. */
+    int add(Tickable *t);
+
+    /**
+     * Make @p handle runnable again. Fired by ports (a chunk sealed,
+     * a chunk freed). During a step, a wake aimed *forward* (at a
+     * component not yet processed this cycle) lands on the current
+     * cycle — matching the old loop, where a producer's effect at
+     * cycle t was visible to later-ordered consumers at t — while a
+     * wake aimed *backward* lands next cycle.
+     */
+    void wake(int handle);
+
+    /** True when no live components remain (the run is over). */
+    bool idle() const { return liveCount_ == 0; }
+
+    /** Earliest pending due cycle; kWakeNever if everyone is parked. */
+    Cycle nextDue() const;
+
+    /** Run every component due at @p t, in registration order. */
+    void step(Cycle t);
+
+    /** Advance the clock without running anyone (watchdog polls). */
+    void advanceTo(Cycle t) { now_ = t > now_ ? t : now_; }
+
+    /**
+     * Final counter sync: tick every live component that has not run
+     * at @p t exactly once so sleep-window back-fills land before
+     * stats are read (early termination: watchdog trip, cycle cap).
+     */
+    void syncAll(Cycle t);
+
+    Cycle now() const { return now_; }
+    const SchedulerStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        Tickable *t = nullptr;
+        Cycle due = 0;
+        Cycle lastRun = 0;
+        bool live = true;
+    };
+
+    std::vector<Entry> entries_;
+    Cycle now_ = 0;
+    bool dense_ = false;
+    std::size_t cursor_ = 0;    //!< entry being ticked during step()
+    bool inStep_ = false;
+    bool selfWoken_ = false;    //!< wake aimed at the ticking entry
+    std::size_t liveCount_ = 0;
+    SchedulerStats stats_;
+};
+
+/**
+ * One half of a producer/consumer wake channel: the sleeping side
+ * registers its (scheduler, handle) pair here at bind time; the other
+ * side fires wake() when it changes state the sleeper is parked on.
+ * Unbound ports (direct-tick unit tests, no scheduler) are no-ops.
+ */
+class WakePort
+{
+  public:
+    void
+    bind(Scheduler &sched, int handle)
+    {
+        sched_ = &sched;
+        handle_ = handle;
+    }
+
+    void
+    wake()
+    {
+        if (sched_ != nullptr)
+            sched_->wake(handle_);
+    }
+
+    bool bound() const { return sched_ != nullptr; }
+
+  private:
+    Scheduler *sched_ = nullptr;
+    int handle_ = -1;
+};
+
+} // namespace tmu::sim

@@ -24,6 +24,15 @@ buildSimRegistry(stats::StatRegistry &reg, const SimResult &result,
             [&result] {
                 return static_cast<std::uint64_t>(result.termination);
             });
+        reg.scalar("sim.scheduler.eventsDispatched",
+                   "component ticks executed by the wake/sleep kernel",
+                   &result.sched.eventsDispatched);
+        reg.scalar("sim.scheduler.wakeups",
+                   "port wakes delivered to sleeping components",
+                   &result.sched.wakeups);
+        reg.scalar("sim.scheduler.idleCyclesSkipped",
+                   "per-component cycles slept instead of ticked",
+                   &result.sched.idleCyclesSkipped);
     }
 
     result.total.registerStats(reg, "cores.", /*summed=*/true, extended);

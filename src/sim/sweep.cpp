@@ -1,0 +1,63 @@
+#include "sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tmu::sim {
+
+unsigned
+SweepRunner::hardwareJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+SweepRunner::run(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const
+{
+    if (count == 0)
+        return;
+    if (jobs_ <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorLock;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> g(errorLock);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    const std::size_t n =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), count);
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (std::size_t w = 0; w < n; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace tmu::sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Parallel sweep driver: runs N independent simulation tasks (one
+ * System instance each) on a thread pool and hands every task's index
+ * to the caller's closure, which writes its result into caller-owned,
+ * pre-sized storage.
+ *
+ * Determinism contract: tasks must be mutually independent — each owns
+ * its System, StatRegistry snapshot and FaultInjector — and results
+ * are consumed *by index* after run() returns, so the output is
+ * byte-identical for any job count. jobs <= 1 executes inline on the
+ * calling thread (the legacy serial path, no threads involved).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tmu::sim {
+
+class SweepRunner
+{
+  public:
+    /** @p jobs worker threads; <= 1 runs inline, 0/negative clamp. */
+    explicit SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Run fn(0..count-1) to completion. With jobs > 1, indices are
+     * pulled from a shared atomic counter by min(jobs, count) workers;
+     * the first exception thrown by any task is re-thrown on the
+     * calling thread after all workers join.
+     */
+    void run(std::size_t count,
+             const std::function<void(std::size_t)> &fn) const;
+
+    /** Worker threads the host can actually run concurrently. */
+    static unsigned hardwareJobs();
+
+  private:
+    int jobs_;
+};
+
+} // namespace tmu::sim

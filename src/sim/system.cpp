@@ -1,8 +1,10 @@
 #include "system.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.hpp"
+#include "sim/addrspace.hpp"
 
 namespace tmu::sim {
 
@@ -30,6 +32,10 @@ SimResult::backendFrac() const
 
 System::System(const SystemConfig &cfg) : cfg_(cfg), mem_(cfg)
 {
+    // Each simulated run owns a fresh canonical address layout: the
+    // same workload maps its buffers to the same simulated addresses
+    // no matter which host thread runs it or where malloc placed them.
+    resetAddrSpace();
     for (int c = 0; c < cfg.cores; ++c)
         cores_.push_back(std::make_unique<Core>(c, cfg.core, mem_));
 }
@@ -124,32 +130,67 @@ SimResult
 System::run(Cycle maxCycles)
 {
     // Sampling the progress counters every cycle would dominate the
-    // loop; once per kPollInterval bounds detection latency to one
-    // extra interval while keeping the check off the hot path.
+    // run; once per kPollInterval bounds detection latency to one
+    // extra interval. The poll is a scheduled event of its own: when
+    // every component sleeps past a poll point, the clock jumps there
+    // directly and only the sample executes.
     constexpr Cycle kPollInterval = 1024;
     ProgressWatchdog watchdog(cfg_.watchdogCycles);
 
-    SimResult res;
-    bool active = true;
-    while (active && now_ < maxCycles) {
-        ++now_;
-        active = false;
-        for (Tickable *dev : devices_)
-            active |= dev->tick(now_);
-        for (auto &core : cores_)
-            active |= core->tick(now_);
+    // Devices before cores: the registration order fixes the intra-
+    // cycle ordering, so an engine sealing a chunk at cycle t is
+    // visible to its (later-ordered) host core at t, exactly as in
+    // the per-cycle loop.
+    Scheduler sched(now_);
+    sched.setDense(cfg_.schedDense ||
+                   std::getenv("TMU_SCHED_DENSE") != nullptr);
+    for (Tickable *dev : devices_)
+        sched.add(dev);
+    for (auto &core : cores_)
+        sched.add(core.get());
 
-        if (watchdog.enabled() && (now_ % kPollInterval) == 0) {
+    SimResult res;
+    Cycle nextPoll = (now_ / kPollInterval + 1) * kPollInterval;
+    bool capped = false;
+    while (!sched.idle()) {
+        const Cycle due = sched.nextDue();
+        Cycle t = due;
+        if (watchdog.enabled() && nextPoll < t)
+            t = nextPoll;
+        if (t > maxCycles) {
+            capped = true;
+            break;
+        }
+        if (t == due)
+            sched.step(t);
+        else
+            sched.advanceTo(t); // watchdog-only cycle: no ticks
+        now_ = sched.now();
+        if (watchdog.enabled() && t >= nextPoll) {
+            // Progress/activity counters are frozen across sleep
+            // windows (sleeping components by definition touch
+            // neither), so the sample sees exactly the values the
+            // per-cycle loop would have seen here.
             const TerminationReason trip = watchdog.sample(
                 now_, progressCount(), activityCount());
+            nextPoll += kPollInterval;
             if (trip != TerminationReason::Completed) {
                 res.termination = trip;
                 break;
             }
         }
     }
-    if (res.completed() && active && now_ >= maxCycles)
+    if (capped) {
+        now_ = maxCycles;
         res.termination = TerminationReason::CycleCap;
+    }
+    if (!res.completed()) {
+        // Early end: run every still-live component once at the final
+        // cycle so sleep-window counter back-fills land before the
+        // occupancy dump and stats aggregation below.
+        sched.syncAll(now_);
+    }
+    res.sched = sched.stats();
 
     if (!res.completed()) {
         if (res.termination == TerminationReason::CycleCap) {

@@ -1,8 +1,9 @@
 /**
  * @file
  * The simulated multicore: N cores, their TraceSources, optional
- * per-core devices (TMU engines), and the shared memory system, all
- * advanced in lockstep one cycle at a time.
+ * per-core devices (TMU engines), and the shared memory system,
+ * advanced by the event-driven Scheduler (sim/sched.hpp) — quiescent
+ * components sleep instead of burning a virtual call per cycle.
  */
 
 #pragma once
@@ -12,30 +13,10 @@
 
 #include "sim/core.hpp"
 #include "sim/memsys.hpp"
+#include "sim/sched.hpp"
 #include "sim/watchdog.hpp"
 
 namespace tmu::sim {
-
-/** Anything ticked once per cycle alongside the cores (TMU engines). */
-class Tickable
-{
-  public:
-    virtual ~Tickable() = default;
-
-    /** Advance one cycle. @retval false permanently idle (drained). */
-    virtual bool tick(Cycle now) = 0;
-
-    /**
-     * Monotonic count of useful work done so far. The watchdog treats
-     * any change as forward progress, so a device doing real multi-
-     * cycle work (e.g. a TMU filling its first chunk) does not trip it
-     * even when no core has committed yet.
-     */
-    virtual std::uint64_t progressCount() const { return 0; }
-
-    /** Multi-line state dump for the watchdog diagnostic ("" = none). */
-    virtual std::string debugState() const { return {}; }
-};
 
 /** Whole-run result summary. */
 struct SimResult
@@ -51,6 +32,8 @@ struct SimResult
     TerminationReason termination = TerminationReason::Completed;
     /** Structured occupancy dump, set when termination != Completed. */
     std::string diagnostic;
+    /** Event/wake/skip counters of the run's scheduler. */
+    SchedulerStats sched;
 
     bool completed() const
     {

@@ -12,6 +12,7 @@
 
 #include "common/generator.hpp"
 #include "sim/microop.hpp"
+#include "sim/sched.hpp"
 
 namespace tmu::sim {
 
@@ -32,6 +33,31 @@ class TraceSource
 
     /** True once the stream has ended (Halt reached). */
     virtual bool done() const = 0;
+
+    /**
+     * Earliest cycle a pullOp could possibly succeed (or have a side
+     * effect), asked by a supply-starved core deciding how long to
+     * sleep. The default — "right now" — forbids sleeping, which is
+     * always correct; kWakeNever parks the core until the source
+     * fires the consumer-wake port handed over via bindConsumer().
+     */
+    virtual Cycle
+    nextPullCycle(Cycle now) const
+    {
+        return now;
+    }
+
+    /**
+     * Hand the source its consumer's (scheduler, handle) pair so it
+     * can wake a parked core when new ops materialise (the TMU outQ
+     * fires it on chunk seal). Default: no wake channel.
+     */
+    virtual void
+    bindConsumer(Scheduler &sched, int handle)
+    {
+        (void)sched;
+        (void)handle;
+    }
 };
 
 /** TraceSource over a kernel coroutine (the software baseline path). */

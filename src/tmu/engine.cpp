@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "sim/fault.hpp"
+#include "sim/addrspace.hpp"
 
 namespace tmu::engine {
 
@@ -34,7 +35,7 @@ std::uint64_t
 loadElem(Addr addr)
 {
     std::uint64_t v;
-    std::memcpy(&v, reinterpret_cast<const void *>(addr), sizeof(v));
+    std::memcpy(&v, sim::hostPtr(addr), sizeof(v));
     return v;
 }
 
@@ -253,6 +254,7 @@ TmuEngine::tickTus(Cycle now)
             switch (tu.phase) {
               case TuState::Phase::WaitStep: {
                 if (l == 0) {
+                    changed_ = true;
                     if (tu.stepCursor > 0) {
                         tu.phase = TuState::Phase::Done;
                         break;
@@ -266,6 +268,7 @@ TmuEngine::tickTus(Cycle now)
                 TgState &prev = tgs_[static_cast<size_t>(l - 1)];
                 bool started = false;
                 while (tu.stepCursor < prev.stepsProduced) {
+                    changed_ = true;
                     const StepRecord &rec =
                         prev.steps[static_cast<size_t>(
                             tu.stepCursor - prev.stepsBase)];
@@ -304,6 +307,7 @@ TmuEngine::tickTus(Cycle now)
                 if (!started && prev.doneFlag &&
                     tu.stepCursor >= prev.stepsProduced) {
                     tu.phase = TuState::Phase::Done;
+                    changed_ = true;
                 }
                 break;
               }
@@ -311,15 +315,18 @@ TmuEngine::tickTus(Cycle now)
                 if (l == 0 && quiesceRequested_ && tu.cur < tu.end) {
                     resumeCur_ = tu.cur;
                     tu.cur = tu.end; // stop at this element boundary
+                    changed_ = true;
                 }
                 if (tu.cur >= tu.end) {
                     tu.phase = TuState::Phase::PushEnd;
+                    changed_ = true;
                     // fall through to PushEnd handling next cycle
                     break;
                 }
                 if (tu.q.full())
                     break;
                 pushElement(tu, now);
+                changed_ = true;
                 if (tu.cur >= tu.end)
                     tu.phase = TuState::Phase::PushEnd;
                 break;
@@ -332,6 +339,7 @@ TmuEngine::tickTus(Cycle now)
                 end.pushed = now;
                 tu.q.push(std::move(end));
                 tu.phase = TuState::Phase::WaitStep;
+                changed_ = true;
                 break;
               }
               case TuState::Phase::Done:
@@ -364,6 +372,7 @@ TmuEngine::tickArbiter(Cycle now)
     }
 
     int issued = 0;
+    arbLayersAdvanced_ = prog_.numLayers();
     for (int l = 0; l < prog_.numLayers(); ++l) {
         auto &layerTus = tus_[static_cast<size_t>(l)];
         const int lanes = static_cast<int>(layerTus.size());
@@ -400,6 +409,7 @@ TmuEngine::tickArbiter(Cycle now)
                     if (line == sp.lastLine) {
                         // Same cacheline as the previous element:
                         // piggyback on that request.
+                        changed_ = true;
                         ms.requested = true;
                         ms.ready = std::max(sp.lastReady, now);
                         ++stats_.coalescedLoads;
@@ -411,6 +421,7 @@ TmuEngine::tickArbiter(Cycle now)
                         it->second >= now) {
                         // Another lane/stream already requested this
                         // line: share the in-flight request.
+                        changed_ = true;
                         ms.requested = true;
                         ms.ready = it->second;
                         sp.lastLine = line;
@@ -421,8 +432,18 @@ TmuEngine::tickArbiter(Cycle now)
                     }
                     if (static_cast<int>(outstanding_.size()) >=
                             cfg_.maxOutstanding ||
-                        issued >= cfg_.issuePerCycle)
+                        issued >= cfg_.issuePerCycle) {
+                        // Layers >= l keep their round-robin pointer
+                        // frozen this cycle (the back-fill replays
+                        // exactly this).
+                        arbLayersAdvanced_ = l;
                         return;
+                    }
+                    // Any access attempt — accepted or MSHR-rejected —
+                    // touches cache counters, so the tick is never a
+                    // no-op and the retry happens every cycle, exactly
+                    // as in the per-cycle loop.
+                    changed_ = true;
                     const sim::MemAccess res =
                         mem_.tmuAccess(coreId_, addr, now);
                     if (!res.accepted)
@@ -644,6 +665,7 @@ TmuEngine::tickTgs(Cycle now)
         switch (tg.phase) {
           case TgState::Phase::WaitParent: {
             if (l == 0) {
+                changed_ = true;
                 if (tg.parentCursor > 0) {
                     tg.doneFlag = true;
                     tg.phase = TgState::Phase::Done;
@@ -659,9 +681,11 @@ TmuEngine::tickTgs(Cycle now)
                     tg.parentCursor - prev.stepsBase)];
                 tg.active = activeForStep(l, rec.mask);
                 tg.phase = TgState::Phase::Begin;
+                changed_ = true;
             } else if (prev.doneFlag) {
                 tg.doneFlag = true;
                 tg.phase = TgState::Phase::Done;
+                changed_ = true;
             }
             break;
           }
@@ -674,6 +698,7 @@ TmuEngine::tickTgs(Cycle now)
                                       tg.active, false);
             tg.events.push(std::move(tok));
             tg.phase = TgState::Phase::Iterate;
+            changed_ = true;
             break;
           }
           case TgState::Phase::Iterate: {
@@ -686,6 +711,8 @@ TmuEngine::tickTgs(Cycle now)
             while (budget-- > 0 &&
                    tg.phase == TgState::Phase::Iterate) {
                 const IterOutcome out = tgIterateOnce(tg, now);
+                if (out != IterOutcome::Blocked)
+                    changed_ = true;
                 if (out == IterOutcome::Blocked ||
                     out == IterOutcome::Emitted)
                     break;
@@ -704,6 +731,7 @@ TmuEngine::tickTgs(Cycle now)
                 while (!tu.q.empty()) {
                     const bool isEnd = tu.q.peek(0).end;
                     popTuHead(l, r);
+                    changed_ = true;
                     if (isEnd) {
                         tg.flushRemaining.clear(
                             static_cast<unsigned>(r));
@@ -725,6 +753,7 @@ TmuEngine::tickTgs(Cycle now)
             tg.events.push(std::move(tok));
             ++tg.parentCursor;
             tg.phase = TgState::Phase::WaitParent;
+            changed_ = true;
             break;
           }
           case TgState::Phase::Done:
@@ -748,6 +777,7 @@ TmuEngine::popConsumedSteps(int layer)
     while (!tg.steps.empty() && tg.stepsBase < minSeq) {
         tg.steps.pop_front();
         ++tg.stepsBase;
+        changed_ = true;
     }
 }
 
@@ -839,7 +869,7 @@ TmuEngine::sealChunk(int c, Cycle now)
     ch.state = Chunk::State::Sealed;
     ch.sealAt = now;
     ch.readyAt = now;
-    const Addr base = reinterpret_cast<Addr>(outqBuf_.data()) +
+    const Addr base = sim::canonBase(outqBuf_.data()) +
                       static_cast<Addr>(c) * cfg_.chunkBytes;
     for (std::size_t off = 0; off < ch.usedBytes; off += kLineBytes)
         mem_.outqInstall(coreId_, base + off, now);
@@ -851,6 +881,11 @@ TmuEngine::sealChunk(int c, Cycle now)
     }
     curChunk_ = -1;
     nextFill_ = 1 - nextFill_;
+    changed_ = true;
+    // A parked consumer (supply-starved core) can pull from this chunk
+    // now; fired forward in scheduler order, so the core sees the seal
+    // on this very cycle — as in the per-cycle loop.
+    consumerWake_.wake();
 }
 
 void
@@ -860,6 +895,7 @@ TmuEngine::tickSerializer(Cycle now)
     while (!serializerDone_ && processed < cfg_.recordsPerCycle) {
         if (stack_.empty()) {
             serializerDone_ = true;
+            changed_ = true;
             break;
         }
         TgState &tg = tgs_[static_cast<size_t>(stack_.back())];
@@ -885,7 +921,7 @@ TmuEngine::tickSerializer(Cycle now)
                 continue;
             }
             const Addr addr =
-                reinterpret_cast<Addr>(outqBuf_.data()) +
+                sim::canonBase(outqBuf_.data()) +
                 static_cast<Addr>(c) * cfg_.chunkBytes + ch.usedBytes;
             ch.usedBytes += bytes;
             stats_.outqBytes += bytes;
@@ -893,6 +929,7 @@ TmuEngine::tickSerializer(Cycle now)
             ++stats_.recordsEmitted;
             writeRecord(ch, std::move(rec), addr);
             tok.records.erase(tok.records.begin());
+            changed_ = true;
         }
         if (blocked)
             break;
@@ -908,6 +945,7 @@ TmuEngine::tickSerializer(Cycle now)
         }
         tg.events.pop();
         ++processed;
+        changed_ = true;
     }
 
     // Flush the partial last chunk once everything else finished.
@@ -915,6 +953,7 @@ TmuEngine::tickSerializer(Cycle now)
         if (chunks_[curChunk_].records.empty()) {
             chunks_[curChunk_].state = Chunk::State::Free;
             curChunk_ = -1;
+            changed_ = true;
         } else {
             sealChunk(curChunk_, now);
         }
@@ -924,8 +963,35 @@ TmuEngine::tickSerializer(Cycle now)
 bool
 TmuEngine::tick(Cycle now)
 {
+    // Back-fill the cycles slept since the last tick (sim/sched.hpp):
+    // they were provable no-ops, so replay exactly the per-cycle
+    // bookkeeping the tick-every-cycle loop would have done. Gated on
+    // a bound scheduler so direct-tick unit tests see no change.
+    if (selfWake_.bound() && now > lastTicked_ + 1) {
+        const Cycle gap = now - lastTicked_ - 1;
+        stats_.busyCycles += gap;
+        // Occupancy samples at 32-cycle boundaries inside the window;
+        // occupancyBytes_ was frozen (the engine only sleeps with no
+        // sealed chunk, so the consumer could not pop while we slept).
+        const Cycle samples = (now - 1) / 32 - lastTicked_ / 32;
+        for (Cycle s = 0; s < samples; ++s)
+            occupancyHist_.add(static_cast<double>(occupancyBytes_));
+        // Round-robin pointers advance once per cycle up to the layer
+        // where the arbiter stopped (frozen state => same stop layer
+        // every slept cycle).
+        for (int l = 0; l < arbLayersAdvanced_; ++l) {
+            const auto lanes = static_cast<Cycle>(std::max<std::size_t>(
+                1, tus_[static_cast<size_t>(l)].size()));
+            laneRr_[static_cast<size_t>(l)] = static_cast<int>(
+                (static_cast<Cycle>(laneRr_[static_cast<size_t>(l)]) +
+                 gap % lanes) %
+                lanes);
+        }
+    }
     if (producerDone())
         return false;
+    lastTicked_ = now;
+    changed_ = false;
     ++stats_.busyCycles;
     tickTgs(now);
     tickTus(now);
@@ -947,7 +1013,57 @@ TmuEngine::tick(Cycle now)
                                                 : "traverse";
         tracer_->phase(tracePid_, 100 + coreId_, state, now);
     }
+    if (producerDone()) {
+        // Marshaling just finished: a parked consumer must run to
+        // observe it (and drain/complete), even though no seal fired.
+        consumerWake_.wake();
+    }
     return true;
+}
+
+Cycle
+TmuEngine::wakeHint(Cycle now) const
+{
+    if (tracer_ != nullptr)
+        return now + 1; // phase/counter tracks must stay cycle-dense
+    if (changed_ || producerDone())
+        return now + 1;
+    if (chunks_[0].state == Chunk::State::Sealed ||
+        chunks_[1].state == Chunk::State::Sealed)
+        return now + 1; // consumer pops could move occupancy any cycle
+    // Quiescent and nothing consumable: the next possible change is
+    // the earliest in-flight memory completion. None => parked (only
+    // a port wake — or the watchdog, if this is a real deadlock —
+    // ends the wait).
+    Cycle wake = sim::kWakeNever;
+    for (const Cycle c : outstanding_) {
+        if (c > now && c < wake)
+            wake = c;
+    }
+    return wake;
+}
+
+void
+TmuEngine::bindScheduler(sim::Scheduler &sched, int handle)
+{
+    selfWake_.bind(sched, handle);
+}
+
+Cycle
+TmuEngine::recordAvailableAt(Cycle now) const
+{
+    const Chunk &ch = chunks_[consumeChunk_];
+    if (ch.state == Chunk::State::Sealed) {
+        // Polls before the seal/backpressure gate are side-effect
+        // free; from the gate on, every poll can draw fault RNG or
+        // advance the verify clock, so the consumer must poll
+        // per-cycle from there (never sleep past it).
+        const Cycle gate = std::max(ch.sealAt, consumeStallUntil_);
+        return gate > now ? gate : now;
+    }
+    // No sealed chunk: a record can only appear via sealChunk, which
+    // fires the consumer-wake port.
+    return sim::kWakeNever;
 }
 
 bool
@@ -1079,6 +1195,11 @@ TmuEngine::popRecord(Cycle now, OutqRecord &rec, Addr &outqAddr)
         ch.state = Chunk::State::Free;
         ch.consuming = false;
         consumeChunk_ = 1 - consumeChunk_;
+        // If the serializer is waiting for a free chunk, let the
+        // engine run again; fired from the consumer core's tick, so
+        // the (earlier-ordered) engine sees it next cycle — exactly
+        // when the per-cycle loop would have seen the freed chunk.
+        selfWake_.wake();
     }
     return true;
 }

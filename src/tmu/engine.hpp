@@ -101,6 +101,36 @@ class TmuEngine : public sim::Tickable
 
     bool tick(Cycle now) override;
 
+    /**
+     * Sleep-until hint (sim/sched.hpp). The engine sleeps only when a
+     * tick provably changed nothing (no FSM advanced, no request
+     * issued or attempted, nothing serialized) and no sealed chunk
+     * exists (the consumer could otherwise mutate outQ occupancy any
+     * cycle): then the next possible change is the earliest in-flight
+     * memory completion, or a port wake. Slept cycles' busy/occupancy/
+     * round-robin bookkeeping is back-filled on the next tick.
+     */
+    Cycle wakeHint(Cycle now) const override;
+
+    /** Registers the self-wake port (fired on outQ chunk free). */
+    void bindScheduler(sim::Scheduler &sched, int handle) override;
+
+    /** Bind the host core's consumer-wake port (fired on seal/finish). */
+    void
+    setConsumerWake(sim::Scheduler &sched, int handle)
+    {
+        consumerWake_.bind(sched, handle);
+    }
+
+    /**
+     * Earliest cycle a popRecord poll could succeed *or have a side
+     * effect* (fault-RNG draws, verify clocks): the gate a starved
+     * consumer may sleep until. kWakeNever = no sealed chunk — the
+     * next record can only appear via a seal, which fires the
+     * consumer-wake port.
+     */
+    Cycle recordAvailableAt(Cycle now) const;
+
     /** True when traversal, merging and marshaling all completed. */
     bool producerDone() const;
 
@@ -347,6 +377,15 @@ class TmuEngine : public sim::Tickable
 
     sim::FaultInjector *faults_ = nullptr; //!< borrowed, may be null
     Cycle consumeStallUntil_ = 0; //!< outq-stall injection deadline
+
+    // Sleep/wake bookkeeping (event-driven scheduler).
+    bool changed_ = false;      //!< any state mutation this tick
+    /** Layers whose round-robin pointer advanced this tick (layers
+     *  past an outstanding-full arbiter stop stay frozen). */
+    int arbLayersAdvanced_ = 0;
+    Cycle lastTicked_ = 0;
+    sim::WakePort consumerWake_; //!< host core (seal / producer done)
+    sim::WakePort selfWake_;     //!< this engine (outQ chunk freed)
 
     stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
     int tracePid_ = 0;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "sim/addrspace.hpp"
 
 namespace tmu::engine {
 
@@ -65,7 +66,7 @@ std::uint64_t
 loadElem(Addr addr)
 {
     std::uint64_t v;
-    std::memcpy(&v, reinterpret_cast<const void *>(addr), sizeof(v));
+    std::memcpy(&v, sim::hostPtr(addr), sizeof(v));
     return v;
 }
 

@@ -45,6 +45,27 @@ class OutqSource : public sim::TraceSource
     bool pullOp(sim::MicroOp &op, Cycle now) override;
     bool done() const override;
 
+    /**
+     * Earliest cycle a pull could succeed or have a side effect:
+     * buffered micro-ops are available immediately; otherwise the
+     * engine's record-availability gate decides (kWakeNever parks the
+     * core until the engine seals a chunk).
+     */
+    Cycle
+    nextPullCycle(Cycle now) const override
+    {
+        if (pendingHead_ < pending_.size())
+            return now;
+        return engine_.recordAvailableAt(now);
+    }
+
+    /** Forward the core's wake port to the engine (seal/finish wakes). */
+    void
+    bindConsumer(sim::Scheduler &sched, int handle) override
+    {
+        engine_.setConsumerWake(sched, handle);
+    }
+
     /** Records consumed so far (tests/stats). */
     std::uint64_t recordsConsumed() const { return consumed_; }
 

@@ -1,6 +1,7 @@
 #include "program.hpp"
 
 #include "common/log.hpp"
+#include "sim/addrspace.hpp"
 
 namespace tmu::engine {
 
@@ -165,7 +166,7 @@ TmuProgram::addMemStream(TuRef tu, const void *base, ElemType elem,
     StreamDesc s;
     s.kind = StreamKind::Mem;
     s.elem = elem;
-    s.base = reinterpret_cast<Addr>(base);
+    s.base = sim::canonBase(base);
     s.parent = index.valid() ? index : iteStream(tu);
     s.parent2 = index2;
     s.name = std::move(name);
@@ -209,7 +210,7 @@ TmuProgram::addLdrStream(TuRef tu, const void *base, StreamRef index,
     StreamDesc s;
     s.kind = StreamKind::Ldr;
     s.elem = ElemType::I64;
-    s.base = reinterpret_cast<Addr>(base);
+    s.base = sim::canonBase(base);
     s.parent = index.valid() ? index : iteStream(tu);
     s.parent2 = index2;
     s.name = std::move(name);

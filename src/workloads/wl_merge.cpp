@@ -89,6 +89,15 @@ runKAdd(const RunConfig &cfg,
             const auto [beg, end] = partition(rows, cores, c);
             BaseOut &bo = baseOut[static_cast<size_t>(c)];
             bo.rowBeg = beg;
+            // Reserve the exact output size so the collectors never
+            // reallocate mid-run: their addresses enter the timing
+            // stream, and a stable base keeps the canonical address
+            // layout reproducible (see sim/addrspace.hpp).
+            const auto outNnz = static_cast<size_t>(
+                ref.rowBegin(end) - ref.rowBegin(beg));
+            bo.idxs.reserve(outNnz);
+            bo.vals.reserve(outNnz);
+            bo.rowNnz.reserve(static_cast<size_t>(end - beg));
             h.addBaselineTrace(c, traceFn(parts, bo.idxs, bo.vals,
                                           bo.rowNnz, beg, end,
                                           h.simd()));
@@ -98,6 +107,11 @@ runKAdd(const RunConfig &cfg,
             const auto [beg, end] = partition(rows, cores, c);
             auto &src = h.addTmuProgram(c, buildSpkadd(parts, beg, end));
             MergeOut &mo = out[static_cast<size_t>(c)];
+            const auto outNnz = static_cast<size_t>(
+                ref.rowBegin(end) - ref.rowBegin(beg));
+            mo.rows.reserve(outNnz);
+            mo.idxs.reserve(outNnz);
+            mo.vals.reserve(outNnz);
             src.setHandler(kCbRow, [&mo](const OutqRecord &rec,
                                          std::vector<MicroOp> &ops) {
                 mo.curRow = rec.i64(0, 0);

@@ -58,11 +58,18 @@ SpmspmWorkload::run(const RunConfig &cfg)
 
     if (cfg.mode == Mode::Baseline) {
         h.system().mem().registerIndexRegion(
-            reinterpret_cast<Addr>(a_.idxs().data()),
+            sim::addrOf(a_.idxs().data(), 0),
             a_.idxs().size() * sizeof(Index));
         for (int c = 0; c < cores; ++c) {
             const auto [beg, end] = partition(a_.rows(), cores, c);
             CoreOut &co = out[static_cast<size_t>(c)];
+            // Stable collector bases keep the canonical address layout
+            // reproducible (see sim/addrspace.hpp).
+            const auto outNnz = static_cast<size_t>(
+                ref_.rowBegin(end) - ref_.rowBegin(beg));
+            co.idxs.reserve(outNnz);
+            co.vals.reserve(outNnz);
+            co.rowNnz.reserve(static_cast<size_t>(end - beg));
             h.addBaselineTrace(
                 c, kernels::traceSpmspm(a_, bt_, co.idxs, co.vals,
                                         co.rowNnz, beg, end, h.simd()));
@@ -72,6 +79,11 @@ SpmspmWorkload::run(const RunConfig &cfg)
             const auto [beg, end] = partition(a_.rows(), cores, c);
             CoreOut &co = out[static_cast<size_t>(c)];
             co.acc.assign(static_cast<size_t>(bt_.cols()), 0.0);
+            const auto outNnz = static_cast<size_t>(
+                ref_.rowBegin(end) - ref_.rowBegin(beg));
+            co.idxs.reserve(outNnz);
+            co.vals.reserve(outNnz);
+            co.rowNnz.reserve(static_cast<size_t>(end - beg));
             auto &src = h.addTmuProgram(
                 c, buildSpmspmP2(a_, bt_, cfg.programLanes, beg, end));
 

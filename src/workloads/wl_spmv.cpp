@@ -41,7 +41,7 @@ runSpmvShaped(const RunConfig &cfg, const tensor::CsrMatrix &a,
 
     if (cfg.mode == Mode::Baseline) {
         h.system().mem().registerIndexRegion(
-            reinterpret_cast<Addr>(a.idxs().data()),
+            sim::addrOf(a.idxs().data(), 0),
             a.idxs().size() * sizeof(Index));
         for (int c = 0; c < cores; ++c) {
             const auto [beg, end] = partition(a.rows(), cores, c);

@@ -143,8 +143,8 @@ runMttkrpOnce(const RunConfig &cfg, const CooTensor &t,
                 const auto n = rec.operands[0].size();
                 // Lanes walk their own fibers; all share the same j.
                 for (size_t i = 0; i < n; ++i) {
-                    auto *zrow =
-                        reinterpret_cast<Value *>(s.laneZ[i]);
+                    auto *zrow = static_cast<Value *>(
+                        sim::hostPtr(s.laneZ[i]));
                     zrow[s.j] += s.laneV[i] *
                                  rec.f64(0, static_cast<int>(i)) *
                                  rec.f64(1, static_cast<int>(i));
@@ -171,7 +171,7 @@ runMttkrpOnce(const RunConfig &cfg, const CooTensor &t,
                 // Lanes cover a contiguous j block: vector FMA into z.
                 const auto jBase =
                     static_cast<Index>(rec.i64(0, 0));
-                auto *zrow = reinterpret_cast<Value *>(s.zRow);
+                auto *zrow = static_cast<Value *>(sim::hostPtr(s.zRow));
                 for (size_t i = 0; i < n; ++i) {
                     const auto j = static_cast<size_t>(
                         rec.i64(0, static_cast<int>(i)));
@@ -316,12 +316,12 @@ SptcWorkload::run(const RunConfig &cfg)
             const auto j = static_cast<size_t>(rec.i64(0, 0));
             // Bitmap membership update on the core.
             ops.push_back(MicroOp::load(
-                reinterpret_cast<Addr>(s.seen.data() + j), 1));
+                sim::addrOf(s.seen.data(), static_cast<Index>(j)), 1));
             if (!s.seen[j]) {
                 s.seen[j] = 1;
                 s.touched.push_back(static_cast<Index>(j));
                 ops.push_back(MicroOp::store(
-                    reinterpret_cast<Addr>(s.seen.data() + j), 1));
+                    sim::addrOf(s.seen.data(), static_cast<Index>(j)), 1));
             }
             ops.push_back(MicroOp::iop());
         });
@@ -331,7 +331,7 @@ SptcWorkload::run(const RunConfig &cfg)
             for (const Index j : s.touched) {
                 s.seen[static_cast<size_t>(j)] = 0;
                 ops.push_back(MicroOp::store(
-                    reinterpret_cast<Addr>(s.seen.data() + j), 1));
+                    sim::addrOf(s.seen.data(), static_cast<Index>(j)), 1));
             }
             s.touched.clear();
         });

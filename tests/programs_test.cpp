@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "sim/addrspace.hpp"
 #include "kernels/mttkrp.hpp"
 #include "kernels/spmm.hpp"
 #include "kernels/spmspm.hpp"
@@ -258,7 +259,7 @@ TEST(Programs, MttkrpP2MatchesReference)
                       v = rec.f64(0, 0);
                       zRow = static_cast<Addr>(rec.operands[1][0]);
                   } else if (rec.callbackId == kCbJ) {
-                      auto *row = reinterpret_cast<Value *>(zRow);
+                      auto *row = static_cast<Value *>(sim::hostPtr(zRow));
                       for (size_t i = 0; i < rec.operands[0].size();
                            ++i) {
                           const auto jj = static_cast<size_t>(
@@ -301,8 +302,8 @@ TEST(Programs, MttkrpP1MatchesReference)
                   } else if (rec.callbackId == kCbJ) {
                       for (size_t i = 0; i < rec.operands[0].size();
                            ++i) {
-                          auto *row =
-                              reinterpret_cast<Value *>(laneZ[i]);
+                          auto *row = static_cast<Value *>(
+                              sim::hostPtr(laneZ[i]));
                           row[j] += laneV[i] *
                                     rec.f64(0, static_cast<int>(i)) *
                                     rec.f64(1, static_cast<int>(i));

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "common/rng.hpp"
+#include "sim/addrspace.hpp"
 #include "kernels/spmv.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/generate.hpp"
@@ -293,8 +294,8 @@ TEST(Functional, LinMapLdrFwdStreams)
 
     EXPECT_EQ(lins, (std::vector<Index>{1, 3, 5, 7}));
     EXPECT_EQ(maps, (std::vector<Index>{3, 1, 0, 2}));
-    EXPECT_EQ(ldrs[0], reinterpret_cast<Addr>(data.data()));
-    EXPECT_EQ(ldrs[2], reinterpret_cast<Addr>(data.data() + 2));
+    EXPECT_EQ(ldrs[0], sim::addrOf(data.data(), 0));
+    EXPECT_EQ(ldrs[2], sim::addrOf(data.data(), 2));
     EXPECT_EQ(mems, (std::vector<Value>{6, 8, 10, 12})); // data[2i+1]
     // fwd repeats each lin value along the 2-element inner fiber.
     EXPECT_EQ(fwds, (std::vector<Index>{1, 1, 3, 3, 5, 5, 7, 7}));

@@ -61,6 +61,33 @@ class ThrashingDevice : public Tickable
     Addr addr_ = 0x1000;
 };
 
+/**
+ * Device that parks itself on the scheduler (wakeHint = kWakeNever)
+ * and is never woken: the event-driven analogue of a deadlock. The
+ * watchdog must still trip — its poll is a scheduled event of its
+ * own, not a side effect of component ticks.
+ */
+class ParkedDevice : public Tickable
+{
+  public:
+    bool
+    tick(Cycle) override
+    {
+        ++ticks_;
+        return true;
+    }
+    Cycle wakeHint(Cycle) const override { return kWakeNever; }
+    std::uint64_t progressCount() const override { return 0; }
+    std::string debugState() const override
+    {
+        return "parked-device: waiting on a wake that never fires\n";
+    }
+    std::uint64_t ticks() const { return ticks_; }
+
+  private:
+    std::uint64_t ticks_ = 0;
+};
+
 /** Device that works for a while, then gets stuck. */
 class EventuallyStuckDevice : public Tickable
 {
@@ -119,6 +146,23 @@ TEST(Watchdog, StuckDeviceTripsDeadlock)
         << res.diagnostic;
     EXPECT_NE(res.diagnostic.find("stuck-device"), std::string::npos)
         << res.diagnostic;
+}
+
+TEST(Watchdog, ParkedDeviceTripsDeadlockWithoutSpinning)
+{
+    System sys(tinyConfig());
+    ParkedDevice dev;
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+
+    EXPECT_FALSE(res.completed());
+    EXPECT_EQ(res.termination, TerminationReason::Deadlock);
+    EXPECT_NE(res.diagnostic.find("parked-device"), std::string::npos)
+        << res.diagnostic;
+    // The scheduler never busy-ticked the parked device while the
+    // watchdog counted down: one initial tick, one final syncAll
+    // back-fill tick, nothing in between.
+    EXPECT_LE(dev.ticks(), 2u);
 }
 
 TEST(Watchdog, ThrashingDeviceTripsLivelock)

@@ -15,6 +15,9 @@
  *     --sve BITS        vector width 128|256|512        (default 512)
  *     --preset NAME     system preset (neoverse-n1|a64fx|graviton3)
  *     --storage BYTES   TMU per-lane storage            (default 2048)
+ *     --jobs N          run a multi-workload sweep on N host threads
+ *                       (default 1; output is byte-identical for any
+ *                       N — see docs/PARALLEL_SWEEPS.md)
  *     --imp             enable the IMP prefetcher comparator
  *     --tlb             model address translation
  *     --shrink-caches   scale the cache hierarchy with the input
@@ -27,7 +30,7 @@
  *     --stats-csv P     write the full stat registry as CSV to P
  *     --trace-out P     write a Chrome trace_event / Perfetto timeline
  *                       (per-core stall phases, TMU chunk spans, outQ
- *                       occupancy counters) to P
+ *                       occupancy counters) to P; forces --jobs 1
  *     --dump-stats      print the gem5-style plain-text report(s)
  *     --list            list workloads and exit
  *
@@ -36,6 +39,13 @@
  * multi-workload sweep. Bad workloads are reported (status "error" in
  * the JSON export) and skipped; the exit code is 0 as long as at least
  * one workload ran and verified.
+ *
+ * Sweep structure: workloads are *prepared* serially on the main
+ * thread in command-line order (input generation prints progress as it
+ * goes), then *run* on a SweepRunner pool. Each task owns its
+ * Workload, System and FaultInjector, prints into a private buffer,
+ * and the buffers are flushed in command-line order — so stdout, JSON
+ * and CSV are byte-identical for any --jobs value.
  */
 
 #include <algorithm>
@@ -47,11 +57,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "common/tracewriter.hpp"
 #include "common/writers.hpp"
 #include "sim/fault.hpp"
 #include "sim/statsdump.hpp"
+#include "sim/sweep.hpp"
 #include "sim/watchdog.hpp"
 #include "workloads/registry.hpp"
 
@@ -74,7 +86,8 @@ shrinkCaches(sim::SystemConfig cfg, Index div)
 }
 
 void
-printResult(const std::string &path, const RunResult &r)
+appendResult(std::string &out, const std::string &path,
+             const RunResult &r)
 {
     TextTable t(path);
     t.header({"cycles", "commit%", "frontend%", "backend%", "ld2use",
@@ -88,19 +101,19 @@ printResult(const std::string &path, const RunResult &r)
            TextTable::num(r.sim.gflops, 2),
            std::to_string(r.sim.total.mispredicts),
            r.verified ? "yes" : "NO"});
-    t.print();
+    out += t.render();
     if (!r.sim.completed()) {
-        std::printf("termination: %s\n",
-                    sim::terminationName(r.sim.termination));
+        out += detail::format("termination: %s\n",
+                              sim::terminationName(r.sim.termination));
     }
     if (r.rwRatio > 0.0) {
-        std::printf("outQ read-to-write ratio: %.2f, %llu TMU line "
-                    "requests, %llu elements\n",
-                    r.rwRatio,
-                    static_cast<unsigned long long>(r.tmuRequests),
-                    static_cast<unsigned long long>(r.tmuElements));
+        out += detail::format(
+            "outQ read-to-write ratio: %.2f, %llu TMU line "
+            "requests, %llu elements\n",
+            r.rwRatio, static_cast<unsigned long long>(r.tmuRequests),
+            static_cast<unsigned long long>(r.tmuElements));
     }
-    std::printf("\n");
+    out += "\n";
 }
 
 /** One workload's outcome in a sweep. */
@@ -111,6 +124,21 @@ struct WorkloadOutcome
     std::string error; //!< empty on success
     bool verified = false;
     std::vector<std::pair<std::string, RunResult>> runs;
+};
+
+/**
+ * One sweep task: a prepared workload plus everything its run needs,
+ * owned privately so tasks can execute on any pool thread. `output`
+ * collects the run's report text; the main thread flushes the buffers
+ * in task order after the pool drains.
+ */
+struct SweepTask
+{
+    WorkloadOutcome outcome;
+    std::unique_ptr<Workload> wl; //!< null when outcome.error is set
+    RunConfig cfg;
+    int tracePidBase = 0; //!< assigned serially: stable for any jobs
+    std::string output;
 };
 
 /**
@@ -203,7 +231,8 @@ usage(const char *argv0)
                          "[--input ID] "
                          "[--mode baseline|tmu|both] [--scale N] "
                          "[--cores N] [--lanes N] [--sve BITS] "
-                         "[--preset NAME] [--storage BYTES] [--imp] "
+                         "[--preset NAME] [--storage BYTES] "
+                         "[--jobs N] [--imp] "
                          "[--tlb] [--shrink-caches] "
                          "[--watchdog-cycles N] [--fault-spec S] "
                          "[--fault-seed N] [--stats-json P] "
@@ -245,6 +274,7 @@ main(int argc, char **argv)
     int lanes = 8;
     int sve = 512;
     std::size_t storage = 2048;
+    int jobs = 1;
     bool imp = false, tlb = false, shrink = false;
     std::string preset;
     std::string statsJson, statsCsv, traceOut;
@@ -305,6 +335,8 @@ main(int argc, char **argv)
             sve = std::atoi(next());
         else if (arg == "--storage")
             storage = static_cast<std::size_t>(std::atoll(next()));
+        else if (arg == "--jobs")
+            jobs = std::atoi(next());
         else if (arg == "--imp")
             imp = true;
         else if (arg == "--tlb")
@@ -319,6 +351,14 @@ main(int argc, char **argv)
         } else {
             usage(argv[0]);
         }
+    }
+
+    const bool runBaseline = mode == "baseline" || mode == "both";
+    const bool runTmu = mode == "tmu" || mode == "both";
+    if (!runBaseline && !runTmu) {
+        std::fprintf(stderr, "tmu_run: unknown mode '%s'\n",
+                     mode.c_str());
+        usage(argv[0]);
     }
 
     // A bad fault spec or preset is a command-line error, not a
@@ -349,47 +389,58 @@ main(int argc, char **argv)
     if (names.empty())
         usage(argv[0]);
 
-    std::vector<WorkloadOutcome> outcomes;
     stats::TraceWriter tracer;
-    int nextTracePid = 1;
-    int succeeded = 0;
+    if (!traceOut.empty() && jobs > 1) {
+        // The timeline writer is one shared event stream; interleaving
+        // pool threads into it would scramble the trace.
+        std::fprintf(stderr, "tmu_run: --trace-out forces --jobs 1\n");
+        jobs = 1;
+    }
 
+    // Phase 1 (serial, command-line order): construct, validate and
+    // prepare every workload. Trace pids are assigned here so they do
+    // not depend on the pool's execution order.
+    std::vector<SweepTask> tasks;
+    tasks.reserve(names.size());
+    int nextTracePid = 1;
+    bool bannerShown = false;
     for (const std::string &workload : names) {
-        WorkloadOutcome wo;
-        wo.name = workload;
+        SweepTask task;
+        task.outcome.name = workload;
 
         auto wlE = tryMakeWorkload(workload);
         if (!wlE) {
-            wo.error = wlE.error().str();
+            task.outcome.error = wlE.error().str();
             std::fprintf(stderr, "tmu_run: skipping: %s\n",
-                         wo.error.c_str());
-            outcomes.push_back(std::move(wo));
+                         task.outcome.error.c_str());
+            tasks.push_back(std::move(task));
             continue;
         }
         std::unique_ptr<Workload> wl = std::move(*wlE);
 
         const auto valid = wl->inputs();
-        wo.input = input.empty() ? valid.front() : input;
-        if (std::find(valid.begin(), valid.end(), wo.input) ==
-            valid.end()) {
+        task.outcome.input = input.empty() ? valid.front() : input;
+        if (std::find(valid.begin(), valid.end(),
+                      task.outcome.input) == valid.end()) {
             std::string known;
             for (const auto &v : valid)
                 known += (known.empty() ? "" : ", ") + v;
-            wo.error = TMU_ERR(Errc::UnknownName,
-                               "input '%s' not valid for %s "
-                               "(known: %s)", wo.input.c_str(),
-                               workload.c_str(), known.c_str())
-                           .str();
+            task.outcome.error =
+                TMU_ERR(Errc::UnknownName,
+                        "input '%s' not valid for %s (known: %s)",
+                        task.outcome.input.c_str(), workload.c_str(),
+                        known.c_str())
+                    .str();
             std::fprintf(stderr, "tmu_run: skipping: %s\n",
-                         wo.error.c_str());
-            outcomes.push_back(std::move(wo));
+                         task.outcome.error.c_str());
+            tasks.push_back(std::move(task));
             continue;
         }
 
         std::printf("Preparing %s on %s at 1/%lld scale...\n",
-                    workload.c_str(), wo.input.c_str(),
+                    workload.c_str(), task.outcome.input.c_str(),
                     static_cast<long long>(scale));
-        wl->prepare(wo.input, scale);
+        wl->prepare(task.outcome.input, scale);
 
         RunConfig cfg;
         cfg.system = sysCfg;
@@ -404,68 +455,91 @@ main(int argc, char **argv)
         cfg.tmu.lanes = std::max(lanes, 1);
         cfg.tmu.perLaneBytes = storage;
         if (auto v = cfg.system.validate(); !v) {
-            wo.error = v.error().str();
+            task.outcome.error = v.error().str();
             std::fprintf(stderr, "tmu_run: skipping: %s\n",
-                         wo.error.c_str());
-            outcomes.push_back(std::move(wo));
+                         task.outcome.error.c_str());
+            tasks.push_back(std::move(task));
             continue;
         }
-        if (succeeded == 0)
+        if (!bannerShown) {
             std::printf("%s\n\n", cfg.system.describe().c_str());
-
+            bannerShown = true;
+        }
         if (!traceOut.empty())
             cfg.trace = &tracer;
+
+        task.wl = std::move(wl);
+        task.cfg = cfg;
+        task.tracePidBase = nextTracePid;
+        nextTracePid += (runBaseline ? 1 : 0) + (runTmu ? 1 : 0);
+        tasks.push_back(std::move(task));
+    }
+
+    // Phase 2 (parallel): execute the prepared tasks. Each closure
+    // touches only its own SweepTask; the shared tracer is only ever
+    // reachable when --trace-out forced jobs back to 1 above.
+    const sim::SweepRunner runner(jobs);
+    runner.run(tasks.size(), [&](std::size_t idx) {
+        SweepTask &task = tasks[idx];
+        if (task.wl == nullptr)
+            return;
+        WorkloadOutcome &wo = task.outcome;
+        RunConfig cfg = task.cfg;
+        int pid = task.tracePidBase;
 
         wo.verified = true;
         auto runOne = [&](Mode m, const char *runName) {
             // Independent, reproducible fault stream per (workload,
             // path) so sweep composition doesn't shift decisions.
             sim::FaultInjector faults(
-                mixSeed(faultSeed, workload + ":" + runName),
+                mixSeed(faultSeed, wo.name + ":" + runName),
                 faultSpec);
             cfg.mode = m;
             cfg.faults = faultSpec.any() ? &faults : nullptr;
-            cfg.tracePid = nextTracePid++;
+            cfg.tracePid = pid++;
             if (!traceOut.empty()) {
                 tracer.processName(cfg.tracePid,
-                                   workload + ":" + runName);
+                                   wo.name + ":" + runName);
             }
-            RunResult r = wl->run(cfg);
-            std::printf("[%s] ", workload.c_str());
-            printResult(runName, r);
+            RunResult r = task.wl->run(cfg);
+            task.output += detail::format("[%s] ", wo.name.c_str());
+            appendResult(task.output, runName, r);
             if (faultSpec.any()) {
                 const auto t = faults.totals();
-                std::printf("faults: %llu injected, %llu masked, "
-                            "%llu detected%s\n",
-                            static_cast<unsigned long long>(t.injected),
-                            static_cast<unsigned long long>(t.masked),
-                            static_cast<unsigned long long>(t.detected),
-                            faults.allAccounted()
-                                ? "" : " (UNACCOUNTED)");
+                task.output += detail::format(
+                    "faults: %llu injected, %llu masked, "
+                    "%llu detected%s\n",
+                    static_cast<unsigned long long>(t.injected),
+                    static_cast<unsigned long long>(t.masked),
+                    static_cast<unsigned long long>(t.detected),
+                    faults.allAccounted() ? "" : " (UNACCOUNTED)");
             }
             wo.verified = wo.verified && r.verified;
             wo.runs.emplace_back(runName, std::move(r));
         };
 
-        if (mode == "baseline" || mode == "both")
+        if (runBaseline)
             runOne(Mode::Baseline, "baseline");
-        if (mode == "tmu" || mode == "both")
+        if (runTmu)
             runOne(Mode::Tmu, "tmu");
-        if (wo.runs.empty()) {
-            std::fprintf(stderr, "tmu_run: unknown mode '%s'\n",
-                         mode.c_str());
-            usage(argv[0]);
-        }
         if (mode == "both" && wo.runs.size() == 2 &&
             wo.runs[1].second.sim.cycles > 0) {
-            std::printf("speedup: %.2fx\n\n",
-                        static_cast<double>(
-                            wo.runs[0].second.sim.cycles) /
-                            static_cast<double>(
-                                wo.runs[1].second.sim.cycles));
+            task.output += detail::format(
+                "speedup: %.2fx\n\n",
+                static_cast<double>(wo.runs[0].second.sim.cycles) /
+                    static_cast<double>(wo.runs[1].second.sim.cycles));
         }
-        ++succeeded;
-        outcomes.push_back(std::move(wo));
+    });
+
+    // Flush per-task reports and collect outcomes in task order.
+    std::vector<WorkloadOutcome> outcomes;
+    outcomes.reserve(tasks.size());
+    int succeeded = 0;
+    for (SweepTask &task : tasks) {
+        std::fputs(task.output.c_str(), stdout);
+        if (task.outcome.error.empty() && !task.outcome.runs.empty())
+            ++succeeded;
+        outcomes.push_back(std::move(task.outcome));
     }
 
     if (dumpText) {

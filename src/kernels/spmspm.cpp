@@ -21,7 +21,11 @@ spmspmRef(const CsrMatrix &a, const CsrMatrix &b)
     std::vector<Index> idxs;
     std::vector<Value> vals;
 
+    // Novelty is tracked with an explicit bitmap, not acc[j] == 0.0:
+    // partial sums that cancel exactly would otherwise re-insert j and
+    // emit a duplicate column (tests/corpus/spmspm-cancellation.tns).
     std::vector<Value> acc(static_cast<size_t>(b.cols()), 0.0);
+    std::vector<char> seen(static_cast<size_t>(b.cols()), 0);
     std::vector<Index> touched;
     for (Index i = 0; i < a.rows(); ++i) {
         touched.clear();
@@ -31,8 +35,10 @@ spmspmRef(const CsrMatrix &a, const CsrMatrix &b)
             for (Index q = b.rowBegin(k); q < b.rowEnd(k); ++q) {
                 const auto j =
                     static_cast<size_t>(b.idxs()[static_cast<size_t>(q)]);
-                if (acc[j] == 0.0)
+                if (!seen[j]) {
+                    seen[j] = 1;
                     touched.push_back(static_cast<Index>(j));
+                }
                 acc[j] += av * b.vals()[static_cast<size_t>(q)];
             }
         }
@@ -41,6 +47,7 @@ spmspmRef(const CsrMatrix &a, const CsrMatrix &b)
             idxs.push_back(j);
             vals.push_back(acc[static_cast<size_t>(j)]);
             acc[static_cast<size_t>(j)] = 0.0;
+            seen[static_cast<size_t>(j)] = 0;
         }
         ptrs.push_back(static_cast<Index>(idxs.size()));
     }
@@ -100,6 +107,7 @@ traceSpmspm(const CsrMatrix &a, const CsrMatrix &b,
     const int vl = simd.lanes();
 
     std::vector<Value> acc(static_cast<size_t>(b.cols()), 0.0);
+    std::vector<char> seen(static_cast<size_t>(b.cols()), 0);
     std::vector<Index> touched;
 
     for (Index i = rowBegin; i < rowEnd; ++i) {
@@ -142,8 +150,10 @@ traceSpmspm(const CsrMatrix &a, const CsrMatrix &b,
                         static_cast<std::uint8_t>(2 * lane + 3));
                     co_yield MicroOp::store(
                         addrOf(acc.data(), static_cast<Index>(j)), 8);
-                    if (acc[j] == 0.0)
+                    if (!seen[j]) {
+                        seen[j] = 1;
                         touched.push_back(static_cast<Index>(j));
+                    }
                     acc[j] += av * b.vals()[static_cast<size_t>(q + lane)];
                 }
                 co_yield MicroOp::flop(static_cast<std::uint16_t>(2 * n));
@@ -172,6 +182,7 @@ traceSpmspm(const CsrMatrix &a, const CsrMatrix &b,
             outIdxs.push_back(static_cast<Index>(j));
             outVals.push_back(acc[j]);
             acc[j] = 0.0;
+            seen[j] = 0;
             co_yield MicroOp::store(
                 addrOf(outVals.data(),
                        static_cast<Index>(outVals.size() - 1)), 8);

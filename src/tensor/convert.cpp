@@ -77,7 +77,6 @@ cooToCsf(const CooTensor &coo)
     TMU_ASSERT(coo.isCanonical(), "cooToCsf requires canonical COO");
     const auto order = static_cast<size_t>(coo.order());
     const auto nnz = static_cast<size_t>(coo.nnz());
-    TMU_ASSERT(nnz > 0, "cannot build CSF from an empty tensor");
 
     std::vector<std::vector<Index>> idxs(order);
     std::vector<std::vector<Index>> ptrs(order - 1);

@@ -42,8 +42,13 @@ drawCol(const CsrGenConfig &cfg, Index r, Rng &rng)
       case ColPattern::Uniform:
         return rng.nextIndex(0, cfg.cols);
       case ColPattern::Banded: {
-        const Index lo = std::max<Index>(0, r - cfg.bandwidth);
-        const Index hi = std::min<Index>(cfg.cols, r + cfg.bandwidth + 1);
+        // Clamp the band into the column range: on tall rectangular
+        // matrices a row far below the diagonal (r >= cols + bandwidth)
+        // would otherwise produce an empty [lo, hi) interval.
+        const Index lo = std::max<Index>(
+            0, std::min<Index>(r - cfg.bandwidth, cfg.cols - 1));
+        const Index hi = std::max<Index>(
+            lo + 1, std::min<Index>(cfg.cols, r + cfg.bandwidth + 1));
         return rng.nextIndex(lo, hi);
       }
       case ColPattern::Clustered: {

@@ -221,13 +221,41 @@ tryReadTns(std::istream &in)
     std::string lineStr;
     std::vector<std::vector<Index>> coords;
     std::vector<Value> vals;
+    std::vector<Index> declaredDims;
     int order = -1;
     long long lineNo = 0;
 
     while (std::getline(in, lineStr)) {
         ++lineNo;
-        if (lineStr.empty() || lineStr[0] == '#')
+        if (lineStr.empty() || lineStr[0] == '#') {
+            // Optional "# dims: d1 d2 ..." header (emitted by
+            // writeTns): preserves mode sizes that coordinate maxima
+            // cannot recover — trailing empty slices and entirely
+            // empty tensors.
+            const auto toks = tokenize(lineStr);
+            if (toks.size() >= 2 && toks[0] == "#" &&
+                toks[1] == "dims:") {
+                declaredDims.clear();
+                for (std::size_t m = 2; m < toks.size(); ++m) {
+                    auto dE = parseInt(toks[m], lineNo);
+                    if (!dE)
+                        return std::move(dE).error();
+                    if (*dE <= 0) {
+                        return TMU_ERR(Errc::OutOfRange,
+                                       "line %lld: bad dim %lld",
+                                       lineNo, *dE);
+                    }
+                    declaredDims.push_back(static_cast<Index>(*dE));
+                }
+                if (declaredDims.size() < 2) {
+                    return TMU_ERR(Errc::ParseError,
+                                   "line %lld: dims header needs >= 2 "
+                                   "modes, got %zu",
+                                   lineNo, declaredDims.size());
+                }
+            }
             continue;
+        }
         const auto toks = tokenize(lineStr);
         if (toks.empty())
             continue;
@@ -264,8 +292,19 @@ tryReadTns(std::istream &in)
             return std::move(vE).error();
         vals.push_back(*vE);
     }
-    if (order < 0 || vals.empty())
+    if (order < 0 || vals.empty()) {
+        // An empty tensor is representable iff a dims header declared
+        // the mode sizes; without one not even the order is knowable.
+        if (!declaredDims.empty())
+            return CooTensor(declaredDims);
         return TMU_ERR(Errc::Truncated, ".tns: no entries");
+    }
+    if (!declaredDims.empty() &&
+        declaredDims.size() != static_cast<size_t>(order)) {
+        return TMU_ERR(Errc::ParseError,
+                       ".tns: dims header has %zu modes but entries "
+                       "have %d", declaredDims.size(), order);
+    }
 
     std::vector<Index> dims(static_cast<size_t>(order), 1);
     for (int m = 0; m < order; ++m) {
@@ -273,6 +312,21 @@ tryReadTns(std::istream &in)
             dims[static_cast<size_t>(m)] =
                 std::max(dims[static_cast<size_t>(m)], c + 1);
         }
+    }
+    if (!declaredDims.empty()) {
+        for (int m = 0; m < order; ++m) {
+            if (dims[static_cast<size_t>(m)] >
+                declaredDims[static_cast<size_t>(m)]) {
+                return TMU_ERR(Errc::OutOfRange,
+                               ".tns: mode-%d coordinate %lld exceeds "
+                               "declared dim %lld", m,
+                               static_cast<long long>(
+                                   dims[static_cast<size_t>(m)]),
+                               static_cast<long long>(
+                                   declaredDims[static_cast<size_t>(m)]));
+            }
+        }
+        dims = declaredDims;
     }
     CooTensor t(dims);
     std::vector<Index> coord(static_cast<size_t>(order));
@@ -326,6 +380,10 @@ void
 writeTns(std::ostream &out, const CooTensor &t)
 {
     const auto oldPrecision = out.precision(17);
+    out << "# dims:";
+    for (Index d : t.dims())
+        out << " " << d;
+    out << "\n";
     for (Index p = 0; p < t.nnz(); ++p) {
         for (int m = 0; m < t.order(); ++m)
             out << (t.idx(m, p) + 1) << " ";
@@ -337,6 +395,8 @@ writeTns(std::ostream &out, const CooTensor &t)
 void
 writeMatrixMarket(std::ostream &out, const CsrMatrix &a)
 {
+    // 17 significant digits: doubles survive the text round trip.
+    const auto oldPrecision = out.precision(17);
     out << "%%MatrixMarket matrix coordinate real general\n";
     out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
     for (Index r = 0; r < a.rows(); ++r) {
@@ -346,6 +406,7 @@ writeMatrixMarket(std::ostream &out, const CsrMatrix &a)
                 << a.vals()[static_cast<size_t>(p)] << "\n";
         }
     }
+    out.precision(oldPrecision);
 }
 
 } // namespace tmu::tensor

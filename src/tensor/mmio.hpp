@@ -38,7 +38,9 @@ Expected<CsrMatrix> tryReadMatrixMarketFile(const std::string &path);
 /**
  * Parse a FROSTT .tns stream (one `i j k ... value` line per nonzero,
  * 1-based coordinates, `#` comments) into canonical COO. Mode sizes
- * are taken from the maximum coordinate per mode.
+ * are taken from a `# dims: d1 d2 ...` header when present (written
+ * by writeTns; required to represent empty tensors and trailing empty
+ * slices), otherwise from the maximum coordinate per mode.
  */
 Expected<CooTensor> tryReadTns(std::istream &in);
 
@@ -60,7 +62,11 @@ CooTensor readTnsFile(const std::string &path);
 /** Write CSR as "matrix coordinate real general". */
 void writeMatrixMarket(std::ostream &out, const CsrMatrix &a);
 
-/** Write a COO tensor in FROSTT .tns format. */
+/**
+ * Write a COO tensor in FROSTT .tns format, prefixed with a
+ * `# dims:` comment so the exact mode sizes (and empty tensors)
+ * round-trip through tryReadTns.
+ */
 void writeTns(std::ostream &out, const CooTensor &t);
 
 } // namespace tmu::tensor

@@ -1,0 +1,259 @@
+#include "fuzzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <ostream>
+
+#include "sim/addrspace.hpp"
+#include "testing/metamorphic.hpp"
+#include "testing/minimize.hpp"
+
+namespace tmu::testing {
+
+using tensor::CooTensor;
+
+namespace {
+
+/** splitmix64 step: the standard seed-stream expander. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over a byte string (the determinism probe). */
+void
+fnvMix(std::uint64_t &h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+}
+
+void
+fnvMixU64(std::uint64_t &h, std::uint64_t v)
+{
+    fnvMix(h, &v, sizeof(v));
+}
+
+void
+fnvMixStr(std::uint64_t &h, const std::string &s)
+{
+    fnvMixU64(h, s.size());
+    fnvMix(h, s.data(), s.size());
+}
+
+/** Small registry workloads cycled by the sim-invariant sampler. */
+struct SimProbe
+{
+    const char *workload;
+    const char *input;
+};
+
+constexpr SimProbe kSimProbes[] = {
+    {"SpMV", "M1"},
+    {"SpKAdd", "M2"},
+    {"SpMSpM", "M3"},
+    {"PR", "M4"},
+};
+
+} // namespace
+
+std::uint64_t
+caseSeed(std::uint64_t runSeed, Index iter)
+{
+    // Two rounds over (seed XOR golden-ratio-spread iter) decorrelates
+    // neighbouring iterations of neighbouring run seeds.
+    return splitmix64(
+        splitmix64(runSeed ^ (static_cast<std::uint64_t>(iter) *
+                              0x9e3779b97f4a7c15ULL)));
+}
+
+CooTensor
+sampleCase(std::uint64_t runSeed, Index iter, const SampleLimits &lim,
+           ShapeClass *shape, bool *order3)
+{
+    const std::uint64_t cs = caseSeed(runSeed, iter);
+    constexpr size_t kClasses =
+        sizeof(kAllShapeClasses) / sizeof(kAllShapeClasses[0]);
+    // Walk the class list in order so every class appears in any
+    // window of 12 consecutive iterations; derive tie-breaks from the
+    // case seed so the (class, seed) pairs still vary across runs.
+    const ShapeClass c =
+        kAllShapeClasses[static_cast<size_t>(iter) % kClasses];
+    const bool o3 = (iter % 3) == 2;
+    if (shape)
+        *shape = c;
+    if (order3)
+        *order3 = o3;
+    return o3 ? sampleTensor3(c, cs) : sampleMatrix(c, cs, lim);
+}
+
+std::vector<std::string>
+runCaseChecks(const CooTensor &coo, const OracleConfig &cfg)
+{
+    // Programs capture canonical addresses at build time, so the reset
+    // must happen before any leg runs — never between legs.
+    sim::resetAddrSpace();
+    std::vector<std::string> out =
+        std::move(checkAny(coo, cfg).failures);
+    if (coo.order() == 2) {
+        auto meta =
+            checkMatrixMetamorphic(coo, cfg.operandSeed, cfg.cmp);
+        out.insert(out.end(), meta.begin(), meta.end());
+    }
+    return out;
+}
+
+FuzzReport
+runFuzz(const FuzzConfig &cfg, std::ostream *log)
+{
+    FuzzReport rep;
+    rep.outcomeHash = 0xcbf29ce484222325ULL; // FNV offset basis
+    const auto t0 = std::chrono::steady_clock::now();
+    size_t simProbe = 0;
+
+    for (Index i = 0; i < cfg.iters; ++i) {
+        if (cfg.timeBudgetSec > 0.0) {
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            if (dt.count() >= cfg.timeBudgetSec) {
+                if (log) {
+                    *log << "fuzz: time budget reached after "
+                         << rep.casesRun << " cases\n";
+                }
+                break;
+            }
+        }
+
+        ShapeClass shape{};
+        bool order3 = false;
+        const CooTensor coo =
+            sampleCase(cfg.seed, i, cfg.limits, &shape, &order3);
+        std::vector<std::string> fails = runCaseChecks(coo, cfg.oracle);
+
+        if (cfg.simEvery > 0 && (i % cfg.simEvery) == cfg.simEvery - 1) {
+            const SimProbe &p = kSimProbes[simProbe];
+            simProbe = (simProbe + 1) %
+                       (sizeof(kSimProbes) / sizeof(kSimProbes[0]));
+            auto sf = checkSimInvariants(p.workload, p.input, 512);
+            fails.insert(fails.end(), sf.begin(), sf.end());
+        }
+
+        ++rep.casesRun;
+        fnvMixU64(rep.outcomeHash, caseSeed(cfg.seed, i));
+        fnvMixU64(rep.outcomeHash, fails.size());
+        for (const std::string &f : fails)
+            fnvMixStr(rep.outcomeHash, f);
+
+        if (!fails.empty()) {
+            CaseFailure cf;
+            cf.iter = i;
+            cf.caseSeed = caseSeed(cfg.seed, i);
+            cf.shape = shape;
+            cf.order3 = order3;
+            cf.tensor = coo;
+            cf.failures = std::move(fails);
+            if (log) {
+                *log << "fuzz: case " << i << " ("
+                     << shapeClassName(shape)
+                     << (order3 ? ", order-3" : ", order-2")
+                     << ", seed " << cf.caseSeed << ") FAILED:\n";
+                for (const std::string &f : cf.failures)
+                    *log << "  " << f << "\n";
+            }
+            rep.failed.push_back(std::move(cf));
+        } else if (log && (i + 1) % 50 == 0) {
+            *log << "fuzz: " << (i + 1) << "/" << cfg.iters
+                 << " cases clean\n";
+        }
+    }
+    return rep;
+}
+
+std::vector<ReplayOutcome>
+replayCorpus(const std::string &dir, const OracleConfig &cfg,
+             std::ostream *log)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir, ec)) {
+        if (e.path().extension() == ".tns")
+            paths.push_back(e.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<ReplayOutcome> out;
+    for (const std::string &p : paths) {
+        ReplayOutcome ro;
+        ro.path = p;
+        auto c = tryReadCorpusCaseFile(p);
+        if (!c.ok()) {
+            ro.failures.push_back(c.error().str());
+        } else {
+            OracleConfig cc = cfg;
+            if (c.value().operandSeed != 0)
+                cc.operandSeed = c.value().operandSeed;
+            ro.failures = runCaseChecks(c.value().tensor, cc);
+        }
+        if (log) {
+            *log << "replay " << p << ": "
+                 << (ro.failures.empty() ? "ok" : "FAILED") << "\n";
+            for (const std::string &f : ro.failures)
+                *log << "  " << f << "\n";
+        }
+        out.push_back(std::move(ro));
+    }
+    return out;
+}
+
+SelfCheckReport
+runSelfCheck(std::uint64_t seed, Index rounds, const SampleLimits &lim,
+             std::ostream *log)
+{
+    SelfCheckReport rep;
+    constexpr size_t kClasses =
+        sizeof(kAllShapeClasses) / sizeof(kAllShapeClasses[0]);
+    for (Index r = 0; r < rounds; ++r) {
+        for (size_t ci = 0; ci < kClasses; ++ci) {
+            const ShapeClass c = kAllShapeClasses[ci];
+            const std::uint64_t cs =
+                caseSeed(seed, r * static_cast<Index>(kClasses) +
+                                   static_cast<Index>(ci));
+            const bool o3 = (ci % 2) == 1;
+            const CooTensor coo =
+                o3 ? sampleTensor3(c, cs) : sampleMatrix(c, cs, lim);
+            for (Mutation m : kAllMutations) {
+                ++rep.injected;
+                sim::resetAddrSpace();
+                const OracleResult res = checkAny(coo, {}, m);
+                if (!res.ok()) {
+                    ++rep.detected;
+                } else {
+                    std::string what = std::string("missed ") +
+                                       mutationName(m) + " on " +
+                                       shapeClassName(c) +
+                                       (o3 ? " order-3" : " order-2") +
+                                       " seed " + std::to_string(cs);
+                    if (log)
+                        *log << "self-check: " << what << "\n";
+                    rep.missed.push_back(std::move(what));
+                }
+            }
+        }
+    }
+    if (log) {
+        *log << "self-check: detected " << rep.detected << "/"
+             << rep.injected << " injected faults\n";
+    }
+    return rep;
+}
+
+} // namespace tmu::testing

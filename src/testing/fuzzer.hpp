@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Seeded fuzzing loop: sample -> oracle -> metamorphic -> minimize.
+ *
+ * The loop is a pure function of its seed: case i draws its input from
+ * splitmix64(seed, i), the per-case operand vectors derive from the
+ * same stream, and the report carries an FNV hash over the ordered
+ * case outcomes, so two runs with the same seed and iteration count
+ * must produce identical outcome hashes (the harness's own determinism
+ * is itself a tier-1 test). A wall-clock budget only truncates the
+ * iteration sequence — the completed prefix is unchanged.
+ *
+ * runSelfCheck() is the harness-verification mode: it re-runs sampled
+ * cases with injected mutations (oracle.hpp) and demands that every
+ * single one is detected; a fuzzer that cannot see planted bugs has no
+ * business reporting a clean tree.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testing/oracle.hpp"
+#include "testing/shapes.hpp"
+
+namespace tmu::testing {
+
+/** Fuzzing loop knobs. */
+struct FuzzConfig
+{
+    std::uint64_t seed = 1;
+    Index iters = 200;          //!< max cases
+    double timeBudgetSec = 0.0; //!< stop after this wall time (0 = off)
+    /**
+     * Run the expensive simulator-invariant checks (metamorphic.hpp)
+     * every N cases; 0 disables them.
+     */
+    Index simEvery = 0;
+    OracleConfig oracle{};
+    SampleLimits limits{};
+};
+
+/** One failing case, replayable from (caseSeed, shape, order3). */
+struct CaseFailure
+{
+    Index iter = 0;
+    std::uint64_t caseSeed = 0;
+    ShapeClass shape = ShapeClass::Empty;
+    bool order3 = false;
+    tensor::CooTensor tensor; //!< the offending input, pre-minimize
+    std::vector<std::string> failures;
+};
+
+/** Aggregate outcome of one fuzzing run. */
+struct FuzzReport
+{
+    Index casesRun = 0;
+    std::vector<CaseFailure> failed;
+    /** FNV-1a over the ordered case outcomes (determinism probe). */
+    std::uint64_t outcomeHash = 0;
+    bool ok() const { return failed.empty(); }
+};
+
+/** Derive case @p iter's input seed from the run seed (splitmix64). */
+std::uint64_t caseSeed(std::uint64_t runSeed, Index iter);
+
+/** Sample the input for case @p iter (shape class rotates; every
+ *  third case is an order-3 tensor). */
+tensor::CooTensor sampleCase(std::uint64_t runSeed, Index iter,
+                             const SampleLimits &lim, ShapeClass *shape,
+                             bool *order3);
+
+/**
+ * Run one sampled input through the oracle and (order-2) metamorphic
+ * checks. Resets the canonical address space first, so case timing
+ * layouts never leak into each other.
+ */
+std::vector<std::string> runCaseChecks(const tensor::CooTensor &coo,
+                                       const OracleConfig &cfg);
+
+/** Run the fuzzing loop; progress lines go to @p log when non-null. */
+FuzzReport runFuzz(const FuzzConfig &cfg, std::ostream *log = nullptr);
+
+/** One corpus replay outcome. */
+struct ReplayOutcome
+{
+    std::string path;
+    std::vector<std::string> failures;
+};
+
+/**
+ * Replay every *.tns corpus case in @p dir (sorted by name) through
+ * the oracle; all must pass on a clean tree.
+ */
+std::vector<ReplayOutcome> replayCorpus(const std::string &dir,
+                                        const OracleConfig &cfg,
+                                        std::ostream *log = nullptr);
+
+/** Self-check outcome: detected must equal injected. */
+struct SelfCheckReport
+{
+    int injected = 0;
+    int detected = 0;
+    std::vector<std::string> missed; //!< description per missed fault
+    bool ok() const { return injected > 0 && detected == injected; }
+};
+
+/**
+ * Inject every Mutation into @p rounds sampled inputs and count how
+ * many the oracle catches. 100% detection is an acceptance gate.
+ */
+SelfCheckReport runSelfCheck(std::uint64_t seed, Index rounds,
+                             const SampleLimits &lim = {},
+                             std::ostream *log = nullptr);
+
+} // namespace tmu::testing

@@ -1,0 +1,207 @@
+#include "minimize.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "tensor/mmio.hpp"
+
+namespace tmu::testing {
+
+using tensor::CooTensor;
+
+namespace {
+
+/** Copy @p coo without entries [start, start + count). */
+CooTensor
+removeRange(const CooTensor &coo, Index start, Index count)
+{
+    CooTensor out(coo.dims());
+    for (Index p = 0; p < coo.nnz(); ++p) {
+        if (p >= start && p < start + count)
+            continue;
+        std::vector<Index> coord(static_cast<size_t>(coo.order()));
+        for (int m = 0; m < coo.order(); ++m)
+            coord[static_cast<size_t>(m)] = coo.idx(m, p);
+        out.push(coord, coo.val(p));
+    }
+    out.sortAndCombine();
+    return out;
+}
+
+/** Truncate dims to the surviving coordinate extents (min 1). */
+CooTensor
+shrinkDims(const CooTensor &coo)
+{
+    std::vector<Index> dims(static_cast<size_t>(coo.order()), 1);
+    for (int m = 0; m < coo.order(); ++m) {
+        for (Index p = 0; p < coo.nnz(); ++p) {
+            dims[static_cast<size_t>(m)] =
+                std::max(dims[static_cast<size_t>(m)],
+                         coo.idx(m, p) + 1);
+        }
+    }
+    CooTensor out(dims);
+    for (Index p = 0; p < coo.nnz(); ++p) {
+        std::vector<Index> coord(static_cast<size_t>(coo.order()));
+        for (int m = 0; m < coo.order(); ++m)
+            coord[static_cast<size_t>(m)] = coo.idx(m, p);
+        out.push(coord, coo.val(p));
+    }
+    // Entry order is unchanged, so the result stays canonical.
+    return out;
+}
+
+/** Copy with entry @p victim's value replaced by 1.0. */
+CooTensor
+withUnitValue(const CooTensor &coo, Index victim)
+{
+    CooTensor out = coo;
+    out.vals()[static_cast<size_t>(victim)] = 1.0;
+    return out;
+}
+
+} // namespace
+
+CooTensor
+minimizeTensor(const CooTensor &coo, const FailPredicate &stillFails,
+               MinimizeStats *stats, int maxChecks)
+{
+    MinimizeStats local;
+    MinimizeStats &st = stats ? *stats : local;
+    auto budgetLeft = [&] { return st.predicateCalls < maxChecks; };
+    auto check = [&](const CooTensor &cand) {
+        ++st.predicateCalls;
+        return stillFails(cand);
+    };
+
+    CooTensor cur = coo;
+
+    // Phase 1: ddmin over stored entries. Try dropping ever smaller
+    // chunks; a successful drop restarts the scan at the same
+    // granularity from the same offset (the array shifted under it).
+    for (Index chunk = std::max<Index>(1, (cur.nnz() + 1) / 2);
+         chunk >= 1 && budgetLeft(); chunk /= 2) {
+        Index start = 0;
+        while (start < cur.nnz() && budgetLeft()) {
+            const Index count = std::min(chunk, cur.nnz() - start);
+            const CooTensor cand = removeRange(cur, start, count);
+            if (check(cand)) {
+                st.entriesRemoved += static_cast<int>(count);
+                cur = cand;
+                // keep start: the next chunk slid into this window
+            } else {
+                start += count;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+
+    // Phase 2: truncate the dims to the surviving footprint.
+    if (budgetLeft()) {
+        const CooTensor cand = shrinkDims(cur);
+        if (cand.dims() != cur.dims() && check(cand)) {
+            st.dimsShrunk = true;
+            cur = cand;
+        }
+    }
+
+    // Phase 3: canonicalize values to 1.0 where the failure does not
+    // depend on them.
+    for (Index p = 0; p < cur.nnz() && budgetLeft(); ++p) {
+        if (cur.val(p) == 1.0)
+            continue;
+        const CooTensor cand = withUnitValue(cur, p);
+        if (check(cand)) {
+            ++st.valuesSimplified;
+            cur = cand;
+        }
+    }
+
+    return cur;
+}
+
+void
+writeCorpusCase(std::ostream &out, const CorpusCase &c)
+{
+    out << "# tmu_fuzz corpus case\n";
+    out << "# check: " << c.check << "\n";
+    out << "# operand-seed: " << c.operandSeed << "\n";
+    tensor::writeTns(out, c.tensor);
+}
+
+Expected<CorpusCase>
+tryReadCorpusCase(std::istream &in)
+{
+    CorpusCase c;
+    // Scan the header comments ourselves, then hand the whole stream
+    // to the .tns reader (which ignores comments it does not know).
+    std::stringstream body;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string hash, key;
+        if (line.size() > 1 && line[0] == '#' && (ls >> hash >> key)) {
+            if (key == "check:") {
+                ls >> c.check;
+                continue;
+            }
+            if (key == "operand-seed:") {
+                ls >> c.operandSeed;
+                continue;
+            }
+        }
+        body << line << "\n";
+    }
+    if (c.check != "matrix" && c.check != "tensor3" && c.check != "any") {
+        return TMU_ERR(Errc::ParseError,
+                       "corpus case: unknown check kind '%s'",
+                       c.check.c_str());
+    }
+    auto t = tensor::tryReadTns(body);
+    if (!t.ok())
+        return std::move(t).error().context("reading corpus tensor");
+    c.tensor = std::move(t.value());
+    if (c.check == "matrix" && c.tensor.order() != 2) {
+        return TMU_ERR(Errc::ParseError,
+                       "corpus case: check 'matrix' but order %d",
+                       c.tensor.order());
+    }
+    if (c.check == "tensor3" && c.tensor.order() != 3) {
+        return TMU_ERR(Errc::ParseError,
+                       "corpus case: check 'tensor3' but order %d",
+                       c.tensor.order());
+    }
+    return c;
+}
+
+Expected<CorpusCase>
+tryReadCorpusCaseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return TMU_ERR(Errc::IoError, "cannot open '%s'", path.c_str());
+    }
+    return tryReadCorpusCase(in).context("reading '" + path + "'");
+}
+
+Expected<void>
+saveCorpusCaseFile(const std::string &path, const CorpusCase &c)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return TMU_ERR(Errc::IoError, "cannot create '%s'",
+                       path.c_str());
+    }
+    writeCorpusCase(out, c);
+    out.flush();
+    if (!out) {
+        return TMU_ERR(Errc::IoError, "short write to '%s'",
+                       path.c_str());
+    }
+    return {};
+}
+
+} // namespace tmu::testing

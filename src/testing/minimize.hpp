@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Failure minimizer and corpus case I/O.
+ *
+ * When the oracle flags an input, the raw tensor is rarely the story:
+ * ddmin-style shrinking (drop entry ranges by bisection, truncate the
+ * dims to the surviving coordinates, simplify values to 1.0) against
+ * the still-fails predicate produces a minimal reproducer, which is
+ * serialized as a .tns file with `# check:` / `# operand-seed:`
+ * headers into tests/corpus/. Every corpus case is replayed green by
+ * the tier-1 suite and by `tmu_fuzz --replay`, so a once-found bug
+ * stays fixed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "common/error.hpp"
+#include "tensor/coo.hpp"
+
+namespace tmu::testing {
+
+/** Returns true while the candidate input still triggers the bug. */
+using FailPredicate = std::function<bool(const tensor::CooTensor &)>;
+
+/** Minimizer effort/result accounting. */
+struct MinimizeStats
+{
+    int predicateCalls = 0;
+    int entriesRemoved = 0;
+    bool dimsShrunk = false;
+    int valuesSimplified = 0;
+};
+
+/**
+ * Shrink @p coo while @p stillFails holds: greedy ddmin over stored
+ * entries (chunk bisection), then dim truncation, then per-entry value
+ * canonicalization to 1.0. @p maxChecks bounds total predicate calls.
+ * The input must satisfy the predicate on entry.
+ */
+tensor::CooTensor minimizeTensor(const tensor::CooTensor &coo,
+                                 const FailPredicate &stillFails,
+                                 MinimizeStats *stats = nullptr,
+                                 int maxChecks = 400);
+
+/** One replayable corpus entry. */
+struct CorpusCase
+{
+    std::string check = "any"; //!< "matrix", "tensor3" or "any"
+    std::uint64_t operandSeed = 0;
+    tensor::CooTensor tensor;
+};
+
+/**
+ * Serialize a case as .tns plus `# check:` / `# operand-seed:` header
+ * comments (both ignored by plain tryReadTns readers).
+ */
+void writeCorpusCase(std::ostream &out, const CorpusCase &c);
+
+/** Parse a corpus case; recoverable error on malformed input. */
+Expected<CorpusCase> tryReadCorpusCase(std::istream &in);
+
+/** Load a corpus case from @p path. */
+Expected<CorpusCase> tryReadCorpusCaseFile(const std::string &path);
+
+/** Write a corpus case to @p path; recoverable error on I/O failure. */
+Expected<void> saveCorpusCaseFile(const std::string &path,
+                                  const CorpusCase &c);
+
+} // namespace tmu::testing

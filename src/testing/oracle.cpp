@@ -1,0 +1,836 @@
+#include "oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "kernels/cpals.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/spadd.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/spmspm.hpp"
+#include "kernels/spmspv.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/sptc.hpp"
+#include "kernels/spttm.hpp"
+#include "kernels/spttv.hpp"
+#include "kernels/tricount.hpp"
+#include "sim/addrspace.hpp"
+#include "sim/memsys.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/generate.hpp"
+#include "tensor/mmio.hpp"
+#include "tmu/engine.hpp"
+#include "tmu/functional.hpp"
+#include "workloads/programs.hpp"
+
+namespace tmu::testing {
+
+using engine::OutqRecord;
+using tensor::CooTensor;
+using tensor::CsfTensor;
+using tensor::CsrMatrix;
+using tensor::DenseMatrix;
+using tensor::DenseVector;
+
+const char *
+mutationName(Mutation m)
+{
+    switch (m) {
+      case Mutation::None:         return "none";
+      case Mutation::DropEntry:    return "drop-entry";
+      case Mutation::PerturbValue: return "perturb-value";
+      case Mutation::ScaleValues:  return "scale-values";
+      case Mutation::GrowDim:      return "grow-dim";
+    }
+    return "?";
+}
+
+CooTensor
+applyMutation(const CooTensor &coo, Mutation m)
+{
+    if (m == Mutation::None)
+        return coo;
+    if (coo.nnz() == 0 && m != Mutation::GrowDim)
+        m = Mutation::GrowDim;
+
+    std::vector<Index> dims = coo.dims();
+    if (m == Mutation::GrowDim)
+        ++dims.back();
+
+    CooTensor out(dims);
+    const Index victim = coo.nnz() / 2;
+    for (Index p = 0; p < coo.nnz(); ++p) {
+        if (m == Mutation::DropEntry && p == victim)
+            continue;
+        std::vector<Index> coord(static_cast<size_t>(coo.order()));
+        for (int mode = 0; mode < coo.order(); ++mode)
+            coord[static_cast<size_t>(mode)] = coo.idx(mode, p);
+        Value v = coo.val(p);
+        if (m == Mutation::PerturbValue && p == victim)
+            v = v == 0.0 ? 1e-3 : v * (1.0 + 1e-6);
+        else if (m == Mutation::ScaleValues)
+            v = v == 0.0 ? 1e-3 : v * 1.001;
+        out.push(coord, v);
+    }
+    out.sortAndCombine();
+    return out;
+}
+
+namespace {
+
+/** Drain a baseline trace; its side effects compute the result. */
+void
+drainTrace(sim::Trace t)
+{
+    while (t.next()) {
+    }
+}
+
+/**
+ * Validate collector triplet arrays and assemble a CSR matrix, or
+ * return an error line. The trace kernels append (idxs, vals) runs
+ * delimited by per-row counts; a buggy kernel can emit duplicate or
+ * unsorted columns, which the CsrMatrix constructor would turn into a
+ * process abort — report it as an oracle failure instead.
+ */
+std::string
+rebuildCsr(const std::string &what, Index rows, Index cols,
+           const std::vector<Index> &rowNnz,
+           const std::vector<Index> &idxs,
+           const std::vector<Value> &vals, CsrMatrix &out)
+{
+    if (rowNnz.size() != static_cast<size_t>(rows)) {
+        return detail::format("%s: %zu row counts for %lld rows",
+                              what.c_str(), rowNnz.size(),
+                              static_cast<long long>(rows));
+    }
+    const auto total = std::accumulate(rowNnz.begin(), rowNnz.end(),
+                                       Index{0});
+    if (idxs.size() != vals.size() ||
+        idxs.size() != static_cast<size_t>(total)) {
+        return detail::format("%s: %zu idxs / %zu vals for %lld counted",
+                              what.c_str(), idxs.size(), vals.size(),
+                              static_cast<long long>(total));
+    }
+    std::vector<Index> ptrs(static_cast<size_t>(rows) + 1, 0);
+    size_t q = 0;
+    for (Index r = 0; r < rows; ++r) {
+        for (Index e = 0; e < rowNnz[static_cast<size_t>(r)]; ++e, ++q) {
+            if (idxs[q] < 0 || idxs[q] >= cols) {
+                return detail::format(
+                    "%s: row %lld col %lld out of range",
+                    what.c_str(), static_cast<long long>(r),
+                    static_cast<long long>(idxs[q]));
+            }
+            if (e > 0 && idxs[q - 1] >= idxs[q]) {
+                return detail::format(
+                    "%s: row %lld col %lld after %lld (unsorted or "
+                    "duplicate)",
+                    what.c_str(), static_cast<long long>(r),
+                    static_cast<long long>(idxs[q]),
+                    static_cast<long long>(idxs[q - 1]));
+            }
+        }
+        ptrs[static_cast<size_t>(r) + 1] = static_cast<Index>(q);
+    }
+    out = CsrMatrix(rows, cols, std::move(ptrs), idxs, vals);
+    return {};
+}
+
+/** Record-for-record diff of two OutqRecord streams; "" on match. */
+std::string
+diffRecords(const std::string &what, const std::vector<OutqRecord> &a,
+            const std::vector<OutqRecord> &b)
+{
+    if (a.size() != b.size()) {
+        return detail::format("%s: %zu records vs %zu", what.c_str(),
+                              a.size(), b.size());
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+        const OutqRecord &x = a[i];
+        const OutqRecord &y = b[i];
+        if (x.layer != y.layer || x.event != y.event ||
+            x.callbackId != y.callbackId || !(x.mask == y.mask) ||
+            x.operands != y.operands) {
+            return detail::format(
+                "%s: record %zu diverges (cb %d vs %d, layer %d vs %d)",
+                what.c_str(), i, x.callbackId, y.callbackId, x.layer,
+                y.layer);
+        }
+    }
+    return {};
+}
+
+/** Drain a standalone cycle-level engine into a record vector. */
+std::vector<OutqRecord>
+drainEngine(engine::TmuEngine &eng, Cycle maxCycles = 5'000'000)
+{
+    std::vector<OutqRecord> records;
+    Cycle now = 0;
+    while (now < maxCycles) {
+        ++now;
+        const bool active = eng.tick(now);
+        OutqRecord rec;
+        Addr addr = 0;
+        while (eng.popRecord(now, rec, addr))
+            records.push_back(rec);
+        if (!active && eng.allConsumed())
+            break;
+    }
+    return records;
+}
+
+/** Interpret an SpMV P1 program with the Fig. 6 callback pair. */
+std::string
+runSpmvProgram(const engine::TmuProgram &p, Index rows, DenseVector &x)
+{
+    Index row = 0;
+    Value sum = 0.0;
+    bool overflow = false;
+    engine::interpret(p, [&](const OutqRecord &rec) {
+        if (rec.callbackId == workloads::kCbRi) {
+            for (size_t i = 0; i < rec.operands[0].size(); ++i)
+                sum += rec.f64(0, static_cast<int>(i)) *
+                       rec.f64(1, static_cast<int>(i));
+        } else if (rec.callbackId == workloads::kCbRe) {
+            if (row < rows)
+                x[row] = sum;
+            else
+                overflow = true;
+            ++row;
+            sum = 0.0;
+        }
+    });
+    if (overflow || row != rows) {
+        return detail::format(
+            "spmv-tmu: %lld row-end records for %lld rows",
+            static_cast<long long>(row), static_cast<long long>(rows));
+    }
+    return {};
+}
+
+} // namespace
+
+OracleResult
+checkMatrix(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
+{
+    TMU_ASSERT(coo.order() == 2 && coo.isCanonical());
+    OracleResult res;
+    auto fail = [&res](std::string s) {
+        if (!s.empty())
+            res.failures.push_back(std::move(s));
+    };
+    const Compare exact = Compare::exact();
+    const Compare &tol = cfg.cmp;
+    const sim::SimdConfig simd{};
+
+    const CooTensor mcoo = applyMutation(coo, mut);
+    const CsrMatrix rcsr = tensor::cooToCsr(coo);  //!< reference legs
+    const CsrMatrix mcsr = tensor::cooToCsr(mcoo); //!< derived legs
+
+    // --- format permutation legs: every compressed form round-trips
+    // back to the same canonical COO / CSR.
+    fail(diffCoo("csr-roundtrip", coo, tensor::csrToCoo(mcsr), exact));
+    fail(diffCsr("dcsr-roundtrip", rcsr,
+                 tensor::dcsrToCsr(tensor::csrToDcsr(mcsr)), exact));
+    fail(diffCoo("csf-roundtrip", coo,
+                 tensor::csfToCoo(tensor::cooToCsf(mcoo)), exact));
+    fail(diffCsr("transpose-involution", rcsr,
+                 tensor::transposeCsr(tensor::transposeCsr(mcsr)),
+                 exact));
+
+    // --- I/O round trips (satellite c: write -> read preserves
+    // coordinates and exact values).
+    {
+        std::stringstream ss;
+        tensor::writeTns(ss, mcoo);
+        const auto back = tensor::tryReadTns(ss);
+        if (!back.ok())
+            fail("tns-roundtrip: " + back.error().str());
+        else
+            fail(diffCoo("tns-roundtrip", coo, back.value(), exact));
+    }
+    {
+        std::stringstream ss;
+        tensor::writeMatrixMarket(ss, mcsr);
+        const auto back = tensor::tryReadMatrixMarket(ss);
+        if (!back.ok())
+            fail("mtx-roundtrip: " + back.error().str());
+        else
+            fail(diffCoo("mtx-roundtrip", coo, back.value(), exact));
+    }
+
+    // A mutation is guaranteed to surface above (the round-trip legs
+    // compare the mutated derivations against the clean original); the
+    // kernel legs below assume matching operand shapes, so stop here.
+    if (mut != Mutation::None && !res.failures.empty())
+        return res;
+    if (mcsr.rows() != rcsr.rows() || mcsr.cols() != rcsr.cols())
+        return res;
+
+    const Index rows = rcsr.rows();
+    const Index cols = rcsr.cols();
+    Rng rng(cfg.operandSeed);
+
+    // --- SpMV: reference vs drained SVE trace vs TMU program.
+    DenseVector b(cols);
+    for (Index i = 0; i < cols; ++i)
+        b[i] = rng.nextValue(-1.0, 1.0);
+    const DenseVector spmvWant = kernels::spmvRef(rcsr, b);
+    {
+        DenseVector x(rows);
+        drainTrace(kernels::traceSpmv(mcsr, b, x, 0, rows, simd));
+        fail(diffDense("spmv-trace", spmvWant, x, tol));
+    }
+    const engine::TmuProgram spmvProg =
+        workloads::buildSpmvP1(mcsr, b, cfg.lanes, 0, rows);
+    {
+        DenseVector x(rows);
+        std::string err = runSpmvProgram(spmvProg, rows, x);
+        if (!err.empty())
+            fail(std::move(err));
+        else
+            fail(diffDense("spmv-tmu-p1", spmvWant, x, tol));
+    }
+    if (cfg.heavy) {
+        // Cycle-level engine vs functional interpreter, record for
+        // record (the strongest TMU-pipeline invariant).
+        const auto want = engine::interpretToVector(spmvProg);
+        sim::SystemConfig sys = sim::SystemConfig::neoverseN1();
+        sim::MemorySystem mem(sys);
+        engine::TmuEngine eng(0, engine::EngineConfig{}, mem, spmvProg);
+        fail(diffRecords("spmv-engine-records", want, drainEngine(eng)));
+    }
+
+    // --- SpAdd / SpKAdd: merge legs.
+    {
+        tensor::CsrGenConfig gc;
+        gc.rows = rows;
+        gc.cols = cols;
+        gc.nnzPerRow = 2.0;
+        gc.seed = rng.next();
+        const CsrMatrix b2 = tensor::randomCsr(gc);
+        const CsrMatrix want = kernels::spaddRef(rcsr, b2);
+        fail(diffCsr("spadd-commute", want, kernels::spaddRef(b2, mcsr),
+                     exact));
+        std::vector<Index> oi, orn;
+        std::vector<Value> ov;
+        drainTrace(kernels::traceSpadd(mcsr, b2, oi, ov, orn, 0, rows,
+                                       simd));
+        CsrMatrix got;
+        std::string err =
+            rebuildCsr("spadd-trace", rows, cols, orn, oi, ov, got);
+        if (!err.empty())
+            fail(std::move(err));
+        else
+            fail(diffCsr("spadd-trace", want, got, exact));
+    }
+    {
+        const int k = 2 + static_cast<int>(rng.nextBounded(3));
+        const auto parts = tensor::splitCyclic(mcsr, k);
+        // splitCyclic folds original row i*k+x into row i of input x,
+        // so the K-way disjunctive merge equals the row-folded sum
+        // fold[i] = sum_x A[i*k+x] — computable directly in COO by
+        // rewriting every row coordinate to r/k and combining.
+        const Index foldRows = (rows + k - 1) / k;
+        CooTensor foldCoo({foldRows, cols});
+        for (Index p = 0; p < coo.nnz(); ++p)
+            foldCoo.push2(coo.idx(0, p) / k, coo.idx(1, p),
+                          coo.val(p));
+        foldCoo.sortAndCombine();
+        // Collided values may be summed in a different order than the
+        // lane-ordered merge, so this cross-check uses the tolerance.
+        const CsrMatrix refK = kernels::spkaddRef(parts);
+        fail(diffCsr("spkadd-fold", tensor::cooToCsr(foldCoo), refK,
+                     cfg.cmp));
+        std::vector<Index> oi, orn;
+        std::vector<Value> ov;
+        drainTrace(kernels::traceSpkadd(parts, oi, ov, orn, 0,
+                                        foldRows, simd));
+        CsrMatrix got;
+        std::string err = rebuildCsr("spkadd-trace", foldRows, cols,
+                                     orn, oi, ov, got);
+        if (!err.empty())
+            fail(std::move(err));
+        else
+            fail(diffCsr("spkadd-trace", refK, got, exact));
+
+        // Functional TMU leg: kCbRow latches the merged row, kCbCol
+        // reduces the active lanes of one column group.
+        CooTensor merged({foldRows, cols});
+        Index curRow = 0;
+        bool bad = false;
+        engine::interpret(
+            workloads::buildSpkadd(parts, 0, foldRows),
+            [&](const OutqRecord &rec) {
+                if (rec.callbackId == workloads::kCbRow) {
+                    curRow = rec.i64(0, 0);
+                } else if (rec.callbackId == workloads::kCbCol) {
+                    Value sum = 0.0;
+                    for (size_t i = 0; i < rec.operands[1].size(); ++i)
+                        sum += rec.f64(1, static_cast<int>(i));
+                    const Index col = rec.i64(0, 0);
+                    if (curRow < 0 || curRow >= foldRows || col < 0 ||
+                        col >= cols) {
+                        bad = true;
+                        return;
+                    }
+                    merged.push2(curRow, col, sum);
+                }
+            });
+        if (bad) {
+            fail("spkadd-tmu: record coordinate out of range");
+        } else {
+            merged.sortAndCombine();
+            fail(diffCoo("spkadd-tmu", tensor::csrToCoo(refK), merged,
+                         exact));
+        }
+    }
+
+    // --- SpMSpM (Z = A * A^T works for any shape): reference
+    // Gustavson vs trace vs dense comparator vs TMU P2 program.
+    {
+        const CsrMatrix bT = tensor::transposeCsr(mcsr);
+        const CsrMatrix want = kernels::spmspmRef(mcsr, bT);
+        const auto rowNnzWant = kernels::spmspmRowNnz(mcsr, bT);
+        for (Index r = 0; r < rows; ++r) {
+            if (rowNnzWant[static_cast<size_t>(r)] != want.rowNnz(r)) {
+                fail(detail::format(
+                    "spmspm-symbolic: row %lld nnz %lld vs %lld",
+                    static_cast<long long>(r),
+                    static_cast<long long>(
+                        rowNnzWant[static_cast<size_t>(r)]),
+                    static_cast<long long>(want.rowNnz(r))));
+                break;
+            }
+        }
+        std::vector<Index> oi, orn;
+        std::vector<Value> ov;
+        drainTrace(kernels::traceSpmspm(mcsr, bT, oi, ov, orn, 0, rows,
+                                        simd));
+        CsrMatrix got;
+        std::string err = rebuildCsr("spmspm-trace", rows, bT.cols(),
+                                     orn, oi, ov, got);
+        if (!err.empty())
+            fail(std::move(err));
+        else
+            fail(diffCsr("spmspm-trace", want, got, tol));
+
+        if (cfg.heavy && rows <= 64 && cols <= 64) {
+            const DenseMatrix da = tensor::csrToDense(mcsr);
+            const DenseMatrix db = tensor::csrToDense(bT);
+            for (Index i = 0; i < rows; ++i) {
+                std::string denseErr;
+                for (Index j = 0; j < bT.cols() && denseErr.empty();
+                     ++j) {
+                    Value sum = 0.0;
+                    for (Index kk = 0; kk < cols; ++kk)
+                        sum += da(i, kk) * db(kk, j);
+                    if (!tol.close(sum, want.at(i, j))) {
+                        denseErr = detail::format(
+                            "spmspm-dense: (%lld,%lld) %.17g vs %.17g",
+                            static_cast<long long>(i),
+                            static_cast<long long>(j), sum,
+                            want.at(i, j));
+                    }
+                }
+                if (!denseErr.empty()) {
+                    fail(std::move(denseErr));
+                    break;
+                }
+            }
+        }
+
+        // TMU P2 functional leg, replicating the wl_spmspm handlers
+        // (seen-bitmap novelty tracking; see kernels/spmspm.cpp).
+        {
+            std::vector<Value> acc(static_cast<size_t>(bT.cols()), 0.0);
+            std::vector<char> seen(static_cast<size_t>(bT.cols()), 0);
+            std::vector<Index> touched, fi, frn;
+            std::vector<Value> fv;
+            Value aVal = 0.0;
+            engine::interpret(
+                workloads::buildSpmspmP2(mcsr, bT, cfg.lanes, 0, rows),
+                [&](const OutqRecord &rec) {
+                    if (rec.callbackId == workloads::kCbSetA) {
+                        aVal = rec.f64(0, 0);
+                    } else if (rec.callbackId == workloads::kCbAcc) {
+                        for (size_t i = 0; i < rec.operands[0].size();
+                             ++i) {
+                            const auto j = static_cast<size_t>(
+                                rec.i64(0, static_cast<int>(i)));
+                            if (!seen[j]) {
+                                seen[j] = 1;
+                                touched.push_back(
+                                    static_cast<Index>(j));
+                            }
+                            acc[j] += aVal *
+                                      rec.f64(1, static_cast<int>(i));
+                        }
+                    } else if (rec.callbackId == workloads::kCbFlush) {
+                        std::sort(touched.begin(), touched.end());
+                        for (const Index j : touched) {
+                            fi.push_back(j);
+                            fv.push_back(acc[static_cast<size_t>(j)]);
+                            acc[static_cast<size_t>(j)] = 0.0;
+                            seen[static_cast<size_t>(j)] = 0;
+                        }
+                        frn.push_back(
+                            static_cast<Index>(touched.size()));
+                        touched.clear();
+                    }
+                });
+            CsrMatrix fz;
+            std::string ferr = rebuildCsr("spmspm-tmu-p2", rows,
+                                          bT.cols(), frn, fi, fv, fz);
+            if (!ferr.empty())
+                fail(std::move(ferr));
+            else
+                fail(diffCsr("spmspm-tmu-p2", want, fz, tol));
+        }
+    }
+
+    // --- SpMM vs per-column SpMV.
+    {
+        const Index rk = 3;
+        DenseMatrix bm(cols, rk);
+        for (Index i = 0; i < cols; ++i) {
+            for (Index j = 0; j < rk; ++j)
+                bm(i, j) = rng.nextValue(-1.0, 1.0);
+        }
+        const DenseMatrix z = kernels::spmmRef(mcsr, bm);
+        for (Index j = 0; j < rk; ++j) {
+            DenseVector bj(cols);
+            for (Index i = 0; i < cols; ++i)
+                bj[i] = bm(i, j);
+            const DenseVector zj = kernels::spmvRef(rcsr, bj);
+            std::string err;
+            for (Index i = 0; i < rows; ++i) {
+                if (!tol.close(z(i, j), zj[i])) {
+                    err = detail::format(
+                        "spmm-vs-spmv: (%lld,%lld) %.17g vs %.17g",
+                        static_cast<long long>(i),
+                        static_cast<long long>(j), z(i, j), zj[i]);
+                    break;
+                }
+            }
+            if (!err.empty()) {
+                fail(std::move(err));
+                break;
+            }
+        }
+    }
+
+    // --- SpMSpV vs SpMV over the densified vector.
+    {
+        std::vector<Index> si;
+        std::vector<Value> sv;
+        DenseVector bd(cols);
+        for (Index c = 0; c < cols; ++c) {
+            if (rng.nextBool(0.4)) {
+                si.push_back(c);
+                sv.push_back(rng.nextValue(-1.0, 1.0));
+                bd[c] = sv.back();
+            }
+        }
+        const tensor::SparseVector sb(cols, std::move(si),
+                                      std::move(sv));
+        fail(diffDense("spmspv-vs-spmv", kernels::spmvRef(rcsr, bd),
+                       kernels::spmspvRef(mcsr, sb), tol));
+    }
+
+    // --- TriangleCount (square inputs): ref vs trace vs brute force.
+    if (cfg.heavy && rows == cols && rows <= 64) {
+        const CsrMatrix sym =
+            kernels::spaddRef(mcsr, tensor::transposeCsr(mcsr));
+        const CsrMatrix lower = tensor::lowerTriangle(sym);
+        const std::uint64_t want = kernels::tricountRef(lower);
+        std::uint64_t traced = 0;
+        drainTrace(kernels::traceTricount(lower, traced, 0,
+                                          lower.rows(), simd));
+        if (traced != want) {
+            fail(detail::format("tricount-trace: %llu vs %llu",
+                                static_cast<unsigned long long>(traced),
+                                static_cast<unsigned long long>(want)));
+        }
+        // Brute force over the *structural* adjacency (explicit zeros
+        // are still edges).
+        std::vector<char> adj(static_cast<size_t>(rows * rows), 0);
+        for (Index r = 0; r < rows; ++r) {
+            for (Index p = sym.rowBegin(r); p < sym.rowEnd(r); ++p) {
+                const Index c = sym.idxs()[static_cast<size_t>(p)];
+                if (c != r) {
+                    adj[static_cast<size_t>(r * rows + c)] = 1;
+                    adj[static_cast<size_t>(c * rows + r)] = 1;
+                }
+            }
+        }
+        std::uint64_t brute = 0;
+        for (Index i = 0; i < rows; ++i) {
+            for (Index j = i + 1; j < rows; ++j) {
+                if (!adj[static_cast<size_t>(i * rows + j)])
+                    continue;
+                for (Index k = j + 1; k < rows; ++k) {
+                    brute += adj[static_cast<size_t>(i * rows + k)] &&
+                             adj[static_cast<size_t>(j * rows + k)];
+                }
+            }
+        }
+        if (brute != want) {
+            fail(detail::format("tricount-brute: %llu vs %llu",
+                                static_cast<unsigned long long>(brute),
+                                static_cast<unsigned long long>(want)));
+        }
+    }
+
+    return res;
+}
+
+OracleResult
+checkTensor3(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
+{
+    TMU_ASSERT(coo.order() == 3 && coo.isCanonical());
+    OracleResult res;
+    auto fail = [&res](std::string s) {
+        if (!s.empty())
+            res.failures.push_back(std::move(s));
+    };
+    const Compare exact = Compare::exact();
+    const Compare &tol = cfg.cmp;
+    const sim::SimdConfig simd{};
+
+    const CooTensor mcoo = applyMutation(coo, mut);
+
+    // --- format + I/O round trips (these alone catch every mutation).
+    fail(diffCoo("csf-roundtrip", coo,
+                 tensor::csfToCoo(tensor::cooToCsf(mcoo)), exact));
+    {
+        std::stringstream ss;
+        tensor::writeTns(ss, mcoo);
+        const auto back = tensor::tryReadTns(ss);
+        if (!back.ok())
+            fail("tns-roundtrip: " + back.error().str());
+        else
+            fail(diffCoo("tns-roundtrip", coo, back.value(), exact));
+    }
+    if (mut != Mutation::None && !res.failures.empty())
+        return res;
+
+    const CsfTensor csf = tensor::cooToCsf(coo);
+    const Index d0 = coo.dim(0);
+    const Index d1 = coo.dim(1);
+    const Index d2 = coo.dim(2);
+    Rng rng(cfg.operandSeed);
+
+    // --- SpTTV: CSF traversal vs direct COO accumulation vs the TMU
+    // program.
+    DenseVector b(d2);
+    for (Index i = 0; i < d2; ++i)
+        b[i] = rng.nextValue(-1.0, 1.0);
+    const kernels::SpttvResult want = kernels::spttvRef(csf, b);
+    {
+        // Canonical COO order groups (i, j) fibers contiguously, so a
+        // single pass reproduces the CSF fiber order.
+        kernels::SpttvResult direct;
+        for (Index p = 0; p < coo.nnz(); ++p) {
+            const kernels::Coord2 ij{coo.idx(0, p), coo.idx(1, p)};
+            if (direct.coords.empty() || !(direct.coords.back() == ij)) {
+                direct.coords.push_back(ij);
+                direct.vals.push_back(0.0);
+            }
+            direct.vals.back() += coo.val(p) * b[coo.idx(2, p)];
+        }
+        if (direct.coords != want.coords)
+            fail("spttv-direct: fiber coordinate sets differ");
+        else
+            fail(diffVals("spttv-direct", want.vals, direct.vals, tol));
+    }
+    if (coo.nnz() > 0) {
+        kernels::SpttvResult fx;
+        Index curI = 0, curJ = 0;
+        Value sum = 0.0;
+        engine::interpret(
+            workloads::buildSpttv(csf, b, cfg.lanes, 0, csf.numNodes(0)),
+            [&](const OutqRecord &rec) {
+                if (rec.callbackId == workloads::kCbRoot) {
+                    curI = rec.i64(0, 0);
+                } else if (rec.callbackId == workloads::kCbRow) {
+                    curJ = rec.i64(0, 0);
+                    sum = 0.0;
+                } else if (rec.callbackId == workloads::kCbRi) {
+                    for (size_t i = 0; i < rec.operands[0].size(); ++i)
+                        sum += rec.f64(0, static_cast<int>(i)) *
+                               rec.f64(1, static_cast<int>(i));
+                } else if (rec.callbackId == workloads::kCbRe) {
+                    fx.coords.push_back({curI, curJ});
+                    fx.vals.push_back(sum);
+                }
+            });
+        if (fx.coords != want.coords)
+            fail("spttv-tmu: fiber coordinate sets differ");
+        else
+            fail(diffVals("spttv-tmu", want.vals, fx.vals, tol));
+    }
+
+    // --- SpTTM column c == SpTTV with column c of B.
+    {
+        const Index el = 3;
+        DenseMatrix bm(d2, el);
+        for (Index i = 0; i < d2; ++i) {
+            for (Index j = 0; j < el; ++j)
+                bm(i, j) = rng.nextValue(-1.0, 1.0);
+        }
+        const kernels::SpttmResult zm = kernels::spttmRef(csf, bm);
+        if (zm.coords != want.coords) {
+            fail("spttm-coords: output fiber set differs from spttv");
+        } else {
+            for (Index c = 0; c < el; ++c) {
+                DenseVector bc(d2);
+                for (Index i = 0; i < d2; ++i)
+                    bc[i] = bm(i, c);
+                const kernels::SpttvResult zc =
+                    kernels::spttvRef(csf, bc);
+                std::string err;
+                for (size_t t = 0; t < zc.vals.size(); ++t) {
+                    if (!tol.close(zc.vals[t],
+                                   zm.rows(static_cast<Index>(t), c))) {
+                        err = detail::format(
+                            "spttm-vs-spttv: fiber %zu col %lld "
+                            "%.17g vs %.17g",
+                            t, static_cast<long long>(c), zc.vals[t],
+                            zm.rows(static_cast<Index>(t), c));
+                        break;
+                    }
+                }
+                if (!err.empty()) {
+                    fail(std::move(err));
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- MTTKRP: reference vs trace vs mode-permutation vs TMU P1.
+    {
+        const Index rk = 4;
+        DenseMatrix bf(d1, rk), cf(d2, rk);
+        for (Index i = 0; i < d1; ++i) {
+            for (Index j = 0; j < rk; ++j)
+                bf(i, j) = rng.nextValue(-1.0, 1.0);
+        }
+        for (Index i = 0; i < d2; ++i) {
+            for (Index j = 0; j < rk; ++j)
+                cf(i, j) = rng.nextValue(-1.0, 1.0);
+        }
+        const DenseMatrix zr = kernels::mttkrpRef(coo, bf, cf, 0);
+        DenseMatrix zt(d0, rk);
+        drainTrace(kernels::traceMttkrp(coo, bf, cf, zt, 0, coo.nnz(),
+                                        simd));
+        fail(diffDense("mttkrp-trace", zr, zt, tol));
+
+        // Swapping modes 1 and 2 (and B with C) leaves mode-0 MTTKRP
+        // unchanged up to summation order.
+        CooTensor sw({d0, d2, d1});
+        for (Index p = 0; p < coo.nnz(); ++p) {
+            sw.push({coo.idx(0, p), coo.idx(2, p), coo.idx(1, p)},
+                    coo.val(p));
+        }
+        sw.sortAndCombine();
+        fail(diffDense("mttkrp-modeswap", zr,
+                       kernels::mttkrpRef(sw, cf, bf, 0), tol));
+
+        if (coo.nnz() > 0) {
+            DenseMatrix zf(d0, rk);
+            std::vector<Value> laneV;
+            std::vector<Addr> laneZ;
+            Index j = 0;
+            engine::interpret(
+                workloads::buildMttkrpP1(coo, bf, cf, zf, cfg.lanes, 0,
+                                         coo.nnz()),
+                [&](const OutqRecord &rec) {
+                    if (rec.callbackId == workloads::kCbNnz) {
+                        const auto n = rec.operands[0].size();
+                        laneV.assign(n, 0.0);
+                        laneZ.assign(n, 0);
+                        for (size_t i = 0; i < n; ++i) {
+                            laneV[i] = rec.f64(0, static_cast<int>(i));
+                            laneZ[i] =
+                                static_cast<Addr>(rec.operands[1][i]);
+                        }
+                        j = 0;
+                    } else if (rec.callbackId == workloads::kCbJ) {
+                        for (size_t i = 0; i < rec.operands[0].size();
+                             ++i) {
+                            auto *zrow = static_cast<Value *>(
+                                sim::hostPtr(laneZ[i]));
+                            zrow[j] +=
+                                laneV[i] *
+                                rec.f64(0, static_cast<int>(i)) *
+                                rec.f64(1, static_cast<int>(i));
+                        }
+                        ++j;
+                    }
+                });
+            fail(diffDense("mttkrp-tmu-p1", zr, zf, tol));
+        }
+    }
+
+    // --- SpTC symbolic: total vs per-root rows vs drained trace. The
+    // mode-reversed tensor is a always-compatible contraction partner
+    // (B.dim(0) == A.dim(2), B.dim(1) == A.dim(1)).
+    {
+        CooTensor rev({d2, d1, d0});
+        for (Index p = 0; p < coo.nnz(); ++p) {
+            rev.push({coo.idx(2, p), coo.idx(1, p), coo.idx(0, p)},
+                     coo.val(p));
+        }
+        rev.sortAndCombine();
+        const CsfTensor csfB = tensor::cooToCsf(rev);
+        const Index total = kernels::sptcSymbolicRef(csf, csfB);
+        const auto rowsWant = kernels::sptcSymbolicRowsRef(csf, csfB);
+        const auto sum = std::accumulate(rowsWant.begin(),
+                                         rowsWant.end(), Index{0});
+        if (sum != total) {
+            fail(detail::format("sptc-rows-sum: %lld vs total %lld",
+                                static_cast<long long>(sum),
+                                static_cast<long long>(total)));
+        }
+        std::vector<Index> rowNnz(
+            static_cast<size_t>(csf.numNodes(0)), 0);
+        drainTrace(kernels::traceSptcSymbolic(csf, csfB, rowNnz, 0,
+                                              csf.numNodes(0), simd));
+        if (rowNnz != rowsWant)
+            fail("sptc-trace: per-root output counts differ");
+    }
+
+    // --- CP-ALS is a pure function of (tensor, config): run twice,
+    // demand bit-identical factors (catches hidden global state).
+    if (cfg.heavy && coo.nnz() > 0) {
+        kernels::CpalsConfig cc;
+        cc.rank = 4;
+        cc.iterations = 1;
+        cc.seed = rng.next();
+        const auto f1 = kernels::cpalsRef(coo, cc);
+        const auto f2 = kernels::cpalsRef(coo, cc);
+        for (int m = 0; m < 3; ++m) {
+            fail(diffDense(detail::format("cpals-determinism-mode%d", m),
+                           f1[static_cast<size_t>(m)],
+                           f2[static_cast<size_t>(m)], exact));
+        }
+    }
+
+    return res;
+}
+
+OracleResult
+checkAny(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
+{
+    return coo.order() == 2 ? checkMatrix(coo, cfg, mut)
+                            : checkTensor3(coo, cfg, mut);
+}
+
+} // namespace tmu::testing

@@ -1,0 +1,323 @@
+#include "shapes.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/generate.hpp"
+
+namespace tmu::testing {
+
+using tensor::CooTensor;
+
+const char *
+shapeClassName(ShapeClass c)
+{
+    switch (c) {
+      case ShapeClass::Empty:         return "empty";
+      case ShapeClass::SingletonRows: return "singleton-rows";
+      case ShapeClass::DenseBlock:    return "dense-block";
+      case ShapeClass::Hypersparse:   return "hypersparse";
+      case ShapeClass::DuplicateCoo:  return "duplicate-coo";
+      case ShapeClass::PatternOnly:   return "pattern-only";
+      case ShapeClass::TallSkinny:    return "tall-skinny";
+      case ShapeClass::WideFlat:      return "wide-flat";
+      case ShapeClass::Diagonalish:   return "diagonalish";
+      case ShapeClass::Banded:        return "banded";
+      case ShapeClass::ZipfSkew:      return "zipf-skew";
+      case ShapeClass::UniformRandom: return "uniform-random";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Value mix: half exact small integers (so independently-drawn partial
+ * sums can cancel to exactly 0.0 — the class of input that exposed the
+ * SpMSpM workspace novelty-check bug), half signed reals of moderate
+ * magnitude (keeps Gram matrices well-conditioned for CP-ALS).
+ */
+Value
+drawValue(Rng &rng)
+{
+    if (rng.nextBool(0.5)) {
+        static constexpr Value kInts[] = {-3.0, -2.0, -1.0, 1.0,
+                                          2.0,  3.0,  4.0};
+        return kInts[rng.nextBounded(std::size(kInts))];
+    }
+    return rng.nextValue(-1.5, 1.5);
+}
+
+Value
+drawValueFor(ShapeClass c, Rng &rng)
+{
+    return c == ShapeClass::PatternOnly ? 1.0 : drawValue(rng);
+}
+
+/** Order-2 sample over explicit dims, nnz entries, class value mix. */
+CooTensor
+scatter2(ShapeClass c, Index rows, Index cols, Index nnz, Rng &rng)
+{
+    CooTensor coo({rows, cols});
+    for (Index e = 0; e < nnz; ++e) {
+        coo.push2(rng.nextIndex(0, rows), rng.nextIndex(0, cols),
+                  drawValueFor(c, rng));
+    }
+    coo.sortAndCombine();
+    if (c == ShapeClass::PatternOnly) {
+        // Colliding pushes were summed above; restore the all-ones
+        // pattern the class promises.
+        for (auto &v : coo.vals())
+            v = 1.0;
+    }
+    return coo;
+}
+
+} // namespace
+
+CooTensor
+sampleMatrix(ShapeClass c, std::uint64_t seed, const SampleLimits &lim)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xf00dbeefULL);
+    const Index maxDim = lim.maxDim;
+
+    switch (c) {
+      case ShapeClass::Empty: {
+        return CooTensor({rng.nextIndex(1, maxDim),
+                          rng.nextIndex(1, maxDim)});
+      }
+      case ShapeClass::SingletonRows: {
+        const Index rows = rng.nextIndex(2, maxDim);
+        const Index cols = rng.nextIndex(1, maxDim);
+        CooTensor coo({rows, cols});
+        for (Index r = 0; r < rows; ++r) {
+            if (rng.nextBool(0.3)) {
+                coo.push2(r, rng.nextIndex(0, cols),
+                          drawValueFor(c, rng));
+            }
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::DenseBlock: {
+        const Index rows = rng.nextIndex(2, maxDim);
+        const Index cols = rng.nextIndex(2, maxDim);
+        const Index bh = rng.nextIndex(1, std::min<Index>(rows, 12) + 1);
+        const Index bw = rng.nextIndex(1, std::min<Index>(cols, 12) + 1);
+        const Index r0 = rng.nextIndex(0, rows - bh + 1);
+        const Index c0 = rng.nextIndex(0, cols - bw + 1);
+        CooTensor coo({rows, cols});
+        for (Index r = 0; r < bh; ++r) {
+            for (Index cc = 0; cc < bw; ++cc)
+                coo.push2(r0 + r, c0 + cc, drawValueFor(c, rng));
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::Hypersparse: {
+        const Index rows = rng.nextIndex(maxDim / 2 + 1, maxDim + 1);
+        const Index cols = rng.nextIndex(maxDim / 2 + 1, maxDim + 1);
+        return scatter2(c, rows, cols, rng.nextIndex(1, 5), rng);
+      }
+      case ShapeClass::DuplicateCoo: {
+        // Unsorted pushes with forced collisions: the canonicalization
+        // path (sort + duplicate summation, possibly to exact zero) is
+        // itself under test here.
+        const Index rows = rng.nextIndex(2, 12);
+        const Index cols = rng.nextIndex(2, 12);
+        CooTensor coo({rows, cols});
+        const Index distinct = rng.nextIndex(1, rows * cols / 2 + 2);
+        std::vector<std::pair<Index, Index>> sites;
+        for (Index s = 0; s < distinct; ++s) {
+            sites.emplace_back(rng.nextIndex(0, rows),
+                               rng.nextIndex(0, cols));
+        }
+        const Index pushes = distinct * rng.nextIndex(1, 4);
+        for (Index p = 0; p < pushes; ++p) {
+            const auto &[r, cc] =
+                sites[rng.nextBounded(sites.size())];
+            coo.push2(r, cc, drawValueFor(c, rng));
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::PatternOnly: {
+        const Index rows = rng.nextIndex(1, maxDim);
+        const Index cols = rng.nextIndex(1, maxDim);
+        const Index nnz = std::min(lim.maxNnz, rows * cols);
+        return scatter2(c, rows, cols, rng.nextIndex(1, nnz + 1), rng);
+      }
+      case ShapeClass::TallSkinny: {
+        const Index rows = rng.nextIndex(maxDim / 2 + 1, maxDim + 1);
+        const Index cols = rng.nextIndex(1, 4);
+        return scatter2(c, rows, cols,
+                        rng.nextIndex(1, std::min(lim.maxNnz,
+                                                  rows * cols) + 1),
+                        rng);
+      }
+      case ShapeClass::WideFlat: {
+        const Index rows = rng.nextIndex(1, 4);
+        const Index cols = rng.nextIndex(maxDim / 2 + 1, maxDim + 1);
+        return scatter2(c, rows, cols,
+                        rng.nextIndex(1, std::min(lim.maxNnz,
+                                                  rows * cols) + 1),
+                        rng);
+      }
+      case ShapeClass::Diagonalish: {
+        const Index n = rng.nextIndex(2, maxDim);
+        CooTensor coo({n, n});
+        for (Index i = 0; i < n; ++i) {
+            if (rng.nextBool(0.8))
+                coo.push2(i, i, drawValueFor(c, rng));
+            if (i + 1 < n && rng.nextBool(0.3))
+                coo.push2(i, i + 1, drawValueFor(c, rng));
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::Banded:
+      case ShapeClass::ZipfSkew:
+      case ShapeClass::UniformRandom: {
+        tensor::CsrGenConfig cfg;
+        cfg.rows = rng.nextIndex(2, maxDim);
+        cfg.cols = rng.nextIndex(2, maxDim);
+        cfg.nnzPerRow = 1.0 + rng.nextDouble() * 5.0;
+        cfg.seed = rng.next();
+        if (c == ShapeClass::Banded) {
+            cfg.colPattern = tensor::ColPattern::Banded;
+            cfg.bandwidth = rng.nextIndex(1, 9);
+        } else if (c == ShapeClass::ZipfSkew) {
+            cfg.rowDist = tensor::RowDist::Zipf;
+        }
+        CooTensor coo = tensor::csrToCoo(tensor::randomCsr(cfg));
+        // randomCsr values are uniform positive; remix so sums can
+        // cancel (same adversarial value model as the other classes).
+        for (auto &v : coo.vals())
+            v = drawValueFor(c, rng);
+        return coo;
+      }
+    }
+    TMU_PANIC("unhandled shape class");
+}
+
+CooTensor
+sampleTensor3(ShapeClass c, std::uint64_t seed, const SampleLimits &lim)
+{
+    Rng rng(seed * 0x2545f4914f6cdd1dULL + 0x7e450a3dULL);
+    const Index maxDim = std::max<Index>(2, lim.maxDim / 3);
+
+    auto dims3 = [&](Index lo, Index hi) {
+        return std::vector<Index>{rng.nextIndex(lo, hi),
+                                  rng.nextIndex(lo, hi),
+                                  rng.nextIndex(lo, hi)};
+    };
+    auto scatter3 = [&](std::vector<Index> dims, Index nnz) {
+        CooTensor coo(dims);
+        for (Index e = 0; e < nnz; ++e) {
+            coo.push({rng.nextIndex(0, dims[0]),
+                      rng.nextIndex(0, dims[1]),
+                      rng.nextIndex(0, dims[2])},
+                     drawValueFor(c, rng));
+        }
+        coo.sortAndCombine();
+        if (c == ShapeClass::PatternOnly) {
+            // Colliding pushes were summed; restore all-ones.
+            for (auto &v : coo.vals())
+                v = 1.0;
+        }
+        return coo;
+    };
+
+    switch (c) {
+      case ShapeClass::Empty:
+        return CooTensor(dims3(1, maxDim));
+      case ShapeClass::SingletonRows: {
+        // At most one (j, k) fiber entry per i slice.
+        const auto dims = dims3(2, maxDim);
+        CooTensor coo(dims);
+        for (Index i = 0; i < dims[0]; ++i) {
+            if (rng.nextBool(0.3)) {
+                coo.push({i, rng.nextIndex(0, dims[1]),
+                          rng.nextIndex(0, dims[2])},
+                         drawValueFor(c, rng));
+            }
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::DenseBlock: {
+        const auto dims = dims3(2, maxDim);
+        const Index b0 = std::min<Index>(dims[0], 4);
+        const Index b1 = std::min<Index>(dims[1], 4);
+        const Index b2 = std::min<Index>(dims[2], 4);
+        CooTensor coo(dims);
+        for (Index i = 0; i < b0; ++i) {
+            for (Index j = 0; j < b1; ++j) {
+                for (Index k = 0; k < b2; ++k)
+                    coo.push({i, j, k}, drawValueFor(c, rng));
+            }
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::Hypersparse:
+        return scatter3(dims3(maxDim / 2 + 1, maxDim + 1),
+                        rng.nextIndex(1, 5));
+      case ShapeClass::DuplicateCoo: {
+        const auto dims = dims3(2, 6);
+        CooTensor coo(dims);
+        const Index pushes = rng.nextIndex(4, 40);
+        for (Index p = 0; p < pushes; ++p) {
+            coo.push({rng.nextIndex(0, dims[0]),
+                      rng.nextIndex(0, dims[1]),
+                      rng.nextIndex(0, dims[2])},
+                     drawValueFor(c, rng));
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::TallSkinny: {
+        std::vector<Index> dims{rng.nextIndex(maxDim, 2 * maxDim), 1,
+                                rng.nextIndex(1, 4)};
+        return scatter3(dims, rng.nextIndex(1, maxDim));
+      }
+      case ShapeClass::WideFlat: {
+        std::vector<Index> dims{1, rng.nextIndex(maxDim, 2 * maxDim),
+                                rng.nextIndex(1, 4)};
+        return scatter3(dims, rng.nextIndex(1, maxDim));
+      }
+      case ShapeClass::Diagonalish: {
+        const Index n = rng.nextIndex(2, maxDim);
+        CooTensor coo({n, n, n});
+        for (Index i = 0; i < n; ++i) {
+            if (rng.nextBool(0.8))
+                coo.push({i, i, i}, drawValueFor(c, rng));
+        }
+        coo.sortAndCombine();
+        return coo;
+      }
+      case ShapeClass::PatternOnly:
+      case ShapeClass::Banded:
+      case ShapeClass::ZipfSkew:
+      case ShapeClass::UniformRandom: {
+        // Mode-skewed random tensors (FROSTT surrogates); remix the
+        // values into the adversarial model.
+        const auto dims = dims3(2, maxDim);
+        const Index space = dims[0] * dims[1] * dims[2];
+        const Index nnz = std::max<Index>(
+            1, std::min({lim.maxNnz, space,
+                         rng.nextIndex(1, 4 * maxDim)}));
+        const double skew =
+            c == ShapeClass::ZipfSkew ? 1.4 : 0.0;
+        CooTensor coo =
+            tensor::randomCooTensor(dims, nnz, skew, rng.next());
+        for (auto &v : coo.vals())
+            v = drawValueFor(c, rng);
+        return coo;
+      }
+    }
+    TMU_PANIC("unhandled shape class");
+}
+
+} // namespace tmu::testing

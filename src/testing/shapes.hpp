@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structured fuzz-input generator: adversarial tensor shape classes.
+ *
+ * Hand-picked unit-test inputs spot-check the format/kernel/TMU stack;
+ * the fuzzer instead samples across the shape classes the traversal
+ * and merge machinery keys on — empty tensors, singleton fibers, dense
+ * blocks, hypersparse scatters, duplicate/unsorted COO construction,
+ * pattern-only values and extreme aspect ratios. Every sample is a
+ * pure function of (class, seed), so any failure replays from two
+ * integers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace tmu::testing {
+
+/** Adversarial input families sampled by the fuzzer. */
+enum class ShapeClass {
+    Empty,         //!< valid dims, zero stored entries
+    SingletonRows, //!< at most one entry per row, most rows empty
+    DenseBlock,    //!< a fully-populated rectangle inside the matrix
+    Hypersparse,   //!< large dims, a handful of scattered entries
+    DuplicateCoo,  //!< unsorted pushes with colliding coordinates
+    PatternOnly,   //!< every stored value is exactly 1.0
+    TallSkinny,    //!< rows >> cols (down to one column)
+    WideFlat,      //!< cols >> rows (down to one row)
+    Diagonalish,   //!< entries on or near the main diagonal
+    Banded,        //!< randomCsr banded column placement
+    ZipfSkew,      //!< power-law row lengths (circuit-style skew)
+    UniformRandom, //!< plain uniform randomCsr
+};
+
+inline constexpr ShapeClass kAllShapeClasses[] = {
+    ShapeClass::Empty,        ShapeClass::SingletonRows,
+    ShapeClass::DenseBlock,   ShapeClass::Hypersparse,
+    ShapeClass::DuplicateCoo, ShapeClass::PatternOnly,
+    ShapeClass::TallSkinny,   ShapeClass::WideFlat,
+    ShapeClass::Diagonalish,  ShapeClass::Banded,
+    ShapeClass::ZipfSkew,     ShapeClass::UniformRandom,
+};
+
+const char *shapeClassName(ShapeClass c);
+
+/** Size ceilings for one sample (kept small: oracles are O(n^2..3)). */
+struct SampleLimits
+{
+    Index maxDim = 48;
+    Index maxNnz = 320;
+};
+
+/**
+ * Sample a canonical order-2 COO tensor of the given class. Values mix
+ * signed reals, exact small integers (so partial sums can cancel
+ * exactly) and, for PatternOnly, all-ones.
+ */
+tensor::CooTensor sampleMatrix(ShapeClass c, std::uint64_t seed,
+                               const SampleLimits &lim = {});
+
+/** Sample a canonical order-3 COO tensor of the given class. */
+tensor::CooTensor sampleTensor3(ShapeClass c, std::uint64_t seed,
+                                const SampleLimits &lim = {});
+
+} // namespace tmu::testing

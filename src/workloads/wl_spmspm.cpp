@@ -49,8 +49,11 @@ SpmspmWorkload::run(const RunConfig &cfg)
         std::vector<Index> idxs;
         std::vector<Value> vals;
         std::vector<Index> rowNnz;
-        // TMU-mode accumulator workspace.
+        // TMU-mode accumulator workspace. Novelty is tracked with the
+        // seen bitmap, not acc[j] == 0.0, so exact cancellation cannot
+        // re-insert a column (see kernels/spmspm.cpp).
         std::vector<Value> acc;
+        std::vector<char> seen;
         std::vector<Index> touched;
         Value aVal = 0.0;
     };
@@ -79,6 +82,7 @@ SpmspmWorkload::run(const RunConfig &cfg)
             const auto [beg, end] = partition(a_.rows(), cores, c);
             CoreOut &co = out[static_cast<size_t>(c)];
             co.acc.assign(static_cast<size_t>(bt_.cols()), 0.0);
+            co.seen.assign(static_cast<size_t>(bt_.cols()), 0);
             const auto outNnz = static_cast<size_t>(
                 ref_.rowBegin(end) - ref_.rowBegin(beg));
             co.idxs.reserve(outNnz);
@@ -101,8 +105,10 @@ SpmspmWorkload::run(const RunConfig &cfg)
                     const auto j =
                         static_cast<size_t>(rec.i64(0,
                                                     static_cast<int>(i)));
-                    if (co.acc[j] == 0.0)
+                    if (!co.seen[j]) {
+                        co.seen[j] = 1;
                         co.touched.push_back(static_cast<Index>(j));
+                    }
                     co.acc[j] +=
                         co.aVal * rec.f64(1, static_cast<int>(i));
                     ops.push_back(MicroOp::load(
@@ -127,6 +133,7 @@ SpmspmWorkload::run(const RunConfig &cfg)
                     co.idxs.push_back(j);
                     co.vals.push_back(co.acc[static_cast<size_t>(j)]);
                     co.acc[static_cast<size_t>(j)] = 0.0;
+                    co.seen[static_cast<size_t>(j)] = 0;
                     ops.push_back(MicroOp::load(
                         addrOf(co.acc.data(), j), 8));
                     ops.push_back(MicroOp::store(

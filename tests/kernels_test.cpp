@@ -704,5 +704,160 @@ TEST(Cpals, DenseTraceEmitsExpectedFlopScale)
                 static_cast<double>(want) * 0.05);
 }
 
+// --- Edge cases surfaced by the fuzzing harness ---------------------------
+//
+// The adversarial shape classes in src/testing exercise degenerate
+// inputs the random generators above never produce: zero stored
+// entries, rank-1 tensors, extent-1 modes. Pin the expected behavior
+// here so it cannot regress without a tier-1 failure.
+
+TEST(Spttv, EmptyTensorYieldsEmptyResult)
+{
+    const CooTensor coo(std::vector<Index>{3, 4, 5});
+    const tensor::CsfTensor a = tensor::cooToCsf(coo);
+    const SpttvResult z = spttvRef(a, DenseVector(5, 1.0));
+    EXPECT_TRUE(z.coords.empty());
+    EXPECT_TRUE(z.vals.empty());
+}
+
+TEST(Spttv, SingleEntryContractsToOneCoordinate)
+{
+    CooTensor coo(std::vector<Index>{1, 1, 1});
+    coo.push({0, 0, 0}, 2.5);
+    coo.sortAndCombine();
+    DenseVector b(1);
+    b[0] = -2.0;
+    const SpttvResult z = spttvRef(tensor::cooToCsf(coo), b);
+    ASSERT_EQ(z.coords.size(), 1u);
+    EXPECT_EQ(z.coords[0], (Coord2{0, 0}));
+    EXPECT_EQ(z.vals[0], 2.5 * -2.0);
+}
+
+TEST(Spttv, EmptyFibersAreSkippedNotEmitted)
+{
+    // Entries only at i = 0 and i = 2: the (i, j) output must not
+    // contain coordinates for the empty slice i = 1.
+    CooTensor coo(std::vector<Index>{3, 2, 2});
+    coo.push({0, 1, 0}, 1.0);
+    coo.push({2, 0, 1}, 3.0);
+    coo.sortAndCombine();
+    DenseVector b(2);
+    b[0] = 10.0;
+    b[1] = 100.0;
+    const SpttvResult z = spttvRef(tensor::cooToCsf(coo), b);
+    ASSERT_EQ(z.coords.size(), 2u);
+    EXPECT_EQ(z.coords[0], (Coord2{0, 1}));
+    EXPECT_EQ(z.vals[0], 10.0);
+    EXPECT_EQ(z.coords[1], (Coord2{2, 0}));
+    EXPECT_EQ(z.vals[1], 300.0);
+}
+
+TEST(Spttm, EmptyTensorYieldsNoRows)
+{
+    const CooTensor coo(std::vector<Index>{2, 3, 4});
+    const SpttmResult z =
+        spttmRef(tensor::cooToCsf(coo), randomDense(4, 3, 61));
+    EXPECT_TRUE(z.coords.empty());
+    EXPECT_EQ(z.rows.rows(), 0);
+}
+
+TEST(Spttm, SingleColumnMatrixMatchesSpttv)
+{
+    // With an L = 1 factor matrix, SpTTM degenerates to SpTTV.
+    const CooTensor coo =
+        tensor::randomCooTensor({6, 5, 4}, 30, 0.0, 63);
+    const tensor::CsfTensor a = tensor::cooToCsf(coo);
+    DenseMatrix b(4, 1, 0.0);
+    DenseVector bv(4);
+    for (Index k = 0; k < 4; ++k) {
+        b(k, 0) = 0.5 + static_cast<Value>(k);
+        bv[k] = b(k, 0);
+    }
+    const SpttmResult zm = spttmRef(a, b);
+    const SpttvResult zv = spttvRef(a, bv);
+    ASSERT_EQ(zm.coords.size(), zv.coords.size());
+    for (size_t t = 0; t < zv.coords.size(); ++t) {
+        EXPECT_EQ(zm.coords[t], zv.coords[t]);
+        EXPECT_DOUBLE_EQ(zm.rows(static_cast<Index>(t), 0),
+                         zv.vals[t]);
+    }
+}
+
+TEST(Cpals, ExtentOneModeConverges)
+{
+    // A 1 x J x K tensor is a matrix in disguise; every gram stays SPD
+    // (the init adds ridge regularization) and one sweep must run
+    // without dying on the degenerate mode.
+    CooTensor coo(std::vector<Index>{1, 5, 4});
+    Rng rng(65);
+    for (int e = 0; e < 10; ++e) {
+        coo.push({0, rng.nextIndex(0, 5), rng.nextIndex(0, 4)},
+                 rng.nextValue(0.5, 1.5));
+    }
+    coo.sortAndCombine();
+    CpalsConfig cfg;
+    cfg.rank = 2;
+    cfg.iterations = 2;
+    const CpFactors f = cpalsRef(coo, cfg);
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0].rows(), 1);
+    for (const auto &m : f) {
+        for (Index i = 0; i < m.rows(); ++i) {
+            for (Index j = 0; j < m.cols(); ++j)
+                EXPECT_TRUE(std::isfinite(m(i, j)));
+        }
+    }
+}
+
+TEST(Cpals, RankOneRecoversARankOneTensor)
+{
+    // Build an exactly rank-1 tensor and check ALS reproduces every
+    // stored entry near-exactly.
+    const Index di = 4, dj = 3, dk = 5;
+    CooTensor coo(std::vector<Index>{di, dj, dk});
+    for (Index i = 0; i < di; ++i) {
+        for (Index j = 0; j < dj; ++j) {
+            for (Index k = 0; k < dk; ++k) {
+                const Value v = (1.0 + static_cast<Value>(i)) *
+                                (2.0 - 0.3 * static_cast<Value>(j)) *
+                                (0.5 + 0.2 * static_cast<Value>(k));
+                coo.push({i, j, k}, v);
+            }
+        }
+    }
+    coo.sortAndCombine();
+    CpalsConfig cfg;
+    cfg.rank = 1;
+    cfg.iterations = 12;
+    cfg.seed = 67;
+    const CpFactors f = cpalsRef(coo, cfg);
+    for (Index p = 0; p < coo.nnz(); ++p) {
+        const Value model = f[0](coo.idx(0, p), 0) *
+                            f[1](coo.idx(1, p), 0) *
+                            f[2](coo.idx(2, p), 0);
+        EXPECT_NEAR(model, coo.val(p), 1e-6);
+    }
+}
+
+TEST(Cpals, AllZeroValuesStayFinite)
+{
+    // Stored-but-zero entries: MTTKRP outputs are all zero, and only
+    // the init regularization keeps the solves well-posed.
+    CooTensor coo(std::vector<Index>{3, 3, 3});
+    coo.push({0, 1, 2}, 0.0);
+    coo.push({2, 0, 1}, 0.0);
+    coo.sortAndCombine();
+    CpalsConfig cfg;
+    cfg.rank = 2;
+    cfg.iterations = 2;
+    const CpFactors f = cpalsRef(coo, cfg);
+    for (const auto &m : f) {
+        for (Index i = 0; i < m.rows(); ++i) {
+            for (Index j = 0; j < m.cols(); ++j)
+                EXPECT_TRUE(std::isfinite(m(i, j)));
+        }
+    }
+}
+
 } // namespace
 } // namespace tmu::kernels

@@ -17,6 +17,7 @@
 #include "sim/fault.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/mmio.hpp"
+#include "testing/shapes.hpp"
 
 using namespace tmu;
 using namespace tmu::tensor;
@@ -296,4 +297,78 @@ TEST(MmioRobust, LegacyWrappersStillParseGoodInput)
     std::istringstream in(kGoodMtx);
     CooTensor t = readMatrixMarket(in);
     EXPECT_EQ(t.nnz(), 4);
+}
+
+// --- Write -> read round-trip property over the fuzzer shape classes ------
+//
+// 17-significant-digit text I/O must preserve dims, coordinates and
+// bit-exact values for every adversarial input family, including empty
+// tensors (whose shape only survives via the `# dims:` header).
+
+TEST(MmioRoundTrip, TnsPreservesEveryShapeClassBitExact)
+{
+    using namespace tmu::testing;
+    for (ShapeClass c : kAllShapeClasses) {
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            for (int order = 2; order <= 3; ++order) {
+                const CooTensor t = order == 2
+                                        ? sampleMatrix(c, seed)
+                                        : sampleTensor3(c, seed);
+                std::stringstream ss;
+                writeTns(ss, t);
+                auto r = tryReadTns(ss);
+                ASSERT_TRUE(r.ok())
+                    << shapeClassName(c) << ": " << r.error().str();
+                const CooTensor &u = r.value();
+                ASSERT_EQ(u.dims(), t.dims()) << shapeClassName(c);
+                ASSERT_EQ(u.nnz(), t.nnz()) << shapeClassName(c);
+                for (Index p = 0; p < t.nnz(); ++p) {
+                    for (int m = 0; m < t.order(); ++m)
+                        ASSERT_EQ(u.idx(m, p), t.idx(m, p));
+                    ASSERT_EQ(u.val(p), t.val(p))
+                        << shapeClassName(c) << " entry " << p;
+                }
+            }
+        }
+    }
+}
+
+TEST(MmioRoundTrip, MatrixMarketPreservesEveryShapeClassBitExact)
+{
+    using namespace tmu::testing;
+    for (ShapeClass c : kAllShapeClasses) {
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            const CooTensor t = sampleMatrix(c, seed);
+            const CsrMatrix a = cooToCsr(t);
+            std::stringstream ss;
+            writeMatrixMarket(ss, a);
+            auto r = tryReadMatrixMarket(ss);
+            ASSERT_TRUE(r.ok())
+                << shapeClassName(c) << ": " << r.error().str();
+            const CsrMatrix b = cooToCsr(r.value());
+            ASSERT_EQ(b.rows(), a.rows()) << shapeClassName(c);
+            ASSERT_EQ(b.cols(), a.cols()) << shapeClassName(c);
+            ASSERT_EQ(b.ptrs(), a.ptrs()) << shapeClassName(c);
+            ASSERT_EQ(b.idxs(), a.idxs()) << shapeClassName(c);
+            ASSERT_EQ(b.vals(), a.vals()) << shapeClassName(c);
+        }
+    }
+}
+
+TEST(MmioRoundTrip, CsfAndDcsrSurviveTextRoundTrip)
+{
+    // Convert each sample to CSF / DCSR, back to COO, through text,
+    // and again to the compressed format: both passes must agree.
+    using namespace tmu::testing;
+    for (ShapeClass c : kAllShapeClasses) {
+        const CooTensor t = sampleTensor3(c, 9);
+        const CsfTensor f1 = cooToCsf(t);
+        std::stringstream ss;
+        writeTns(ss, csfToCoo(f1));
+        auto r = tryReadTns(ss);
+        ASSERT_TRUE(r.ok()) << shapeClassName(c);
+        const CsfTensor f2 = cooToCsf(r.value());
+        ASSERT_EQ(f2.dims(), f1.dims()) << shapeClassName(c);
+        ASSERT_EQ(f2.vals(), f1.vals()) << shapeClassName(c);
+    }
 }

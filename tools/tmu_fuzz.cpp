@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Fuzzing driver: differential + metamorphic checks over sampled
+ * adversarial tensors (src/testing).
+ *
+ *   tmu_fuzz [options]
+ *     --seed N          run seed                        (default 1)
+ *     --iters N         max cases                       (default 200)
+ *     --time-budget S   stop after S seconds (0 = off)  (default 0)
+ *     --sim-every N     run simulator invariants every N cases
+ *                       (0 disables; expensive)         (default 0)
+ *     --light           skip the heavy O(dim^3) oracle legs
+ *     --replay PATH     replay one corpus case (.tns) and exit
+ *     --corpus DIR      replay every *.tns case in DIR and exit
+ *     --self-check      inject known mutations; all must be caught
+ *     --minimize-out DIR  on failure, write minimized reproducers
+ *                         as corpus cases into DIR
+ *     --verbose         per-case progress on stderr
+ *
+ * Exit codes: 0 = clean, 1 = invariant violations found,
+ * 2 = usage / I/O error.
+ *
+ * Determinism contract: with a fixed --seed and --iters and no time
+ * budget, the pass/fail log and the printed outcome hash are
+ * bit-identical across runs — the determinism test in tests/fuzz_test
+ * holds the harness to this.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "testing/fuzzer.hpp"
+#include "testing/minimize.hpp"
+
+using namespace tmu;
+using namespace tmu::testing;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tmu_fuzz [--seed N] [--iters N] "
+                 "[--time-budget S] [--sim-every N] [--light]\n"
+                 "                [--replay PATH] [--corpus DIR] "
+                 "[--self-check] [--minimize-out DIR] [--verbose]\n");
+}
+
+bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 10);
+    return end && *end == '\0' && end != s;
+}
+
+/** Shrink a failing case and save it as a corpus file under dir. */
+void
+minimizeAndSave(const CaseFailure &cf, const OracleConfig &cfg,
+                const std::string &dir)
+{
+    FailPredicate pred = [&](const tensor::CooTensor &cand) {
+        return !runCaseChecks(cand, cfg).empty();
+    };
+    MinimizeStats st;
+    tensor::CooTensor small = minimizeTensor(cf.tensor, pred, &st);
+
+    CorpusCase c;
+    c.check = small.order() == 2 ? "matrix" : "tensor3";
+    c.operandSeed = cfg.operandSeed;
+    c.tensor = small;
+    const std::string path = dir + "/fuzz-seed" +
+                             std::to_string(cf.caseSeed) + "-" +
+                             shapeClassName(cf.shape) + ".tns";
+    auto w = saveCorpusCaseFile(path, c);
+    if (!w.ok()) {
+        std::fprintf(stderr, "tmu_fuzz: %s\n", w.error().str().c_str());
+        return;
+    }
+    std::printf("minimized case %llu: %lld -> %lld entries "
+                "(%d predicate calls) -> %s\n",
+                static_cast<unsigned long long>(cf.caseSeed),
+                static_cast<long long>(cf.tensor.nnz()),
+                static_cast<long long>(small.nnz()), st.predicateCalls,
+                path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzConfig cfg;
+    std::string replayPath, corpusDir, minimizeOut;
+    bool selfCheck = false;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--seed") {
+            if (!parseU64(next(), cfg.seed)) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--iters") {
+            std::uint64_t v;
+            if (!parseU64(next(), v)) {
+                usage();
+                return 2;
+            }
+            cfg.iters = static_cast<Index>(v);
+        } else if (a == "--time-budget") {
+            cfg.timeBudgetSec = std::atof(next());
+        } else if (a == "--sim-every") {
+            std::uint64_t v;
+            if (!parseU64(next(), v)) {
+                usage();
+                return 2;
+            }
+            cfg.simEvery = static_cast<Index>(v);
+        } else if (a == "--light") {
+            cfg.oracle.heavy = false;
+        } else if (a == "--replay") {
+            replayPath = next();
+        } else if (a == "--corpus") {
+            corpusDir = next();
+        } else if (a == "--self-check") {
+            selfCheck = true;
+        } else if (a == "--minimize-out") {
+            minimizeOut = next();
+        } else if (a == "--verbose") {
+            verbose = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "tmu_fuzz: unknown option '%s'\n",
+                         a.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (selfCheck) {
+        // Harness verification: every injected fault must be caught.
+        SelfCheckReport rep = runSelfCheck(
+            cfg.seed, /*rounds=*/2, cfg.limits,
+            verbose ? &std::cerr : nullptr);
+        std::printf("self-check: %d/%d injected faults detected\n",
+                    rep.detected, rep.injected);
+        for (const std::string &m : rep.missed)
+            std::printf("  %s\n", m.c_str());
+        return rep.ok() ? 0 : 1;
+    }
+
+    if (!replayPath.empty()) {
+        auto c = tryReadCorpusCaseFile(replayPath);
+        if (!c.ok()) {
+            std::fprintf(stderr, "tmu_fuzz: %s\n",
+                         c.error().str().c_str());
+            return 2;
+        }
+        OracleConfig oc = cfg.oracle;
+        if (c.value().operandSeed != 0)
+            oc.operandSeed = c.value().operandSeed;
+        auto fails = runCaseChecks(c.value().tensor, oc);
+        if (fails.empty()) {
+            std::printf("replay %s: ok\n", replayPath.c_str());
+            return 0;
+        }
+        std::printf("replay %s: FAILED\n", replayPath.c_str());
+        for (const std::string &f : fails)
+            std::printf("  %s\n", f.c_str());
+        return 1;
+    }
+
+    if (!corpusDir.empty()) {
+        auto outcomes =
+            replayCorpus(corpusDir, cfg.oracle,
+                         verbose ? &std::cerr : nullptr);
+        int bad = 0;
+        for (const auto &o : outcomes) {
+            if (o.failures.empty())
+                continue;
+            ++bad;
+            std::printf("replay %s: FAILED\n", o.path.c_str());
+            for (const std::string &f : o.failures)
+                std::printf("  %s\n", f.c_str());
+        }
+        std::printf("corpus: %d/%zu cases failed\n", bad,
+                    outcomes.size());
+        return bad == 0 ? 0 : 1;
+    }
+
+    FuzzReport rep = runFuzz(cfg, verbose ? &std::cerr : nullptr);
+    std::printf("fuzz: %lld cases, %zu failed, outcome hash %016llx\n",
+                static_cast<long long>(rep.casesRun),
+                rep.failed.size(),
+                static_cast<unsigned long long>(rep.outcomeHash));
+    for (const CaseFailure &cf : rep.failed) {
+        std::printf("case %lld (%s, %s, seed %llu):\n",
+                    static_cast<long long>(cf.iter),
+                    shapeClassName(cf.shape),
+                    cf.order3 ? "order-3" : "order-2",
+                    static_cast<unsigned long long>(cf.caseSeed));
+        for (const std::string &f : cf.failures)
+            std::printf("  %s\n", f.c_str());
+        if (!minimizeOut.empty())
+            minimizeAndSave(cf, cfg.oracle, minimizeOut);
+    }
+    return rep.ok() ? 0 : 1;
+}

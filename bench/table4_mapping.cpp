@@ -1,165 +1,25 @@
 /**
  * @file
- * Paper Table 4: how the sparse kernels map onto TMU hardware. Each
- * row is produced by *introspecting a real program* built by the
- * src/workloads/programs.hpp builders (the same builders the timing
- * runs use), listing the traversal primitives, data streams, group
- * modes and callbacks it instantiates. Every program is additionally
- * executed through the functional interpreter on a tiny input as a
- * liveness check.
+ * Paper Table 4: how the sparse kernels map onto TMU hardware. The
+ * rows live in src/workloads/table4.{hpp,cpp} — migrated kernels are
+ * introspected from their declarative plan IR (labels from PlanSpec
+ * metadata, programs from plan::lowerProgram), the rest from the
+ * src/workloads/programs.hpp builders. A tier-1 golden test pins the
+ * rendered table byte-for-byte (tests/golden/table4.txt), so this
+ * binary only prints it and records the JSON mirror.
  */
 
 #include <cstdio>
-#include <map>
-#include <set>
 
 #include "bench_util.hpp"
-#include "common/rng.hpp"
-#include "common/table.hpp"
-#include "tensor/convert.hpp"
-#include "tensor/generate.hpp"
-#include "tmu/functional.hpp"
-#include "workloads/programs.hpp"
-
-using namespace tmu;
-using namespace tmu::engine;
-using namespace tmu::workloads;
-
-namespace {
-
-struct RowInfo
-{
-    std::string algorithm;
-    std::string einsum;
-    std::string formats;
-    TmuProgram program;
-};
-
-std::string
-summarize(const TmuProgram &p)
-{
-    std::set<std::string> traversals, streams, modes;
-    std::map<std::string, int> callbacks;
-    for (int l = 0; l < p.numLayers(); ++l) {
-        const LayerDesc &layer = p.layer(l);
-        modes.insert(groupModeName(layer.mode));
-        for (const TuDesc &tu : layer.tus) {
-            if (tu.streams.empty())
-                continue;
-            traversals.insert(traversalKindName(tu.kind));
-            for (const StreamDesc &s : tu.streams) {
-                if (s.kind != StreamKind::Ite)
-                    streams.insert(streamKindName(s.kind));
-            }
-        }
-        for (const CallbackDesc &cb : layer.callbacks) {
-            ++callbacks[callbackEventName(cb.event)];
-            for (int o : cb.operands) {
-                if (o == kMskOperand)
-                    streams.insert("msk");
-            }
-        }
-    }
-    auto join = [](const std::set<std::string> &xs) {
-        std::string out;
-        for (const auto &x : xs)
-            out += (out.empty() ? "" : ",") + x;
-        return out;
-    };
-    std::string cbs;
-    for (const auto &[ev, n] : callbacks)
-        cbs += (cbs.empty() ? "" : ",") +
-               ev + "x" + std::to_string(n);
-    return join(traversals) + " | " + join(streams) + " | " +
-           join(modes) + " | " + cbs;
-}
-
-} // namespace
+#include "workloads/table4.hpp"
 
 int
 main()
 {
-    // Tiny shared operands (kept alive for the whole run).
-    Rng rng(5);
-    tensor::CsrGenConfig gc;
-    gc.rows = 24;
-    gc.cols = 24;
-    gc.nnzPerRow = 4;
-    gc.seed = 3;
-    const auto a = tensor::randomCsr(gc);
-    const auto at = tensor::transposeCsr(a);
-    tensor::DenseVector dv(24);
-    for (Index i = 0; i < 24; ++i)
-        dv[i] = rng.nextValue(0.1, 1.0);
-    tensor::DenseMatrix dm(24, 8);
-    for (Index i = 0; i < 24; ++i)
-        for (Index j = 0; j < 8; ++j)
-            dm(i, j) = rng.nextValue(0.1, 1.0);
-    const auto parts = tensor::splitCyclic(a, 4);
-    const auto lower =
-        tensor::lowerTriangle(tensor::rmatGraph(5, 4, 7));
-    const auto coo = tensor::randomCooTensor({16, 24, 24}, 150, 0.0, 9);
-    tensor::DenseMatrix z(16, 8, 0.0);
-    const auto csfA = tensor::cooToCsf(coo);
-    const auto csfB = tensor::cooToCsf(
-        tensor::randomCooTensor({24, 24, 12}, 150, 0.0, 11));
-    std::vector<Index> svi;
-    std::vector<Value> svv;
-    for (Index i = 0; i < 24; i += 2) {
-        svi.push_back(i);
-        svv.push_back(1.0);
-    }
-    const tensor::SparseVector sv(24, svi, svv);
-
-    std::vector<RowInfo> rows;
-    rows.push_back({"SpMV P0", "Z_i = A_ij B_j", "A=CSR",
-                    buildSpmvP0(a, dv, 4, 0, a.rows())});
-    rows.push_back({"SpMV P1", "Z_i = A_ij B_j", "A=CSR",
-                    buildSpmvP1(a, dv, 4, 0, a.rows())});
-    rows.push_back({"SpMSpV", "Z_i = A_ij B_j", "A,B=CSR",
-                    buildSpmspv(a, sv, 0, a.rows())});
-    rows.push_back({"SpMM P0", "Z_ij = A_ik B_kj", "A=CSR",
-                    buildSpmmP0(a, dm, 4, 0, a.rows())});
-    rows.push_back({"SpMM P1", "Z_ij = A_ik B_kj", "A=CSR",
-                    buildSpmmP1(a, dm, 4, 0, a.rows())});
-    rows.push_back({"SpMSpM P0", "Z_ij = A_ik B_kj", "A,B,Z=CSR",
-                    buildSpmspmP0(a, at, 4, 0, a.rows())});
-    rows.push_back({"SpMSpM P2", "Z_ij = A_ik B_kj", "A,B,Z=CSR",
-                    buildSpmspmP2(a, at, 4, 0, a.rows())});
-    rows.push_back({"SpKAdd", "Z_ij = sum_k A^k_ij", "A^k,Z=DCSR",
-                    buildSpkadd(parts, 0, parts[0].rows())});
-    rows.push_back({"PageRank", "Z_i = A_ij X_j Y_i", "A=CSR",
-                    buildSpmvP1(a, dv, 4, 0, a.rows())});
-    rows.push_back({"TriangleCount", "c = L_ik L^T_ki L_ij", "L=CSR",
-                    buildTricount(lower, 0, lower.rows())});
-    rows.push_back({"MTTKRP P1", "Z_ij = A_ikl B_kj C_lj", "A=COO",
-                    buildMttkrpP1(coo, dm, dm, z, 4, 0, coo.nnz())});
-    rows.push_back({"MTTKRP P2", "Z_ij = A_ikl B_kj C_lj", "A=COO",
-                    buildMttkrpP2(coo, dm, dm, z, 4, 0, coo.nnz())});
-    rows.push_back({"SpTC", "Z_ij = A_ikl B_lkj", "A,B=CSF",
-                    buildSptcSymbolic(csfA, csfB, 0,
-                                      csfA.numNodes(0))});
-    rows.push_back({"SpTTV", "Z_ij = A_ijk B_k", "A=CSF",
-                    buildSpttv(csfA, dv, 4, 0, csfA.numNodes(0))});
-    rows.push_back({"SpTTM", "Z_ijl = A_ijk B_kl", "A=CSF",
-                    buildSpttm(csfA, dm, 4, 0, csfA.numNodes(0))});
-
-    bench::BenchReport rep("table4_mapping");
-    std::printf("### Table 4 - kernel -> TMU hardware mapping\n");
-    std::printf("# (introspected from the executable program "
-                "builders; every program is run\n# through the "
-                "functional interpreter as a liveness check)\n\n");
-
-    TextTable t("Table 4");
-    t.header({"algorithm", "einsum", "formats", "layers",
-              "traversals | streams | groups | callbacks",
-              "records"});
-    for (auto &row : rows) {
-        const auto records = interpretToVector(row.program);
-        t.row({row.algorithm, row.einsum, row.formats,
-               std::to_string(row.program.numLayers()),
-               summarize(row.program), std::to_string(records.size())});
-    }
-    rep.print(t);
+    const tmu::workloads::Table4 t4;
+    tmu::bench::BenchReport rep("table4_mapping");
+    std::fputs(tmu::workloads::Table4::header().c_str(), stdout);
+    rep.print(t4.table()); //!< stdout == t4.report(), JSON mirrored
     return 0;
 }

@@ -1,0 +1,179 @@
+#include "plan/ir.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tmu::plan {
+
+const char *
+levelFormatName(LevelFormat f)
+{
+    switch (f) {
+    case LevelFormat::Dense: return "dense";
+    case LevelFormat::Compressed: return "compressed";
+    case LevelFormat::Singleton: return "singleton";
+    }
+    return "?";
+}
+
+const char *
+planKindName(PlanKind k)
+{
+    switch (k) {
+    case PlanKind::RowReduce: return "RowReduce";
+    case PlanKind::WorkspaceSpGEMM: return "WorkspaceSpGEMM";
+    case PlanKind::KWayMerge: return "KWayMerge";
+    case PlanKind::Intersect: return "Intersect";
+    case PlanKind::CooRankFma: return "CooRankFma";
+    }
+    return "?";
+}
+
+int
+PlanSpec::addCallback(std::string cbName, int layer,
+                      engine::CallbackEvent event,
+                      std::vector<std::string> operandNames,
+                      ComputeKind compute)
+{
+    for (const CallbackSpec &cb : callbacks) {
+        TMU_ASSERT(cb.name != cbName, "plan '%s': duplicate callback '%s'",
+                   name.c_str(), cbName.c_str());
+    }
+    CallbackSpec cb;
+    cb.name = std::move(cbName);
+    cb.id = static_cast<int>(callbacks.size()) + 1;
+    cb.layer = layer;
+    cb.event = event;
+    cb.operands = std::move(operandNames);
+    cb.compute = compute;
+    callbacks.push_back(std::move(cb));
+    return callbacks.back().id;
+}
+
+int
+PlanSpec::callbackId(const std::string &cbName) const
+{
+    for (const CallbackSpec &cb : callbacks) {
+        if (cb.name == cbName)
+            return cb.id;
+    }
+    TMU_PANIC("plan '%s': unknown callback '%s'", name.c_str(),
+              cbName.c_str());
+}
+
+namespace {
+
+bool
+tuHasStream(const TuSpec &tu, const std::string &name)
+{
+    if (name == kIteStream)
+        return true;
+    return std::any_of(tu.streams.begin(), tu.streams.end(),
+                       [&](const StreamSpec &s) { return s.name == name; });
+}
+
+/// Does any TU of @p layer define @p name (or an implicit ite stream)?
+bool
+layerHasStream(const LayerSpec &layer, const std::string &name)
+{
+    return std::any_of(layer.tus.begin(), layer.tus.end(),
+                       [&](const TuSpec &tu) { return tuHasStream(tu, name); });
+}
+
+} // namespace
+
+void
+PlanSpec::validate() const
+{
+    TMU_ASSERT(!layers.empty(), "plan '%s': no layers", name.c_str());
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        const LayerSpec &layer = layers[l];
+        TMU_ASSERT(!layer.tus.empty(), "plan '%s': layer %zu has no TUs",
+                   name.c_str(), l);
+        const bool isMerge = layer.mode == engine::GroupMode::DisjMrg ||
+                             layer.mode == engine::GroupMode::ConjMrg;
+        for (std::size_t t = 0; t < layer.tus.size(); ++t) {
+            const TuSpec &tu = layer.tus[t];
+            if (tu.kind != engine::TraversalKind::Dense) {
+                TMU_ASSERT(l > 0,
+                           "plan '%s': L%zu TU%zu: non-dense traversal in "
+                           "the root layer", name.c_str(), l, t);
+                TMU_ASSERT(layerHasStream(layers[l - 1], tu.begStream),
+                           "plan '%s': L%zu TU%zu: begin stream '%s' not in "
+                           "previous layer", name.c_str(), l, t,
+                           tu.begStream.c_str());
+                if (tu.kind == engine::TraversalKind::Range) {
+                    TMU_ASSERT(layerHasStream(layers[l - 1], tu.endStream),
+                               "plan '%s': L%zu TU%zu: end stream '%s' not in "
+                               "previous layer", name.c_str(), l, t,
+                               tu.endStream.c_str());
+                }
+            }
+            if (isMerge) {
+                TMU_ASSERT(!tu.mergeKey.empty(),
+                           "plan '%s': L%zu TU%zu: merge layer without a "
+                           "merge key", name.c_str(), l, t);
+            }
+            for (const StreamSpec &s : tu.streams) {
+                TMU_ASSERT(!s.name.empty() && s.name[0] != '@',
+                           "plan '%s': L%zu TU%zu: invalid stream name '%s'",
+                           name.c_str(), l, t, s.name.c_str());
+                if (!s.parent.empty()) {
+                    TMU_ASSERT(tuHasStream(tu, s.parent),
+                               "plan '%s': L%zu TU%zu: stream '%s' parent "
+                               "'%s' not in this TU", name.c_str(), l, t,
+                               s.name.c_str(), s.parent.c_str());
+                }
+                if (!s.parent2.empty()) {
+                    TMU_ASSERT(tuHasStream(tu, s.parent2),
+                               "plan '%s': L%zu TU%zu: stream '%s' parent2 "
+                               "'%s' not in this TU", name.c_str(), l, t,
+                               s.name.c_str(), s.parent2.c_str());
+                }
+                if (s.kind == engine::StreamKind::Fwd) {
+                    TMU_ASSERT(l > 0 && layerHasStream(layers[l - 1], s.fwdOf),
+                               "plan '%s': L%zu TU%zu: forwarded stream '%s' "
+                               "not in previous layer", name.c_str(), l, t,
+                               s.fwdOf.c_str());
+                }
+            }
+            if (!tu.mergeKey.empty()) {
+                TMU_ASSERT(tuHasStream(tu, tu.mergeKey),
+                           "plan '%s': L%zu TU%zu: merge key '%s' not in this "
+                           "TU", name.c_str(), l, t, tu.mergeKey.c_str());
+            }
+        }
+    }
+    for (const GroupStreamSpec &g : groupStreams) {
+        TMU_ASSERT(g.layer >= 0 &&
+                       g.layer < static_cast<int>(layers.size()),
+                   "plan '%s': group stream '%s': bad layer %d",
+                   name.c_str(), g.name.c_str(), g.layer);
+        TMU_ASSERT(layerHasStream(layers[g.layer], g.stream),
+                   "plan '%s': group stream '%s': constituent '%s' not in "
+                   "layer %d", name.c_str(), g.name.c_str(),
+                   g.stream.c_str(), g.layer);
+    }
+    for (const CallbackSpec &cb : callbacks) {
+        TMU_ASSERT(cb.layer >= 0 &&
+                       cb.layer < static_cast<int>(layers.size()),
+                   "plan '%s': callback '%s': bad layer %d", name.c_str(),
+                   cb.name.c_str(), cb.layer);
+        for (const std::string &op : cb.operands) {
+            if (op == kMskStream)
+                continue;
+            const bool found = std::any_of(
+                groupStreams.begin(), groupStreams.end(),
+                [&](const GroupStreamSpec &g) {
+                    return g.name == op && g.layer == cb.layer;
+                });
+            TMU_ASSERT(found,
+                       "plan '%s': callback '%s': operand '%s' is not a "
+                       "group stream of layer %d", name.c_str(),
+                       cb.name.c_str(), op.c_str(), cb.layer);
+        }
+    }
+}
+
+} // namespace tmu::plan

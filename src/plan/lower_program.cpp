@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Plan -> TmuProgram: a single generic walk over the plan's layers.
+ * No per-kernel code lives here — every structural difference between
+ * kernels (merge modes, chained lookups, forwarded bounds, address
+ * streams) is data in the PlanSpec. Name resolution implements the
+ * dataflow rules of the IR:
+ *
+ *   - traversal bounds and Fwd sources resolve in the *previous*
+ *     layer: the same lane when that lane defines the name, lane 0
+ *     otherwise (the broadcast case);
+ *   - stream index parents (parent/parent2) resolve in the *same* TU;
+ *   - group-stream constituents are collected, in lane order, from
+ *     every TU of the layer that defines the name ("@ite" selects the
+ *     TU's implicit iteration stream);
+ *   - callback operands name the layer's group streams ("@msk" maps
+ *     to engine::kMskOperand).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "plan/lower.hpp"
+
+namespace tmu::plan {
+
+using engine::StreamRef;
+using engine::TmuProgram;
+using engine::TuRef;
+
+namespace {
+
+/** Stream name -> StreamRef map per (layer, lane). */
+using LaneNames = std::map<std::string, StreamRef>;
+
+StreamRef
+lookup(const LaneNames &names, const std::string &name,
+       const char *planName)
+{
+    const auto it = names.find(name);
+    TMU_ASSERT(it != names.end(), "plan '%s': unresolved stream '%s'",
+               planName, name.c_str());
+    return it->second;
+}
+
+/**
+ * Resolve a previous-layer stream reference for @p lane: the same
+ * lane's TU when it defines @p name, lane 0 otherwise.
+ */
+StreamRef
+lookupPrev(const std::vector<LaneNames> &prev, int lane,
+           const std::string &name, const char *planName)
+{
+    if (lane < static_cast<int>(prev.size())) {
+        const auto it = prev[static_cast<size_t>(lane)].find(name);
+        if (it != prev[static_cast<size_t>(lane)].end())
+            return it->second;
+    }
+    TMU_ASSERT(!prev.empty(), "plan '%s': no previous layer for '%s'",
+               planName, name.c_str());
+    return lookup(prev.front(), name, planName);
+}
+
+} // namespace
+
+TmuProgram
+lowerProgram(const PlanSpec &plan)
+{
+    plan.validate();
+    const char *pn = plan.name.c_str();
+    TmuProgram p;
+
+    // names[layer][lane]: every stream the walk has materialized.
+    std::vector<std::vector<LaneNames>> names;
+    names.reserve(plan.layers.size());
+
+    for (size_t l = 0; l < plan.layers.size(); ++l) {
+        const LayerSpec &layer = plan.layers[l];
+        const int li = p.addLayer(layer.mode);
+        names.emplace_back(layer.tus.size());
+        std::vector<LaneNames> &cur = names.back();
+        const std::vector<LaneNames> empty;
+        const std::vector<LaneNames> &prev =
+            l > 0 ? names[l - 1] : empty;
+
+        for (size_t lane = 0; lane < layer.tus.size(); ++lane) {
+            const TuSpec &tu = layer.tus[lane];
+            const int r = static_cast<int>(lane);
+            TuRef t;
+            switch (tu.kind) {
+            case engine::TraversalKind::Dense:
+                t = p.dnsFbrT(li, r, tu.beg, tu.end, tu.stride);
+                break;
+            case engine::TraversalKind::Range:
+                t = p.rngFbrT(li, r,
+                              lookupPrev(prev, r, tu.begStream, pn),
+                              lookupPrev(prev, r, tu.endStream, pn),
+                              tu.offset, tu.stride);
+                break;
+            case engine::TraversalKind::Index:
+                t = p.idxFbrT(li, r,
+                              lookupPrev(prev, r, tu.begStream, pn),
+                              tu.size, tu.offset, tu.stride);
+                break;
+            }
+
+            LaneNames &mine = cur[lane];
+            mine[kIteStream] = p.iteStream(t);
+            for (const StreamSpec &s : tu.streams) {
+                const StreamRef parent =
+                    s.parent.empty() ? StreamRef{}
+                                     : lookup(mine, s.parent, pn);
+                const StreamRef parent2 =
+                    s.parent2.empty() ? StreamRef{}
+                                      : lookup(mine, s.parent2, pn);
+                StreamRef ref;
+                switch (s.kind) {
+                case engine::StreamKind::Mem:
+                    ref = p.addMemStream(t, s.base, s.elem, parent,
+                                         s.name, parent2);
+                    break;
+                case engine::StreamKind::Lin:
+                    ref = p.addLinStream(t, s.linA, s.linB, parent,
+                                         s.name, parent2);
+                    break;
+                case engine::StreamKind::Ldr:
+                    ref = p.addLdrStream(t, s.base, parent, s.name,
+                                         parent2);
+                    break;
+                case engine::StreamKind::Fwd:
+                    ref = p.addFwdStream(
+                        t, lookupPrev(prev, r, s.fwdOf, pn), s.name);
+                    break;
+                default:
+                    TMU_PANIC("plan '%s': stream '%s': unsupported "
+                              "stream kind", pn, s.name.c_str());
+                }
+                mine[s.name] = ref;
+            }
+            if (!tu.mergeKey.empty())
+                p.setMergeKey(t, lookup(mine, tu.mergeKey, pn));
+            p.setExpectedFiberLen(t, tu.expectedFiberLen);
+        }
+    }
+
+    // Group streams, in declaration order (per-layer operand order).
+    std::map<std::string, int> operandIndex;
+    for (const GroupStreamSpec &g : plan.groupStreams) {
+        std::vector<StreamRef> perLane;
+        for (const LaneNames &lane :
+             names[static_cast<size_t>(g.layer)]) {
+            const auto it = lane.find(g.stream);
+            if (it != lane.end())
+                perLane.push_back(it->second);
+        }
+        TMU_ASSERT(!perLane.empty(),
+                   "plan '%s': group stream '%s' matched no lane", pn,
+                   g.name.c_str());
+        operandIndex[g.name] =
+            p.addVecStream(g.layer, perLane, g.elem, g.name);
+    }
+
+    for (const CallbackSpec &cb : plan.callbacks) {
+        std::vector<int> ops;
+        ops.reserve(cb.operands.size());
+        for (const std::string &op : cb.operands) {
+            if (op == kMskStream) {
+                ops.push_back(engine::kMskOperand);
+                continue;
+            }
+            const auto it = operandIndex.find(op);
+            TMU_ASSERT(it != operandIndex.end(),
+                       "plan '%s': callback '%s': unknown operand '%s'",
+                       pn, cb.name.c_str(), op.c_str());
+            ops.push_back(it->second);
+        }
+        p.addCallback(cb.layer, cb.event, cb.id, std::move(ops));
+    }
+    return p;
+}
+
+} // namespace tmu::plan

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Plan -> golden reference: interpret the plan's einsum directly over
+ * the src/tensor iterators, restricted to the plan's outer-domain
+ * partition [beg, end). Per PlanKind one evaluator, semantically the
+ * per-kernel src/kernels reference restricted to a partition — the
+ * testing oracle cross-checks the two on the full domain.
+ */
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/log.hpp"
+#include "plan/lower.hpp"
+#include "tensor/merge.hpp"
+
+namespace tmu::plan {
+
+using tensor::CooTensor;
+using tensor::CsrMatrix;
+using tensor::DcsrMatrix;
+using tensor::DenseMatrix;
+using tensor::DenseVector;
+using tensor::FiberView;
+
+namespace {
+
+void
+refRowReduce(const PlanSpec &plan)
+{
+    const CsrMatrix &a = *plan.bind.a;
+    const DenseVector &x = *plan.bind.x;
+    DenseVector &out = *plan.bind.out;
+    for (Index r = plan.beg; r < plan.end; ++r) {
+        Value sum = 0.0;
+        for (Index p = a.rowBegin(r); p < a.rowEnd(r); ++p) {
+            sum += a.vals()[static_cast<size_t>(p)] *
+                   x[a.idxs()[static_cast<size_t>(p)]];
+        }
+        out[r] = plan.bind.rowUpdate
+                     ? plan.bind.bias + plan.bind.scale * sum
+                     : sum;
+    }
+}
+
+void
+refWorkspaceSpgemm(const PlanSpec &plan, ReferenceResult &res)
+{
+    const CsrMatrix &a = *plan.bind.a;
+    const CsrMatrix &b = *plan.bind.b;
+    std::vector<Value> acc(static_cast<size_t>(b.cols()), 0.0);
+    std::vector<char> seen(static_cast<size_t>(b.cols()), 0);
+    std::vector<Index> touched;
+    for (Index i = plan.beg; i < plan.end; ++i) {
+        touched.clear();
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            const Index k = a.idxs()[static_cast<size_t>(p)];
+            const Value av = a.vals()[static_cast<size_t>(p)];
+            for (Index q = b.rowBegin(k); q < b.rowEnd(k); ++q) {
+                const auto j = static_cast<size_t>(
+                    b.idxs()[static_cast<size_t>(q)]);
+                if (!seen[j]) {
+                    seen[j] = 1;
+                    touched.push_back(static_cast<Index>(j));
+                }
+                acc[j] += av * b.vals()[static_cast<size_t>(q)];
+            }
+        }
+        std::sort(touched.begin(), touched.end());
+        for (Index j : touched) {
+            res.idxs.push_back(j);
+            res.vals.push_back(acc[static_cast<size_t>(j)]);
+            acc[static_cast<size_t>(j)] = 0.0;
+            seen[static_cast<size_t>(j)] = 0;
+        }
+        res.rowNnz.push_back(static_cast<Index>(touched.size()));
+    }
+}
+
+void
+refKwayMerge(const PlanSpec &plan, ReferenceResult &res)
+{
+    const std::vector<DcsrMatrix> &inputs = *plan.bind.parts;
+    std::vector<Index> cursor(inputs.size(), 0);
+    for (size_t m = 0; m < inputs.size(); ++m) {
+        const auto &in = inputs[m];
+        while (cursor[m] < in.numStoredRows() &&
+               in.storedRowCoord(cursor[m]) < plan.beg) {
+            ++cursor[m];
+        }
+    }
+
+    for (Index r = plan.beg; r < plan.end; ++r) {
+        std::vector<FiberView> fibers;
+        for (size_t m = 0; m < inputs.size(); ++m) {
+            const auto &in = inputs[m];
+            if (cursor[m] < in.numStoredRows() &&
+                in.storedRowCoord(cursor[m]) == r) {
+                fibers.push_back(in.storedRow(cursor[m]));
+                ++cursor[m];
+            }
+        }
+        Index emitted = 0;
+        tensor::disjunctiveMerge(
+            std::span<const FiberView>(fibers),
+            [&](Index c, LaneMask mask, auto getVal) {
+                Value v = 0.0;
+                for (unsigned f = 0; f < fibers.size(); ++f) {
+                    if (mask.test(f))
+                        v += getVal(f);
+                }
+                res.rows.push_back(r);
+                res.idxs.push_back(c);
+                res.vals.push_back(v);
+                ++emitted;
+            });
+        res.rowNnz.push_back(emitted);
+    }
+}
+
+void
+refIntersect(const PlanSpec &plan, ReferenceResult &res)
+{
+    const CsrMatrix &l = *plan.bind.a;
+    for (Index i = plan.beg; i < plan.end; ++i) {
+        for (Index p = l.rowBegin(i); p < l.rowEnd(i); ++p) {
+            const Index j = l.idxs()[static_cast<size_t>(p)];
+            tensor::conjunctiveMerge2(l.row(i), l.row(j),
+                                      [&](Index, auto) { ++res.count; });
+        }
+    }
+}
+
+void
+refCooRankFma(const PlanSpec &plan)
+{
+    const CooTensor &a = *plan.bind.t;
+    const DenseMatrix &b = *plan.bind.bm;
+    const DenseMatrix &c = *plan.bind.cm;
+    DenseMatrix &z = *plan.bind.z;
+    const Index rank = b.cols();
+    for (Index p = plan.beg; p < plan.end; ++p) {
+        const Value *bk = b.row(a.idx(1, p));
+        const Value *cl = c.row(a.idx(2, p));
+        Value *zi = z.row(a.idx(0, p));
+        const Value v = a.val(p);
+        for (Index j = 0; j < rank; ++j)
+            zi[j] += v * bk[j] * cl[j];
+    }
+}
+
+} // namespace
+
+ReferenceResult
+lowerReference(const PlanSpec &plan)
+{
+    ReferenceResult res;
+    switch (plan.kind) {
+    case PlanKind::RowReduce:
+        TMU_ASSERT(plan.bind.a && plan.bind.x && plan.bind.out,
+                   "plan '%s': RowReduce bindings incomplete",
+                   plan.name.c_str());
+        refRowReduce(plan);
+        break;
+    case PlanKind::WorkspaceSpGEMM:
+        TMU_ASSERT(plan.bind.a && plan.bind.b,
+                   "plan '%s': SpGEMM bindings incomplete",
+                   plan.name.c_str());
+        refWorkspaceSpgemm(plan, res);
+        break;
+    case PlanKind::KWayMerge:
+        TMU_ASSERT(plan.bind.parts,
+                   "plan '%s': KWayMerge bindings incomplete",
+                   plan.name.c_str());
+        refKwayMerge(plan, res);
+        break;
+    case PlanKind::Intersect:
+        TMU_ASSERT(plan.bind.a,
+                   "plan '%s': Intersect bindings incomplete",
+                   plan.name.c_str());
+        refIntersect(plan, res);
+        break;
+    case PlanKind::CooRankFma:
+        TMU_ASSERT(plan.bind.t && plan.bind.bm && plan.bind.cm &&
+                       plan.bind.z,
+                   "plan '%s': CooRankFma bindings incomplete",
+                   plan.name.c_str());
+        refCooRankFma(plan);
+        break;
+    }
+    return res;
+}
+
+} // namespace tmu::plan

@@ -1,0 +1,585 @@
+#include "plan/plans.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tmu::plan {
+
+using engine::CallbackEvent;
+using engine::ElemType;
+using engine::GroupMode;
+using engine::StreamKind;
+using engine::TraversalKind;
+using tensor::CooTensor;
+using tensor::CsrMatrix;
+using tensor::DcsrMatrix;
+using tensor::DenseMatrix;
+using tensor::DenseVector;
+
+namespace {
+
+StreamSpec
+mem(std::string name, const void *base, ElemType elem,
+    std::string parent = {}, std::string parent2 = {})
+{
+    StreamSpec s;
+    s.name = std::move(name);
+    s.kind = StreamKind::Mem;
+    s.elem = elem;
+    s.base = base;
+    s.parent = std::move(parent);
+    s.parent2 = std::move(parent2);
+    return s;
+}
+
+StreamSpec
+lin(std::string name, double a, double b, std::string parent = {},
+    std::string parent2 = {})
+{
+    StreamSpec s;
+    s.name = std::move(name);
+    s.kind = StreamKind::Lin;
+    s.linA = a;
+    s.linB = b;
+    s.parent = std::move(parent);
+    s.parent2 = std::move(parent2);
+    return s;
+}
+
+StreamSpec
+ldr(std::string name, const void *base, std::string parent)
+{
+    StreamSpec s;
+    s.name = std::move(name);
+    s.kind = StreamKind::Ldr;
+    s.base = base;
+    s.parent = std::move(parent);
+    return s;
+}
+
+StreamSpec
+fwd(std::string name, std::string source)
+{
+    StreamSpec s;
+    s.name = std::move(name);
+    s.kind = StreamKind::Fwd;
+    s.fwdOf = std::move(source);
+    return s;
+}
+
+TuSpec
+dns(Index beg, Index end, Index stride = 1)
+{
+    TuSpec t;
+    t.kind = TraversalKind::Dense;
+    t.beg = beg;
+    t.end = end;
+    t.stride = stride;
+    return t;
+}
+
+TuSpec
+rng(std::string begStream, std::string endStream, Index offset = 0,
+    Index stride = 1)
+{
+    TuSpec t;
+    t.kind = TraversalKind::Range;
+    t.begStream = std::move(begStream);
+    t.endStream = std::move(endStream);
+    t.offset = offset;
+    t.stride = stride;
+    return t;
+}
+
+TuSpec
+idx(std::string begStream, Index size, Index offset = 0,
+    Index stride = 1)
+{
+    TuSpec t;
+    t.kind = TraversalKind::Index;
+    t.begStream = std::move(begStream);
+    t.size = size;
+    t.offset = offset;
+    t.stride = stride;
+    return t;
+}
+
+/** The SpMV / PageRank iteration structure, shared by both plans. */
+PlanSpec
+rowReducePlan(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+              int lanes, Index beg, Index end, Variant variant)
+{
+    PlanSpec p;
+    p.kind = PlanKind::RowReduce;
+    p.variant = variant;
+    p.lanes = lanes;
+    p.beg = beg;
+    p.end = end;
+    p.operands = {
+        {"A", "ij", {LevelFormat::Dense, LevelFormat::Compressed}},
+        {"B", "j", {LevelFormat::Dense}},
+    };
+    p.bind.a = &a;
+    p.bind.x = &b;
+    p.bind.out = &x;
+
+    if (variant == Variant::P1) {
+        LayerSpec rows;
+        rows.index = "i";
+        rows.mode = GroupMode::BCast;
+        TuSpec rowsTu = dns(beg, end);
+        rowsTu.streams = {
+            mem("row_ptbs", a.ptrs().data(), ElemType::I64),
+            mem("row_ptes", a.ptrs().data() + 1, ElemType::I64),
+        };
+        rowsTu.expectedFiberLen = std::max<Index>(1, end - beg);
+        rows.tus.push_back(std::move(rowsTu));
+        p.layers.push_back(std::move(rows));
+
+        LayerSpec cols;
+        cols.index = "j";
+        cols.mode = GroupMode::LockStep;
+        for (int r = 0; r < lanes; ++r) {
+            TuSpec colsTu = rng("row_ptbs", "row_ptes", r, lanes);
+            colsTu.streams = {
+                mem("col_idxs", a.idxs().data(), ElemType::I64),
+                mem("nnz_vals", a.vals().data(), ElemType::F64),
+                mem("vec_vals", b.data(), ElemType::F64, "col_idxs"),
+            };
+            colsTu.expectedFiberLen = std::max<Index>(
+                2, a.nnz() / std::max<Index>(1, a.rows() * lanes));
+            cols.tus.push_back(std::move(colsTu));
+        }
+        p.layers.push_back(std::move(cols));
+
+        p.groupStreams = {
+            {"nnz", 1, "nnz_vals", ElemType::F64},
+            {"vec", 1, "vec_vals", ElemType::F64},
+        };
+        p.addCallback("ri", 1, CallbackEvent::GroupIte, {"nnz", "vec"},
+                      ComputeKind::DotAccumulate);
+        p.addCallback("re", 1, CallbackEvent::GroupEnd, {},
+                      ComputeKind::RowStore);
+    } else {
+        // P0: each lane owns every lanes-th row end-to-end.
+        LayerSpec rows;
+        rows.index = "i";
+        rows.mode = GroupMode::LockStep;
+        LayerSpec cols;
+        cols.index = "j";
+        cols.mode = GroupMode::LockStep;
+        for (int r = 0; r < lanes; ++r) {
+            TuSpec rowsTu = dns(beg + r, end, lanes);
+            rowsTu.streams = {
+                mem("row_ptbs", a.ptrs().data(), ElemType::I64),
+                mem("row_ptes", a.ptrs().data() + 1, ElemType::I64),
+            };
+            rows.tus.push_back(std::move(rowsTu));
+
+            TuSpec colsTu = rng("row_ptbs", "row_ptes");
+            colsTu.streams = {
+                mem("col_idxs", a.idxs().data(), ElemType::I64),
+                mem("nnz_vals", a.vals().data(), ElemType::F64),
+                mem("vec_vals", b.data(), ElemType::F64, "col_idxs"),
+            };
+            cols.tus.push_back(std::move(colsTu));
+        }
+        p.layers.push_back(std::move(rows));
+        p.layers.push_back(std::move(cols));
+
+        p.groupStreams = {
+            {"rows", 0, kIteStream, ElemType::I64},
+            {"nnz", 1, "nnz_vals", ElemType::F64},
+            {"vec", 1, "vec_vals", ElemType::F64},
+        };
+        p.addCallback("row", 0, CallbackEvent::GroupIte,
+                      {"rows", kMskStream}, ComputeKind::MergeRowLatch);
+        p.addCallback("ri", 1, CallbackEvent::GroupIte,
+                      {"nnz", "vec", kMskStream},
+                      ComputeKind::DotAccumulate);
+        p.addCallback("re", 1, CallbackEvent::GroupEnd, {kMskStream},
+                      ComputeKind::RowStore);
+    }
+    return p;
+}
+
+} // namespace
+
+PlanSpec
+spmvPlan(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+         int lanes, Index beg, Index end, Variant variant)
+{
+    PlanSpec p = rowReducePlan(a, b, x, lanes, beg, end, variant);
+    p.name = variant == Variant::P0 ? "SpMV P0" : "SpMV P1";
+    p.einsum = "Z_i = A_ij B_j";
+    p.formats = "A=CSR";
+    p.trace.pcs = {1, 2};
+    p.trace.headerIop = true;
+    return p;
+}
+
+PlanSpec
+pagerankPlan(const CsrMatrix &a, const DenseVector &contrib,
+             DenseVector &x, double damping, int lanes, Index beg,
+             Index end)
+{
+    PlanSpec p =
+        rowReducePlan(a, contrib, x, lanes, beg, end, Variant::P1);
+    p.name = "PageRank";
+    p.einsum = "Z_i = A_ij X_j Y_i";
+    p.formats = "A=CSR";
+    p.bind.rowUpdate = true;
+    p.bind.scale = damping;
+    p.bind.bias = (1.0 - damping) / static_cast<double>(a.rows());
+    p.trace.pcs = {50, 51};
+    p.trace.headerIop = false;
+    return p;
+}
+
+PlanSpec
+spmspmPlan(const CsrMatrix &a, const CsrMatrix &b, int lanes, Index beg,
+           Index end)
+{
+    PlanSpec p;
+    p.name = "SpMSpM P2";
+    p.einsum = "Z_ij = A_ik B_kj";
+    p.formats = "A,B,Z=CSR";
+    p.kind = PlanKind::WorkspaceSpGEMM;
+    p.variant = Variant::P2;
+    p.lanes = lanes;
+    p.beg = beg;
+    p.end = end;
+    p.operands = {
+        {"A", "ik", {LevelFormat::Dense, LevelFormat::Compressed}},
+        {"B", "kj", {LevelFormat::Dense, LevelFormat::Compressed}},
+    };
+    p.bind.a = &a;
+    p.bind.b = &b;
+    p.trace.pcs = {10, 11, 12, 13, 14, 15};
+
+    LayerSpec rows;
+    rows.index = "i";
+    rows.mode = GroupMode::Single;
+    TuSpec rowsTu = dns(beg, end);
+    rowsTu.streams = {
+        mem("a_ptbs", a.ptrs().data(), ElemType::I64),
+        mem("a_ptes", a.ptrs().data() + 1, ElemType::I64),
+    };
+    rowsTu.expectedFiberLen = std::max<Index>(1, end - beg);
+    rows.tus.push_back(std::move(rowsTu));
+    p.layers.push_back(std::move(rows));
+
+    // k loop over A row i; chained lookup of B's row pointers.
+    LayerSpec ks;
+    ks.index = "k";
+    ks.mode = GroupMode::BCast;
+    TuSpec ksTu = rng("a_ptbs", "a_ptes");
+    ksTu.streams = {
+        mem("a_idxs", a.idxs().data(), ElemType::I64),
+        mem("a_vals", a.vals().data(), ElemType::F64),
+        mem("b_ptbs", b.ptrs().data(), ElemType::I64, "a_idxs"),
+        mem("b_ptes", b.ptrs().data() + 1, ElemType::I64, "a_idxs"),
+    };
+    ksTu.expectedFiberLen = std::max<Index>(2, a.nnzPerRow());
+    ks.tus.push_back(std::move(ksTu));
+    p.layers.push_back(std::move(ks));
+
+    LayerSpec js;
+    js.index = "j";
+    js.mode = GroupMode::LockStep;
+    for (int r = 0; r < lanes; ++r) {
+        TuSpec jsTu = rng("b_ptbs", "b_ptes", r, lanes);
+        jsTu.streams = {
+            mem("b_idxs", b.idxs().data(), ElemType::I64),
+            mem("b_vals", b.vals().data(), ElemType::F64),
+        };
+        jsTu.expectedFiberLen =
+            std::max<Index>(2, b.nnzPerRow() / lanes);
+        js.tus.push_back(std::move(jsTu));
+    }
+    p.layers.push_back(std::move(js));
+
+    p.groupStreams = {
+        {"a_val", 1, "a_vals", ElemType::F64},
+        {"j", 2, "b_idxs", ElemType::I64},
+        {"b_val", 2, "b_vals", ElemType::F64},
+    };
+    p.addCallback("set_a", 1, CallbackEvent::GroupIte, {"a_val"},
+                  ComputeKind::LatchScalar);
+    p.addCallback("flush", 1, CallbackEvent::GroupEnd, {},
+                  ComputeKind::WorkspaceFlush);
+    p.addCallback("acc", 2, CallbackEvent::GroupIte, {"j", "b_val"},
+                  ComputeKind::WorkspaceAccum);
+    return p;
+}
+
+PlanSpec
+spkaddPlan(const std::vector<DcsrMatrix> &parts, Index beg, Index end)
+{
+    TMU_ASSERT(parts.size() >= 2, "SpKAdd needs at least two inputs");
+    PlanSpec p;
+    p.name = "SpKAdd";
+    p.einsum = "Z_ij = sum_k A^k_ij";
+    p.formats = "A^k,Z=DCSR";
+    p.kind = PlanKind::KWayMerge;
+    p.variant = Variant::P1;
+    p.lanes = static_cast<int>(parts.size());
+    p.beg = beg;
+    p.end = end;
+    p.operands = {
+        {"A^k", "ij",
+         {LevelFormat::Compressed, LevelFormat::Compressed}},
+    };
+    p.bind.parts = &parts;
+    p.trace.pcs = {21, 26, 27, 28};
+
+    LayerSpec rows;
+    rows.index = "i";
+    rows.mode = GroupMode::DisjMrg;
+    LayerSpec cols;
+    cols.index = "j";
+    cols.mode = GroupMode::DisjMrg;
+    for (const DcsrMatrix &mat : parts) {
+        // Stored-row span of this input inside [beg, end).
+        const auto rb = std::lower_bound(mat.rowIdxs().begin(),
+                                         mat.rowIdxs().end(), beg) -
+                        mat.rowIdxs().begin();
+        const auto re = std::lower_bound(mat.rowIdxs().begin(),
+                                         mat.rowIdxs().end(), end) -
+                        mat.rowIdxs().begin();
+
+        TuSpec rowsTu =
+            dns(static_cast<Index>(rb), static_cast<Index>(re));
+        rowsTu.streams = {
+            mem("row_idxs", mat.rowIdxs().data(), ElemType::I64),
+            mem("row_ptbs", mat.rowPtrs().data(), ElemType::I64),
+            mem("row_ptes", mat.rowPtrs().data() + 1, ElemType::I64),
+        };
+        rowsTu.mergeKey = "row_idxs";
+        rowsTu.expectedFiberLen =
+            std::max<Index>(1, static_cast<Index>(re - rb));
+        rows.tus.push_back(std::move(rowsTu));
+
+        TuSpec colsTu = rng("row_ptbs", "row_ptes");
+        colsTu.streams = {
+            mem("col_idxs", mat.colIdxs().data(), ElemType::I64),
+            mem("vals", mat.vals().data(), ElemType::F64),
+        };
+        colsTu.mergeKey = "col_idxs";
+        colsTu.expectedFiberLen = std::max<Index>(
+            2, mat.nnz() / std::max<Index>(1, mat.numStoredRows()));
+        cols.tus.push_back(std::move(colsTu));
+    }
+    p.layers.push_back(std::move(rows));
+    p.layers.push_back(std::move(cols));
+
+    p.groupStreams = {
+        {"row", 0, "row_idxs", ElemType::I64},
+        {"col", 1, "col_idxs", ElemType::I64},
+        {"val", 1, "vals", ElemType::F64},
+    };
+    p.addCallback("row", 0, CallbackEvent::GroupIte, {"row"},
+                  ComputeKind::MergeRowLatch);
+    p.addCallback("col", 1, CallbackEvent::GroupIte,
+                  {"col", "val", kMskStream},
+                  ComputeKind::MergeLaneReduce);
+    p.addCallback("row_end", 1, CallbackEvent::GroupEnd, {},
+                  ComputeKind::MergeRowEnd);
+    return p;
+}
+
+PlanSpec
+tricountPlan(const CsrMatrix &l, Index beg, Index end)
+{
+    PlanSpec p;
+    p.name = "TriangleCount";
+    p.einsum = "c = L_ik L^T_ki L_ij";
+    p.formats = "L=CSR";
+    p.kind = PlanKind::Intersect;
+    p.variant = Variant::P1;
+    p.lanes = 2;
+    p.beg = beg;
+    p.end = end;
+    p.operands = {
+        {"L", "ij", {LevelFormat::Dense, LevelFormat::Compressed}},
+    };
+    p.bind.a = &l;
+    p.trace.pcs = {60, 61, 62, 63};
+
+    LayerSpec rows;
+    rows.index = "i";
+    rows.mode = GroupMode::Single;
+    TuSpec rowsTu = dns(beg, end);
+    rowsTu.streams = {
+        mem("l_ptbs", l.ptrs().data(), ElemType::I64),
+        mem("l_ptes", l.ptrs().data() + 1, ElemType::I64),
+    };
+    rowsTu.expectedFiberLen = std::max<Index>(1, end - beg);
+    rows.tus.push_back(std::move(rowsTu));
+    p.layers.push_back(std::move(rows));
+
+    // k loop over row i's neighbours; forward row i's bounds rightward
+    // and chase row k's bounds.
+    LayerSpec ks;
+    ks.index = "k";
+    ks.mode = GroupMode::BCast;
+    TuSpec ksTu = rng("l_ptbs", "l_ptes");
+    ksTu.streams = {
+        mem("l_idxs", l.idxs().data(), ElemType::I64),
+        mem("k_ptbs", l.ptrs().data(), ElemType::I64, "l_idxs"),
+        mem("k_ptes", l.ptrs().data() + 1, ElemType::I64, "l_idxs"),
+        fwd("fwd_ptbs", "l_ptbs"),
+        fwd("fwd_ptes", "l_ptes"),
+    };
+    ksTu.expectedFiberLen = std::max<Index>(2, l.nnzPerRow());
+    ks.tus.push_back(std::move(ksTu));
+    p.layers.push_back(std::move(ks));
+
+    // Conjunctive merge of row i (lane 0) and row k (lane 1).
+    LayerSpec merge;
+    merge.index = "j";
+    merge.mode = GroupMode::ConjMrg;
+    TuSpec rowI = rng("fwd_ptbs", "fwd_ptes");
+    rowI.streams = {mem("n_i", l.idxs().data(), ElemType::I64)};
+    rowI.mergeKey = "n_i";
+    rowI.expectedFiberLen = std::max<Index>(2, l.nnzPerRow());
+    merge.tus.push_back(std::move(rowI));
+    TuSpec rowK = rng("k_ptbs", "k_ptes");
+    rowK.streams = {mem("n_k", l.idxs().data(), ElemType::I64)};
+    rowK.mergeKey = "n_k";
+    rowK.expectedFiberLen = std::max<Index>(2, l.nnzPerRow());
+    merge.tus.push_back(std::move(rowK));
+    p.layers.push_back(std::move(merge));
+
+    p.addCallback("hit", 2, CallbackEvent::GroupIte, {},
+                  ComputeKind::CountHit);
+    return p;
+}
+
+namespace {
+
+/** The shared per-lane COO nonzero stream set of the MTTKRP plans. */
+std::vector<StreamSpec>
+mttkrpNnzStreams(const CooTensor &t, const DenseMatrix &z, Index rank)
+{
+    return {
+        mem("i", t.idxs(0).data(), ElemType::I64),
+        mem("k", t.idxs(1).data(), ElemType::I64),
+        mem("l", t.idxs(2).data(), ElemType::I64),
+        mem("v", t.vals().data(), ElemType::F64),
+        lin("rowB", static_cast<double>(rank), 0.0, "k"),
+        lin("negRowB", -static_cast<double>(rank), 0.0, "k"),
+        lin("deltaCB", static_cast<double>(rank), 0.0, "l", "negRowB"),
+        lin("rowZ", static_cast<double>(rank), 0.0, "i"),
+        ldr("zAddr", z.data(), "rowZ"),
+    };
+}
+
+} // namespace
+
+PlanSpec
+mttkrpPlan(const CooTensor &t, const DenseMatrix &b,
+           const DenseMatrix &c, DenseMatrix &z, int lanes, Index beg,
+           Index end, Variant variant)
+{
+    TMU_ASSERT(t.order() == 3 && b.cols() == c.cols());
+    const Index rank = b.cols();
+    PlanSpec p;
+    p.name = variant == Variant::P1 ? "MTTKRP P1" : "MTTKRP P2";
+    p.einsum = "Z_ij = A_ikl B_kj C_lj";
+    p.formats = "A=COO";
+    p.kind = PlanKind::CooRankFma;
+    p.variant = variant;
+    p.lanes = lanes;
+    p.beg = beg;
+    p.end = end;
+    p.operands = {
+        {"A", "ikl",
+         {LevelFormat::Singleton, LevelFormat::Singleton,
+          LevelFormat::Singleton}},
+        {"B", "kj", {LevelFormat::Dense, LevelFormat::Dense}},
+        {"C", "lj", {LevelFormat::Dense, LevelFormat::Dense}},
+    };
+    p.bind.t = &t;
+    p.bind.bm = &b;
+    p.bind.cm = &c;
+    p.bind.z = &z;
+    p.trace.pcs = {30, 31};
+
+    LayerSpec nnz;
+    nnz.index = "p";
+    nnz.mode = variant == Variant::P1 ? GroupMode::LockStep
+                                      : GroupMode::BCast;
+    LayerSpec js;
+    js.index = "j";
+    js.mode = GroupMode::LockStep;
+
+    if (variant == Variant::P1) {
+        for (int r = 0; r < lanes; ++r) {
+            TuSpec nnzTu = dns(beg + r, end, lanes);
+            nnzTu.streams = mttkrpNnzStreams(t, z, rank);
+            nnzTu.expectedFiberLen =
+                std::max<Index>(1, (end - beg) / lanes);
+            nnz.tus.push_back(std::move(nnzTu));
+
+            TuSpec jsTu = idx("rowB", rank);
+            jsTu.streams = {
+                fwd("dCB", "deltaCB"),
+                mem("B", b.data(), ElemType::F64),
+                mem("C", c.data(), ElemType::F64, "", "dCB"),
+            };
+            jsTu.expectedFiberLen = rank;
+            js.tus.push_back(std::move(jsTu));
+        }
+    } else {
+        TuSpec nnzTu = dns(beg, end);
+        nnzTu.streams = mttkrpNnzStreams(t, z, rank);
+        nnzTu.expectedFiberLen = std::max<Index>(1, end - beg);
+        nnz.tus.push_back(std::move(nnzTu));
+
+        for (int r = 0; r < lanes; ++r) {
+            TuSpec jsTu = idx("rowB", rank, r, lanes);
+            jsTu.streams = {
+                fwd("dCB", "deltaCB"),
+                fwd("nB", "negRowB"),
+                mem("B", b.data(), ElemType::F64),
+                mem("C", c.data(), ElemType::F64, "", "dCB"),
+                lin("j", 1.0, 0.0, "", "nB"),
+            };
+            jsTu.expectedFiberLen = std::max<Index>(1, rank / lanes);
+            js.tus.push_back(std::move(jsTu));
+        }
+    }
+    p.layers.push_back(std::move(nnz));
+    p.layers.push_back(std::move(js));
+
+    if (variant == Variant::P1) {
+        p.groupStreams = {
+            {"v", 0, "v", ElemType::F64},
+            {"z", 0, "zAddr", ElemType::I64},
+            {"B", 1, "B", ElemType::F64},
+            {"C", 1, "C", ElemType::F64},
+        };
+        p.addCallback("nnz", 0, CallbackEvent::GroupIte,
+                      {"v", "z", kMskStream}, ComputeKind::LatchLanes);
+        p.addCallback("j", 1, CallbackEvent::GroupIte,
+                      {"B", "C", kMskStream},
+                      ComputeKind::RankFmaScatter);
+    } else {
+        p.groupStreams = {
+            {"v", 0, "v", ElemType::F64},
+            {"z", 0, "zAddr", ElemType::I64},
+            {"j", 1, "j", ElemType::I64},
+            {"B", 1, "B", ElemType::F64},
+            {"C", 1, "C", ElemType::F64},
+        };
+        p.addCallback("nnz", 0, CallbackEvent::GroupIte, {"v", "z"},
+                      ComputeKind::LatchNnzAddr);
+        p.addCallback("j", 1, CallbackEvent::GroupIte, {"j", "B", "C"},
+                      ComputeKind::RankFmaVector);
+    }
+    return p;
+}
+
+} // namespace tmu::plan

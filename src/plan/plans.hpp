@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plan factories for the migrated Table-4 kernels. Each factory builds
+ * the declarative PlanSpec whose three lowerings reproduce the legacy
+ * hand-written implementations exactly: lowerReference matches the
+ * src/kernels golden outputs, lowerTrace matches the SVE traces
+ * op-for-op, lowerProgram matches the old src/workloads/programs.cpp
+ * builders record-for-record (modulo the plan-scoped callback ids,
+ * which do not enter record size or timing).
+ *
+ * Non-dense operand pointers are bound at construction time, so the
+ * factories take the same (tensors, lanes, partition) arguments the
+ * old builders took; a plan is cheap to build per core per run.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "plan/ir.hpp"
+
+namespace tmu::plan {
+
+/** SpMV Z_i = A_ij B_j over rows [beg, end); P0 or P1 mapping. */
+PlanSpec spmvPlan(const tensor::CsrMatrix &a,
+                  const tensor::DenseVector &b, tensor::DenseVector &x,
+                  int lanes, Index beg, Index end, Variant variant);
+
+/** One PageRank Jacobi step: SpMV plus x_i = base + damping * sum. */
+PlanSpec pagerankPlan(const tensor::CsrMatrix &a,
+                      const tensor::DenseVector &contrib,
+                      tensor::DenseVector &x, double damping, int lanes,
+                      Index beg, Index end);
+
+/** SpMSpM Z = A * B (Gustavson workspace, P2 mapping), B row-major. */
+PlanSpec spmspmPlan(const tensor::CsrMatrix &a,
+                    const tensor::CsrMatrix &b, int lanes, Index beg,
+                    Index end);
+
+/** SpKAdd Z = sum_k A^k over DCSR inputs (hierarchical disj. merge). */
+PlanSpec spkaddPlan(const std::vector<tensor::DcsrMatrix> &parts,
+                    Index beg, Index end);
+
+/** TriangleCount over the strict lower triangle L (conj. merge). */
+PlanSpec tricountPlan(const tensor::CsrMatrix &l, Index beg, Index end);
+
+/** MTTKRP Z_ij = A_ikl B_kj C_lj over COO nonzeros [beg, end). */
+PlanSpec mttkrpPlan(const tensor::CooTensor &t,
+                    const tensor::DenseMatrix &b,
+                    const tensor::DenseMatrix &c,
+                    tensor::DenseMatrix &z, int lanes, Index beg,
+                    Index end, Variant variant);
+
+} // namespace tmu::plan

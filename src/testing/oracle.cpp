@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <sstream>
 
@@ -18,6 +19,8 @@
 #include "kernels/spttm.hpp"
 #include "kernels/spttv.hpp"
 #include "kernels/tricount.hpp"
+#include "plan/lower.hpp"
+#include "plan/plans.hpp"
 #include "sim/addrspace.hpp"
 #include "sim/memsys.hpp"
 #include "tensor/convert.hpp"
@@ -88,6 +91,82 @@ drainTrace(sim::Trace t)
 {
     while (t.next()) {
     }
+}
+
+/** Drain a trace, collecting its micro-ops (side effects still run). */
+std::vector<sim::MicroOp>
+collectOps(sim::Trace t)
+{
+    std::vector<sim::MicroOp> ops;
+    while (t.next())
+        ops.push_back(t.value());
+    return ops;
+}
+
+/**
+ * Op-for-op structural diff of two micro-op streams: kind, size,
+ * branch outcome, dependency distance, pc and flop count must match.
+ * Effective addresses are deliberately excluded — the two legs own
+ * different collector/workspace buffers, so canonical addresses differ
+ * even for identical access patterns; the value-level output compare
+ * and the cycle-identity tests cover the address dimension.
+ */
+std::string
+diffOps(const std::string &what, const std::vector<sim::MicroOp> &a,
+        const std::vector<sim::MicroOp> &b)
+{
+    if (a.size() != b.size()) {
+        return detail::format("%s: %zu ops vs %zu", what.c_str(),
+                              a.size(), b.size());
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+        const sim::MicroOp &x = a[i];
+        const sim::MicroOp &y = b[i];
+        if (x.kind != y.kind || x.size != y.size ||
+            x.taken != y.taken || x.depDist != y.depDist ||
+            x.pc != y.pc || x.flops != y.flops) {
+            return detail::format(
+                "%s: op %zu diverges (kind %d vs %d, pc %u vs %u)",
+                what.c_str(), i, static_cast<int>(x.kind),
+                static_cast<int>(y.kind), x.pc, y.pc);
+        }
+    }
+    return {};
+}
+
+/**
+ * Like diffRecords, but callback ids must only agree up to a
+ * *bijection*: the legacy builders use the shared Cb enum while plan
+ * lowering assigns plan-scoped ids in registration order, and neither
+ * the record layout nor the timing depends on the id value.
+ */
+std::string
+diffRecordsMapped(const std::string &what,
+                  const std::vector<OutqRecord> &a,
+                  const std::vector<OutqRecord> &b)
+{
+    if (a.size() != b.size()) {
+        return detail::format("%s: %zu records vs %zu", what.c_str(),
+                              a.size(), b.size());
+    }
+    std::map<int, int> fwd, rev;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const OutqRecord &x = a[i];
+        const OutqRecord &y = b[i];
+        bool ok = x.layer == y.layer && x.event == y.event &&
+                  x.mask == y.mask && x.operands == y.operands;
+        const auto f = fwd.emplace(x.callbackId, y.callbackId);
+        const auto r = rev.emplace(y.callbackId, x.callbackId);
+        ok = ok && f.first->second == y.callbackId &&
+             r.first->second == x.callbackId;
+        if (!ok) {
+            return detail::format(
+                "%s: record %zu diverges (cb %d vs %d, layer %d vs %d)",
+                what.c_str(), i, x.callbackId, y.callbackId, x.layer,
+                y.layer);
+        }
+    }
+    return {};
 }
 
 /**
@@ -306,6 +385,42 @@ checkMatrix(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
         fail(diffRecords("spmv-engine-records", want, drainEngine(eng)));
     }
 
+    // --- Plan IR (docs/PLAN_IR.md): the declarative SpMV plan must
+    // lower to the same golden values, the same micro-op structure and
+    // the same record stream as the hand-written legs above.
+    {
+        DenseVector xp(rows);
+        plan::PlanSpec ps = plan::spmvPlan(mcsr, b, xp, cfg.lanes, 0,
+                                           rows, plan::Variant::P1);
+        ps.validate();
+        plan::lowerReference(ps); // RowReduce writes the binding
+        fail(diffDense("spmv-plan-ref", spmvWant, xp, tol));
+        xp.fill(0.0);
+        const auto planOps = collectOps(plan::lowerTrace(ps, {}, simd));
+        fail(diffDense("spmv-plan-trace", spmvWant, xp, tol));
+        DenseVector xl(rows);
+        const auto legacyOps =
+            collectOps(kernels::traceSpmv(mcsr, b, xl, 0, rows, simd));
+        fail(diffOps("spmv-plan-trace-ops", legacyOps, planOps));
+        fail(diffRecordsMapped(
+            "spmv-plan-records", engine::interpretToVector(spmvProg),
+            engine::interpretToVector(plan::lowerProgram(ps))));
+    }
+    if (rows > 0) {
+        // The PageRank variant: same plan family, affine row update.
+        DenseVector xp(rows);
+        plan::PlanSpec ps = plan::pagerankPlan(mcsr, b, xp, 0.85,
+                                               cfg.lanes, 0, rows);
+        ps.validate();
+        plan::lowerReference(ps);
+        DenseVector wantPr(rows);
+        for (Index i = 0; i < rows; ++i) {
+            wantPr[i] = (1.0 - 0.85) / static_cast<double>(rows) +
+                        0.85 * spmvWant[i];
+        }
+        fail(diffDense("pagerank-plan-ref", wantPr, xp, tol));
+    }
+
     // --- SpAdd / SpKAdd: merge legs.
     {
         tensor::CsrGenConfig gc;
@@ -388,6 +503,39 @@ checkMatrix(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
             merged.sortAndCombine();
             fail(diffCoo("spkadd-tmu", tensor::csrToCoo(refK), merged,
                          exact));
+        }
+
+        // Plan-IR legs (reference, trace, program).
+        {
+            plan::PlanSpec ps = plan::spkaddPlan(parts, 0, foldRows);
+            ps.validate();
+            const plan::ReferenceResult pr = plan::lowerReference(ps);
+            CsrMatrix prz;
+            std::string perr =
+                rebuildCsr("spkadd-plan-ref", foldRows, cols, pr.rowNnz,
+                           pr.idxs, pr.vals, prz);
+            if (!perr.empty())
+                fail(std::move(perr));
+            else
+                fail(diffCsr("spkadd-plan-ref", refK, prz, exact));
+
+            std::vector<Index> pi, prn;
+            std::vector<Value> pv;
+            const auto planOps = collectOps(plan::lowerTrace(
+                ps, {&pi, &pv, &prn, nullptr}, simd));
+            std::vector<Index> li, lrn;
+            std::vector<Value> lv;
+            const auto legacyOps = collectOps(kernels::traceSpkadd(
+                parts, li, lv, lrn, 0, foldRows, simd));
+            fail(diffOps("spkadd-plan-trace-ops", legacyOps, planOps));
+            if (pi != li || pv != lv || prn != lrn)
+                fail("spkadd-plan-trace: collector outputs differ");
+
+            fail(diffRecordsMapped(
+                "spkadd-plan-records",
+                engine::interpretToVector(
+                    workloads::buildSpkadd(parts, 0, foldRows)),
+                engine::interpretToVector(plan::lowerProgram(ps))));
         }
     }
 
@@ -492,6 +640,40 @@ checkMatrix(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
             else
                 fail(diffCsr("spmspm-tmu-p2", want, fz, tol));
         }
+
+        // Plan-IR legs (reference, trace, program).
+        {
+            plan::PlanSpec ps =
+                plan::spmspmPlan(mcsr, bT, cfg.lanes, 0, rows);
+            ps.validate();
+            const plan::ReferenceResult pr = plan::lowerReference(ps);
+            CsrMatrix prz;
+            std::string perr =
+                rebuildCsr("spmspm-plan-ref", rows, bT.cols(),
+                           pr.rowNnz, pr.idxs, pr.vals, prz);
+            if (!perr.empty())
+                fail(std::move(perr));
+            else
+                fail(diffCsr("spmspm-plan-ref", want, prz, tol));
+
+            std::vector<Index> pi, prn;
+            std::vector<Value> pv;
+            const auto planOps = collectOps(plan::lowerTrace(
+                ps, {&pi, &pv, &prn, nullptr}, simd));
+            std::vector<Index> li, lrn;
+            std::vector<Value> lv;
+            const auto legacyOps = collectOps(kernels::traceSpmspm(
+                mcsr, bT, li, lv, lrn, 0, rows, simd));
+            fail(diffOps("spmspm-plan-trace-ops", legacyOps, planOps));
+            if (pi != li || pv != lv || prn != lrn)
+                fail("spmspm-plan-trace: collector outputs differ");
+
+            fail(diffRecordsMapped(
+                "spmspm-plan-records",
+                engine::interpretToVector(workloads::buildSpmspmP2(
+                    mcsr, bT, cfg.lanes, 0, rows)),
+                engine::interpretToVector(plan::lowerProgram(ps))));
+        }
     }
 
     // --- SpMM vs per-column SpMV.
@@ -584,6 +766,41 @@ checkMatrix(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
             fail(detail::format("tricount-brute: %llu vs %llu",
                                 static_cast<unsigned long long>(brute),
                                 static_cast<unsigned long long>(want)));
+        }
+
+        // Plan-IR legs (reference, trace, program).
+        {
+            plan::PlanSpec ps =
+                plan::tricountPlan(lower, 0, lower.rows());
+            ps.validate();
+            const plan::ReferenceResult pr = plan::lowerReference(ps);
+            if (pr.count != want) {
+                fail(detail::format(
+                    "tricount-plan-ref: %llu vs %llu",
+                    static_cast<unsigned long long>(pr.count),
+                    static_cast<unsigned long long>(want)));
+            }
+            std::uint64_t planCount = 0;
+            plan::TraceSinks io;
+            io.count = &planCount;
+            const auto planOps =
+                collectOps(plan::lowerTrace(ps, io, simd));
+            std::uint64_t legacyCount = 0;
+            const auto legacyOps = collectOps(kernels::traceTricount(
+                lower, legacyCount, 0, lower.rows(), simd));
+            fail(diffOps("tricount-plan-trace-ops", legacyOps,
+                         planOps));
+            if (planCount != legacyCount) {
+                fail(detail::format(
+                    "tricount-plan-trace: %llu vs %llu",
+                    static_cast<unsigned long long>(planCount),
+                    static_cast<unsigned long long>(legacyCount)));
+            }
+            fail(diffRecordsMapped(
+                "tricount-plan-records",
+                engine::interpretToVector(
+                    workloads::buildTricount(lower, 0, lower.rows())),
+                engine::interpretToVector(plan::lowerProgram(ps))));
         }
     }
 
@@ -776,6 +993,46 @@ checkTensor3(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
                     }
                 });
             fail(diffDense("mttkrp-tmu-p1", zr, zf, tol));
+        }
+
+        // Plan-IR legs: reference and trace (shared by both variants)
+        // plus record streams for the P1 and P2 programs. The plan and
+        // the legacy builder bind the *same* output matrix so the
+        // Ldr-stream addresses inside the records line up.
+        if (coo.nnz() > 0) {
+            DenseMatrix zp(d0, rk);
+            plan::PlanSpec p1 =
+                plan::mttkrpPlan(coo, bf, cf, zp, cfg.lanes, 0,
+                                 coo.nnz(), plan::Variant::P1);
+            p1.validate();
+            plan::lowerReference(p1); // accumulates into zp
+            fail(diffDense("mttkrp-plan-ref", zr, zp, tol));
+
+            for (Index i = 0; i < d0; ++i)
+                for (Index j = 0; j < rk; ++j)
+                    zp(i, j) = 0.0;
+            const auto planOps =
+                collectOps(plan::lowerTrace(p1, {}, simd));
+            fail(diffDense("mttkrp-plan-trace", zr, zp, tol));
+            DenseMatrix zl(d0, rk);
+            const auto legacyOps = collectOps(kernels::traceMttkrp(
+                coo, bf, cf, zl, 0, coo.nnz(), simd));
+            fail(diffOps("mttkrp-plan-trace-ops", legacyOps, planOps));
+
+            fail(diffRecordsMapped(
+                "mttkrp-plan-records-p1",
+                engine::interpretToVector(workloads::buildMttkrpP1(
+                    coo, bf, cf, zp, cfg.lanes, 0, coo.nnz())),
+                engine::interpretToVector(plan::lowerProgram(p1))));
+            plan::PlanSpec p2 =
+                plan::mttkrpPlan(coo, bf, cf, zp, cfg.lanes, 0,
+                                 coo.nnz(), plan::Variant::P2);
+            p2.validate();
+            fail(diffRecordsMapped(
+                "mttkrp-plan-records-p2",
+                engine::interpretToVector(workloads::buildMttkrpP2(
+                    coo, bf, cf, zp, cfg.lanes, 0, coo.nnz())),
+                engine::interpretToVector(plan::lowerProgram(p2))));
         }
     }
 

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/log.hpp"
 #include "sim/tracesource.hpp"
 #include "tmu/engine.hpp"
 
@@ -35,11 +36,18 @@ class OutqSource : public sim::TraceSource
   public:
     explicit OutqSource(TmuEngine &engine) : engine_(engine) {}
 
-    /** Register the HBT callback body for @p callbackId. */
+    /**
+     * Register the HBT callback body for @p callbackId. Each id may be
+     * bound exactly once: two registrations aliasing the same id would
+     * silently dispatch every record to whichever handler won, so a
+     * collision is a configuration bug and panics immediately.
+     */
     void
     setHandler(int callbackId, CallbackHandler handler)
     {
-        handlers_[callbackId] = std::move(handler);
+        const bool fresh =
+            handlers_.emplace(callbackId, std::move(handler)).second;
+        TMU_ASSERT(fresh, "duplicate callback handler id %d", callbackId);
     }
 
     bool pullOp(sim::MicroOp &op, Cycle now) override;

@@ -1,5 +1,8 @@
 #include "program.hpp"
 
+#include <map>
+#include <set>
+
 #include "common/log.hpp"
 #include "sim/addrspace.hpp"
 
@@ -400,6 +403,44 @@ TmuProgram::describe() const
             out += " | ";
     }
     return out;
+}
+
+std::string
+TmuProgram::summary() const
+{
+    std::set<std::string> traversals, streams, modes;
+    std::map<std::string, int> callbacks;
+    for (int l = 0; l < numLayers(); ++l) {
+        const LayerDesc &layer = layers_[static_cast<size_t>(l)];
+        modes.insert(groupModeName(layer.mode));
+        for (const TuDesc &tu : layer.tus) {
+            if (tu.streams.empty())
+                continue;
+            traversals.insert(traversalKindName(tu.kind));
+            for (const StreamDesc &s : tu.streams) {
+                if (s.kind != StreamKind::Ite)
+                    streams.insert(streamKindName(s.kind));
+            }
+        }
+        for (const CallbackDesc &cb : layer.callbacks) {
+            ++callbacks[callbackEventName(cb.event)];
+            for (int o : cb.operands) {
+                if (o == kMskOperand)
+                    streams.insert("msk");
+            }
+        }
+    }
+    auto join = [](const std::set<std::string> &xs) {
+        std::string out;
+        for (const auto &x : xs)
+            out += (out.empty() ? "" : ",") + x;
+        return out;
+    };
+    std::string cbs;
+    for (const auto &[ev, n] : callbacks)
+        cbs += (cbs.empty() ? "" : ",") + ev + "x" + std::to_string(n);
+    return join(traversals) + " | " + join(streams) + " | " +
+           join(modes) + " | " + cbs;
 }
 
 } // namespace tmu::engine

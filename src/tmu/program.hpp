@@ -244,8 +244,17 @@ class TmuProgram
      */
     void validate(int engineLanes) const;
 
-    /** Table-4 style one-line summary of the traversal structure. */
+    /** Per-layer one-line description of the traversal structure. */
     std::string describe() const;
+
+    /**
+     * Table-4 style digest: the sets of traversal primitives, data
+     * streams and group modes the program instantiates, plus callback
+     * event counts ("traversals | streams | groups | callbacks").
+     * Callback-id *values* deliberately do not appear, so legacy and
+     * plan-scoped id assignments summarize identically.
+     */
+    std::string summary() const;
 
   private:
     TuRef addTu(int layer, int lane, TuDesc desc);

@@ -8,34 +8,72 @@
 
 namespace tmu::workloads {
 
+namespace {
+
+/** Evaluated-set membership of a registry entry (Fig. 10 grouping). */
+enum class Category {
+    LinearAlgebra, //!< matrix inputs
+    TensorAlgebra, //!< tensor inputs
+    Unlisted,      //!< constructible by name, not part of the sweeps
+};
+
+/** One registry row: every consumer below derives from this table. */
+struct RegistryEntry
+{
+    const char *name;
+    Category category;
+    std::unique_ptr<Workload> (*factory)();
+};
+
+constexpr RegistryEntry kRegistry[] = {
+    {"SpMV", Category::LinearAlgebra,
+     [] { return std::unique_ptr<Workload>(new SpmvWorkload()); }},
+    {"SpMSpM", Category::LinearAlgebra,
+     [] { return std::unique_ptr<Workload>(new SpmspmWorkload()); }},
+    {"SpKAdd", Category::LinearAlgebra,
+     [] { return std::unique_ptr<Workload>(new SpkaddWorkload()); }},
+    {"PR", Category::LinearAlgebra,
+     [] { return std::unique_ptr<Workload>(new PagerankWorkload()); }},
+    {"TC", Category::LinearAlgebra,
+     [] { return std::unique_ptr<Workload>(new TricountWorkload()); }},
+    {"SpAdd", Category::Unlisted,
+     [] { return std::unique_ptr<Workload>(new SpaddWorkload()); }},
+    {"MTTKRP_MP", Category::TensorAlgebra,
+     [] {
+         return std::unique_ptr<Workload>(
+             new MttkrpWorkload(MttkrpWorkload::Variant::P1));
+     }},
+    {"MTTKRP_CP", Category::TensorAlgebra,
+     [] {
+         return std::unique_ptr<Workload>(
+             new MttkrpWorkload(MttkrpWorkload::Variant::P2));
+     }},
+    {"SpTC", Category::TensorAlgebra,
+     [] { return std::unique_ptr<Workload>(new SptcWorkload()); }},
+    {"CP-ALS", Category::TensorAlgebra,
+     [] { return std::unique_ptr<Workload>(new CpalsWorkload()); }},
+};
+
+std::vector<std::string>
+namesOf(Category category)
+{
+    std::vector<std::string> names;
+    for (const RegistryEntry &e : kRegistry) {
+        if (e.category == category)
+            names.emplace_back(e.name);
+    }
+    return names;
+}
+
+} // namespace
+
 Expected<std::unique_ptr<Workload>>
 tryMakeWorkload(const std::string &name)
 {
-    std::unique_ptr<Workload> wl;
-    if (name == "SpMV")
-        wl = std::make_unique<SpmvWorkload>();
-    else if (name == "PR")
-        wl = std::make_unique<PagerankWorkload>();
-    else if (name == "SpMSpM")
-        wl = std::make_unique<SpmspmWorkload>();
-    else if (name == "TC")
-        wl = std::make_unique<TricountWorkload>();
-    else if (name == "SpKAdd")
-        wl = std::make_unique<SpkaddWorkload>();
-    else if (name == "SpAdd")
-        wl = std::make_unique<SpaddWorkload>();
-    else if (name == "MTTKRP_MP")
-        wl = std::make_unique<MttkrpWorkload>(
-            MttkrpWorkload::Variant::P1);
-    else if (name == "MTTKRP_CP")
-        wl = std::make_unique<MttkrpWorkload>(
-            MttkrpWorkload::Variant::P2);
-    else if (name == "SpTC")
-        wl = std::make_unique<SptcWorkload>();
-    else if (name == "CP-ALS")
-        wl = std::make_unique<CpalsWorkload>();
-    if (wl != nullptr)
-        return wl;
+    for (const RegistryEntry &e : kRegistry) {
+        if (name == e.name)
+            return e.factory();
+    }
     std::string known;
     for (const auto &w : allWorkloads())
         known += (known.empty() ? "" : ", ") + w;
@@ -53,13 +91,13 @@ makeWorkload(const std::string &name)
 std::vector<std::string>
 linearAlgebraWorkloads()
 {
-    return {"SpMV", "SpMSpM", "SpKAdd", "PR", "TC"};
+    return namesOf(Category::LinearAlgebra);
 }
 
 std::vector<std::string>
 tensorAlgebraWorkloads()
 {
-    return {"MTTKRP_MP", "MTTKRP_CP", "SpTC", "CP-ALS"};
+    return namesOf(Category::TensorAlgebra);
 }
 
 std::vector<std::string>
@@ -67,7 +105,7 @@ allWorkloads()
 {
     auto all = linearAlgebraWorkloads();
     for (auto &t : tensorAlgebraWorkloads())
-        all.push_back(t);
+        all.push_back(std::move(t));
     return all;
 }
 

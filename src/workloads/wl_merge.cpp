@@ -4,32 +4,21 @@
 
 #include "common/log.hpp"
 #include "kernels/spadd.hpp"
+#include "plan/lower.hpp"
+#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/generate.hpp"
 #include "tensor/suite.hpp"
 #include "tmu/outq.hpp"
-#include "workloads/programs.hpp"
 
 namespace tmu::workloads {
 
-using engine::OutqRecord;
-using sim::MicroOp;
-using sim::addrOf;
-
 namespace {
-
-/** Per-core merged-output collector shared by SpKAdd and SpAdd. */
-struct MergeOut
-{
-    std::vector<Index> rows;
-    std::vector<Index> idxs;
-    std::vector<Value> vals;
-    Index curRow = kInvalidIndex;
-};
 
 /** Compare stitched per-core triples against a reference CSR. */
 bool
-verifyMerged(const std::vector<MergeOut> &out, const tensor::CsrMatrix &ref)
+verifyMerged(const std::vector<plan::PlanState> &out,
+             const tensor::CsrMatrix &ref)
 {
     size_t q[64] = {};
     for (Index i = 0; i < ref.rows(); ++i) {
@@ -64,99 +53,56 @@ verifyMerged(const std::vector<MergeOut> &out, const tensor::CsrMatrix &ref)
 RunResult
 runKAdd(const RunConfig &cfg,
         const std::vector<tensor::DcsrMatrix> &parts,
-        const tensor::CsrMatrix &ref, sim::Trace (*traceFn)(
-            const std::vector<tensor::DcsrMatrix> &,
-            std::vector<Index> &, std::vector<Value> &,
-            std::vector<Index> &, Index, Index, sim::SimdConfig))
+        const tensor::CsrMatrix &ref)
 {
     RunHarness h(cfg);
     const int cores = h.cores();
     const Index rows = ref.rows();
 
-    std::vector<MergeOut> out(static_cast<size_t>(cores));
-    // Baseline collectors (per-core triplet arrays + rowNnz).
-    struct BaseOut
-    {
-        std::vector<Index> idxs;
-        std::vector<Value> vals;
-        std::vector<Index> rowNnz;
-        Index rowBeg = 0;
-    };
-    std::vector<BaseOut> baseOut(static_cast<size_t>(cores));
+    std::vector<plan::PlanState> out(static_cast<size_t>(cores));
+    // Baseline row starts, for rebuilding row coordinates afterwards.
+    std::vector<Index> rowBeg(static_cast<size_t>(cores), 0);
 
-    if (cfg.mode == Mode::Baseline) {
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(rows, cores, c);
-            BaseOut &bo = baseOut[static_cast<size_t>(c)];
-            bo.rowBeg = beg;
-            // Reserve the exact output size so the collectors never
-            // reallocate mid-run: their addresses enter the timing
-            // stream, and a stable base keeps the canonical address
-            // layout reproducible (see sim/addrspace.hpp).
-            const auto outNnz = static_cast<size_t>(
-                ref.rowBegin(end) - ref.rowBegin(beg));
-            bo.idxs.reserve(outNnz);
-            bo.vals.reserve(outNnz);
-            bo.rowNnz.reserve(static_cast<size_t>(end - beg));
-            h.addBaselineTrace(c, traceFn(parts, bo.idxs, bo.vals,
-                                          bo.rowNnz, beg, end,
-                                          h.simd()));
-        }
-    } else {
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(rows, cores, c);
-            auto &src = h.addTmuProgram(c, buildSpkadd(parts, beg, end));
-            MergeOut &mo = out[static_cast<size_t>(c)];
-            const auto outNnz = static_cast<size_t>(
-                ref.rowBegin(end) - ref.rowBegin(beg));
-            mo.rows.reserve(outNnz);
-            mo.idxs.reserve(outNnz);
-            mo.vals.reserve(outNnz);
-            src.setHandler(kCbRow, [&mo](const OutqRecord &rec,
-                                         std::vector<MicroOp> &ops) {
-                mo.curRow = rec.i64(0, 0);
-                ops.push_back(MicroOp::iop());
-            });
-            src.setHandler(kCbCol, [&mo](const OutqRecord &rec,
-                                         std::vector<MicroOp> &ops) {
-                // Fig. 7: *out_ptr++ = vec_reduce(nnz_els).
-                Value sum = 0.0;
-                const auto n = rec.operands[1].size();
-                for (size_t i = 0; i < n; ++i)
-                    sum += rec.f64(1, static_cast<int>(i));
-                mo.rows.push_back(mo.curRow);
-                mo.idxs.push_back(rec.i64(0, 0));
-                mo.vals.push_back(sum);
-                ops.push_back(
-                    MicroOp::flop(static_cast<std::uint16_t>(n)));
-                ops.push_back(MicroOp::store(
-                    addrOf(mo.vals.data(),
-                           static_cast<Index>(mo.vals.size() - 1)),
-                    8));
-            });
-            src.setHandler(kCbRowEnd,
-                           [](const OutqRecord &,
-                              std::vector<MicroOp> &ops) {
-                               ops.push_back(MicroOp::iop());
-                           });
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(rows, cores, c);
+        plan::PlanState &st = out[static_cast<size_t>(c)];
+        // Reserve the exact output size so the collectors never
+        // reallocate mid-run: their addresses enter the timing
+        // stream, and a stable base keeps the canonical address
+        // layout reproducible (see sim/addrspace.hpp).
+        const auto outNnz = static_cast<size_t>(ref.rowBegin(end) -
+                                                ref.rowBegin(beg));
+        const plan::PlanSpec ps = plan::spkaddPlan(parts, beg, end);
+        if (cfg.mode == Mode::Baseline) {
+            rowBeg[static_cast<size_t>(c)] = beg;
+            st.idxs.reserve(outNnz);
+            st.vals.reserve(outNnz);
+            st.rowNnz.reserve(static_cast<size_t>(end - beg));
+            h.addBaselineTrace(
+                c, plan::lowerTrace(
+                       ps, {&st.idxs, &st.vals, &st.rowNnz, nullptr},
+                       h.simd()));
+        } else {
+            st.rows.reserve(outNnz);
+            st.idxs.reserve(outNnz);
+            st.vals.reserve(outNnz);
+            auto &src = h.addTmuProgram(c, plan::lowerProgram(ps));
+            plan::initPlanState(ps, st);
+            plan::bindHandlers(ps, src, st);
         }
     }
 
     RunResult res = h.finish();
 
     if (cfg.mode == Mode::Baseline) {
-        // Rebuild MergeOut from the baseline collectors for one shared
-        // verification path.
+        // Rebuild the per-element row coordinates from the baseline
+        // rowNnz collectors for one shared verification path.
         for (int c = 0; c < cores; ++c) {
-            const BaseOut &bo = baseOut[static_cast<size_t>(c)];
-            MergeOut &mo = out[static_cast<size_t>(c)];
-            size_t q = 0;
-            for (size_t lr = 0; lr < bo.rowNnz.size(); ++lr) {
-                for (Index e = 0; e < bo.rowNnz[lr]; ++e, ++q) {
-                    mo.rows.push_back(bo.rowBeg +
+            plan::PlanState &st = out[static_cast<size_t>(c)];
+            for (size_t lr = 0; lr < st.rowNnz.size(); ++lr) {
+                for (Index e = 0; e < st.rowNnz[lr]; ++e) {
+                    st.rows.push_back(rowBeg[static_cast<size_t>(c)] +
                                       static_cast<Index>(lr));
-                    mo.idxs.push_back(bo.idxs[q]);
-                    mo.vals.push_back(bo.vals[q]);
                 }
             }
         }
@@ -180,7 +126,7 @@ RunResult
 SpkaddWorkload::run(const RunConfig &cfg)
 {
     TMU_ASSERT(!parts_.empty(), "prepare() was not called");
-    return runKAdd(cfg, parts_, ref_, &kernels::traceSpkadd);
+    return runKAdd(cfg, parts_, ref_);
 }
 
 void
@@ -204,8 +150,10 @@ SpaddWorkload::run(const RunConfig &cfg)
 {
     TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
     if (cfg.mode == Mode::Tmu)
-        return runKAdd(cfg, asDcsr_, ref_, &kernels::traceSpkadd);
+        return runKAdd(cfg, asDcsr_, ref_);
 
+    // Baseline SpAdd keeps the dedicated two-way merge kernel (the
+    // legacy path): it is not plan-lowered.
     RunHarness h(cfg);
     const int cores = h.cores();
     struct BaseOut

@@ -1,22 +1,18 @@
 #include "wl_spmspm.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
 #include "kernels/spmspm.hpp"
 #include "kernels/tricount.hpp"
+#include "plan/lower.hpp"
+#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/generate.hpp"
 #include "tensor/suite.hpp"
 #include "tmu/outq.hpp"
-#include "workloads/programs.hpp"
 
 namespace tmu::workloads {
-
-using engine::OutqRecord;
-using sim::MicroOp;
-using sim::addrOf;
 
 void
 SpmspmWorkload::prepareSynthetic(Index rows, Index nnzPerRow)
@@ -43,108 +39,38 @@ SpmspmWorkload::run(const RunConfig &cfg)
     RunHarness h(cfg);
     const int cores = h.cores();
 
-    // Per-core output triplets (row-partitioned).
-    struct CoreOut
-    {
-        std::vector<Index> idxs;
-        std::vector<Value> vals;
-        std::vector<Index> rowNnz;
-        // TMU-mode accumulator workspace. Novelty is tracked with the
-        // seen bitmap, not acc[j] == 0.0, so exact cancellation cannot
-        // re-insert a column (see kernels/spmspm.cpp).
-        std::vector<Value> acc;
-        std::vector<char> seen;
-        std::vector<Index> touched;
-        Value aVal = 0.0;
-    };
-    std::vector<CoreOut> out(static_cast<size_t>(cores));
+    // Per-core output triplets (row-partitioned) plus the TMU-mode
+    // accumulator workspace. Novelty is tracked with the seen bitmap,
+    // not acc[j] == 0.0, so exact cancellation cannot re-insert a
+    // column (see kernels/spmspm.cpp).
+    std::vector<plan::PlanState> out(static_cast<size_t>(cores));
 
     if (cfg.mode == Mode::Baseline) {
         h.system().mem().registerIndexRegion(
             sim::addrOf(a_.idxs().data(), 0),
             a_.idxs().size() * sizeof(Index));
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(a_.rows(), cores, c);
-            CoreOut &co = out[static_cast<size_t>(c)];
-            // Stable collector bases keep the canonical address layout
-            // reproducible (see sim/addrspace.hpp).
-            const auto outNnz = static_cast<size_t>(
-                ref_.rowBegin(end) - ref_.rowBegin(beg));
-            co.idxs.reserve(outNnz);
-            co.vals.reserve(outNnz);
-            co.rowNnz.reserve(static_cast<size_t>(end - beg));
+    }
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        plan::PlanState &st = out[static_cast<size_t>(c)];
+        // Stable collector bases keep the canonical address layout
+        // reproducible (see sim/addrspace.hpp).
+        const auto outNnz = static_cast<size_t>(ref_.rowBegin(end) -
+                                                ref_.rowBegin(beg));
+        st.idxs.reserve(outNnz);
+        st.vals.reserve(outNnz);
+        st.rowNnz.reserve(static_cast<size_t>(end - beg));
+        const plan::PlanSpec ps =
+            plan::spmspmPlan(a_, bt_, cfg.programLanes, beg, end);
+        if (cfg.mode == Mode::Baseline) {
             h.addBaselineTrace(
-                c, kernels::traceSpmspm(a_, bt_, co.idxs, co.vals,
-                                        co.rowNnz, beg, end, h.simd()));
-        }
-    } else {
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(a_.rows(), cores, c);
-            CoreOut &co = out[static_cast<size_t>(c)];
-            co.acc.assign(static_cast<size_t>(bt_.cols()), 0.0);
-            co.seen.assign(static_cast<size_t>(bt_.cols()), 0);
-            const auto outNnz = static_cast<size_t>(
-                ref_.rowBegin(end) - ref_.rowBegin(beg));
-            co.idxs.reserve(outNnz);
-            co.vals.reserve(outNnz);
-            co.rowNnz.reserve(static_cast<size_t>(end - beg));
-            auto &src = h.addTmuProgram(
-                c, buildSpmspmP2(a_, bt_, cfg.programLanes, beg, end));
-
-            src.setHandler(kCbSetA, [&co](const OutqRecord &rec,
-                                          std::vector<MicroOp> &ops) {
-                co.aVal = rec.f64(0, 0);
-                ops.push_back(MicroOp::iop());
-            });
-            src.setHandler(kCbAcc, [&co](const OutqRecord &rec,
-                                         std::vector<MicroOp> &ops) {
-                const auto n = rec.operands[0].size();
-                // Scatter-accumulate into the workspace: per lane a
-                // load + FMA + store on acc[j].
-                for (size_t i = 0; i < n; ++i) {
-                    const auto j =
-                        static_cast<size_t>(rec.i64(0,
-                                                    static_cast<int>(i)));
-                    if (!co.seen[j]) {
-                        co.seen[j] = 1;
-                        co.touched.push_back(static_cast<Index>(j));
-                    }
-                    co.acc[j] +=
-                        co.aVal * rec.f64(1, static_cast<int>(i));
-                    ops.push_back(MicroOp::load(
-                        addrOf(co.acc.data(), static_cast<Index>(j)),
-                        8));
-                    ops.push_back(MicroOp::store(
-                        addrOf(co.acc.data(), static_cast<Index>(j)),
-                        8));
-                }
-                ops.push_back(MicroOp::flop(
-                    static_cast<std::uint16_t>(2 * n)));
-            });
-            src.setHandler(kCbFlush, [&co](const OutqRecord &,
-                                           std::vector<MicroOp> &ops) {
-                std::sort(co.touched.begin(), co.touched.end());
-                const auto tn = static_cast<double>(co.touched.size());
-                const auto cmps = static_cast<Index>(
-                    tn > 1.0 ? tn * std::log2(tn) : 0.0);
-                for (Index i = 0; i < cmps; ++i)
-                    ops.push_back(MicroOp::iop());
-                for (const Index j : co.touched) {
-                    co.idxs.push_back(j);
-                    co.vals.push_back(co.acc[static_cast<size_t>(j)]);
-                    co.acc[static_cast<size_t>(j)] = 0.0;
-                    co.seen[static_cast<size_t>(j)] = 0;
-                    ops.push_back(MicroOp::load(
-                        addrOf(co.acc.data(), j), 8));
-                    ops.push_back(MicroOp::store(
-                        addrOf(co.vals.data(),
-                               static_cast<Index>(co.vals.size() - 1)),
-                        8));
-                }
-                co.rowNnz.push_back(
-                    static_cast<Index>(co.touched.size()));
-                co.touched.clear();
-            });
+                c, plan::lowerTrace(
+                       ps, {&st.idxs, &st.vals, &st.rowNnz, nullptr},
+                       h.simd()));
+        } else {
+            auto &src = h.addTmuProgram(c, plan::lowerProgram(ps));
+            plan::initPlanState(ps, st);
+            plan::bindHandlers(ps, src, st);
         }
     }
 
@@ -155,23 +81,23 @@ SpmspmWorkload::run(const RunConfig &cfg)
     res.verified = true;
     for (int c = 0; c < cores && res.verified; ++c) {
         const auto [beg, end] = partition(a_.rows(), cores, c);
-        const CoreOut &co = out[static_cast<size_t>(c)];
-        if (co.rowNnz.size() != static_cast<size_t>(end - beg)) {
+        const plan::PlanState &st = out[static_cast<size_t>(c)];
+        if (st.rowNnz.size() != static_cast<size_t>(end - beg)) {
             res.verified = false;
             break;
         }
         size_t q = 0;
         for (Index i = beg; i < end && res.verified; ++i) {
-            if (co.rowNnz[static_cast<size_t>(i - beg)] !=
+            if (st.rowNnz[static_cast<size_t>(i - beg)] !=
                 ref_.rowNnz(i)) {
                 res.verified = false;
                 break;
             }
             for (Index p = ref_.rowBegin(i); p < ref_.rowEnd(i);
                  ++p, ++q) {
-                if (co.idxs[q] !=
+                if (st.idxs[q] !=
                         ref_.idxs()[static_cast<size_t>(p)] ||
-                    std::abs(co.vals[q] -
+                    std::abs(st.vals[q] -
                              ref_.vals()[static_cast<size_t>(p)]) >
                         1e-9) {
                     res.verified = false;
@@ -213,34 +139,27 @@ TricountWorkload::run(const RunConfig &cfg)
     TMU_ASSERT(l_.rows() > 0, "prepare() was not called");
     RunHarness h(cfg);
     const int cores = h.cores();
-    std::vector<std::uint64_t> counts(static_cast<size_t>(cores), 0);
+    std::vector<plan::PlanState> st(static_cast<size_t>(cores));
 
-    if (cfg.mode == Mode::Baseline) {
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(l_.rows(), cores, c);
-            h.addBaselineTrace(
-                c, kernels::traceTricount(
-                       l_, counts[static_cast<size_t>(c)], beg, end,
-                       h.simd()));
-        }
-    } else {
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(l_.rows(), cores, c);
-            auto &src =
-                h.addTmuProgram(c, buildTricount(l_, beg, end));
-            auto &count = counts[static_cast<size_t>(c)];
-            src.setHandler(kCbHit, [&count](const OutqRecord &,
-                                            std::vector<MicroOp> &ops) {
-                ++count;
-                ops.push_back(MicroOp::iop());
-            });
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(l_.rows(), cores, c);
+        plan::PlanState &s = st[static_cast<size_t>(c)];
+        const plan::PlanSpec ps = plan::tricountPlan(l_, beg, end);
+        if (cfg.mode == Mode::Baseline) {
+            plan::TraceSinks io;
+            io.count = &s.count;
+            h.addBaselineTrace(c, plan::lowerTrace(ps, io, h.simd()));
+        } else {
+            auto &src = h.addTmuProgram(c, plan::lowerProgram(ps));
+            plan::initPlanState(ps, s);
+            plan::bindHandlers(ps, src, s);
         }
     }
 
     RunResult res = h.finish();
     std::uint64_t total = 0;
-    for (const auto c : counts)
-        total += c;
+    for (const auto &s : st)
+        total += s.count;
     res.verified = total == ref_;
     return res;
 }

@@ -6,15 +6,14 @@
 #include "common/rng.hpp"
 #include "kernels/pagerank.hpp"
 #include "kernels/spmv.hpp"
+#include "plan/lower.hpp"
+#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/suite.hpp"
 #include "tmu/outq.hpp"
-#include "workloads/programs.hpp"
 
 namespace tmu::workloads {
 
-using engine::OutqRecord;
-using sim::MicroOp;
 using tensor::DenseVector;
 
 namespace {
@@ -28,62 +27,30 @@ runSpmvShaped(const RunConfig &cfg, const tensor::CsrMatrix &a,
     RunHarness h(cfg);
     const int cores = h.cores();
     DenseVector x(a.rows());
-    const double base =
-        (1.0 - damping) / static_cast<double>(a.rows());
 
     // Per-core row-iteration state for the TMU callbacks.
-    struct CoreState
-    {
-        Index row = 0;
-        Value sum = 0.0;
-    };
-    std::vector<CoreState> state(static_cast<size_t>(cores));
+    std::vector<plan::PlanState> state(static_cast<size_t>(cores));
 
     if (cfg.mode == Mode::Baseline) {
         h.system().mem().registerIndexRegion(
             sim::addrOf(a.idxs().data(), 0),
             a.idxs().size() * sizeof(Index));
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(a.rows(), cores, c);
-            if (pagerankUpdate) {
-                h.addBaselineTrace(
-                    c, kernels::tracePagerankIter(a, b, x, damping, beg,
-                                                  end, h.simd()));
-            } else {
-                h.addBaselineTrace(c, kernels::traceSpmv(a, b, x, beg,
-                                                         end, h.simd()));
-            }
-        }
-    } else {
-        for (int c = 0; c < cores; ++c) {
-            const auto [beg, end] = partition(a.rows(), cores, c);
-            auto &src = h.addTmuProgram(
-                c, buildSpmvP1(a, b, cfg.programLanes, beg, end));
-            CoreState &st = state[static_cast<size_t>(c)];
-            st.row = beg;
-            src.setHandler(kCbRi, [&st](const OutqRecord &rec,
-                                        std::vector<MicroOp> &ops) {
-                for (size_t i = 0; i < rec.operands[0].size(); ++i)
-                    st.sum += rec.f64(0, static_cast<int>(i)) *
-                              rec.f64(1, static_cast<int>(i));
-                ops.push_back(MicroOp::flop(static_cast<std::uint16_t>(
-                    2 * rec.operands[0].size())));
-            });
-            src.setHandler(
-                kCbRe, [&st, &x, pagerankUpdate, damping, base](
-                           const OutqRecord &,
-                           std::vector<MicroOp> &ops) {
-                    Value v = st.sum;
-                    if (pagerankUpdate) {
-                        v = base + damping * v;
-                        ops.push_back(MicroOp::flop(2));
-                    }
-                    x[st.row] = v;
-                    ops.push_back(MicroOp::store(
-                        sim::addrOf(x.data(), st.row), 8));
-                    ++st.row;
-                    st.sum = 0.0;
-                });
+    }
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(a.rows(), cores, c);
+        const plan::PlanSpec ps =
+            pagerankUpdate
+                ? plan::pagerankPlan(a, b, x, damping,
+                                     cfg.programLanes, beg, end)
+                : plan::spmvPlan(a, b, x, cfg.programLanes, beg, end,
+                                 plan::Variant::P1);
+        if (cfg.mode == Mode::Baseline) {
+            h.addBaselineTrace(c, plan::lowerTrace(ps, {}, h.simd()));
+        } else {
+            auto &src = h.addTmuProgram(c, plan::lowerProgram(ps));
+            plan::PlanState &st = state[static_cast<size_t>(c)];
+            plan::initPlanState(ps, st);
+            plan::bindHandlers(ps, src, st);
         }
     }
 

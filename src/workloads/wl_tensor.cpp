@@ -7,6 +7,8 @@
 #include "kernels/mttkrp.hpp"
 #include "kernels/smallsolve.hpp"
 #include "kernels/sptc.hpp"
+#include "plan/lower.hpp"
+#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/generate.hpp"
 #include "tensor/suite.hpp"
@@ -73,20 +75,6 @@ accumulateRun(RunResult &into, const RunResult &phase)
     }
 }
 
-/** Per-core TMU MTTKRP callback state. */
-struct MttkrpCoreState
-{
-    // P2: one nonzero at a time.
-    Value v = 0.0;
-    Addr zRow = 0;
-    Index jBase = 0;
-    // P1: one nonzero per lane, j advances with the lockstep steps.
-    std::vector<Value> laneV;
-    std::vector<Addr> laneZ;
-    Index j = 0;
-    int lanes = 8;
-};
-
 /**
  * One MTTKRP execution over [0, t.nnz()) split across cores; each core
  * accumulates into its own z copy (GenTen-style private accumulators).
@@ -98,98 +86,28 @@ runMttkrpOnce(const RunConfig &cfg, const CooTensor &t,
 {
     RunHarness h(cfg);
     const int cores = h.cores();
-    const Index rank = b.cols();
     TMU_ASSERT(static_cast<int>(zPerCore.size()) == cores);
 
-    std::vector<MttkrpCoreState> st(static_cast<size_t>(cores));
+    std::vector<plan::PlanState> st(static_cast<size_t>(cores));
 
     for (int core = 0; core < cores; ++core) {
         const auto [beg, end] = partition(t.nnz(), cores, core);
         DenseMatrix &z = zPerCore[static_cast<size_t>(core)];
+        const plan::PlanSpec ps = plan::mttkrpPlan(
+            t, b, c, z, cfg.programLanes, beg, end,
+            p1 ? plan::Variant::P1 : plan::Variant::P2);
 
         if (cfg.mode == Mode::Baseline) {
-            h.addBaselineTrace(
-                core, kernels::traceMttkrp(t, b, c, z, beg, end,
-                                           h.simd()));
+            h.addBaselineTrace(core,
+                               plan::lowerTrace(ps, {}, h.simd()));
             continue;
         }
 
-        auto &src = h.addTmuProgram(
-            core, p1 ? buildMttkrpP1(t, b, c, z, cfg.programLanes, beg,
-                                     end)
-                     : buildMttkrpP2(t, b, c, z, cfg.programLanes, beg,
-                                     end));
-        MttkrpCoreState &s = st[static_cast<size_t>(core)];
-        s.lanes = cfg.programLanes;
-
-        if (p1) {
-            // cbNnz: latch one nonzero (value + z-row address) per
-            // active lane; cbJ then walks the rank dimension.
-            src.setHandler(kCbNnz, [&s](const OutqRecord &rec,
-                                        std::vector<MicroOp> &ops) {
-                const auto n = rec.operands[0].size();
-                s.laneV.assign(n, 0.0);
-                s.laneZ.assign(n, 0);
-                for (size_t i = 0; i < n; ++i) {
-                    s.laneV[i] = rec.f64(0, static_cast<int>(i));
-                    s.laneZ[i] = static_cast<Addr>(
-                        rec.operands[1][i]);
-                }
-                s.j = 0;
-                ops.push_back(MicroOp::iop());
-            });
-            src.setHandler(kCbJ, [&s](const OutqRecord &rec,
-                                      std::vector<MicroOp> &ops) {
-                const auto n = rec.operands[0].size();
-                // Lanes walk their own fibers; all share the same j.
-                for (size_t i = 0; i < n; ++i) {
-                    auto *zrow = static_cast<Value *>(
-                        sim::hostPtr(s.laneZ[i]));
-                    zrow[s.j] += s.laneV[i] *
-                                 rec.f64(0, static_cast<int>(i)) *
-                                 rec.f64(1, static_cast<int>(i));
-                    // Scatter FMA: one element load + store per lane.
-                    ops.push_back(MicroOp::load(
-                        s.laneZ[i] + static_cast<Addr>(s.j) * 8, 8));
-                    ops.push_back(MicroOp::store(
-                        s.laneZ[i] + static_cast<Addr>(s.j) * 8, 8));
-                }
-                ops.push_back(
-                    MicroOp::flop(static_cast<std::uint16_t>(3 * n)));
-                ++s.j;
-            });
-        } else {
-            src.setHandler(kCbNnz, [&s](const OutqRecord &rec,
-                                        std::vector<MicroOp> &ops) {
-                s.v = rec.f64(0, 0);
-                s.zRow = static_cast<Addr>(rec.operands[1][0]);
-                ops.push_back(MicroOp::iop());
-            });
-            src.setHandler(kCbJ, [&s](const OutqRecord &rec,
-                                      std::vector<MicroOp> &ops) {
-                const auto n = rec.operands[0].size();
-                // Lanes cover a contiguous j block: vector FMA into z.
-                const auto jBase =
-                    static_cast<Index>(rec.i64(0, 0));
-                auto *zrow = static_cast<Value *>(sim::hostPtr(s.zRow));
-                for (size_t i = 0; i < n; ++i) {
-                    const auto j = static_cast<size_t>(
-                        rec.i64(0, static_cast<int>(i)));
-                    zrow[j] += s.v * rec.f64(1, static_cast<int>(i)) *
-                               rec.f64(2, static_cast<int>(i));
-                }
-                ops.push_back(MicroOp::load(
-                    s.zRow + static_cast<Addr>(jBase) * 8,
-                    static_cast<std::uint8_t>(n * 8)));
-                ops.push_back(
-                    MicroOp::flop(static_cast<std::uint16_t>(3 * n)));
-                ops.push_back(MicroOp::store(
-                    s.zRow + static_cast<Addr>(jBase) * 8,
-                    static_cast<std::uint8_t>(n * 8)));
-            });
-        }
+        auto &src = h.addTmuProgram(core, plan::lowerProgram(ps));
+        plan::PlanState &s = st[static_cast<size_t>(core)];
+        plan::initPlanState(ps, s);
+        plan::bindHandlers(ps, src, s);
     }
-    (void)rank;
     return h.finish();
 }
 

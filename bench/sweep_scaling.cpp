@@ -2,17 +2,17 @@
  * @file
  * Parallel sweep scaling: the four headline workloads (SpMV, SpMSpM,
  * SpKAdd, PR) run as one paired baseline+TMU sweep on 1 and 4 host
- * threads. Reports wall-clock per job count, the speedup over the
- * serial sweep, and a cycle-exactness check between the two runs —
- * the SweepRunner contract is that simulated results are byte-
- * identical for any job count, so the only thing allowed to change
- * is the wall clock.
+ * threads. Reports wall-clock per job count, per-task wall times, the
+ * speedup over the serial sweep, and a cycle-exactness check between
+ * the two runs — the SweepRunner contract is that simulated results
+ * are byte-identical for any job count, so the only thing allowed to
+ * change is the wall clock.
  *
- * On a 4+ core host the 4-way sweep is expected to finish >= 2x
- * faster than the serial one (four independent tasks, no shared
- * state). The host's actual concurrency is recorded in the report:
- * on fewer cores the speedup degrades toward 1x, which is honest,
- * not a failure.
+ * Honesty rule: a speedup is only claimed when the host can actually
+ * run the jobs concurrently. When hardware_concurrency() < jobs the
+ * 4-way wall clock mostly measures oversubscription, so the table and
+ * the machine-readable notes say "n/a" instead of a meaningless ratio
+ * near 1x.
  */
 
 #include "bench_util.hpp"
@@ -29,6 +29,7 @@ struct Cell
 {
     std::string workload;
     std::string input;
+    double taskMs = 0.0; //!< this task's own wall time in the sweep
     PairResult pr;
 };
 
@@ -47,9 +48,13 @@ timedSweep(const std::vector<std::string> &names, int jobs,
     const auto t0 = std::chrono::steady_clock::now();
     parallelFor(cells.size(), jobs, [&](std::size_t i) {
         Cell &c = cells[i];
+        const auto s0 = std::chrono::steady_clock::now();
         auto wl = makeWorkload(c.workload);
         wl->prepare(c.input, scaleFor(*wl));
         c.pr = runPair(*wl, defaultConfig(scaleFor(*wl)));
+        c.taskMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - s0)
+                       .count();
     });
     const auto t1 = std::chrono::steady_clock::now();
     return std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -71,13 +76,39 @@ main()
     const double ms4 = timedSweep(names, 4, parallel4);
 
     const unsigned hw = sim::SweepRunner::hardwareJobs();
+    // Oversubscribed hosts cannot demonstrate sweep-level parallelism;
+    // report the raw wall clocks but refuse to call the ratio a
+    // speedup.
+    const bool canClaim = hw >= 4;
+    const std::string speedup4 =
+        canClaim ? TextTable::num(ms4 > 0.0 ? ms1 / ms4 : 0.0, 2)
+                 : "n/a";
+
     TextTable t("sweep wall clock, 4 workloads, baseline+tmu each");
     t.header({"jobs", "wall ms", "speedup"});
     t.row({"1", TextTable::num(ms1, 1), "1.00"});
-    t.row({"4", TextTable::num(ms4, 1),
-           TextTable::num(ms4 > 0.0 ? ms1 / ms4 : 0.0, 2)});
+    t.row({"4", TextTable::num(ms4, 1), speedup4});
     rep.print(t);
-    std::printf("host hardware_concurrency: %u\n\n", hw);
+    std::printf("host hardware_concurrency: %u%s\n\n", hw,
+                canClaim ? ""
+                         : " (< 4: speedup not claimed, the 4-way "
+                           "sweep is oversubscribed)");
+
+    // Per-task wall times: the sweep's critical path is its slowest
+    // task, so flat scaling with one dominant task is expected, not a
+    // SweepRunner defect.
+    TextTable pt("per-task wall time (ms)");
+    pt.header({"workload", "jobs=1", "jobs=4"});
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        pt.row({serial[i].workload,
+                TextTable::num(serial[i].taskMs, 1),
+                TextTable::num(parallel4[i].taskMs, 1)});
+        rep.note("task_ms.jobs1." + serial[i].workload,
+                 TextTable::num(serial[i].taskMs, 1));
+        rep.note("task_ms.jobs4." + parallel4[i].workload,
+                 TextTable::num(parallel4[i].taskMs, 1));
+    }
+    rep.print(pt);
 
     // Determinism: the simulated cycle counts must not depend on the
     // job count. Any mismatch is a bug in task isolation.
@@ -103,8 +134,8 @@ main()
 
     rep.note("wall_ms.jobs1", TextTable::num(ms1, 1));
     rep.note("wall_ms.jobs4", TextTable::num(ms4, 1));
-    rep.note("speedup.jobs4",
-             TextTable::num(ms4 > 0.0 ? ms1 / ms4 : 0.0, 2));
+    rep.note("speedup.jobs4", speedup4);
+    rep.note("speedup_claimed", canClaim ? "yes" : "no");
     rep.note("hardware_concurrency", std::to_string(hw));
     rep.note("deterministic", identical ? "yes" : "no");
     return identical ? 0 : 1;

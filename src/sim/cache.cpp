@@ -103,6 +103,12 @@ Cache::registerStats(stats::StatRegistry &reg, const std::string &prefix,
                       [this] { return hits(); });
         reg.scalar(prefix + "misses", label + " primary misses",
                    &misses_);
+        reg.scalar(prefix + "mshrRejects",
+                   label + " accesses bounced on structural hazards",
+                   &rejects_);
+        reg.scalarU64(prefix + "hitServiceCycles",
+                      label + " cycles servicing tag hits",
+                      [this] { return hitServiceCycles(); });
     }
 }
 
@@ -113,7 +119,7 @@ Cache::reset()
         w = Way{};
     mshrs_.clear();
     nextReclaim_ = ~Cycle{0};
-    useClock_ = accesses_ = hits_ = mshrHits_ = misses_ = 0;
+    useClock_ = accesses_ = hits_ = mshrHits_ = misses_ = rejects_ = 0;
 }
 
 } // namespace tmu::sim

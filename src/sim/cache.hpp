@@ -78,12 +78,16 @@ class Cache
         }
 
         // Primary miss: need an MSHR.
-        if (static_cast<int>(mshrs_.size()) >= cfg_.mshrs)
+        if (static_cast<int>(mshrs_.size()) >= cfg_.mshrs) {
+            ++rejects_;
             return {false, false, 0};
+        }
 
         const Cycle fill = missCompletion(now + cfg_.latency);
-        if (fill == kMissRejected)
+        if (fill == kMissRejected) {
+            ++rejects_;
             return {false, false, 0};
+        }
         mshrs_.emplace(line, fill);
         nextReclaim_ = std::min(nextReclaim_, fill);
         ++misses_;
@@ -116,6 +120,15 @@ class Cache
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t hits() const { return hits_ + mshrHits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Accesses bounced on a structural hazard (MSHRs full here or a
+     *  level below); the requester retried them later. */
+    std::uint64_t rejects() const { return rejects_; }
+    /** Cycles spent servicing tag hits at this level's latency. */
+    std::uint64_t
+    hitServiceCycles() const
+    {
+        return hits_ * static_cast<std::uint64_t>(cfg_.latency);
+    }
 
     double
     hitRate() const
@@ -173,6 +186,7 @@ class Cache
     std::uint64_t hits_ = 0;
     std::uint64_t mshrHits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t rejects_ = 0;
 };
 
 } // namespace tmu::sim

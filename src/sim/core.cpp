@@ -46,6 +46,41 @@ CoreStats::registerStats(stats::StatRegistry &reg,
         reg.scalar(prefix + "loadLatencySum",
                    "sum of load (complete - issue) latencies",
                    &loadLatencySum);
+        reg.scalar(prefix + "attr.retiring",
+                   "cycles retiring at least one op", &attrRetiring);
+        reg.scalar(prefix + "attr.frontendBound",
+                   "cycles lost to fetch redirects / drained trace",
+                   &attrFrontendBound);
+        reg.scalar(prefix + "attr.backendMemL1",
+                   "backend cycles on an L1-serviced or un-issued "
+                   "memory op",
+                   &attrBackendMemL1);
+        reg.scalar(prefix + "attr.backendMemL2",
+                   "backend cycles on an L2-serviced load",
+                   &attrBackendMemL2);
+        reg.scalar(prefix + "attr.backendMemLlc",
+                   "backend cycles on an LLC-serviced load",
+                   &attrBackendMemLlc);
+        reg.scalar(prefix + "attr.backendMemDram",
+                   "backend cycles on a DRAM-serviced load",
+                   &attrBackendMemDram);
+        reg.scalar(prefix + "attr.backendExec",
+                   "backend cycles on a non-load at the ROB head",
+                   &attrBackendExec);
+        reg.scalar(prefix + "attr.outqEmpty",
+                   "cycles starved for instruction supply (outQ empty)",
+                   &attrOutqEmpty);
+        reg.scalar(prefix + "supply.occupied",
+                   "cycles the supply delivered at least one op",
+                   &supplyOccupied);
+        reg.scalar(prefix + "supply.starved",
+                   "cycles a pull was attempted on an empty supply",
+                   &supplyStarved);
+        reg.scalar(prefix + "supply.backpressured",
+                   "cycles the core could not accept supply",
+                   &supplyBackpressured);
+        reg.scalar(prefix + "supply.drained",
+                   "cycles after the supply finished", &supplyDrained);
     }
 }
 
@@ -132,17 +167,21 @@ Core::issue(Cycle now)
             }
             --dispatchedCount_;
             Cycle complete = res.complete;
+            int level = res.levelHit;
             if (linesTouched(e.op.addr, e.op.size) > 1) {
                 const MemAccess res2 = mem_.coreAccess(
                     id_, lineAddr(e.op.addr) + kLineBytes, false, now);
-                if (res2.accepted)
-                    complete = std::max(complete, res2.complete);
+                if (res2.accepted && res2.complete > complete) {
+                    complete = res2.complete;
+                    level = res2.levelHit;
+                }
             }
             if (e.op.prodAddr != 0)
                 mem_.observeIndirect(id_, e.op.prodAddr, e.op.addr, now);
             e.state = OpState::Complete;
             e.issued = now;
             e.complete = complete;
+            e.level = static_cast<std::uint8_t>(level);
             ++stats_.loads;
             stats_.loadLatencySum += complete - now;
             ++loadsIssued;
@@ -254,6 +293,7 @@ Core::dispatch(Cycle now)
                 break; // source empty (or finished) this cycle
             }
             havePending_ = true;
+            pulledThisTick_ = true;
         }
         // Structural checks that must hold before consuming the op.
         if (pendingOp_.kind == OpKind::Load &&
@@ -294,6 +334,44 @@ Core::dispatch(Cycle now)
     }
 }
 
+Cycle CoreStats::*
+Core::backendAttrBucket() const
+{
+    // The in-order-retire blocker is the ROB head. A completed load
+    // charges the level that serviced it; a completed non-load (or any
+    // op still awaiting issue on a structural hazard) charges the
+    // exec/L1 buckets — un-issued memory ops are L1-side hazards
+    // (MSHRs, issue ports, address dependences).
+    const RobEntry &head = rob_.peek(0);
+    if (head.state == OpState::Complete) {
+        if (head.op.kind == OpKind::Load) {
+            switch (head.level) {
+              case 2: return &CoreStats::attrBackendMemL2;
+              case 3: return &CoreStats::attrBackendMemLlc;
+              case 4: return &CoreStats::attrBackendMemDram;
+              default: return &CoreStats::attrBackendMemL1;
+            }
+        }
+        return &CoreStats::attrBackendExec;
+    }
+    if (head.op.kind == OpKind::Load || head.op.kind == OpKind::Store)
+        return &CoreStats::attrBackendMemL1;
+    return &CoreStats::attrBackendExec;
+}
+
+Cycle CoreStats::*
+Core::supplyIdleBucket() const
+{
+    // Supply bucket for a cycle in which no op was pulled, evaluated
+    // on post-tick state (used for both the live tick and sleep
+    // windows, where that state is frozen).
+    if (source_ == nullptr || source_->done())
+        return &CoreStats::supplyDrained;
+    if (dispatchStarved_)
+        return &CoreStats::supplyStarved;
+    return &CoreStats::supplyBackpressured;
+}
+
 bool
 Core::tick(Cycle now)
 {
@@ -309,14 +387,19 @@ Core::tick(Cycle now)
         stats_.*sleepBucket_ += gap;
         if (sleepSupplyWait_)
             stats_.supplyWaitCycles += gap;
+        stats_.*sleepAttr_ += gap;
+        stats_.*sleepSupply_ += gap;
     }
     sleepBucket_ = nullptr;
     sleepSupplyWait_ = false;
+    sleepAttr_ = nullptr;
+    sleepSupply_ = nullptr;
 
     if (drained())
         return false;
     lastTicked_ = now;
     dispatchStarved_ = false;
+    pulledThisTick_ = false;
 
     ++stats_.cycles;
     int retired = 0;
@@ -325,25 +408,36 @@ Core::tick(Cycle now)
     dispatch(now);
 
     const char *phase;
+    Cycle CoreStats::*attr;
     if (retired > 0) {
         ++stats_.commitCycles;
+        attr = &CoreStats::attrRetiring;
         phase = "commit";
     } else if (!rob_.empty()) {
         ++stats_.backendStallCycles;
+        attr = backendAttrBucket();
         phase = "backend_stall";
     } else if (now < fetchBlockedUntil_ || pendingMispredictSeq_ >= 0) {
         ++stats_.frontendStallCycles;
+        attr = &CoreStats::attrFrontendBound;
         phase = "frontend_stall";
     } else if (source_ != nullptr && !source_->done()) {
         // Waiting on the instruction supply (e.g. an outQ chunk the
         // TMU is still producing).
         ++stats_.backendStallCycles;
         ++stats_.supplyWaitCycles;
+        attr = &CoreStats::attrOutqEmpty;
         phase = "backend_stall";
     } else {
         ++stats_.frontendStallCycles;
+        attr = &CoreStats::attrFrontendBound;
         phase = "frontend_stall";
     }
+    stats_.*attr += 1;
+    Cycle CoreStats::*supply = pulledThisTick_
+                                   ? &CoreStats::supplyOccupied
+                                   : supplyIdleBucket();
+    stats_.*supply += 1;
     if (tracer_ != nullptr)
         tracer_->phase(tracePid_, id_, phase, now);
 
@@ -353,15 +447,22 @@ Core::tick(Cycle now)
     // since that state is frozen for the whole no-op window.
     if (!rob_.empty()) {
         sleepBucket_ = &CoreStats::backendStallCycles;
+        sleepAttr_ = backendAttrBucket();
     } else if (pendingMispredictSeq_ >= 0 ||
                fetchBlockedUntil_ > now + 1) {
         sleepBucket_ = &CoreStats::frontendStallCycles;
+        sleepAttr_ = &CoreStats::attrFrontendBound;
     } else if (source_ != nullptr && !source_->done()) {
         sleepBucket_ = &CoreStats::backendStallCycles;
         sleepSupplyWait_ = true;
+        sleepAttr_ = &CoreStats::attrOutqEmpty;
     } else {
         sleepBucket_ = &CoreStats::frontendStallCycles;
+        sleepAttr_ = &CoreStats::attrFrontendBound;
     }
+    // Slept cycles never pull, so the supply bucket is the no-pull
+    // classification of the frozen state.
+    sleepSupply_ = supplyIdleBucket();
     return true;
 }
 

@@ -50,6 +50,49 @@ struct CoreStats
     std::uint64_t mispredicts = 0;
     std::uint64_t loadLatencySum = 0; //!< sum of (complete - issue)
 
+    /**
+     * Top-Down cycle attribution: every core cycle is charged to
+     * exactly one bucket (attrSum() == cycles, checked per run). The
+     * taxonomy refines the legacy commit/frontend/backend split — the
+     * backend bucket is divided by where the ROB-head blocker was
+     * serviced (L1/L2/LLC/DRAM for loads, exec otherwise) and supply
+     * starvation gets its own outQ-empty bucket.
+     */
+    Cycle attrRetiring = 0;      //!< >= 1 op retired this cycle
+    Cycle attrFrontendBound = 0; //!< fetch redirect / trace drained
+    Cycle attrBackendMemL1 = 0;  //!< head load serviced by L1 / un-issued mem op
+    Cycle attrBackendMemL2 = 0;  //!< head load serviced by L2
+    Cycle attrBackendMemLlc = 0; //!< head load serviced by the LLC
+    Cycle attrBackendMemDram = 0; //!< head load serviced by DRAM
+    Cycle attrBackendExec = 0;   //!< head is a non-load awaiting its FU
+    Cycle attrOutqEmpty = 0;     //!< starved for instruction supply
+
+    /**
+     * Instruction-supply (TraceSource/outQ) view of the same cycles:
+     * also a full partition (supplySum() == cycles).
+     */
+    Cycle supplyOccupied = 0;      //!< >= 1 op pulled this cycle
+    Cycle supplyStarved = 0;       //!< pull attempted, supply empty
+    Cycle supplyBackpressured = 0; //!< core-side block, no pull tried
+    Cycle supplyDrained = 0;       //!< supply finished (or detached)
+
+    /** Sum of the top-down buckets; must equal cycles. */
+    Cycle
+    attrSum() const
+    {
+        return attrRetiring + attrFrontendBound + attrBackendMemL1 +
+               attrBackendMemL2 + attrBackendMemLlc +
+               attrBackendMemDram + attrBackendExec + attrOutqEmpty;
+    }
+
+    /** Sum of the supply buckets; must equal cycles. */
+    Cycle
+    supplySum() const
+    {
+        return supplyOccupied + supplyStarved + supplyBackpressured +
+               supplyDrained;
+    }
+
     double
     avgLoadToUse() const
     {
@@ -122,11 +165,18 @@ class Core : public Tickable
         Cycle complete = 0;
         Cycle issued = 0;
         std::uint64_t seq = 0;
+        /** Memory level that serviced a load (MemAccess::levelHit). */
+        std::uint8_t level = 0;
     };
 
     void retire(Cycle now, int &retired);
     void issue(Cycle now);
     void dispatch(Cycle now);
+
+    /** Top-down bucket a backend-stall cycle charges (ROB head). */
+    Cycle CoreStats::*backendAttrBucket() const;
+    /** Supply bucket a no-pull cycle charges (post-tick state). */
+    Cycle CoreStats::*supplyIdleBucket() const;
 
     /** Is the producer of @p e's address complete by @p now? */
     bool depReady(const RobEntry &e, Cycle now) const;
@@ -151,10 +201,14 @@ class Core : public Tickable
     // Sleep/wake bookkeeping (event-driven scheduler).
     int dispatchedCount_ = 0; //!< ROB entries still awaiting issue
     bool dispatchStarved_ = false; //!< this tick ended on pullOp=false
+    bool pulledThisTick_ = false;  //!< >= 1 successful pullOp this tick
     Cycle lastTicked_ = 0;
     /** Stall counter each slept cycle charges to (null = no sleep). */
     Cycle CoreStats::*sleepBucket_ = nullptr;
     bool sleepSupplyWait_ = false;
+    /** Attribution/supply buckets each slept cycle charges to. */
+    Cycle CoreStats::*sleepAttr_ = nullptr;
+    Cycle CoreStats::*sleepSupply_ = nullptr;
 
     stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
     int tracePid_ = 0;

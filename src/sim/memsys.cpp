@@ -73,6 +73,8 @@ MemorySystem::dramAccess(Addr line, Cycle t)
 
     const Cycle lat =
         rowHit ? cfg_.mem.dramRowHitLatency : cfg_.mem.dramLatency;
+    dram_.queueCycles += start - static_cast<double>(t);
+    dram_.serviceCycles += static_cast<double>(lat);
     return static_cast<Cycle>(start) + lat;
 }
 
@@ -87,41 +89,54 @@ MemorySystem::dramWrite(Addr line, Cycle t)
         (l ^ (l >> 9)) % static_cast<Addr>(channels_.size()))];
     const double start = std::max(static_cast<double>(t), ch.nextFree);
     ch.nextFree = start + cfg_.mem.lineServiceCycles();
+    dram_.queueCycles += start - static_cast<double>(t);
+    dram_.serviceCycles += cfg_.mem.lineServiceCycles();
     dram_.writeBytes += kLineBytes;
     ++dram_.accesses;
 }
 
 Cycle
-MemorySystem::llcPath(int coreId, Addr line, Cycle t)
+MemorySystem::llcPath(int coreId, Addr line, Cycle t, int *levelOut)
 {
     const int s = sliceOf(line);
     Cache &slice = slices_[static_cast<size_t>(s)];
     const Cycle noc = nocLatency(coreId, s);
 
+    bool wentDram = false;
     Addr evicted = 0;
     Addr *evictedPtr = &evicted;
     const CacheAccess res = slice.access(
         line, t + noc / 2, false,
-        [&](Cycle t2) { return dramAccess(line, t2); }, evictedPtr);
+        [&](Cycle t2) {
+            wentDram = true;
+            return dramAccess(line, t2);
+        },
+        evictedPtr);
     if (!res.accepted)
         return kMissRejected;
+    if (levelOut != nullptr)
+        *levelOut = wentDram ? 4 : 3;
     if (evicted != 0)
         dramWrite(evicted, t); // dirty LLC victim -> DRAM
     return res.complete + noc / 2 + (noc & 1);
 }
 
 Cycle
-MemorySystem::l2Path(int coreId, Addr line, Cycle t, bool isPrefetch)
+MemorySystem::l2Path(int coreId, Addr line, Cycle t, bool isPrefetch,
+                     int *levelOut)
 {
     PerCore &pc = perCore_[static_cast<size_t>(coreId)];
 
     if (!isPrefetch && cfg_.l2BestOffsetPrefetcher)
         pc.bo.observe(line, pendingL2_);
 
+    if (levelOut != nullptr)
+        *levelOut = 2; // refined below on a real L2 miss
     Addr evicted = 0;
     const CacheAccess res = pc.l2.access(
         line, t, false,
-        [&](Cycle t2) { return llcPath(coreId, line, t2); }, &evicted);
+        [&](Cycle t2) { return llcPath(coreId, line, t2, levelOut); },
+        &evicted);
     if (!res.accepted)
         return kMissRejected;
     if (evicted != 0)
@@ -155,10 +170,8 @@ MemorySystem::coreAccess(int coreId, Addr addr, bool write, Cycle now)
     const CacheAccess res = pc.l1.access(
         line, now, write,
         [&](Cycle t) {
-            levelHit = 2;
-            // Peek whether this will go further down, for stats.
-            const Cycle c = l2Path(coreId, line, t, false);
-            return c;
+            // The miss path reports the level that serviced it.
+            return l2Path(coreId, line, t, false, &levelHit);
         },
         &evicted);
 
@@ -195,10 +208,11 @@ MemorySystem::tmuAccess(int coreId, Addr addr, Cycle now)
                    .tlb.accessL2(addr)
                    .extraLatency;
     }
-    const Cycle c = llcPath(coreId, line, now);
+    int levelHit = 3;
+    const Cycle c = llcPath(coreId, line, now, &levelHit);
     if (c == kMissRejected)
         return {false, 0, 0};
-    return {true, c + latencyFault(), 3};
+    return {true, c + latencyFault(), levelHit};
 }
 
 void
@@ -331,8 +345,15 @@ MemorySystem::registerStats(stats::StatRegistry &reg, bool extended) const
                                     static_cast<double>(dram_.accesses)
                               : 0.0;
     });
-    if (extended)
+    if (extended) {
         reg.scalar("dram.rowHits", "row-buffer hits", &dram_.rowHits);
+        reg.scalar("dram.queueCycles",
+                   "channel-busy wait before transfers started",
+                   &dram_.queueCycles);
+        reg.scalar("dram.serviceCycles",
+                   "transfer/activation time of DRAM accesses",
+                   &dram_.serviceCycles);
+    }
 }
 
 double

@@ -39,6 +39,10 @@ struct DramStats
     std::uint64_t writeBytes = 0;
     std::uint64_t rowHits = 0;
     std::uint64_t accesses = 0;
+    /** Channel-busy wait before each transfer started (queueing). */
+    double queueCycles = 0.0;
+    /** Pure transfer/activation time of the transfers themselves. */
+    double serviceCycles = 0.0;
 };
 
 /** The full shared memory system of one simulated multicore. */
@@ -118,10 +122,16 @@ class MemorySystem
         Addr lastRow = ~Addr{0};
     };
 
-    /** L2 access path (L1 miss handler). kMissRejected on hazard. */
-    Cycle l2Path(int coreId, Addr line, Cycle t, bool isPrefetch);
-    /** LLC access path (L2 miss / TMU entry). */
-    Cycle llcPath(int coreId, Addr line, Cycle t);
+    /**
+     * L2 access path (L1 miss handler). kMissRejected on hazard.
+     * @p levelOut (optional) reports the level that serviced the
+     * request: 2=L2, 3=LLC, 4=DRAM.
+     */
+    Cycle l2Path(int coreId, Addr line, Cycle t, bool isPrefetch,
+                 int *levelOut = nullptr);
+    /** LLC access path (L2 miss / TMU entry). @p levelOut: 3 or 4. */
+    Cycle llcPath(int coreId, Addr line, Cycle t,
+                  int *levelOut = nullptr);
     /** DRAM channel read. Always accepted; returns completion. */
     Cycle dramAccess(Addr line, Cycle t);
     /** DRAM channel writeback (occupies bandwidth, no completion). */

@@ -18,19 +18,25 @@ SweepRunner::hardwareJobs()
 
 void
 SweepRunner::run(std::size_t count,
-                 const std::function<void(std::size_t)> &fn) const
+                 const std::function<void(std::size_t)> &fn,
+                 const ProgressFn &onTaskDone) const
 {
     if (count == 0)
         return;
     if (jobs_ <= 1 || count == 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
             fn(i);
+            if (onTaskDone)
+                onTaskDone(i + 1, count);
+        }
         return;
     }
 
     std::atomic<std::size_t> next{0};
+    std::size_t done = 0;
     std::exception_ptr firstError;
     std::mutex errorLock;
+    std::mutex progressLock;
 
     auto worker = [&] {
         for (;;) {
@@ -44,6 +50,10 @@ SweepRunner::run(std::size_t count,
                 const std::lock_guard<std::mutex> g(errorLock);
                 if (!firstError)
                     firstError = std::current_exception();
+            }
+            if (onTaskDone) {
+                const std::lock_guard<std::mutex> g(progressLock);
+                onTaskDone(++done, count);
             }
         }
     };

@@ -27,14 +27,24 @@ class SweepRunner
 
     int jobs() const { return jobs_; }
 
+    /** Completion callback: (tasks finished so far, total tasks). */
+    using ProgressFn =
+        std::function<void(std::size_t, std::size_t)>;
+
     /**
      * Run fn(0..count-1) to completion. With jobs > 1, indices are
      * pulled from a shared atomic counter by min(jobs, count) workers;
      * the first exception thrown by any task is re-thrown on the
      * calling thread after all workers join.
+     *
+     * @p onTaskDone (optional) fires after each task completes —
+     * serialized under a lock, so it may touch shared state (progress
+     * lines on stderr) — with the running completion count. It must
+     * not throw.
      */
     void run(std::size_t count,
-             const std::function<void(std::size_t)> &fn) const;
+             const std::function<void(std::size_t)> &fn,
+             const ProgressFn &onTaskDone = nullptr) const;
 
     /** Worker threads the host can actually run concurrently. */
     static unsigned hardwareJobs();

@@ -151,12 +151,22 @@ System::run(Cycle maxCycles)
 
     SimResult res;
     Cycle nextPoll = (now_ / kPollInterval + 1) * kPollInterval;
+    // Telemetry samples are scheduled the same way as watchdog polls:
+    // interval boundaries clamp the clock jump, and at each boundary a
+    // syncAll back-fills every sleeping component (a provable no-op on
+    // simulated state) so the sampled counters match the dense loop.
+    const Cycle sampleEvery =
+        telemetry_ != nullptr ? telemetry_->interval() : 0;
+    Cycle nextSample =
+        sampleEvery ? (now_ / sampleEvery + 1) * sampleEvery : 0;
     bool capped = false;
     while (!sched.idle()) {
         const Cycle due = sched.nextDue();
         Cycle t = due;
         if (watchdog.enabled() && nextPoll < t)
             t = nextPoll;
+        if (sampleEvery != 0 && nextSample < t)
+            t = nextSample;
         if (t > maxCycles) {
             capped = true;
             break;
@@ -164,8 +174,13 @@ System::run(Cycle maxCycles)
         if (t == due)
             sched.step(t);
         else
-            sched.advanceTo(t); // watchdog-only cycle: no ticks
+            sched.advanceTo(t); // watchdog/sample-only cycle: no ticks
         now_ = sched.now();
+        if (sampleEvery != 0 && now_ >= nextSample) {
+            sched.syncAll(now_);
+            telemetry_->sample(now_);
+            nextSample = (now_ / sampleEvery + 1) * sampleEvery;
+        }
         if (watchdog.enabled() && t >= nextPoll) {
             // Progress/activity counters are frozen across sleep
             // windows (sleeping components by definition touch
@@ -189,6 +204,12 @@ System::run(Cycle maxCycles)
         // cycle so sleep-window counter back-fills land before the
         // occupancy dump and stats aggregation below.
         sched.syncAll(now_);
+    }
+    if (telemetry_ != nullptr) {
+        // Always-emitted final row: zero-cycle runs and intervals
+        // longer than the run still yield one sample (at the final
+        // cycle; a duplicate of an interval boundary coalesces).
+        telemetry_->sample(now_);
     }
     res.sched = sched.stats();
 
@@ -229,6 +250,18 @@ System::run(Cycle maxCycles)
         res.total.frontendStallCycles += s.frontendStallCycles;
         res.total.backendStallCycles += s.backendStallCycles;
         res.total.supplyWaitCycles += s.supplyWaitCycles;
+        res.total.attrRetiring += s.attrRetiring;
+        res.total.attrFrontendBound += s.attrFrontendBound;
+        res.total.attrBackendMemL1 += s.attrBackendMemL1;
+        res.total.attrBackendMemL2 += s.attrBackendMemL2;
+        res.total.attrBackendMemLlc += s.attrBackendMemLlc;
+        res.total.attrBackendMemDram += s.attrBackendMemDram;
+        res.total.attrBackendExec += s.attrBackendExec;
+        res.total.attrOutqEmpty += s.attrOutqEmpty;
+        res.total.supplyOccupied += s.supplyOccupied;
+        res.total.supplyStarved += s.supplyStarved;
+        res.total.supplyBackpressured += s.supplyBackpressured;
+        res.total.supplyDrained += s.supplyDrained;
         res.total.retiredOps += s.retiredOps;
         res.total.loads += s.loads;
         res.total.stores += s.stores;

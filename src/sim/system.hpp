@@ -14,6 +14,7 @@
 #include "sim/core.hpp"
 #include "sim/memsys.hpp"
 #include "sim/sched.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/watchdog.hpp"
 
 namespace tmu::sim {
@@ -57,6 +58,14 @@ class System
     int numCores() const { return static_cast<int>(cores_.size()); }
     const SystemConfig &config() const { return cfg_; }
 
+    /**
+     * Scheduler time after run(): the cycle of the last dispatched
+     * event, which may trail SimResult::cycles (max *charged* core
+     * cycles) by a final no-op dispatch. Telemetry's final row lands
+     * here.
+     */
+    Cycle now() const { return now_; }
+
     /** Attach a core's micro-op supply (not owned). */
     void attachSource(int coreId, TraceSource *src);
 
@@ -69,6 +78,18 @@ class System
      * per-cycle commit/frontend/backend attribution as a phase track.
      */
     void setTracer(stats::TraceWriter *tracer, int pid);
+
+    /**
+     * Attach an interval telemetry sampler (not owned; nullptr
+     * detaches). run() clocks it at every interval boundary — forcing
+     * a Scheduler::syncAll first so sleep-window back-fills land — and
+     * once more at the final cycle, so every run yields at least one
+     * row and the series is identical in event-driven and dense modes.
+     */
+    void setTelemetry(TelemetrySampler *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
 
     /**
      * Run until every core is drained and every device idle. A
@@ -95,6 +116,7 @@ class System
     std::vector<Tickable *> devices_;
     Cycle now_ = 0;
     stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
+    TelemetrySampler *telemetry_ = nullptr; //!< borrowed, may be null
     int tracePid_ = 0;
 };
 

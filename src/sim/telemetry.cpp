@@ -1,0 +1,19 @@
+#include "telemetry.hpp"
+
+namespace tmu::sim {
+
+void
+TelemetrySampler::sample(Cycle now)
+{
+    if (!cycles_.empty() && cycles_.back() == now)
+        return;
+    cycles_.push_back(now);
+    for (Column &col : columns_) {
+        const double v = col.get();
+        col.values.push_back(v);
+        if (tracer_ != nullptr)
+            tracer_->counter(tracePid_, col.name, col.unit, v, now);
+    }
+}
+
+} // namespace tmu::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Interval telemetry: a sampler the System clocks every N cycles to
+ * snapshot live counters (cycle-attribution buckets, outQ occupancy,
+ * DRAM traffic) into a columnar time-series.
+ *
+ * The sampler is passive — callers register named columns as closures
+ * over live counters, and System::run calls sample() at each interval
+ * boundary (after Scheduler::syncAll, so event-driven sleep windows
+ * are back-filled first and the series is bit-identical between the
+ * event-driven and dense scheduler modes). Each sample optionally also
+ * lands as a Perfetto counter track in the attached TraceWriter.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/tracewriter.hpp"
+#include "common/types.hpp"
+
+namespace tmu::sim {
+
+/** Columnar interval time-series of live simulator counters. */
+class TelemetrySampler
+{
+  public:
+    /** One sampled series. */
+    struct Column
+    {
+        std::string name;            //!< dotted stat-style name
+        std::string unit;            //!< "cycles", "bytes", "ops", ...
+        std::function<double()> get; //!< live counter read
+        std::vector<double> values;  //!< one entry per sampled cycle
+    };
+
+    /** Sample every @p interval cycles (>= 1). */
+    explicit TelemetrySampler(Cycle interval)
+        : interval_(interval > 0 ? interval : 1)
+    {
+    }
+
+    Cycle interval() const { return interval_; }
+
+    /** Register a series; must happen before the first sample(). */
+    void
+    addColumn(std::string name, std::string unit,
+              std::function<double()> get)
+    {
+        columns_.push_back(
+            {std::move(name), std::move(unit), std::move(get), {}});
+    }
+
+    /**
+     * Mirror every sample as a Perfetto counter track of process
+     * @p pid (borrowed; nullptr detaches).
+     */
+    void
+    setTracer(stats::TraceWriter *tracer, int pid)
+    {
+        tracer_ = tracer;
+        tracePid_ = pid;
+    }
+
+    /**
+     * Snapshot every column at @p now. Same-cycle duplicates are
+     * dropped, so the always-emitted end-of-run sample coalesces with
+     * a final interval boundary.
+     */
+    void sample(Cycle now);
+
+    std::size_t rows() const { return cycles_.size(); }
+    const std::vector<Cycle> &cycles() const { return cycles_; }
+    const std::vector<Column> &columns() const { return columns_; }
+
+  private:
+    Cycle interval_;
+    std::vector<Cycle> cycles_;
+    std::vector<Column> columns_;
+    stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
+    int tracePid_ = 0;
+};
+
+} // namespace tmu::sim

@@ -970,6 +970,7 @@ TmuEngine::tick(Cycle now)
     if (selfWake_.bound() && now > lastTicked_ + 1) {
         const Cycle gap = now - lastTicked_ - 1;
         stats_.busyCycles += gap;
+        stats_.*sleepAttr_ += gap;
         // Occupancy samples at 32-cycle boundaries inside the window;
         // occupancyBytes_ was frozen (the engine only sleeps with no
         // sealed chunk, so the consumer could not pop while we slept).
@@ -997,6 +998,23 @@ TmuEngine::tick(Cycle now)
     tickTus(now);
     tickArbiter(now);
     tickSerializer(now);
+
+    // Cycle attribution: a productive cycle is charged to the
+    // marshaling phase it advanced; an idle one to whichever resource
+    // it waited on. Slept cycles reuse the idle classification — the
+    // engine only sleeps after a no-change tick, with this state
+    // frozen for the whole window.
+    Cycle EngineStats::*idle = outstanding_.empty()
+                                   ? &EngineStats::backpressureCycles
+                                   : &EngineStats::memsysStallCycles;
+    if (changed_) {
+        stats_.*(curChunk_ >= 0    ? &EngineStats::fillCycles
+                 : serializerDone_ ? &EngineStats::drainCycles
+                                   : &EngineStats::traverseCycles) += 1;
+    } else {
+        stats_.*idle += 1;
+    }
+    sleepAttr_ = idle;
 
     if ((now & 31) == 0) {
         occupancyHist_.add(static_cast<double>(occupancyBytes_));
@@ -1109,6 +1127,21 @@ TmuEngine::registerStats(stats::StatRegistry &reg,
                 "mean per-chunk consume/fill time ratio",
                 [this] { return stats_.readToWriteRatio(); });
     if (extended) {
+        reg.scalar(prefix + "attr.fill",
+                   "busy cycles advancing state while filling a chunk",
+                   &stats_.fillCycles);
+        reg.scalar(prefix + "attr.traverse",
+                   "busy cycles advancing state, no chunk filling",
+                   &stats_.traverseCycles);
+        reg.scalar(prefix + "attr.drain",
+                   "busy cycles after the serializer finished",
+                   &stats_.drainCycles);
+        reg.scalar(prefix + "attr.memsysStall",
+                   "no-progress cycles with memory requests in flight",
+                   &stats_.memsysStallCycles);
+        reg.scalar(prefix + "attr.backpressure",
+                   "no-progress cycles waiting on the outQ consumer",
+                   &stats_.backpressureCycles);
         reg.scalar(prefix + "rwChunks",
                    "chunks with consume/fill accounting",
                    &stats_.rwChunks);

@@ -71,6 +71,28 @@ struct EngineStats
     double rwRatioSum = 0.0; //!< per-chunk read/write time ratios
     std::uint64_t rwChunks = 0;
 
+    /**
+     * Engine cycle attribution: every busy cycle is charged to exactly
+     * one bucket (attrSum() == busyCycles, checked per run). A cycle
+     * that advanced any FSM/queue/serializer state is fill / traverse /
+     * drain by marshaling phase; a cycle that changed nothing stalled
+     * either on outstanding memory (memsys-stall) or on the consumer
+     * freeing an outQ chunk (backpressure).
+     */
+    Cycle fillCycles = 0;        //!< progress while filling a chunk
+    Cycle traverseCycles = 0;    //!< progress, no chunk being filled
+    Cycle drainCycles = 0;       //!< progress after serializer finish
+    Cycle memsysStallCycles = 0; //!< no progress, requests in flight
+    Cycle backpressureCycles = 0; //!< no progress, waiting on consumer
+
+    /** Sum of the attribution buckets; must equal busyCycles. */
+    Cycle
+    attrSum() const
+    {
+        return fillCycles + traverseCycles + drainCycles +
+               memsysStallCycles + backpressureCycles;
+    }
+
     double
     readToWriteRatio() const
     {
@@ -181,6 +203,9 @@ class TmuEngine : public sim::Tickable
 
     /** outQ resident-bytes histogram, sampled every 32 busy cycles. */
     const Histogram &outqOccupancy() const { return occupancyHist_; }
+
+    /** Live outQ resident bytes (telemetry counter sampling). */
+    std::size_t outqOccupancyBytes() const { return occupancyBytes_; }
 
     /** One-line-per-unit dump of FSM/queue state (deadlock triage). */
     std::string debugState() const override;
@@ -384,6 +409,10 @@ class TmuEngine : public sim::Tickable
      *  past an outstanding-full arbiter stop stay frozen). */
     int arbLayersAdvanced_ = 0;
     Cycle lastTicked_ = 0;
+    /** Attribution bucket each slept cycle charges to: the no-change
+     *  classification of the frozen state (engine sleeps only when a
+     *  tick changed nothing). */
+    Cycle EngineStats::*sleepAttr_ = &EngineStats::memsysStallCycles;
     sim::WakePort consumerWake_; //!< host core (seal / producer done)
     sim::WakePort selfWake_;     //!< this engine (outQ chunk freed)
 

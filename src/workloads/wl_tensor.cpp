@@ -66,6 +66,7 @@ void
 accumulateRun(RunResult &into, const RunResult &phase)
 {
     accumulate(into.sim, phase.sim);
+    mergeCounterSnapshots(into.stats, phase.stats);
     into.tmuRequests += phase.tmuRequests;
     into.tmuElements += phase.tmuElements;
     if (phase.rwRatio > 0.0) {

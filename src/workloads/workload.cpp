@@ -7,12 +7,98 @@
 
 namespace tmu::workloads {
 
+namespace {
+
+/** Sum one live CoreStats member over every core. */
+std::function<double()>
+coreSum(sim::System *sys, Cycle sim::CoreStats::*member)
+{
+    return [sys, member] {
+        Cycle n = 0;
+        for (int c = 0; c < sys->numCores(); ++c)
+            n += sys->core(c).stats().*member;
+        return static_cast<double>(n);
+    };
+}
+
+/** The standard core/memory column set of every telemetry stream. */
+void
+addSystemColumns(sim::TelemetrySampler &t, sim::System *sys)
+{
+    using CS = sim::CoreStats;
+    t.addColumn("cores.cycles", "cycles", coreSum(sys, &CS::cycles));
+    t.addColumn("cores.retiredOps", "ops", [sys] {
+        std::uint64_t n = 0;
+        for (int c = 0; c < sys->numCores(); ++c)
+            n += sys->core(c).stats().retiredOps;
+        return static_cast<double>(n);
+    });
+    t.addColumn("cores.attr.retiring", "cycles",
+                coreSum(sys, &CS::attrRetiring));
+    t.addColumn("cores.attr.frontendBound", "cycles",
+                coreSum(sys, &CS::attrFrontendBound));
+    t.addColumn("cores.attr.backendMemL1", "cycles",
+                coreSum(sys, &CS::attrBackendMemL1));
+    t.addColumn("cores.attr.backendMemL2", "cycles",
+                coreSum(sys, &CS::attrBackendMemL2));
+    t.addColumn("cores.attr.backendMemLlc", "cycles",
+                coreSum(sys, &CS::attrBackendMemLlc));
+    t.addColumn("cores.attr.backendMemDram", "cycles",
+                coreSum(sys, &CS::attrBackendMemDram));
+    t.addColumn("cores.attr.backendExec", "cycles",
+                coreSum(sys, &CS::attrBackendExec));
+    t.addColumn("cores.attr.outqEmpty", "cycles",
+                coreSum(sys, &CS::attrOutqEmpty));
+    t.addColumn("cores.supply.occupied", "cycles",
+                coreSum(sys, &CS::supplyOccupied));
+    t.addColumn("cores.supply.starved", "cycles",
+                coreSum(sys, &CS::supplyStarved));
+    t.addColumn("cores.supply.backpressured", "cycles",
+                coreSum(sys, &CS::supplyBackpressured));
+    t.addColumn("cores.supply.drained", "cycles",
+                coreSum(sys, &CS::supplyDrained));
+    t.addColumn("dram.readBytes", "bytes", [sys] {
+        return static_cast<double>(sys->mem().dramStats().readBytes);
+    });
+    t.addColumn("dram.writeBytes", "bytes", [sys] {
+        return static_cast<double>(sys->mem().dramStats().writeBytes);
+    });
+}
+
+} // namespace
+
+void
+mergeCounterSnapshots(stats::StatSnapshot &into,
+                      const stats::StatSnapshot &phase)
+{
+    for (const stats::SnapshotEntry &e : phase.entries) {
+        if (e.kind != stats::StatKind::U64)
+            continue;
+        bool merged = false;
+        for (stats::SnapshotEntry &have : into.entries) {
+            if (have.name == e.name) {
+                have.u += e.u;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            into.entries.push_back(e);
+    }
+}
+
 RunHarness::RunHarness(const RunConfig &cfg)
     : cfg_(cfg), system_(std::make_unique<sim::System>(cfg.system))
 {
     if (cfg_.trace != nullptr)
         system_->setTracer(cfg_.trace, cfg_.tracePid);
     system_->mem().setFaultInjector(cfg_.faults);
+    if (cfg_.telemetry != nullptr) {
+        addSystemColumns(*cfg_.telemetry, system_.get());
+        if (cfg_.trace != nullptr)
+            cfg_.telemetry->setTracer(cfg_.trace, cfg_.tracePid);
+        system_->setTelemetry(cfg_.telemetry);
+    }
 }
 
 void
@@ -33,6 +119,30 @@ RunHarness::addTmuProgram(int c, const engine::TmuProgram &prog)
     if (cfg_.trace != nullptr)
         engines_.back()->setTracer(cfg_.trace, cfg_.tracePid);
     engines_.back()->setFaultInjector(cfg_.faults);
+    if (cfg_.telemetry != nullptr) {
+        const engine::TmuEngine *eng = engines_.back().get();
+        const std::string p = "tmu" + std::to_string(c) + ".";
+        cfg_.telemetry->addColumn(p + "outqOccupancy", "bytes", [eng] {
+            return static_cast<double>(eng->outqOccupancyBytes());
+        });
+        cfg_.telemetry->addColumn(p + "busyCycles", "cycles", [eng] {
+            return static_cast<double>(eng->stats().busyCycles);
+        });
+        using ES = engine::EngineStats;
+        const std::pair<const char *, Cycle ES::*> buckets[] = {
+            {"attr.fill", &ES::fillCycles},
+            {"attr.traverse", &ES::traverseCycles},
+            {"attr.drain", &ES::drainCycles},
+            {"attr.memsysStall", &ES::memsysStallCycles},
+            {"attr.backpressure", &ES::backpressureCycles},
+        };
+        for (const auto &[name, member] : buckets) {
+            cfg_.telemetry->addColumn(
+                p + name, "cycles", [eng, member = member] {
+                    return static_cast<double>(eng->stats().*member);
+                });
+        }
+    }
     system_->addDevice(engines_.back().get());
     outqs_.push_back(
         std::make_unique<engine::OutqSource>(*engines_.back()));

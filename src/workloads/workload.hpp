@@ -55,6 +55,16 @@ struct RunConfig
      * registered under "faults." in the RunResult stats snapshot.
      */
     sim::FaultInjector *faults = nullptr;
+
+    /**
+     * Optional interval telemetry sampler (borrowed; must outlive the
+     * run). The harness registers the standard column set — per-bucket
+     * cycle attribution, retired ops, DRAM traffic, and per-engine
+     * outQ occupancy / phase cycles — and System::run clocks it every
+     * sampler interval. With @c trace set, samples also land as
+     * Perfetto counter tracks.
+     */
+    sim::TelemetrySampler *telemetry = nullptr;
 };
 
 /** One run's outcome. */
@@ -110,6 +120,17 @@ partition(Index total, int cores, int c)
     const Index end = std::min<Index>(total, beg + chunk);
     return {beg, end};
 }
+
+/**
+ * Merge a phase's stat snapshot into a multi-phase aggregate: U64
+ * counters sum by name (unseen names append in phase order), F64
+ * entries are dropped — they are derived ratios (hit rates, GB/s)
+ * that do not aggregate across phases. Keeps the per-unit cycle
+ * attribution sum invariant intact for multi-phase workloads like
+ * CP-ALS whose RunResult spans several simulations.
+ */
+void mergeCounterSnapshots(stats::StatSnapshot &into,
+                           const stats::StatSnapshot &phase);
 
 /**
  * Shared run plumbing: owns the per-core sources/engines for one

@@ -1,9 +1,17 @@
 #!/usr/bin/env python3
-"""Render BENCH_*.json reports (written by the bench binaries via
-BenchReport) as GitHub-flavored markdown tables.
+"""Render simulator JSON artifacts as GitHub-flavored markdown tables.
+
+Three input kinds are recognized by shape:
+  - BENCH_*.json reports written by the bench binaries (BenchReport);
+  - telemetry exports written by `tmu_run --telemetry-json` (rendered
+    as one per-run sample table of the key columns);
+  - committed perf baselines from `tmu_prof.py make-baseline`
+    (rendered as a cycles + dominant-bucket table).
 
 Usage:
     tools/bench_to_md.py BENCH_fig10_speedups.json [more.json ...]
+    tools/bench_to_md.py telemetry.json
+    tools/bench_to_md.py tests/baselines/
     tools/bench_to_md.py results/          # every BENCH_*.json inside
     tools/bench_to_md.py                   # BENCH_*.json in the cwd
 
@@ -20,6 +28,15 @@ def md_escape(cell: str) -> str:
     return str(cell).replace("|", "\\|")
 
 
+def md_table(header: list, rows: list) -> str:
+    lines = ["| " + " | ".join(md_escape(h) for h in header) + " |",
+             "|" + "---|" * len(header)]
+    for row in rows:
+        lines.append("| " + " | ".join(md_escape(c) for c in row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def render_table(table: dict) -> str:
     lines = []
     title = table.get("title", "")
@@ -30,18 +47,11 @@ def render_table(table: dict) -> str:
     rows = table.get("rows", [])
     if not header and rows:
         header = [f"col{i}" for i in range(len(rows[0]))]
-    if header:
-        lines.append("| " + " | ".join(md_escape(h) for h in header) + " |")
-        lines.append("|" + "---|" * len(header))
-    for row in rows:
-        lines.append("| " + " | ".join(md_escape(c) for c in row) + " |")
-    lines.append("")
+    lines.append(md_table(header, rows))
     return "\n".join(lines)
 
 
-def render_report(path: Path) -> str:
-    with path.open() as f:
-        report = json.load(f)
+def render_bench(path: Path, report: dict) -> str:
     lines = [f"## {report.get('bench', path.stem)}", ""]
     for table in report.get("tables", []):
         lines.append(render_table(table))
@@ -55,6 +65,74 @@ def render_report(path: Path) -> str:
     return "\n".join(lines)
 
 
+# Telemetry tables would be unreadable with all ~23 columns; show the
+# headline ones and note the rest.
+TELEMETRY_COLUMNS = [
+    "cores.cycles", "cores.retiredOps", "cores.attr.retiring",
+    "cores.supply.occupied", "dram.readBytes", "dram.writeBytes",
+]
+
+
+def render_telemetry(path: Path, doc: dict) -> str:
+    lines = [f"## telemetry: {path.stem}", ""]
+    for wl, w in doc.get("workloads", {}).items():
+        for rn, r in w.get("runs", {}).items():
+            cycles = r.get("cycle", [])
+            cols = r.get("columns", {})
+            shown = [c for c in TELEMETRY_COLUMNS if c in cols]
+            hidden = len(cols) - len(shown)
+            lines.append(
+                f"**{md_escape(wl)} / {md_escape(rn)}** — "
+                f"{len(cycles)} samples every {r.get('interval')} "
+                f"cycles" +
+                (f" ({hidden} more columns in the JSON)" if hidden
+                 else ""))
+            lines.append("")
+            rows = []
+            for i, cyc in enumerate(cycles):
+                rows.append([str(cyc)] +
+                            [f"{cols[c]['values'][i]:.0f}"
+                             for c in shown])
+            lines.append(md_table(["cycle"] + shown, rows))
+    return "\n".join(lines)
+
+
+def render_baseline(path: Path, doc: dict) -> str:
+    lines = [f"## baseline: {doc.get('workload', path.stem)}", ""]
+    cfg = doc.get("config", {})
+    if cfg:
+        lines.append("config: " + ", ".join(
+            f"`{k}={v}`" for k, v in sorted(cfg.items())
+            if v is not None))
+        lines.append("")
+    rows = []
+    for rn, r in doc.get("runs", {}).items():
+        shares = r.get("coreAttrShares", {})
+        dom = max(shares, key=lambda b: shares[b]) if shares else "n/a"
+        domstr = (f"{dom} ({100.0 * shares[dom]:.1f}%)"
+                  if shares else "n/a")
+        rows.append([rn, str(r.get("cycles", "?")), domstr])
+    lines.append(md_table(["run", "cycles", "dominant core bucket"],
+                          rows))
+    return "\n".join(lines)
+
+
+def render_report(path: Path) -> str:
+    with path.open() as f:
+        doc = json.load(f)
+    if "tables" in doc or "bench" in doc:
+        return render_bench(path, doc)
+    if "workload" in doc and "runs" in doc:
+        return render_baseline(path, doc)
+    if "workloads" in doc and any(
+            "columns" in r
+            for w in doc["workloads"].values()
+            for r in w.get("runs", {}).values()):
+        return render_telemetry(path, doc)
+    raise ValueError("unrecognized document shape (expected a BENCH "
+                     "report, telemetry export, or baseline file)")
+
+
 def collect(args: list) -> list:
     if not args:
         args = ["."]
@@ -62,7 +140,10 @@ def collect(args: list) -> list:
     for arg in args:
         p = Path(arg)
         if p.is_dir():
-            paths.extend(sorted(p.glob("BENCH_*.json")))
+            found = sorted(p.glob("BENCH_*.json"))
+            # A directory of committed baselines has no BENCH_ files;
+            # fall back to every .json inside.
+            paths.extend(found if found else sorted(p.glob("*.json")))
         else:
             paths.append(p)
     return paths
@@ -79,7 +160,7 @@ def main(argv: list) -> int:
             print(render_report(path))
         except BrokenPipeError:
             raise
-        except (OSError, json.JSONDecodeError) as e:
+        except (OSError, ValueError, json.JSONDecodeError) as e:
             print(f"error reading {path}: {e}", file=sys.stderr)
             ok = False
     return 0 if ok else 1

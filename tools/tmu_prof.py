@@ -1,0 +1,494 @@
+#!/usr/bin/env python3
+"""Bottleneck analysis and perf-regression checking over tmu_run exports.
+
+Ingests the JSON written by `tmu_run --stats-json` (and optionally
+`--telemetry-json`) and renders the cycle-attribution taxonomy the
+simulator charges every cycle to (see docs/OBSERVABILITY.md).
+
+Subcommands:
+    summary STATS.json [--telemetry T.json]
+        Bottleneck summary per workload/run: dominant attribution
+        bucket per unit (cores, supply, each TMU engine, DRAM),
+        phase breakdown, and roofline placement (fig12 arithmetic:
+        AI = FLOPs / DRAM bytes against the bandwidth/compute roofs).
+
+    diff A.json B.json [--cycles-threshold PCT] [--share-threshold PP]
+        A/B comparison: cycle deltas (flagged when |delta| >= the
+        cycles threshold, default 2%) and attribution-share deltas in
+        percentage points (flagged >= the share threshold, default 1).
+
+    make-baseline STATS.json --baselines DIR
+        Write one committed baseline file per workload (cycles +
+        bucket shares) for check-baseline.
+
+    check-baseline STATS.json --baselines DIR
+                   [--cycles-tol PCT] [--share-tol PP]
+        Compare a fresh run against the committed baselines. Exits 1
+        on cycle drift beyond --cycles-tol (default 0.5%) or bucket
+        shares moving by more than --share-tol points (default 2).
+
+    self-test --golden-dir DIR [--update]
+        Golden-pinned rendering check (summary + diff over two
+        committed real stats exports) plus a make/check-baseline
+        round trip including an injected 2% regression that must fail.
+
+All output is deterministic: inputs are traversed in file order and
+floats are printed with fixed precision, so goldens pin bytes.
+"""
+
+import argparse
+import io
+import json
+import math
+import sys
+import tempfile
+from pathlib import Path
+
+CORE_ATTR = [
+    "retiring", "frontendBound", "backendMemL1", "backendMemL2",
+    "backendMemLlc", "backendMemDram", "backendExec", "outqEmpty",
+]
+CORE_SUPPLY = ["occupied", "starved", "backpressured", "drained"]
+ENGINE_ATTR = ["fill", "traverse", "drain", "memsysStall",
+               "backpressure"]
+
+# Paper Table 5 machine parameters (sim/config.hpp defaults), used to
+# rebuild the fig12 roofs from the export's meta (cores, sve).
+CORE_GHZ = 2.4
+CHANNEL_GBS = 37.5
+MEM_CHANNELS = 4
+FP_ISSUE_PER_CYCLE = 2
+
+
+def load_runs(path):
+    """[(workload, run, stats-dict)] in file order, successful only."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = []
+    for wl, w in doc.get("workloads", {}).items():
+        if w.get("status") != "ok":
+            continue
+        for rn, r in w.get("runs", {}).items():
+            out.append((wl, rn, r.get("stats", {})))
+    return doc.get("meta", {}), out
+
+
+def shares(stats, prefix, buckets):
+    """{bucket: fraction-of-total} plus the total, or None if absent."""
+    vals = {}
+    for b in buckets:
+        key = prefix + b
+        if key not in stats:
+            return None, 0.0
+        vals[b] = float(stats[key])
+    total = sum(vals.values())
+    if total <= 0.0:
+        return {b: 0.0 for b in buckets}, 0.0
+    return {b: v / total for b, v in vals.items()}, total
+
+
+def dominant(share_map):
+    return max(share_map, key=lambda b: (share_map[b], b))
+
+
+def engine_prefixes(stats):
+    seen = []
+    for name in stats:
+        if name.startswith("tmu") and name.endswith(".busyCycles"):
+            seen.append(name[: -len("busyCycles")])
+    return sorted(seen)
+
+
+def pct(x):
+    return f"{100.0 * x:5.1f}%"
+
+
+def roofline(meta, stats):
+    """(ai, achieved, roof, bound-kind) from the fig12 arithmetic."""
+    flops = float(stats.get("cores.flops", 0))
+    bytes_moved = float(stats.get("dram.readBytes", 0)) + float(
+        stats.get("dram.writeBytes", 0))
+    ai = flops / bytes_moved if bytes_moved > 0 else 0.0
+    achieved = float(stats.get("sim.gflops", 0.0))
+    cores = int(meta.get("cores", 8))
+    sve = int(meta.get("sve", 512))
+    peak_compute = CORE_GHZ * cores * (sve / 64.0) * 2.0 \
+        * FP_ISSUE_PER_CYCLE
+    peak_bw = CHANNEL_GBS * MEM_CHANNELS
+    bw_roof = ai * peak_bw
+    roof = min(peak_compute, bw_roof) if ai > 0 else peak_compute
+    kind = "memory-bound" if bw_roof < peak_compute else "compute-bound"
+    return ai, achieved, roof, kind
+
+
+def bucket_lines(out, title, share_map, total, unit_cycles):
+    dom = dominant(share_map)
+    out.write(f"  {title} ({unit_cycles}: {int(total)}):\n")
+    for b in share_map:
+        marker = "  <-- dominant" if b == dom else ""
+        out.write(f"    {b:<16} {pct(share_map[b])}{marker}\n")
+
+
+def render_summary(meta, runs):
+    out = io.StringIO()
+    out.write("tmu_prof bottleneck summary\n")
+    out.write(f"  config: cores={meta.get('cores', '?')} "
+              f"sve={meta.get('sve', '?')} "
+              f"scale={meta.get('scale', '?')} "
+              f"mode={meta.get('mode', '?')}\n\n")
+    for wl, rn, stats in runs:
+        cycles = int(stats.get("sim.cycles", 0))
+        out.write(f"== {wl} / {rn} ==\n")
+        out.write(f"  cycles: {cycles}  "
+                  f"termination: {stats.get('sim.terminationReason', 'n/a')}\n")
+
+        core, core_total = shares(stats, "cores.attr.", CORE_ATTR)
+        if core is not None:
+            bucket_lines(out, "core top-down", core, core_total,
+                         "summed core cycles")
+        supply, supply_total = shares(stats, "cores.supply.",
+                                      CORE_SUPPLY)
+        if supply is not None:
+            bucket_lines(out, "instruction supply", supply,
+                         supply_total, "summed core cycles")
+        for ep in engine_prefixes(stats):
+            eng, eng_total = shares(stats, ep + "attr.", ENGINE_ATTR)
+            if eng is not None:
+                bucket_lines(out, f"engine {ep.rstrip('.')}", eng,
+                             eng_total, "busy cycles")
+
+        dq = float(stats.get("dram.queueCycles", 0.0))
+        ds = float(stats.get("dram.serviceCycles", 0.0))
+        if dq + ds > 0:
+            out.write(f"  dram: queueing {pct(dq / (dq + ds))} vs "
+                      f"service {pct(ds / (dq + ds))} "
+                      f"(rowHitRate {float(stats.get('dram.rowHitRate', 0.0)):.3f})\n")
+
+        ai, achieved, roof, kind = roofline(meta, stats)
+        util = achieved / roof if roof > 0 else 0.0
+        out.write(f"  roofline: AI {ai:.4f} flop/byte, "
+                  f"{achieved:.2f} GFLOP/s achieved vs {roof:.2f} roof "
+                  f"({pct(util).strip()} of roof, {kind})\n")
+        out.write(f"  bandwidth: {float(stats.get('sim.achievedGBs', 0.0)):.1f} GB/s achieved "
+                  f"of {CHANNEL_GBS * MEM_CHANNELS:.1f} GB/s peak\n")
+        out.write("\n")
+    return out.getvalue()
+
+
+def delta_pct(a, b):
+    if a == 0:
+        return math.inf if b != 0 else 0.0
+    return 100.0 * (b - a) / a
+
+
+def render_diff(meta_a, runs_a, meta_b, runs_b, cycles_threshold,
+                share_threshold):
+    out = io.StringIO()
+    out.write("tmu_prof A/B diff (B relative to A)\n")
+    out.write(f"  thresholds: cycles {cycles_threshold:.2f}%, "
+              f"bucket shares {share_threshold:.2f} points\n\n")
+    index_b = {(wl, rn): st for wl, rn, st in runs_b}
+    significant = 0
+    for wl, rn, sa in runs_a:
+        key = (wl, rn)
+        if key not in index_b:
+            out.write(f"== {wl} / {rn} ==\n  only in A\n\n")
+            continue
+        sb = index_b[key]
+        ca, cb = int(sa.get("sim.cycles", 0)), int(sb.get("sim.cycles", 0))
+        d = delta_pct(ca, cb)
+        flag = "  <-- SIGNIFICANT" if abs(d) >= cycles_threshold else ""
+        significant += bool(flag)
+        out.write(f"== {wl} / {rn} ==\n")
+        out.write(f"  cycles: {ca} -> {cb} ({d:+.2f}%){flag}\n")
+        for name, label in (("sim.achievedGBs", "GB/s"),
+                            ("sim.gflops", "GFLOP/s")):
+            va, vb = float(sa.get(name, 0.0)), float(sb.get(name, 0.0))
+            out.write(f"  {label}: {va:.2f} -> {vb:.2f}\n")
+
+        groups = [("cores.attr.", CORE_ATTR, "core")]
+        groups.append(("cores.supply.", CORE_SUPPLY, "supply"))
+        for ep in engine_prefixes(sa):
+            groups.append((ep + "attr.", ENGINE_ATTR,
+                           ep.rstrip(".")))
+        for prefix, buckets, label in groups:
+            ga, _ = shares(sa, prefix, buckets)
+            gb, _ = shares(sb, prefix, buckets)
+            if ga is None or gb is None:
+                continue
+            for b in buckets:
+                dp = 100.0 * (gb[b] - ga[b])
+                if abs(dp) >= share_threshold:
+                    significant += 1
+                    out.write(f"  {label}.{b}: "
+                              f"{pct(ga[b]).strip()} -> "
+                              f"{pct(gb[b]).strip()} "
+                              f"({dp:+.2f} pts)  <-- SIGNIFICANT\n")
+        out.write("\n")
+    for wl, rn, _ in runs_b:
+        if (wl, rn) not in {(w, r) for w, r, _ in runs_a}:
+            out.write(f"== {wl} / {rn} ==\n  only in B\n\n")
+    out.write(f"significant changes: {significant}\n")
+    return out.getvalue(), significant
+
+
+def baseline_of(meta, wl, run_stats):
+    """Committed-baseline document for one workload."""
+    runs = {}
+    for rn, stats in run_stats:
+        entry = {"cycles": int(stats.get("sim.cycles", 0))}
+        core, _ = shares(stats, "cores.attr.", CORE_ATTR)
+        if core is not None:
+            entry["coreAttrShares"] = {
+                b: round(v, 6) for b, v in core.items()}
+        engines = {}
+        for ep in engine_prefixes(stats):
+            eng, _ = shares(stats, ep + "attr.", ENGINE_ATTR)
+            if eng is not None:
+                engines[ep.rstrip(".")] = {
+                    b: round(v, 6) for b, v in eng.items()}
+        if engines:
+            entry["engineAttrShares"] = engines
+        runs[rn] = entry
+    return {
+        "workload": wl,
+        "config": {k: meta.get(k) for k in
+                   ("scale", "cores", "lanes", "sve", "mode")},
+        "runs": runs,
+    }
+
+
+def cmd_make_baseline(args):
+    meta, runs = load_runs(args.stats)
+    by_wl = {}
+    for wl, rn, stats in runs:
+        by_wl.setdefault(wl, []).append((rn, stats))
+    outdir = Path(args.baselines)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for wl, run_stats in by_wl.items():
+        path = outdir / f"{wl}.json"
+        with path.open("w") as f:
+            json.dump(baseline_of(meta, wl, run_stats), f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def check_against_baseline(meta, runs, baselines_dir, cycles_tol,
+                           share_tol, out=sys.stdout):
+    by_wl = {}
+    for wl, rn, stats in runs:
+        by_wl.setdefault(wl, []).append((rn, stats))
+    failures = []
+    checked = 0
+    for wl, run_stats in by_wl.items():
+        path = Path(baselines_dir) / f"{wl}.json"
+        if not path.exists():
+            out.write(f"{wl}: no baseline at {path}, skipping\n")
+            continue
+        with path.open() as f:
+            base = json.load(f)
+        for key in ("scale", "cores", "sve", "mode"):
+            want = base.get("config", {}).get(key)
+            if want is not None and str(meta.get(key)) != str(want):
+                failures.append(
+                    f"{wl}: config mismatch — baseline expects "
+                    f"{key}={want}, run has {key}={meta.get(key)}")
+        for rn, stats in run_stats:
+            b = base.get("runs", {}).get(rn)
+            if b is None:
+                failures.append(f"{wl}/{rn}: run missing in baseline")
+                continue
+            checked += 1
+            cycles = int(stats.get("sim.cycles", 0))
+            want = int(b["cycles"])
+            drift = delta_pct(want, cycles)
+            status = "ok"
+            if abs(drift) > cycles_tol:
+                status = "FAIL"
+                failures.append(
+                    f"{wl}/{rn}: cycles {want} -> {cycles} "
+                    f"({drift:+.2f}% vs tol {cycles_tol:.2f}%)")
+            out.write(f"{wl}/{rn}: cycles {want} -> {cycles} "
+                      f"({drift:+.2f}%) [{status}]\n")
+            core, _ = shares(stats, "cores.attr.", CORE_ATTR)
+            for bk, bv in b.get("coreAttrShares", {}).items():
+                dp = 100.0 * (core[bk] - bv) if core else 0.0
+                if abs(dp) > share_tol:
+                    failures.append(
+                        f"{wl}/{rn}: core share {bk} moved "
+                        f"{dp:+.2f} pts (tol {share_tol:.2f})")
+    return checked, failures
+
+
+def cmd_check_baseline(args):
+    meta, runs = load_runs(args.stats)
+    checked, failures = check_against_baseline(
+        meta, runs, args.baselines, args.cycles_tol, args.share_tol)
+    if failures:
+        print(f"\ncheck-baseline: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    if checked == 0:
+        print("check-baseline: no runs matched a committed baseline")
+        return 1
+    print(f"check-baseline: {checked} run(s) within tolerance")
+    return 0
+
+
+def cmd_summary(args):
+    meta, runs = load_runs(args.stats)
+    text = render_summary(meta, runs)
+    sys.stdout.write(text)
+    if args.telemetry:
+        with open(args.telemetry) as f:
+            tdoc = json.load(f)
+        sys.stdout.write(render_telemetry_overview(tdoc))
+    return 0
+
+
+def render_telemetry_overview(tdoc):
+    out = io.StringIO()
+    out.write("telemetry overview\n")
+    for wl, w in tdoc.get("workloads", {}).items():
+        for rn, r in w.get("runs", {}).items():
+            cycles = r.get("cycle", [])
+            cols = r.get("columns", {})
+            out.write(f"  {wl}/{rn}: {len(cycles)} samples every "
+                      f"{r.get('interval')} cycles, "
+                      f"{len(cols)} columns\n")
+            occ = [c for c in cols if c.endswith("outqOccupancy")]
+            for c in occ:
+                vals = cols[c]["values"]
+                if vals:
+                    out.write(f"    {c}: peak {max(vals):.0f} bytes, "
+                              f"mean {sum(vals) / len(vals):.1f}\n")
+    return out.getvalue()
+
+
+def cmd_diff(args):
+    meta_a, runs_a = load_runs(args.a)
+    meta_b, runs_b = load_runs(args.b)
+    text, significant = render_diff(meta_a, runs_a, meta_b, runs_b,
+                                    args.cycles_threshold,
+                                    args.share_threshold)
+    sys.stdout.write(text)
+    if args.fail_on_significant and significant > 0:
+        return 1
+    return 0
+
+
+def golden_compare(path, text, update):
+    if update:
+        path.write_text(text)
+        print(f"updated {path}")
+        return True
+    if not path.exists():
+        print(f"self-test: missing golden {path} "
+              f"(run with --update to create)")
+        return False
+    want = path.read_text()
+    if want != text:
+        print(f"self-test: {path} mismatch")
+        import difflib
+        for line in difflib.unified_diff(
+                want.splitlines(), text.splitlines(),
+                fromfile=str(path), tofile="rendered", lineterm=""):
+            print(line)
+        return False
+    return True
+
+
+def cmd_self_test(args):
+    gdir = Path(args.golden_dir)
+    a_path, b_path = gdir / "prof_stats_a.json", gdir / "prof_stats_b.json"
+    for p in (a_path, b_path):
+        if not p.exists():
+            print(f"self-test: missing input {p}")
+            return 1
+    meta_a, runs_a = load_runs(a_path)
+    meta_b, runs_b = load_runs(b_path)
+
+    ok = golden_compare(gdir / "prof_summary_a.txt",
+                        render_summary(meta_a, runs_a), args.update)
+    diff_text, _ = render_diff(meta_a, runs_a, meta_b, runs_b, 2.0, 1.0)
+    ok = golden_compare(gdir / "prof_diff_ab.txt", diff_text,
+                        args.update) and ok
+
+    # Baseline round trip: a baseline made from A must accept A ...
+    with tempfile.TemporaryDirectory() as tmp:
+        by_wl = {}
+        for wl, rn, stats in runs_a:
+            by_wl.setdefault(wl, []).append((rn, stats))
+        for wl, run_stats in by_wl.items():
+            doc = baseline_of(meta_a, wl, run_stats)
+            (Path(tmp) / f"{wl}.json").write_text(json.dumps(doc))
+        sink = io.StringIO()
+        checked, failures = check_against_baseline(
+            meta_a, runs_a, tmp, 0.5, 2.0, out=sink)
+        if failures or checked == 0:
+            print("self-test: baseline round trip FAILED:", failures)
+            ok = False
+        # ... and must reject A with a 2% cycle inflation injected.
+        inflated = [(wl, rn,
+                     {**st, "sim.cycles": int(
+                         int(st.get("sim.cycles", 0)) * 1.02)})
+                    for wl, rn, st in runs_a]
+        sink = io.StringIO()
+        _, failures = check_against_baseline(
+            meta_a, inflated, tmp, 0.5, 2.0, out=sink)
+        if not failures:
+            print("self-test: injected 2% regression was NOT caught")
+            ok = False
+
+    print("self-test: OK" if ok else "self-test: FAILED")
+    return 0 if ok else 1
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="tmu_prof.py",
+                                 description=__doc__.split("\n")[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    s = sub.add_parser("summary", help="bottleneck summary")
+    s.add_argument("stats")
+    s.add_argument("--telemetry", default=None)
+    s.set_defaults(fn=cmd_summary)
+
+    d = sub.add_parser("diff", help="A/B comparison")
+    d.add_argument("a")
+    d.add_argument("b")
+    d.add_argument("--cycles-threshold", type=float, default=2.0,
+                   help="flag cycle deltas >= this percent")
+    d.add_argument("--share-threshold", type=float, default=1.0,
+                   help="flag share deltas >= this many points")
+    d.add_argument("--fail-on-significant", action="store_true")
+    d.set_defaults(fn=cmd_diff)
+
+    m = sub.add_parser("make-baseline", help="write baseline files")
+    m.add_argument("stats")
+    m.add_argument("--baselines", required=True)
+    m.set_defaults(fn=cmd_make_baseline)
+
+    c = sub.add_parser("check-baseline", help="check against baselines")
+    c.add_argument("stats")
+    c.add_argument("--baselines", required=True)
+    c.add_argument("--cycles-tol", type=float, default=0.5,
+                   help="max |cycle drift| percent (default 0.5)")
+    c.add_argument("--share-tol", type=float, default=2.0,
+                   help="max bucket-share move in points (default 2)")
+    c.set_defaults(fn=cmd_check_baseline)
+
+    t = sub.add_parser("self-test", help="golden-pinned rendering test")
+    t.add_argument("--golden-dir", required=True)
+    t.add_argument("--update", action="store_true")
+    t.set_defaults(fn=cmd_self_test)
+
+    args = ap.parse_args(argv[1:])
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

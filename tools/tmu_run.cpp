@@ -28,11 +28,23 @@
  *     --fault-seed N    fault injection seed             (default 1)
  *     --stats-json P    write the full stat registry as JSON to P
  *     --stats-csv P     write the full stat registry as CSV to P
+ *     --telemetry-json P  write the interval telemetry time-series
+ *                         (attribution buckets, outQ occupancy, DRAM
+ *                         traffic, sampled every --telemetry-interval
+ *                         cycles) as JSON to P
+ *     --telemetry-csv P   same series as long-format CSV
+ *     --telemetry-interval N  telemetry sample period (default 1024)
  *     --trace-out P     write a Chrome trace_event / Perfetto timeline
  *                       (per-core stall phases, TMU chunk spans, outQ
- *                       occupancy counters) to P; forces --jobs 1
+ *                       occupancy counters; with telemetry enabled,
+ *                       also its counter tracks) to P; forces --jobs 1
+ *     --quiet           suppress the live sweep progress line
  *     --dump-stats      print the gem5-style plain-text report(s)
  *     --list            list workloads and exit
+ *
+ * Long sweeps report live progress on stderr — completed/total tasks,
+ * elapsed time and ETA — refreshed as tasks finish; automatically
+ * disabled when stderr is not a TTY or --quiet is given.
  *
  * Robustness contract: an unknown workload name, an input id the
  * workload does not accept, or a malformed fault spec never kills a
@@ -49,6 +61,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +70,8 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "common/tracewriter.hpp"
@@ -64,6 +79,7 @@
 #include "sim/fault.hpp"
 #include "sim/statsdump.hpp"
 #include "sim/sweep.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/watchdog.hpp"
 #include "workloads/registry.hpp"
 
@@ -124,6 +140,10 @@ struct WorkloadOutcome
     std::string error; //!< empty on success
     bool verified = false;
     std::vector<std::pair<std::string, RunResult>> runs;
+    /** Per-run interval telemetry (only with --telemetry-json/csv). */
+    std::vector<
+        std::pair<std::string, std::unique_ptr<sim::TelemetrySampler>>>
+        telemetry;
 };
 
 /**
@@ -212,6 +232,80 @@ exportCsv(const std::vector<WorkloadOutcome> &outcomes)
     return csv.str();
 }
 
+/**
+ * One JSON document with every run's telemetry time-series:
+ * {"meta": {...},
+ *  "workloads": {"SpMV": {"runs": {"baseline": {
+ *      "interval": 1024, "cycle": [...],
+ *      "columns": {"cores.attr.retiring":
+ *                      {"unit": "cycles", "values": [...]}, ...}}}}}}
+ */
+std::string
+exportTelemetryJson(const stats::MetaList &meta,
+                    const std::vector<WorkloadOutcome> &outcomes)
+{
+    stats::JsonWriter jw;
+    jw.beginObject();
+    jw.key("meta").beginObject();
+    for (const auto &[k, v] : meta)
+        jw.key(k).value(v);
+    jw.endObject();
+    jw.key("workloads").beginObject();
+    for (const auto &wo : outcomes) {
+        if (wo.telemetry.empty())
+            continue;
+        jw.key(wo.name).beginObject();
+        jw.key("runs").beginObject();
+        for (const auto &[run, t] : wo.telemetry) {
+            jw.key(run).beginObject();
+            jw.key("interval").value(
+                static_cast<std::uint64_t>(t->interval()));
+            jw.key("cycle").beginArray();
+            for (const Cycle c : t->cycles())
+                jw.value(static_cast<std::uint64_t>(c));
+            jw.endArray();
+            jw.key("columns").beginObject();
+            for (const auto &col : t->columns()) {
+                jw.key(col.name).beginObject();
+                jw.key("unit").value(col.unit);
+                jw.key("values").beginArray();
+                for (const double v : col.values)
+                    jw.value(v);
+                jw.endArray();
+                jw.endObject();
+            }
+            jw.endObject();
+            jw.endObject();
+        }
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endObject();
+    jw.endObject();
+    return jw.str();
+}
+
+/** Long-format CSV: workload,run,cycle,column,unit,value. */
+std::string
+exportTelemetryCsv(const std::vector<WorkloadOutcome> &outcomes)
+{
+    stats::CsvWriter csv(
+        {"workload", "run", "cycle", "column", "unit", "value"});
+    for (const auto &wo : outcomes) {
+        for (const auto &[run, t] : wo.telemetry) {
+            for (std::size_t i = 0; i < t->rows(); ++i) {
+                for (const auto &col : t->columns()) {
+                    csv.row({wo.name, run,
+                             std::to_string(t->cycles()[i]), col.name,
+                             col.unit,
+                             stats::JsonWriter::number(col.values[i])});
+                }
+            }
+        }
+    }
+    return csv.str();
+}
+
 /** Deterministic per-workload fault stream: FNV-1a of the name. */
 std::uint64_t
 mixSeed(std::uint64_t seed, const std::string &name)
@@ -236,8 +330,10 @@ usage(const char *argv0)
                          "[--tlb] [--shrink-caches] "
                          "[--watchdog-cycles N] [--fault-spec S] "
                          "[--fault-seed N] [--stats-json P] "
-                         "[--stats-csv P] [--trace-out P] "
-                         "[--dump-stats] [--list]\n",
+                         "[--stats-csv P] [--telemetry-json P] "
+                         "[--telemetry-csv P] "
+                         "[--telemetry-interval N] [--trace-out P] "
+                         "[--quiet] [--dump-stats] [--list]\n",
                  argv0);
     std::exit(2);
 }
@@ -278,10 +374,13 @@ main(int argc, char **argv)
     bool imp = false, tlb = false, shrink = false;
     std::string preset;
     std::string statsJson, statsCsv, traceOut;
+    std::string telemetryJson, telemetryCsv;
+    Cycle telemetryInterval = 1024;
     std::string faultSpecText;
     std::uint64_t faultSeed = 1;
     Cycle watchdogCycles = sim::SystemConfig{}.watchdogCycles;
     bool dumpText = false;
+    bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -306,6 +405,8 @@ main(int argc, char **argv)
         std::string num;
         if (strFlag("--stats-json", statsJson) ||
             strFlag("--stats-csv", statsCsv) ||
+            strFlag("--telemetry-json", telemetryJson) ||
+            strFlag("--telemetry-csv", telemetryCsv) ||
             strFlag("--trace-out", traceOut) ||
             strFlag("--workload", workloadArg) ||
             strFlag("--input", input) ||
@@ -319,6 +420,16 @@ main(int argc, char **argv)
         }
         if (strFlag("--watchdog-cycles", num)) {
             watchdogCycles = std::strtoull(num.c_str(), nullptr, 10);
+            continue;
+        }
+        if (strFlag("--telemetry-interval", num)) {
+            telemetryInterval = std::strtoull(num.c_str(), nullptr, 10);
+            if (telemetryInterval == 0)
+                telemetryInterval = 1;
+            continue;
+        }
+        if (arg == "--quiet") {
+            quiet = true;
             continue;
         }
         if (arg == "--dump-stats") {
@@ -475,6 +586,30 @@ main(int argc, char **argv)
         tasks.push_back(std::move(task));
     }
 
+    // Live progress line: completed/total, elapsed and ETA on stderr.
+    // Only when stderr is an interactive terminal and not --quiet —
+    // logs and pipes never see the \r-refreshed line.
+    sim::SweepRunner::ProgressFn onTaskDone;
+    const auto sweepStart = std::chrono::steady_clock::now();
+    if (!quiet && isatty(fileno(stderr)) != 0) {
+        onTaskDone = [&sweepStart](std::size_t done,
+                                   std::size_t total) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sweepStart)
+                    .count();
+            const double eta =
+                done > 0 ? elapsed / static_cast<double>(done) *
+                               static_cast<double>(total - done)
+                         : 0.0;
+            std::fprintf(stderr,
+                         "\r[%zu/%zu] %.1fs elapsed, ETA %.1fs   %s",
+                         done, total, elapsed, eta,
+                         done == total ? "\n" : "");
+            std::fflush(stderr);
+        };
+    }
+
     // Phase 2 (parallel): execute the prepared tasks. Each closure
     // touches only its own SweepTask; the shared tracer is only ever
     // reachable when --trace-out forced jobs back to 1 above.
@@ -488,6 +623,8 @@ main(int argc, char **argv)
         int pid = task.tracePidBase;
 
         wo.verified = true;
+        const bool wantTelemetry =
+            !telemetryJson.empty() || !telemetryCsv.empty();
         auto runOne = [&](Mode m, const char *runName) {
             // Independent, reproducible fault stream per (workload,
             // path) so sweep composition doesn't shift decisions.
@@ -497,11 +634,19 @@ main(int argc, char **argv)
             cfg.mode = m;
             cfg.faults = faultSpec.any() ? &faults : nullptr;
             cfg.tracePid = pid++;
+            std::unique_ptr<sim::TelemetrySampler> sampler;
+            if (wantTelemetry) {
+                sampler = std::make_unique<sim::TelemetrySampler>(
+                    telemetryInterval);
+                cfg.telemetry = sampler.get();
+            }
             if (!traceOut.empty()) {
                 tracer.processName(cfg.tracePid,
                                    wo.name + ":" + runName);
             }
             RunResult r = task.wl->run(cfg);
+            if (sampler != nullptr)
+                wo.telemetry.emplace_back(runName, std::move(sampler));
             task.output += detail::format("[%s] ", wo.name.c_str());
             appendResult(task.output, runName, r);
             if (faultSpec.any()) {
@@ -529,7 +674,7 @@ main(int argc, char **argv)
                 static_cast<double>(wo.runs[0].second.sim.cycles) /
                     static_cast<double>(wo.runs[1].second.sim.cycles));
         }
-    });
+    }, onTaskDone);
 
     // Flush per-task reports and collect outcomes in task order.
     std::vector<WorkloadOutcome> outcomes;
@@ -555,24 +700,35 @@ main(int argc, char **argv)
             }
         }
     }
-    if (!statsJson.empty() || !statsCsv.empty()) {
-        const stats::MetaList meta = {
-            {"workload", workloadArg},
-            {"input", input.empty() ? "default" : input},
-            {"mode", mode},
-            {"scale", std::to_string(scale)},
-            {"cores", std::to_string(cores)},
-            {"lanes", std::to_string(lanes)},
-            {"sve", std::to_string(sve)},
-            {"faultSpec", faultSpecText},
-            {"faultSeed", std::to_string(faultSeed)},
-        };
-        if (!statsJson.empty() &&
-            stats::saveTextFile(statsJson, exportJson(meta, outcomes)))
-            std::printf("wrote %s\n", statsJson.c_str());
-        if (!statsCsv.empty() &&
-            stats::saveTextFile(statsCsv, exportCsv(outcomes)))
-            std::printf("wrote %s\n", statsCsv.c_str());
+    const stats::MetaList meta = {
+        {"workload", workloadArg},
+        {"input", input.empty() ? "default" : input},
+        {"mode", mode},
+        {"scale", std::to_string(scale)},
+        {"cores", std::to_string(cores)},
+        {"lanes", std::to_string(lanes)},
+        {"sve", std::to_string(sve)},
+        {"faultSpec", faultSpecText},
+        {"faultSeed", std::to_string(faultSeed)},
+    };
+    if (!statsJson.empty() &&
+        stats::saveTextFile(statsJson, exportJson(meta, outcomes)))
+        std::printf("wrote %s\n", statsJson.c_str());
+    if (!statsCsv.empty() &&
+        stats::saveTextFile(statsCsv, exportCsv(outcomes)))
+        std::printf("wrote %s\n", statsCsv.c_str());
+    if (!telemetryJson.empty() || !telemetryCsv.empty()) {
+        stats::MetaList tmeta = meta;
+        tmeta.emplace_back("telemetryInterval",
+                           std::to_string(telemetryInterval));
+        if (!telemetryJson.empty() &&
+            stats::saveTextFile(telemetryJson,
+                                exportTelemetryJson(tmeta, outcomes)))
+            std::printf("wrote %s\n", telemetryJson.c_str());
+        if (!telemetryCsv.empty() &&
+            stats::saveTextFile(telemetryCsv,
+                                exportTelemetryCsv(outcomes)))
+            std::printf("wrote %s\n", telemetryCsv.c_str());
     }
     if (!traceOut.empty() && tracer.save(traceOut)) {
         std::printf("wrote %s (%zu events)\n", traceOut.c_str(),

@@ -121,7 +121,10 @@ runPair(workloads::Workload &wl, workloads::RunConfig cfg)
     return pr;
 }
 
-/** Host threads for bench sweeps: TMU_BENCH_JOBS (default 1). */
+/**
+ * Host threads for bench sweeps: TMU_BENCH_JOBS (default 1).
+ * 0 asks for one worker per hardware thread, like `tmu_run --jobs 0`.
+ */
 inline int
 benchJobs()
 {
@@ -129,6 +132,8 @@ benchJobs()
         const int v = std::atoi(s);
         if (v >= 1)
             return v;
+        if (v == 0 && s[0] == '0') // explicit 0, not parse garbage
+            return sim::SweepRunner::resolveJobs(0);
     }
     return 1;
 }

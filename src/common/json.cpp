@@ -1,0 +1,296 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace tmu::json {
+
+namespace {
+
+/** Cursor over the source text with one-token-lookahead helpers. */
+struct Parser
+{
+    const char *p;
+    const char *end;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    Expected<void>
+    expect(char c)
+    {
+        if (!consume(c)) {
+            return TMU_ERR(Errc::ParseError, "expected '%c' before '%c'",
+                           c, p < end ? *p : '$');
+        }
+        return {};
+    }
+
+    Expected<Value> parseValue(int depth);
+    Expected<std::string> parseString();
+    Expected<Value> parseNumber();
+};
+
+Expected<std::string>
+Parser::parseString()
+{
+    if (!consume('"'))
+        return TMU_ERR(Errc::ParseError, "expected string");
+    std::string out;
+    while (p < end && *p != '"') {
+        const char c = *p++;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (p >= end)
+            return TMU_ERR(Errc::Truncated, "string ends in escape");
+        const char e = *p++;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 4)
+                return TMU_ERR(Errc::Truncated, "short \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char h = *p++;
+                cp <<= 4;
+                if (h >= '0' && h <= '9')
+                    cp |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    cp |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    cp |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return TMU_ERR(Errc::ParseError,
+                                   "bad \\u escape digit '%c'", h);
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are not emitted
+            // by JsonWriter, which only escapes control characters).
+            if (cp < 0x80) {
+                out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+                out += static_cast<char>(0xC0 | (cp >> 6));
+                out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+                out += static_cast<char>(0xE0 | (cp >> 12));
+                out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return TMU_ERR(Errc::ParseError, "bad escape '\\%c'", e);
+        }
+    }
+    if (!consume('"'))
+        return TMU_ERR(Errc::Truncated, "unterminated string");
+    return out;
+}
+
+Expected<Value>
+Parser::parseNumber()
+{
+    const char *start = p;
+    if (p < end && *p == '-')
+        ++p;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '.' || *p == 'e' || *p == 'E' ||
+                       *p == '+' || *p == '-'))
+        ++p;
+    if (p == start)
+        return TMU_ERR(Errc::ParseError, "expected number");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.text.assign(start, static_cast<std::size_t>(p - start));
+    // Validate now so asDouble() cannot fail later on accepted input.
+    char *endp = nullptr;
+    std::strtod(v.text.c_str(), &endp);
+    if (endp != v.text.c_str() + v.text.size())
+        return TMU_ERR(Errc::ParseError, "bad number '%s'",
+                       v.text.c_str());
+    return v;
+}
+
+Expected<Value>
+Parser::parseValue(int depth)
+{
+    if (depth > 64)
+        return TMU_ERR(Errc::ParseError, "nesting too deep");
+    skipWs();
+    if (p >= end)
+        return TMU_ERR(Errc::Truncated, "unexpected end of input");
+    const char c = *p;
+    if (c == '{') {
+        ++p;
+        Value v;
+        v.kind = Value::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            skipWs();
+            auto key = parseString();
+            if (!key)
+                return std::move(key.error());
+            skipWs();
+            if (auto e = expect(':'); !e)
+                return std::move(e.error());
+            auto member = parseValue(depth + 1);
+            if (!member)
+                return std::move(member.error());
+            v.members.emplace_back(std::move(*key),
+                                   std::move(*member));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (auto e = expect('}'); !e)
+                return std::move(e.error());
+            return v;
+        }
+    }
+    if (c == '[') {
+        ++p;
+        Value v;
+        v.kind = Value::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            auto item = parseValue(depth + 1);
+            if (!item)
+                return std::move(item.error());
+            v.items.push_back(std::move(*item));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (auto e = expect(']'); !e)
+                return std::move(e.error());
+            return v;
+        }
+    }
+    if (c == '"') {
+        auto s = parseString();
+        if (!s)
+            return std::move(s.error());
+        Value v;
+        v.kind = Value::Kind::String;
+        v.text = std::move(*s);
+        return v;
+    }
+    auto literal = [&](const char *word, Value v) -> Expected<Value> {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (static_cast<std::size_t>(end - p) < n ||
+            std::char_traits<char>::compare(p, word, n) != 0)
+            return TMU_ERR(Errc::ParseError, "bad literal near '%c'",
+                           c);
+        p += n;
+        return v;
+    };
+    if (c == 't') {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.b = true;
+        return literal("true", v);
+    }
+    if (c == 'f') {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        return literal("false", v);
+    }
+    if (c == 'n')
+        return literal("null", Value{});
+    return parseNumber();
+}
+
+} // namespace
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const std::string &
+Value::asString() const
+{
+    static const std::string empty;
+    return kind == Kind::String ? text : empty;
+}
+
+Expected<std::uint64_t>
+Value::asU64() const
+{
+    if (kind != Kind::Number)
+        return TMU_ERR(Errc::ParseError, "not a number");
+    std::uint64_t v = 0;
+    const char *begin = text.c_str();
+    const char *end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec == std::errc::result_out_of_range)
+        return TMU_ERR(Errc::Overflow, "'%s' overflows u64",
+                       text.c_str());
+    if (ec != std::errc{} || ptr != end)
+        return TMU_ERR(Errc::ParseError, "'%s' is not a u64",
+                       text.c_str());
+    return v;
+}
+
+Expected<double>
+Value::asDouble() const
+{
+    if (kind != Kind::Number)
+        return TMU_ERR(Errc::ParseError, "not a number");
+    char *endp = nullptr;
+    const double v = std::strtod(text.c_str(), &endp);
+    if (endp != text.c_str() + text.size())
+        return TMU_ERR(Errc::ParseError, "'%s' is not a double",
+                       text.c_str());
+    return v;
+}
+
+Expected<Value>
+parse(const std::string &text)
+{
+    Parser parser{text.c_str(), text.c_str() + text.size()};
+    auto v = parser.parseValue(0);
+    if (!v)
+        return v;
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        return TMU_ERR(Errc::ParseError,
+                       "trailing content after document");
+    }
+    return v;
+}
+
+} // namespace tmu::json

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader, the read-side complement of
+ * stats::JsonWriter. Exists for the sweep journal: tmu_run appends one
+ * JSON line per finished task and must replay them after a crash, so
+ * the reader is strict about structure but deliberately tolerant at
+ * the call site — a truncated tail line simply fails to parse and the
+ * journal replay drops it.
+ *
+ * Numbers keep their raw source text alongside the parsed value:
+ * unsigned integers round-trip exactly through asU64(), and doubles
+ * re-rendered with JsonWriter::number() (%.12g) reproduce the original
+ * text, which the resume path relies on for byte-identical exports.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmu::json {
+
+/** One parsed JSON value (a tree; objects keep member order). */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool b = false;       //!< valid when kind == Bool
+    std::string text;     //!< raw number text / string payload
+    std::vector<Value> items; //!< valid when kind == Array
+    std::vector<std::pair<std::string, Value>> members; //!< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Member lookup in an object; nullptr when absent or not one. */
+    const Value *find(const std::string &key) const;
+
+    /** String payload ("" when not a string). */
+    const std::string &asString() const;
+
+    /** Number as u64; error on sign/fraction/overflow/non-number. */
+    Expected<std::uint64_t> asU64() const;
+
+    /** Number as double; error when not a parseable number. */
+    Expected<double> asDouble() const;
+
+    /** Bool payload (false when not a bool). */
+    bool asBool() const { return kind == Kind::Bool && b; }
+};
+
+/**
+ * Parse one complete JSON document from @p text. Trailing
+ * non-whitespace (as after a torn journal line) is a ParseError.
+ */
+Expected<Value> parse(const std::string &text);
+
+} // namespace tmu::json

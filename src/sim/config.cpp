@@ -146,7 +146,7 @@ SystemConfig::validate() const
 std::string
 SystemConfig::describe() const
 {
-    return detail::format(
+    std::string out = detail::format(
         "%s: %d cores, SVE %d b, ROB %d, LSQ %d/%d, "
         "L1 %lluKiB/%d-way/%d MSHR, L2 %lluKiB/%d-way/%d MSHR, "
         "LLC %dx%lluKiB/%d-way, %d HBM ch x %.1f GB/s",
@@ -158,6 +158,28 @@ SystemConfig::describe() const
         l2.mshrs, mem.llcSlices,
         static_cast<unsigned long long>(llcSlice.sizeBytes / 1024),
         llcSlice.ways, mem.memChannels, mem.channelGBs);
+    // Budgets are off by default; the banner only grows when the run
+    // is actually supervised, keeping historical output unchanged.
+    if (deadlineMs > 0 || cycleBudget > 0 || memBudgetBytes > 0) {
+        out += "\nbudgets:";
+        if (deadlineMs > 0) {
+            out += detail::format(
+                " deadline %llu ms,",
+                static_cast<unsigned long long>(deadlineMs));
+        }
+        if (cycleBudget > 0) {
+            out += detail::format(
+                " %llu simulated cycles,",
+                static_cast<unsigned long long>(cycleBudget));
+        }
+        if (memBudgetBytes > 0) {
+            out += detail::format(
+                " %llu MiB resident,",
+                static_cast<unsigned long long>(memBudgetBytes >> 20));
+        }
+        out.pop_back(); // trailing comma
+    }
+    return out;
 }
 
 } // namespace tmu::sim

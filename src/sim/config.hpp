@@ -104,6 +104,22 @@ struct SystemConfig
      * cycle cap. 0 disables the watchdog.
      */
     Cycle watchdogCycles = 1'000'000;
+    /**
+     * Supervised-execution budgets (0 disables each). Enforced
+     * cooperatively by System::run at its poll boundaries, producing
+     * structured DeadlineExceeded / CycleBudgetExceeded /
+     * MemBudgetExceeded terminations instead of hangs or OOM kills.
+     * A watchdog trip observed at the same boundary wins: a deadlocked
+     * run past its deadline is still reported as a deadlock.
+     *
+     * cycleBudget is deterministic (simulated time); deadlineMs and
+     * memBudgetBytes sample the host wall clock / resident set, so
+     * their trip points are host-dependent by design and excluded from
+     * the byte-identical sweep determinism contract.
+     */
+    std::uint64_t deadlineMs = 0;   //!< host wall-clock budget per run
+    Cycle cycleBudget = 0;          //!< simulated-cycle budget per run
+    std::uint64_t memBudgetBytes = 0; //!< host resident-set budget
 
     /** Peak FP throughput in GFLOP/s (FMA on full-width vectors). */
     double

@@ -8,14 +8,19 @@ namespace tmu::sim {
 namespace {
 
 constexpr const char *kKindNames[kNumFaultKinds] = {
-    "mem-lat", "drop-pf", "outq-stall", "outq-corrupt", "fill-delay",
+    "mem-lat",    "drop-pf",    "outq-stall",
+    "outq-corrupt", "fill-delay", "task-fail",
 };
 
-/** Sites whose effect is latency-only and can never corrupt state. */
+/**
+ * Sites whose effect is latency-only and can never corrupt state.
+ * OutqCorrupt must be detected by the chunk checksum; TaskFail must be
+ * detected (and absorbed) by the JobSupervisor's retry machinery.
+ */
 bool
 timingOnly(FaultKind k)
 {
-    return k != FaultKind::OutqCorrupt;
+    return k != FaultKind::OutqCorrupt && k != FaultKind::TaskFail;
 }
 
 Expected<double>

@@ -18,7 +18,13 @@
  *                  engine's per-chunk checksum must *detect* this and
  *                  recover (modeled retransmit penalty), keeping the
  *                  computation correct;
- *  - fill-delay:   delay a TMU fill completion (timing-only).
+ *  - fill-delay:   delay a TMU fill completion (timing-only);
+ *  - task-fail:    spurious transient failure of a whole sweep task.
+ *                  Rolled once per supervised attempt by the
+ *                  JobSupervisor, never inside the simulation: the run
+ *                  itself is untouched, but the attempt is reported
+ *                  failed so retry/backoff/quarantine paths can be
+ *                  exercised deterministically with no real crash.
  *
  * Every injection is counted; timing-only faults are accounted masked
  * at injection (they cannot corrupt state), corruption faults must be
@@ -46,8 +52,9 @@ enum class FaultKind : int {
     OutqStall,           //!< stall outQ consumption
     OutqCorrupt,         //!< flip a bit in an outQ payload word
     FillDelay,           //!< delay a TMU fill completion
+    TaskFail,            //!< spurious transient sweep-task failure
 };
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 6;
 
 /** Stable spec/stat name of a fault kind ("mem-lat"). */
 const char *faultKindName(FaultKind k);

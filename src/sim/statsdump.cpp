@@ -20,7 +20,8 @@ buildSimRegistry(stats::StatRegistry &reg, const SimResult &result,
         reg.scalarU64(
             "sim.terminationReason",
             "how the run ended (0=completed 1=cycle-cap 2=deadlock "
-            "3=livelock)",
+            "3=livelock 4=deadline-exceeded 5=cycle-budget-exceeded "
+            "6=mem-budget-exceeded)",
             [&result] {
                 return static_cast<std::uint64_t>(result.termination);
             });

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Supervised execution for sweep tasks: budgets, retry/backoff,
+ * quarantine, and a crash-safe outcome journal.
+ *
+ * The SweepRunner is fire-and-forget — it executes closures and
+ * rethrows the first exception. Everything above that (ROADMAP items 3
+ * and 4: a serving layer where one bad request never kills the server,
+ * and sweeps that span machines and survive interruption) needs a
+ * supervision layer per task:
+ *
+ *  - JobSupervisor runs one task's attempt loop: classify each
+ *    attempt's outcome, retry transient failures with exponential
+ *    backoff + deterministic seeded jitter, and quarantine the task
+ *    after N consecutive failed attempts (the circuit breaker). The
+ *    `task-fail` fault site injects spurious transient failures so the
+ *    whole loop is testable with no real crashes.
+ *
+ *  - SweepJournal / replayJournal give `tmu_run --journal/--resume`
+ *    crash safety: one JSONL line is appended (and flushed) per
+ *    finished task, a header line fingerprints the sweep
+ *    configuration, and replay tolerates a torn tail line — so a
+ *    SIGKILLed sweep resumes by re-running only the tasks whose lines
+ *    never landed, reproducing the uninterrupted run's exports byte
+ *    for byte.
+ *
+ * Budget *enforcement* lives in System::run (the budgets ride on
+ * SystemConfig and are checked cooperatively at the existing
+ * watchdog/telemetry poll boundaries); this header owns the host
+ * resource probes those checks sample.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statreg.hpp"
+#include "sim/fault.hpp"
+
+namespace tmu::sim {
+
+/** Current resident-set size of this process in bytes (0 if unknown). */
+std::uint64_t hostResidentBytes();
+
+/** Monotonic host clock in milliseconds (steady, not wall time). */
+std::uint64_t hostMonotonicMs();
+
+/** Retry/backoff/quarantine policy for one supervised task. */
+struct SupervisorConfig
+{
+    /** Extra attempts allowed after the first (0 = never retry). */
+    int maxRetries = 0;
+    /**
+     * Circuit breaker: after this many *consecutive* failed attempts
+     * the task is sidelined as quarantined, even with retry budget
+     * left — repeated failure is evidence, not bad luck.
+     */
+    int quarantineAfter = 3;
+    /** Backoff before retry r: min(cap, base << r) + jitter[0, base). */
+    std::uint64_t backoffBaseMs = 25;
+    std::uint64_t backoffCapMs = 1000;
+    /** Jitter stream seed; mix the task name in for independence. */
+    std::uint64_t seed = 1;
+    /** Actually sleep the backoff on the host (off in unit tests). */
+    bool sleepOnBackoff = false;
+    /** Optional cooperative stop (SIGINT drain): checked per retry. */
+    std::function<bool()> stopRequested;
+};
+
+/** Supervision counters, exported as supervisor.* per task. */
+struct SupervisorStats
+{
+    std::uint64_t attempts = 0;      //!< attempt-loop executions
+    std::uint64_t retries = 0;       //!< attempts after the first
+    std::uint64_t backoffCycles = 0; //!< total backoff accrued (ms)
+    std::uint64_t quarantined = 0;   //!< 1 when the breaker tripped
+    std::uint64_t taskFailInjected = 0; //!< task-fail faults rolled in
+    std::uint64_t taskFailDetected = 0; //!< absorbed by supervision
+};
+
+/** One attempt's classified outcome, reported by the task closure. */
+enum class AttemptStatus {
+    Ok,               //!< ran to completion and verified
+    TransientFailure, //!< host-resource trip: worth retrying
+    PermanentFailure, //!< deterministic failure: retrying replays it
+};
+
+/** Terminal outcome of a supervised task. */
+enum class TaskStatus {
+    Ok,          //!< an attempt succeeded
+    Failed,      //!< last attempt failed, breaker not tripped
+    Quarantined, //!< circuit breaker: N consecutive failed attempts
+    Interrupted, //!< cooperative stop arrived between attempts
+};
+
+/** Stable display name ("ok", "failed", "quarantined", ...). */
+const char *taskStatusName(TaskStatus s);
+
+/**
+ * The per-task attempt loop. Construct one per task; supervise() runs
+ * the closure until it succeeds, the retry budget is spent, the
+ * breaker trips, or a stop is requested. The optional FaultInjector's
+ * `task-fail` site is rolled once per attempt — a hit turns a
+ * successful attempt into a spurious TransientFailure (and is
+ * accounted detected, keeping the masked+detected==injected fault
+ * invariant: supervision *is* the integrity check for this site).
+ */
+class JobSupervisor
+{
+  public:
+    JobSupervisor(const SupervisorConfig &cfg,
+                  const std::string &taskName,
+                  FaultInjector *faults = nullptr);
+
+    /** Run the attempt loop to a terminal status. */
+    TaskStatus supervise(const std::function<AttemptStatus()> &attempt);
+
+    const SupervisorStats &stats() const { return stats_; }
+
+    /** Backoff values applied before each retry, in order (for tests
+     *  and logs; deterministic for a given (seed, taskName)). */
+    const std::vector<std::uint64_t> &backoffHistory() const
+    {
+        return backoffs_;
+    }
+
+  private:
+    std::uint64_t nextBackoffMs(int retryIndex);
+
+    SupervisorConfig cfg_;
+    FaultInjector *faults_; //!< borrowed, may be null
+    Rng jitter_;
+    SupervisorStats stats_;
+    std::vector<std::uint64_t> backoffs_;
+};
+
+/** One run's journaled result: name, termination, full snapshot. */
+struct TaskRunRecord
+{
+    std::string run;         //!< "baseline" / "tmu" / phase name
+    std::string termination; //!< terminationName() string
+    stats::StatSnapshot stats;
+};
+
+/** Everything needed to reproduce one task's sweep output exactly. */
+struct TaskRecord
+{
+    std::size_t index = 0; //!< position in the sweep's task list
+    std::string task;      //!< workload name
+    std::string input;
+    std::string status;    //!< taskStatusName() string
+    std::string error;     //!< non-empty only for prepare errors
+    std::string output;    //!< the task's rendered stdout block
+    bool verified = false;
+    SupervisorStats sup;
+    std::vector<TaskRunRecord> runs;
+};
+
+/** Render @p meta as the canonical fingerprint JSON object. */
+std::string
+fingerprintJson(const std::vector<std::pair<std::string, std::string>>
+                    &fields);
+
+/**
+ * Append-only JSONL outcome journal. Thread-safe: append() serializes
+ * under a lock and flushes each record, so a SIGKILL can tear at most
+ * the line being written — which replay drops.
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal() = default;
+    SweepJournal(SweepJournal &&) noexcept;
+    SweepJournal &operator=(SweepJournal &&) noexcept;
+    ~SweepJournal();
+
+    /**
+     * Open @p path for appending. An empty/new file gets the header
+     * line `{"journal":"tmu-sweep","version":1,"fingerprint":...}`
+     * first; a non-empty file is continued as-is (the caller has
+     * already replayed and fingerprint-checked it).
+     */
+    static Expected<SweepJournal> open(const std::string &path,
+                                       const std::string &fingerprint);
+
+    void append(const TaskRecord &record);
+
+    bool isOpen() const { return file_ != nullptr; }
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::mutex lock_;
+};
+
+/** Replay result: recovered records plus tail-damage accounting. */
+struct JournalReplay
+{
+    std::vector<TaskRecord> records; //!< last record wins per index
+    std::size_t linesDropped = 0;    //!< torn/corrupt lines ignored
+};
+
+/**
+ * Read a journal back. The header must carry @p expectFingerprint
+ * (resuming under different sweep parameters would splice
+ * incompatible results — that is an error, not a tolerance). Torn or
+ * corrupt *tail* lines are dropped and counted; a corrupt line in the
+ * middle of the file is also dropped, keeping every line that parses.
+ */
+Expected<JournalReplay>
+replayJournal(const std::string &path,
+              const std::string &expectFingerprint);
+
+} // namespace tmu::sim

@@ -19,12 +19,15 @@ SweepRunner::hardwareJobs()
 void
 SweepRunner::run(std::size_t count,
                  const std::function<void(std::size_t)> &fn,
-                 const ProgressFn &onTaskDone) const
+                 const ProgressFn &onTaskDone,
+                 const StopFn &stopRequested) const
 {
     if (count == 0)
         return;
     if (jobs_ <= 1 || count == 1) {
         for (std::size_t i = 0; i < count; ++i) {
+            if (stopRequested && stopRequested())
+                return;
             fn(i);
             if (onTaskDone)
                 onTaskDone(i + 1, count);
@@ -40,6 +43,8 @@ SweepRunner::run(std::size_t count,
 
     auto worker = [&] {
         for (;;) {
+            if (stopRequested && stopRequested())
+                return;
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)

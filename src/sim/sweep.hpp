@@ -31,6 +31,9 @@ class SweepRunner
     using ProgressFn =
         std::function<void(std::size_t, std::size_t)>;
 
+    /** Cooperative-stop predicate, polled between tasks. */
+    using StopFn = std::function<bool()>;
+
     /**
      * Run fn(0..count-1) to completion. With jobs > 1, indices are
      * pulled from a shared atomic counter by min(jobs, count) workers;
@@ -41,13 +44,31 @@ class SweepRunner
      * serialized under a lock, so it may touch shared state (progress
      * lines on stderr) — with the running completion count. It must
      * not throw.
+     *
+     * @p stopRequested (optional) is polled before each task is
+     * pulled; once it returns true, no *new* task starts, but tasks
+     * already in flight run to completion (a graceful drain — callers
+     * decide what the skipped tail means). It must not throw.
      */
     void run(std::size_t count,
              const std::function<void(std::size_t)> &fn,
-             const ProgressFn &onTaskDone = nullptr) const;
+             const ProgressFn &onTaskDone = nullptr,
+             const StopFn &stopRequested = nullptr) const;
 
     /** Worker threads the host can actually run concurrently. */
     static unsigned hardwareJobs();
+
+    /**
+     * Resolve a --jobs request: values <= 0 mean "one worker per
+     * hardware thread" (never oversubscribes; the honesty rule for
+     * reported speedups lives with the callers).
+     */
+    static int
+    resolveJobs(int requested)
+    {
+        return requested > 0 ? requested
+                             : static_cast<int>(hardwareJobs());
+    }
 
   private:
     int jobs_;

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "sim/addrspace.hpp"
+#include "sim/supervisor.hpp"
 
 namespace tmu::sim {
 
@@ -137,6 +138,26 @@ System::run(Cycle maxCycles)
     constexpr Cycle kPollInterval = 1024;
     ProgressWatchdog watchdog(cfg_.watchdogCycles);
 
+    // Supervised-execution budgets. The simulated-cycle budget is a
+    // second hard stop alongside maxCycles; the host-resource budgets
+    // (wall clock, resident set) are sampled at poll boundaries like
+    // the watchdog. On a tie the budget wins the name: the user asked
+    // for that bound explicitly, the safety cap is implicit.
+    Cycle hardStop = maxCycles;
+    bool cycleBudgetStop = false;
+    if (cfg_.cycleBudget > 0 && cfg_.cycleBudget <= maxCycles) {
+        hardStop = cfg_.cycleBudget;
+        cycleBudgetStop = true;
+    }
+    const bool pollBudgets =
+        cfg_.deadlineMs > 0 || cfg_.memBudgetBytes > 0;
+    const bool polling = watchdog.enabled() || pollBudgets;
+    const auto nowMs = [this]() {
+        return msClock_ ? msClock_() : hostMonotonicMs();
+    };
+    const std::uint64_t startMs = cfg_.deadlineMs > 0 ? nowMs() : 0;
+    std::uint64_t residentAtTrip = 0;
+
     // Devices before cores: the registration order fixes the intra-
     // cycle ordering, so an engine sealing a chunk at cycle t is
     // visible to its (later-ordered) host core at t, exactly as in
@@ -163,11 +184,11 @@ System::run(Cycle maxCycles)
     while (!sched.idle()) {
         const Cycle due = sched.nextDue();
         Cycle t = due;
-        if (watchdog.enabled() && nextPoll < t)
+        if (polling && nextPoll < t)
             t = nextPoll;
         if (sampleEvery != 0 && nextSample < t)
             t = nextSample;
-        if (t > maxCycles) {
+        if (t > hardStop) {
             capped = true;
             break;
         }
@@ -181,23 +202,43 @@ System::run(Cycle maxCycles)
             telemetry_->sample(now_);
             nextSample = (now_ / sampleEvery + 1) * sampleEvery;
         }
-        if (watchdog.enabled() && t >= nextPoll) {
-            // Progress/activity counters are frozen across sleep
-            // windows (sleeping components by definition touch
-            // neither), so the sample sees exactly the values the
-            // per-cycle loop would have seen here.
-            const TerminationReason trip = watchdog.sample(
-                now_, progressCount(), activityCount());
+        if (polling && t >= nextPoll) {
             nextPoll += kPollInterval;
-            if (trip != TerminationReason::Completed) {
-                res.termination = trip;
+            if (watchdog.enabled()) {
+                // Progress/activity counters are frozen across sleep
+                // windows (sleeping components by definition touch
+                // neither), so the sample sees exactly the values the
+                // per-cycle loop would have seen here. Sampled before
+                // the budget checks: a deadlock that coincides with a
+                // budget trip is still diagnosed as a deadlock.
+                const TerminationReason trip = watchdog.sample(
+                    now_, progressCount(), activityCount());
+                if (trip != TerminationReason::Completed) {
+                    res.termination = trip;
+                    break;
+                }
+            }
+            if (cfg_.memBudgetBytes > 0) {
+                const std::uint64_t rss = hostResidentBytes();
+                if (rss > cfg_.memBudgetBytes) {
+                    residentAtTrip = rss;
+                    res.termination =
+                        TerminationReason::MemBudgetExceeded;
+                    break;
+                }
+            }
+            if (cfg_.deadlineMs > 0 &&
+                nowMs() - startMs >= cfg_.deadlineMs) {
+                res.termination = TerminationReason::DeadlineExceeded;
                 break;
             }
         }
     }
     if (capped) {
-        now_ = maxCycles;
-        res.termination = TerminationReason::CycleCap;
+        now_ = hardStop;
+        res.termination = cycleBudgetStop
+                              ? TerminationReason::CycleBudgetExceeded
+                              : TerminationReason::CycleCap;
     }
     if (!res.completed()) {
         // Early end: run every still-live component once at the final
@@ -214,12 +255,36 @@ System::run(Cycle maxCycles)
     res.sched = sched.stats();
 
     if (!res.completed()) {
-        if (res.termination == TerminationReason::CycleCap) {
+        switch (res.termination) {
+        case TerminationReason::CycleCap:
             res.diagnostic = detail::format(
                 "cycle-cap: still active at the %llu-cycle safety "
                 "cap\n",
                 static_cast<unsigned long long>(maxCycles));
-        } else {
+            break;
+        case TerminationReason::CycleBudgetExceeded:
+            res.diagnostic = detail::format(
+                "cycle-budget-exceeded: still active at the "
+                "%llu-simulated-cycle budget\n",
+                static_cast<unsigned long long>(cfg_.cycleBudget));
+            break;
+        case TerminationReason::DeadlineExceeded:
+            res.diagnostic = detail::format(
+                "deadline-exceeded: host wall clock passed the "
+                "%llu ms deadline at cycle %llu\n",
+                static_cast<unsigned long long>(cfg_.deadlineMs),
+                static_cast<unsigned long long>(now_));
+            break;
+        case TerminationReason::MemBudgetExceeded:
+            res.diagnostic = detail::format(
+                "mem-budget-exceeded: resident set %llu MiB over the "
+                "%llu MiB budget at cycle %llu\n",
+                static_cast<unsigned long long>(residentAtTrip >> 20),
+                static_cast<unsigned long long>(cfg_.memBudgetBytes >>
+                                                20),
+                static_cast<unsigned long long>(now_));
+            break;
+        default:
             res.diagnostic = detail::format(
                 "%s: no forward progress for %llu cycles "
                 "(watchdog window %llu)\n",
@@ -227,6 +292,7 @@ System::run(Cycle maxCycles)
                 static_cast<unsigned long long>(
                     watchdog.stalledFor(now_)),
                 static_cast<unsigned long long>(watchdog.window()));
+            break;
         }
         res.diagnostic += occupancyDump(now_);
         TMU_WARN("simulation ended early (%s) at cycle %llu\n%s",
@@ -234,8 +300,19 @@ System::run(Cycle maxCycles)
                  static_cast<unsigned long long>(now_),
                  res.diagnostic.c_str());
         if (tracer_ != nullptr) {
-            tracer_->instant(tracePid_, 0, "watchdog",
-                             std::string("watchdog_") +
+            const bool budget =
+                res.termination ==
+                    TerminationReason::DeadlineExceeded ||
+                res.termination ==
+                    TerminationReason::CycleBudgetExceeded ||
+                res.termination ==
+                    TerminationReason::MemBudgetExceeded;
+            // Budget trips get their own track: they are supervision
+            // outcomes, not watchdog diagnoses.
+            tracer_->instant(tracePid_, 0,
+                             budget ? "budget" : "watchdog",
+                             std::string(budget ? "budget_"
+                                               : "watchdog_") +
                                  terminationName(res.termination),
                              now_);
         }

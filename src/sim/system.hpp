@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -98,8 +100,27 @@ class System
      * the run with a Deadlock/Livelock termination and a structured
      * occupancy dump in SimResult::diagnostic, instead of spinning to
      * the @p maxCycles safety cap.
+     *
+     * Supervised-execution budgets (cfg.deadlineMs, cfg.cycleBudget,
+     * cfg.memBudgetBytes; each 0-disabled) are enforced here too,
+     * cooperatively at the same poll boundaries, yielding
+     * DeadlineExceeded / CycleBudgetExceeded / MemBudgetExceeded
+     * terminations with the same structured diagnostics. The watchdog
+     * is sampled before the budget checks, so a deadlocked run whose
+     * deadline fires in the same interval is still classified as a
+     * deadlock — the budget trip is the symptom, not the diagnosis.
      */
     SimResult run(Cycle maxCycles = 2'000'000'000ULL);
+
+    /**
+     * Override the millisecond clock behind cfg.deadlineMs (tests pin
+     * it to a scripted sequence; default is the host monotonic clock).
+     */
+    void
+    setMsClockForTest(std::function<std::uint64_t()> clock)
+    {
+        msClock_ = std::move(clock);
+    }
 
     /** Occupancy dump of every core, cache and device (diagnosis). */
     std::string occupancyDump(Cycle now) const;
@@ -118,6 +139,7 @@ class System
     stats::TraceWriter *tracer_ = nullptr; //!< borrowed, may be null
     TelemetrySampler *telemetry_ = nullptr; //!< borrowed, may be null
     int tracePid_ = 0;
+    std::function<std::uint64_t()> msClock_; //!< null = host clock
 };
 
 } // namespace tmu::sim

@@ -13,6 +13,7 @@
 #include "common/bitvec.hpp"
 #include "common/circular_queue.hpp"
 #include "common/generator.hpp"
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -291,6 +292,71 @@ TEST(Log, FormatBasics)
 {
     EXPECT_EQ(detail::format("x=%d s=%s", 3, "hi"), "x=3 s=hi");
     EXPECT_EQ(detail::format("plain"), "plain");
+}
+
+TEST(Json, ParsesObjectsAndKeepsMemberOrder)
+{
+    const auto v = json::parse(
+        R"({"b":1,"a":{"nested":true},"list":[1,2,3],"s":"hi"})");
+    ASSERT_TRUE(v.ok()) << v.error().str();
+    ASSERT_TRUE(v->isObject());
+    ASSERT_EQ(v->members.size(), 4u);
+    EXPECT_EQ(v->members[0].first, "b");
+    EXPECT_EQ(v->members[1].first, "a");
+    ASSERT_NE(v->find("a"), nullptr);
+    EXPECT_TRUE(v->find("a")->find("nested")->asBool());
+    EXPECT_EQ(v->find("missing"), nullptr);
+    ASSERT_TRUE(v->find("list")->isArray());
+    EXPECT_EQ(v->find("list")->items.size(), 3u);
+    EXPECT_EQ(v->find("s")->asString(), "hi");
+}
+
+TEST(Json, StringEscapes)
+{
+    const auto v = json::parse(
+        R"("quote \" slash \\ nl \n tab \t unicode A")");
+    ASSERT_TRUE(v.ok()) << v.error().str();
+    EXPECT_EQ(v->asString(), "quote \" slash \\ nl \n tab \t unicode A");
+}
+
+TEST(Json, NumbersRoundTrip)
+{
+    const auto u = json::parse("18446744073709551615");
+    ASSERT_TRUE(u.ok());
+    ASSERT_TRUE(u->asU64().ok());
+    EXPECT_EQ(u->asU64().value(), 18'446'744'073'709'551'615ull);
+
+    // Raw number text is preserved alongside the parsed value.
+    EXPECT_EQ(u->text, "18446744073709551615");
+
+    const auto d = json::parse("-1.25e2");
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(d->asDouble().ok());
+    EXPECT_EQ(d->asDouble().value(), -125.0);
+    // Signed/fractional numbers are not valid u64s.
+    EXPECT_FALSE(d->asU64().ok());
+}
+
+TEST(Json, LiteralsAndWhitespace)
+{
+    EXPECT_TRUE(json::parse("  null ")->isNull());
+    EXPECT_TRUE(json::parse("true")->asBool());
+    EXPECT_FALSE(json::parse("false")->asBool());
+    EXPECT_TRUE(json::parse(" [ ] ")->isArray());
+    EXPECT_TRUE(json::parse("{}")->isObject());
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    // The torn-journal-line shapes replay must drop.
+    EXPECT_FALSE(json::parse("").ok());
+    EXPECT_FALSE(json::parse(R"({"index":1,"task":"SpA)").ok());
+    EXPECT_FALSE(json::parse("{\"a\":}").ok());
+    EXPECT_FALSE(json::parse("[1,2,").ok());
+    EXPECT_FALSE(json::parse("treu").ok());
+    // Trailing non-whitespace after a complete document is an error.
+    EXPECT_FALSE(json::parse("{} {}").ok());
+    EXPECT_FALSE(json::parse("1 2").ok());
 }
 
 } // namespace

@@ -1,0 +1,631 @@
+/**
+ * @file
+ * Supervised execution: the JobSupervisor attempt loop (retry,
+ * backoff, quarantine, task-fail injection), the System::run budget
+ * trips (deadline / cycle budget / memory budget) in both scheduler
+ * modes, and the crash-safe sweep journal round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/supervisor.hpp"
+#include "sim/system.hpp"
+#include "sim/watchdog.hpp"
+
+using namespace tmu;
+using namespace tmu::sim;
+
+namespace {
+
+/** Scripted attempt closure: replays a fixed outcome sequence. */
+struct ScriptedTask
+{
+    std::vector<AttemptStatus> script;
+    std::size_t next = 0;
+
+    AttemptStatus
+    operator()()
+    {
+        if (next < script.size())
+            return script[next++];
+        return script.empty() ? AttemptStatus::Ok : script.back();
+    }
+};
+
+SupervisorConfig
+testPolicy(int maxRetries, int quarantineAfter)
+{
+    SupervisorConfig cfg;
+    cfg.maxRetries = maxRetries;
+    cfg.quarantineAfter = quarantineAfter;
+    cfg.sleepOnBackoff = false; // unit tests never sleep the host
+    return cfg;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string p = ::testing::TempDir() + "tmu_sup_" + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// JobSupervisor attempt loop
+// ---------------------------------------------------------------------
+
+TEST(JobSupervisor, FirstAttemptSucceeds)
+{
+    JobSupervisor sup(testPolicy(3, 3), "t");
+    ScriptedTask task{{AttemptStatus::Ok}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Ok);
+    EXPECT_EQ(sup.stats().attempts, 1u);
+    EXPECT_EQ(sup.stats().retries, 0u);
+    EXPECT_EQ(sup.stats().quarantined, 0u);
+    EXPECT_TRUE(sup.backoffHistory().empty());
+}
+
+TEST(JobSupervisor, TransientFailuresRetryThenSucceed)
+{
+    JobSupervisor sup(testPolicy(2, 5), "t");
+    ScriptedTask task{{AttemptStatus::TransientFailure,
+                       AttemptStatus::TransientFailure,
+                       AttemptStatus::Ok}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Ok);
+    EXPECT_EQ(sup.stats().attempts, 3u);
+    EXPECT_EQ(sup.stats().retries, 2u);
+    EXPECT_EQ(sup.stats().quarantined, 0u);
+    ASSERT_EQ(sup.backoffHistory().size(), 2u);
+    // backoffCycles aggregates exactly the applied backoffs.
+    EXPECT_EQ(sup.stats().backoffCycles,
+              sup.backoffHistory()[0] + sup.backoffHistory()[1]);
+}
+
+TEST(JobSupervisor, RetryBudgetExhaustedFails)
+{
+    JobSupervisor sup(testPolicy(1, 5), "t");
+    ScriptedTask task{{AttemptStatus::TransientFailure}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Failed);
+    EXPECT_EQ(sup.stats().attempts, 2u);
+    EXPECT_EQ(sup.stats().retries, 1u);
+    EXPECT_EQ(sup.stats().quarantined, 0u);
+}
+
+TEST(JobSupervisor, PermanentFailureNeverRetries)
+{
+    // Deterministic failures replay identically: retrying burns time.
+    JobSupervisor sup(testPolicy(5, 0), "t");
+    ScriptedTask task{{AttemptStatus::PermanentFailure}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Failed);
+    EXPECT_EQ(sup.stats().attempts, 1u);
+    EXPECT_EQ(sup.stats().retries, 0u);
+    EXPECT_TRUE(sup.backoffHistory().empty());
+}
+
+TEST(JobSupervisor, CircuitBreakerQuarantines)
+{
+    // Retry budget left (10), but 3 consecutive failures trip the
+    // breaker first.
+    JobSupervisor sup(testPolicy(10, 3), "t");
+    ScriptedTask task{{AttemptStatus::TransientFailure}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Quarantined);
+    EXPECT_EQ(sup.stats().attempts, 3u);
+    EXPECT_EQ(sup.stats().retries, 2u);
+    EXPECT_EQ(sup.stats().quarantined, 1u);
+}
+
+TEST(JobSupervisor, QuarantineDisabledFallsThroughToRetryBudget)
+{
+    JobSupervisor sup(testPolicy(2, 0), "t");
+    ScriptedTask task{{AttemptStatus::TransientFailure}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Failed);
+    EXPECT_EQ(sup.stats().attempts, 3u);
+    EXPECT_EQ(sup.stats().quarantined, 0u);
+}
+
+TEST(JobSupervisor, TaskFailInjectionQuarantineMath)
+{
+    // The CI fault-smoke contract: task-fail probability 1 with
+    // --retries 2 must produce exactly attempts=3, retries=2,
+    // quarantined=1, injected=detected=3 — and the injector's
+    // masked+detected==injected invariant must hold (supervision *is*
+    // the integrity check for this site).
+    FaultSpec spec;
+    spec.site(FaultKind::TaskFail).probability = 1.0;
+    FaultInjector inj(1, spec);
+
+    JobSupervisor sup(testPolicy(2, 3), "SpMV", &inj);
+    ScriptedTask task{{AttemptStatus::Ok}}; // the run itself is fine
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Quarantined);
+    EXPECT_EQ(sup.stats().attempts, 3u);
+    EXPECT_EQ(sup.stats().retries, 2u);
+    EXPECT_EQ(sup.stats().quarantined, 1u);
+    EXPECT_EQ(sup.stats().taskFailInjected, 3u);
+    EXPECT_EQ(sup.stats().taskFailDetected, 3u);
+    EXPECT_EQ(inj.counts(FaultKind::TaskFail).injected, 3u);
+    EXPECT_EQ(inj.counts(FaultKind::TaskFail).detected, 3u);
+    EXPECT_TRUE(inj.allAccounted());
+}
+
+TEST(JobSupervisor, TaskFailProbabilityZeroNeverFires)
+{
+    FaultSpec spec; // all sites off
+    FaultInjector inj(1, spec);
+    JobSupervisor sup(testPolicy(2, 3), "SpMV", &inj);
+    ScriptedTask task{{AttemptStatus::Ok}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Ok);
+    EXPECT_EQ(sup.stats().taskFailInjected, 0u);
+    EXPECT_EQ(inj.counts(FaultKind::TaskFail).injected, 0u);
+}
+
+TEST(JobSupervisor, BackoffDeterministicAndBounded)
+{
+    const auto runOut = [](const std::string &name) {
+        JobSupervisor sup(testPolicy(10, 6), name);
+        ScriptedTask task{{AttemptStatus::TransientFailure}};
+        EXPECT_EQ(sup.supervise(std::ref(task)),
+                  TaskStatus::Quarantined);
+        return sup.backoffHistory();
+    };
+
+    const std::vector<std::uint64_t> a = runOut("taskA");
+    const std::vector<std::uint64_t> b = runOut("taskA");
+    ASSERT_EQ(a.size(), 5u); // 6 attempts -> 5 backoffs
+    // Same (seed, name): bit-identical schedule.
+    EXPECT_EQ(a, b);
+    // Different name: an independent jitter stream.
+    EXPECT_NE(a, runOut("taskB"));
+
+    // Envelope: backoff r is min(cap, base << r) + jitter[0, base).
+    const SupervisorConfig cfg = testPolicy(0, 0);
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        const std::uint64_t shifted =
+            std::min(cfg.backoffCapMs, cfg.backoffBaseMs << r);
+        EXPECT_GE(a[r], shifted) << "retry " << r;
+        EXPECT_LT(a[r], shifted + cfg.backoffBaseMs) << "retry " << r;
+    }
+}
+
+TEST(JobSupervisor, StopRequestInterruptsBetweenAttempts)
+{
+    SupervisorConfig cfg = testPolicy(5, 0);
+    cfg.stopRequested = [] { return true; };
+    JobSupervisor sup(cfg, "t");
+    ScriptedTask task{{AttemptStatus::TransientFailure}};
+    EXPECT_EQ(sup.supervise(std::ref(task)), TaskStatus::Interrupted);
+    EXPECT_EQ(sup.stats().attempts, 1u);
+    EXPECT_EQ(sup.stats().retries, 0u);
+}
+
+TEST(JobSupervisor, TaskStatusNames)
+{
+    EXPECT_STREQ(taskStatusName(TaskStatus::Ok), "ok");
+    EXPECT_STREQ(taskStatusName(TaskStatus::Failed), "failed");
+    EXPECT_STREQ(taskStatusName(TaskStatus::Quarantined),
+                 "quarantined");
+    EXPECT_STREQ(taskStatusName(TaskStatus::Interrupted),
+                 "interrupted");
+}
+
+// ---------------------------------------------------------------------
+// System::run budget enforcement
+// ---------------------------------------------------------------------
+
+namespace {
+
+SystemConfig
+budgetConfig(bool dense)
+{
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.schedDense = dense;
+    return cfg;
+}
+
+/** Busy forever, but always making progress: no watchdog trip. */
+class BusyDevice : public Tickable
+{
+  public:
+    bool
+    tick(Cycle) override
+    {
+        ++progress_;
+        return true;
+    }
+    std::uint64_t progressCount() const override { return progress_; }
+
+  private:
+    std::uint64_t progress_ = 0;
+};
+
+/** Busy forever with zero progress: a deadlock shape. */
+class StuckDevice : public Tickable
+{
+  public:
+    bool tick(Cycle) override { return true; }
+    std::uint64_t progressCount() const override { return 0; }
+    std::string debugState() const override
+    {
+        return "stuck-device\n";
+    }
+};
+
+} // namespace
+
+class BudgetBothScheds : public ::testing::TestWithParam<bool>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(SchedModes, BudgetBothScheds,
+                         ::testing::Values(false, true),
+                         [](const auto &info) {
+                             return info.param ? "dense" : "event";
+                         });
+
+TEST_P(BudgetBothScheds, CycleBudgetTripsBeforeCap)
+{
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.cycleBudget = 5'000;
+    System sys(cfg);
+    BusyDevice dev;
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+    EXPECT_FALSE(res.completed());
+    EXPECT_EQ(res.termination, TerminationReason::CycleBudgetExceeded);
+    EXPECT_NE(res.diagnostic.find("cycle-budget-exceeded"),
+              std::string::npos)
+        << res.diagnostic;
+}
+
+TEST_P(BudgetBothScheds, CycleBudgetTieWinsTheName)
+{
+    // budget == cap: the explicit budget names the trip, not the
+    // implicit safety cap.
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.cycleBudget = 5'000;
+    System sys(cfg);
+    BusyDevice dev;
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/5'000);
+    EXPECT_EQ(res.termination, TerminationReason::CycleBudgetExceeded);
+}
+
+TEST_P(BudgetBothScheds, CycleBudgetAboveCapFallsBackToCycleCap)
+{
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.cycleBudget = 50'000;
+    System sys(cfg);
+    BusyDevice dev;
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/5'000);
+    EXPECT_EQ(res.termination, TerminationReason::CycleCap);
+}
+
+TEST_P(BudgetBothScheds, DeadlineTripsOnTheHostClock)
+{
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.deadlineMs = 10;
+    System sys(cfg);
+    BusyDevice dev;
+    sys.addDevice(&dev);
+    // Injected clock: 0 at run entry, then far past the deadline.
+    std::uint64_t calls = 0;
+    sys.setMsClockForTest(
+        [&calls]() -> std::uint64_t { return calls++ == 0 ? 0 : 50; });
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+    EXPECT_EQ(res.termination, TerminationReason::DeadlineExceeded);
+    EXPECT_NE(res.diagnostic.find("deadline-exceeded"),
+              std::string::npos)
+        << res.diagnostic;
+    // Tripped at the first poll boundary, not the cycle cap.
+    EXPECT_LT(res.cycles, 100'000u);
+}
+
+TEST_P(BudgetBothScheds, DeadlockBeatsDeadlineInTheSameInterval)
+{
+    // A stuck device with the watchdog window equal to one poll
+    // interval: the watchdog trips at the second poll. The injected
+    // clock stays under the deadline for exactly the clock reads that
+    // happen before that poll (run entry + first poll's deadline
+    // check) and would report the deadline blown from then on. The
+    // watchdog is sampled before the budget checks, so the run must
+    // still be classified Deadlock — a diagnosable hang, not a
+    // retryable host-resource trip.
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.watchdogCycles = 1'024; // == the poll interval
+    cfg.deadlineMs = 1;
+    System sys(cfg);
+    StuckDevice dev;
+    sys.addDevice(&dev);
+    std::uint64_t calls = 0;
+    sys.setMsClockForTest([&calls]() -> std::uint64_t {
+        return calls++ < 2 ? 0 : 1'000'000;
+    });
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+    EXPECT_EQ(res.termination, TerminationReason::Deadlock)
+        << res.diagnostic;
+}
+
+TEST_P(BudgetBothScheds, DeadlineWinsWhenTheWatchdogIsPatient)
+{
+    // Same stuck device, but the watchdog window is far longer than
+    // the deadline: the transient deadline trip fires first.
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.watchdogCycles = 100'000'000;
+    cfg.deadlineMs = 10;
+    System sys(cfg);
+    StuckDevice dev;
+    sys.addDevice(&dev);
+    std::uint64_t calls = 0;
+    sys.setMsClockForTest(
+        [&calls]() -> std::uint64_t { return calls++ == 0 ? 0 : 50; });
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+    EXPECT_EQ(res.termination, TerminationReason::DeadlineExceeded);
+    EXPECT_TRUE(isTransientTermination(res.termination));
+}
+
+TEST_P(BudgetBothScheds, MemBudgetTripsWhenResidentSetExceedsIt)
+{
+    if (hostResidentBytes() == 0)
+        GTEST_SKIP() << "no resident-set probe on this host";
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.memBudgetBytes = 1; // any real process is over this
+    System sys(cfg);
+    StuckDevice dev;
+    sys.addDevice(&dev);
+    const SimResult res = sys.run(/*maxCycles=*/10'000'000);
+    EXPECT_EQ(res.termination, TerminationReason::MemBudgetExceeded);
+    EXPECT_NE(res.diagnostic.find("mem-budget-exceeded"),
+              std::string::npos)
+        << res.diagnostic;
+    EXPECT_TRUE(isTransientTermination(res.termination));
+}
+
+TEST_P(BudgetBothScheds, GenerousBudgetsDoNotPerturbACleanRun)
+{
+    SystemConfig cfg = budgetConfig(GetParam());
+    cfg.deadlineMs = 1'000'000;
+    cfg.cycleBudget = 1'000'000'000;
+    cfg.memBudgetBytes = std::uint64_t{1} << 40; // 1 TiB
+    System sys(cfg);
+    const SimResult res = sys.run();
+    EXPECT_TRUE(res.completed());
+    EXPECT_EQ(res.termination, TerminationReason::Completed);
+}
+
+// ---------------------------------------------------------------------
+// Sweep journal: fingerprint, round trip, tail tolerance
+// ---------------------------------------------------------------------
+
+namespace {
+
+TaskRecord
+sampleRecord(std::size_t index, const std::string &status)
+{
+    TaskRecord rec;
+    rec.index = index;
+    rec.task = "SpMV";
+    rec.input = "synthetic:1000x1000:0.01";
+    rec.status = status;
+    rec.output = "SpMV block\nwith \"quotes\" and\ttabs\n";
+    rec.verified = true;
+    rec.sup.attempts = 2;
+    rec.sup.retries = 1;
+    rec.sup.backoffCycles = 37;
+    rec.sup.taskFailInjected = 1;
+    rec.sup.taskFailDetected = 1;
+
+    TaskRunRecord run;
+    run.run = "baseline";
+    run.termination = "completed";
+    stats::SnapshotEntry u;
+    u.name = "sim.cycles";
+    u.desc = "wall-clock cycles (max over cores)";
+    u.kind = stats::StatKind::U64;
+    u.u = 18'446'744'073'709'551'615ull; // u64 max round-trips
+    stats::SnapshotEntry f;
+    f.name = "sim.achievedGBs";
+    f.desc = "DRAM bandwidth achieved (GB/s)";
+    f.kind = stats::StatKind::F64;
+    f.f = 0.1 + 3e-17; // needs the lossless hexfloat path
+    run.stats.entries = {u, f};
+    rec.runs = {run};
+    return rec;
+}
+
+void
+expectRecordsEqual(const TaskRecord &a, const TaskRecord &b)
+{
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.task, b.task);
+    EXPECT_EQ(a.input, b.input);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.sup.attempts, b.sup.attempts);
+    EXPECT_EQ(a.sup.retries, b.sup.retries);
+    EXPECT_EQ(a.sup.backoffCycles, b.sup.backoffCycles);
+    EXPECT_EQ(a.sup.quarantined, b.sup.quarantined);
+    EXPECT_EQ(a.sup.taskFailInjected, b.sup.taskFailInjected);
+    EXPECT_EQ(a.sup.taskFailDetected, b.sup.taskFailDetected);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t r = 0; r < a.runs.size(); ++r) {
+        EXPECT_EQ(a.runs[r].run, b.runs[r].run);
+        EXPECT_EQ(a.runs[r].termination, b.runs[r].termination);
+        const auto &ae = a.runs[r].stats.entries;
+        const auto &be = b.runs[r].stats.entries;
+        ASSERT_EQ(ae.size(), be.size());
+        for (std::size_t i = 0; i < ae.size(); ++i) {
+            EXPECT_EQ(ae[i].name, be[i].name);
+            EXPECT_EQ(ae[i].desc, be[i].desc);
+            EXPECT_EQ(ae[i].kind, be[i].kind);
+            EXPECT_EQ(ae[i].u, be[i].u);
+            // Bit-exact double round trip (the %a hexfloat path).
+            EXPECT_EQ(ae[i].f, be[i].f);
+        }
+    }
+}
+
+void
+appendRaw(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
+TEST(SweepJournal, FingerprintJsonIsCanonical)
+{
+    const std::string fp = fingerprintJson(
+        {{"workloads", "SpMV,SpAdd"}, {"scale", "512"}});
+    EXPECT_EQ(fp, "{\"workloads\":\"SpMV,SpAdd\",\"scale\":\"512\"}");
+    // Values are escaped as JSON strings.
+    EXPECT_EQ(fingerprintJson({{"k", "a\"b"}}),
+              "{\"k\":\"a\\\"b\"}");
+}
+
+TEST(SweepJournal, RoundTripsRecordsExactly)
+{
+    const std::string path = tempPath("roundtrip.jsonl");
+    const std::string fp = fingerprintJson({{"scale", "512"}});
+    {
+        auto journal = SweepJournal::open(path, fp);
+        ASSERT_TRUE(journal.ok()) << journal.error().str();
+        journal.value().append(sampleRecord(0, "ok"));
+        journal.value().append(sampleRecord(3, "quarantined"));
+    }
+    const auto replay = replayJournal(path, fp);
+    ASSERT_TRUE(replay.ok()) << replay.error().str();
+    EXPECT_EQ(replay.value().linesDropped, 0u);
+    ASSERT_EQ(replay.value().records.size(), 2u);
+    expectRecordsEqual(replay.value().records[0],
+                       sampleRecord(0, "ok"));
+    expectRecordsEqual(replay.value().records[1],
+                       sampleRecord(3, "quarantined"));
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, ReopenAppendsWithoutASecondHeader)
+{
+    const std::string path = tempPath("reopen.jsonl");
+    const std::string fp = fingerprintJson({{"scale", "512"}});
+    {
+        auto j = SweepJournal::open(path, fp);
+        ASSERT_TRUE(j.ok());
+        j.value().append(sampleRecord(0, "ok"));
+    }
+    {
+        auto j = SweepJournal::open(path, fp);
+        ASSERT_TRUE(j.ok());
+        j.value().append(sampleRecord(1, "ok"));
+    }
+    const auto replay = replayJournal(path, fp);
+    ASSERT_TRUE(replay.ok()) << replay.error().str();
+    EXPECT_EQ(replay.value().records.size(), 2u);
+    EXPECT_EQ(replay.value().linesDropped, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, TornTailLineIsDroppedNotFatal)
+{
+    const std::string path = tempPath("torn.jsonl");
+    const std::string fp = fingerprintJson({{"scale", "512"}});
+    {
+        auto j = SweepJournal::open(path, fp);
+        ASSERT_TRUE(j.ok());
+        j.value().append(sampleRecord(0, "ok"));
+    }
+    // A SIGKILL mid-append leaves a partial line with no newline.
+    appendRaw(path, "{\"index\":1,\"task\":\"SpA");
+    const auto replay = replayJournal(path, fp);
+    ASSERT_TRUE(replay.ok()) << replay.error().str();
+    EXPECT_EQ(replay.value().linesDropped, 1u);
+    ASSERT_EQ(replay.value().records.size(), 1u);
+    EXPECT_EQ(replay.value().records[0].index, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, LastRecordWinsPerIndex)
+{
+    // A task re-run after a resume appends a second line for the same
+    // index; the newest one is authoritative.
+    const std::string path = tempPath("lastwins.jsonl");
+    const std::string fp = fingerprintJson({{"scale", "512"}});
+    {
+        auto j = SweepJournal::open(path, fp);
+        ASSERT_TRUE(j.ok());
+        j.value().append(sampleRecord(0, "failed"));
+        j.value().append(sampleRecord(0, "ok"));
+    }
+    const auto replay = replayJournal(path, fp);
+    ASSERT_TRUE(replay.ok());
+    ASSERT_EQ(replay.value().records.size(), 1u);
+    EXPECT_EQ(replay.value().records[0].status, "ok");
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, FingerprintMismatchIsAnError)
+{
+    // Resuming under different sweep parameters would splice
+    // incompatible results: refuse loudly.
+    const std::string path = tempPath("mismatch.jsonl");
+    const std::string fp = fingerprintJson({{"scale", "512"}});
+    {
+        auto j = SweepJournal::open(path, fp);
+        ASSERT_TRUE(j.ok());
+    }
+    const auto replay =
+        replayJournal(path, fingerprintJson({{"scale", "128"}}));
+    EXPECT_FALSE(replay.ok());
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, MissingFileIsAnError)
+{
+    const auto replay = replayJournal(
+        tempPath("nonexistent.jsonl"), fingerprintJson({}));
+    EXPECT_FALSE(replay.ok());
+}
+
+TEST(SweepJournal, GarbageHeaderIsAnError)
+{
+    const std::string path = tempPath("garbage.jsonl");
+    appendRaw(path, "not a journal\n");
+    const auto replay = replayJournal(path, fingerprintJson({}));
+    EXPECT_FALSE(replay.ok());
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Host probes
+// ---------------------------------------------------------------------
+
+TEST(HostProbes, MonotonicClockAdvancesOrAtLeastHolds)
+{
+    const std::uint64_t a = hostMonotonicMs();
+    const std::uint64_t b = hostMonotonicMs();
+    EXPECT_GE(b, a);
+}
+
+TEST(HostProbes, ResidentBytesIsPlausibleWhenAvailable)
+{
+    const std::uint64_t rss = hostResidentBytes();
+    if (rss == 0)
+        GTEST_SKIP() << "no resident-set probe on this host";
+    // A gtest binary is at least 1 MiB and under 1 TiB resident.
+    EXPECT_GT(rss, std::uint64_t{1} << 20);
+    EXPECT_LT(rss, std::uint64_t{1} << 40);
+}

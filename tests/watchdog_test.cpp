@@ -217,6 +217,29 @@ TEST(Watchdog, TerminationNames)
                  "deadlock");
     EXPECT_STREQ(terminationName(TerminationReason::Livelock),
                  "livelock");
+    EXPECT_STREQ(terminationName(TerminationReason::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(
+        terminationName(TerminationReason::CycleBudgetExceeded),
+        "cycle-budget-exceeded");
+    EXPECT_STREQ(terminationName(TerminationReason::MemBudgetExceeded),
+                 "mem-budget-exceeded");
+}
+
+TEST(Watchdog, TransientTerminationClassification)
+{
+    // Host-resource trips are worth retrying; deterministic simulated
+    // outcomes are not.
+    EXPECT_TRUE(
+        isTransientTermination(TerminationReason::DeadlineExceeded));
+    EXPECT_TRUE(
+        isTransientTermination(TerminationReason::MemBudgetExceeded));
+    EXPECT_FALSE(isTransientTermination(TerminationReason::Completed));
+    EXPECT_FALSE(isTransientTermination(TerminationReason::CycleCap));
+    EXPECT_FALSE(isTransientTermination(TerminationReason::Deadlock));
+    EXPECT_FALSE(isTransientTermination(TerminationReason::Livelock));
+    EXPECT_FALSE(isTransientTermination(
+        TerminationReason::CycleBudgetExceeded));
 }
 
 TEST(ProgressWatchdogUnit, SampleSemantics)

@@ -16,15 +16,38 @@
  *     --preset NAME     system preset (neoverse-n1|a64fx|graviton3)
  *     --storage BYTES   TMU per-lane storage            (default 2048)
  *     --jobs N          run a multi-workload sweep on N host threads
- *                       (default 1; output is byte-identical for any
- *                       N — see docs/PARALLEL_SWEEPS.md)
+ *                       (default 1; 0 = one per hardware thread;
+ *                       output is byte-identical for any N — see
+ *                       docs/PARALLEL_SWEEPS.md)
  *     --imp             enable the IMP prefetcher comparator
  *     --tlb             model address translation
  *     --shrink-caches   scale the cache hierarchy with the input
  *     --watchdog-cycles N  forward-progress watchdog window
  *                          (0 disables; default 1000000)
+ *     --deadline-ms N   per-run host wall-clock budget (0 = off);
+ *                       a trip ends the run with termination
+ *                       deadline-exceeded
+ *     --cycle-budget N  per-run simulated-cycle budget (0 = off);
+ *                       termination cycle-budget-exceeded
+ *     --mem-budget-mb N per-run host resident-set budget (0 = off);
+ *                       termination mem-budget-exceeded
+ *     --retries N       retry a task up to N times after a transient
+ *                       failure (deadline/mem-budget trip or an
+ *                       injected task-fail fault), with exponential
+ *                       backoff and deterministic seeded jitter;
+ *                       3 consecutive failed attempts quarantine the
+ *                       task (status "quarantined")
+ *     --journal P       append one JSONL outcome record per finished
+ *                       task to P (crash-safe: flushed per record);
+ *                       refuses an existing non-empty P unless
+ *                       --resume is also given
+ *     --resume P        replay journal P, skip its completed tasks,
+ *                       re-run only the rest, and keep appending to P.
+ *                       The resumed sweep's --stats-json/--stats-csv
+ *                       are byte-identical to an uninterrupted run
  *     --fault-spec S    enable fault injection, e.g.
  *                       "mem-lat=0.01:200,outq-corrupt=0.001"
+ *                       (site task-fail drives the retry machinery)
  *     --fault-seed N    fault injection seed             (default 1)
  *     --stats-json P    write the full stat registry as JSON to P
  *     --stats-csv P     write the full stat registry as CSV to P
@@ -47,21 +70,31 @@
  * disabled when stderr is not a TTY or --quiet is given.
  *
  * Robustness contract: an unknown workload name, an input id the
- * workload does not accept, or a malformed fault spec never kills a
- * multi-workload sweep. Bad workloads are reported (status "error" in
- * the JSON export) and skipped; the exit code is 0 as long as at least
- * one workload ran and verified.
+ * workload does not accept, a malformed fault spec, or an exception
+ * thrown by one task never kills a multi-workload sweep. Every
+ * workload reports a status in the JSON export — "ok", "error"
+ * (never ran), "failed", "quarantined" (circuit breaker) or
+ * "interrupted" — and the exit code summarizes the sweep:
+ *
+ *   0  every workload ran and verified
+ *   2  bad arguments / cannot start (usage, bad spec, bad journal)
+ *   3  partial failure: some workloads ok, some not
+ *   4  every workload failed
+ *   5  interrupted (SIGINT/SIGTERM): in-flight tasks drained, journal
+ *      flushed, partial exports written
  *
  * Sweep structure: workloads are *prepared* serially on the main
  * thread in command-line order (input generation prints progress as it
- * goes), then *run* on a SweepRunner pool. Each task owns its
- * Workload, System and FaultInjector, prints into a private buffer,
- * and the buffers are flushed in command-line order — so stdout, JSON
- * and CSV are byte-identical for any --jobs value.
+ * goes), then *run* on a SweepRunner pool, each under a JobSupervisor
+ * that enforces the retry/backoff/quarantine policy. Each task owns
+ * its Workload, System and FaultInjector, prints into a private
+ * buffer, and the buffers are flushed in command-line order — so
+ * stdout, JSON and CSV are byte-identical for any --jobs value.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +111,7 @@
 #include "common/writers.hpp"
 #include "sim/fault.hpp"
 #include "sim/statsdump.hpp"
+#include "sim/supervisor.hpp"
 #include "sim/sweep.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/watchdog.hpp"
@@ -87,6 +121,40 @@ using namespace tmu;
 using namespace tmu::workloads;
 
 namespace {
+
+/** Exit-code taxonomy (see the header comment). */
+enum ExitCode : int {
+    kExitOk = 0,
+    kExitBadArgs = 2,
+    kExitPartialFailure = 3,
+    kExitAllFailed = 4,
+    kExitInterrupted = 5,
+};
+
+/**
+ * Cooperative stop flag, set by SIGINT/SIGTERM. First signal starts a
+ * graceful drain (no new task starts; journal and exports still
+ * flush); a second signal gives up immediately.
+ */
+volatile std::sig_atomic_t gStop = 0;
+
+extern "C" void
+onStopSignal(int sig)
+{
+    if (gStop)
+        _exit(128 + sig);
+    gStop = 1;
+}
+
+void
+installStopHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onStopSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
 
 sim::SystemConfig
 shrinkCaches(sim::SystemConfig cfg, Index div)
@@ -137,8 +205,11 @@ struct WorkloadOutcome
 {
     std::string name;
     std::string input;
-    std::string error; //!< empty on success
+    std::string error; //!< empty unless the workload never ran
+    /** "ok", "error", "failed", "quarantined" or "interrupted". */
+    std::string status;
     bool verified = false;
+    sim::SupervisorStats sup;
     std::vector<std::pair<std::string, RunResult>> runs;
     /** Per-run interval telemetry (only with --telemetry-json/csv). */
     std::vector<
@@ -155,16 +226,46 @@ struct WorkloadOutcome
 struct SweepTask
 {
     WorkloadOutcome outcome;
-    std::unique_ptr<Workload> wl; //!< null when outcome.error is set
+    std::unique_ptr<Workload> wl; //!< null when not (re-)running
     RunConfig cfg;
     int tracePidBase = 0; //!< assigned serially: stable for any jobs
+    bool fromJournal = false; //!< replayed, not executed, this run
     std::string output;
 };
+
+/** Reverse of sim::terminationName (journal replay). */
+sim::TerminationReason
+terminationFromName(const std::string &name)
+{
+    for (int i = 0;; ++i) {
+        const auto r = static_cast<sim::TerminationReason>(i);
+        const char *n = sim::terminationName(r);
+        if (name == n)
+            return r;
+        if (std::strcmp(n, "unknown") == 0)
+            return sim::TerminationReason::Completed;
+    }
+}
+
+void
+writeSupervisorObject(stats::JsonWriter &jw,
+                      const sim::SupervisorStats &s)
+{
+    jw.beginObject();
+    jw.key("attempts").value(s.attempts);
+    jw.key("retries").value(s.retries);
+    jw.key("backoffCycles").value(s.backoffCycles);
+    jw.key("quarantined").value(s.quarantined);
+    jw.key("taskFail.injected").value(s.taskFailInjected);
+    jw.key("taskFail.detected").value(s.taskFailDetected);
+    jw.endObject();
+}
 
 /**
  * One JSON document covering every requested workload:
  * {"meta": {...},
  *  "workloads": {"SpMV": {"status": "ok", "verified": true,
+ *                         "supervisor": {...},
  *                         "runs": {"baseline": {...}, "tmu": {...}}},
  *                "Bogus": {"status": "error", "error": "..."}}}
  */
@@ -187,9 +288,11 @@ exportJson(const stats::MetaList &meta,
             jw.endObject();
             continue;
         }
-        jw.key("status").value("ok");
+        jw.key("status").value(wo.status.empty() ? "ok" : wo.status);
         jw.key("input").value(wo.input);
         jw.key("verified").value(wo.verified);
+        jw.key("supervisor");
+        writeSupervisorObject(jw, wo.sup);
         jw.key("runs").beginObject();
         for (const auto &[name, r] : wo.runs) {
             jw.key(name).beginObject();
@@ -226,6 +329,23 @@ exportCsv(const std::vector<WorkloadOutcome> &outcomes)
                         ? std::to_string(e.u)
                         : stats::JsonWriter::number(e.f);
                 csv.row({wo.name, name, e.name, value, e.desc});
+            }
+        }
+        if (wo.error.empty()) {
+            const std::pair<const char *, std::uint64_t> rows[] = {
+                {"supervisor.attempts", wo.sup.attempts},
+                {"supervisor.retries", wo.sup.retries},
+                {"supervisor.backoffCycles", wo.sup.backoffCycles},
+                {"supervisor.quarantined", wo.sup.quarantined},
+                {"supervisor.taskFail.injected",
+                 wo.sup.taskFailInjected},
+                {"supervisor.taskFail.detected",
+                 wo.sup.taskFailDetected},
+            };
+            for (const auto &[name, v] : rows) {
+                csv.row({wo.name, "supervisor", name,
+                         std::to_string(v),
+                         "task supervision counter"});
             }
         }
     }
@@ -328,14 +448,17 @@ usage(const char *argv0)
                          "[--preset NAME] [--storage BYTES] "
                          "[--jobs N] [--imp] "
                          "[--tlb] [--shrink-caches] "
-                         "[--watchdog-cycles N] [--fault-spec S] "
+                         "[--watchdog-cycles N] [--deadline-ms N] "
+                         "[--cycle-budget N] [--mem-budget-mb N] "
+                         "[--retries N] [--journal P] [--resume P] "
+                         "[--fault-spec S] "
                          "[--fault-seed N] [--stats-json P] "
                          "[--stats-csv P] [--telemetry-json P] "
                          "[--telemetry-csv P] "
                          "[--telemetry-interval N] [--trace-out P] "
                          "[--quiet] [--dump-stats] [--list]\n",
                  argv0);
-    std::exit(2);
+    std::exit(kExitBadArgs);
 }
 
 /** Split "a,b,c" into its non-empty fields. */
@@ -355,6 +478,17 @@ splitList(const std::string &text)
         start = comma + 1;
     }
     return out;
+}
+
+bool
+fileNonEmpty(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    const int c = std::fgetc(f);
+    std::fclose(f);
+    return c != EOF;
 }
 
 } // namespace
@@ -379,6 +513,11 @@ main(int argc, char **argv)
     std::string faultSpecText;
     std::uint64_t faultSeed = 1;
     Cycle watchdogCycles = sim::SystemConfig{}.watchdogCycles;
+    std::uint64_t deadlineMs = 0;
+    Cycle cycleBudget = 0;
+    std::uint64_t memBudgetMb = 0;
+    int retries = 0;
+    std::string journalPath, resumePath;
     bool dumpText = false;
     bool quiet = false;
 
@@ -412,6 +551,8 @@ main(int argc, char **argv)
             strFlag("--input", input) ||
             strFlag("--mode", mode) ||
             strFlag("--preset", preset) ||
+            strFlag("--journal", journalPath) ||
+            strFlag("--resume", resumePath) ||
             strFlag("--fault-spec", faultSpecText))
             continue;
         if (strFlag("--fault-seed", num)) {
@@ -420,6 +561,24 @@ main(int argc, char **argv)
         }
         if (strFlag("--watchdog-cycles", num)) {
             watchdogCycles = std::strtoull(num.c_str(), nullptr, 10);
+            continue;
+        }
+        if (strFlag("--deadline-ms", num)) {
+            deadlineMs = std::strtoull(num.c_str(), nullptr, 10);
+            continue;
+        }
+        if (strFlag("--cycle-budget", num)) {
+            cycleBudget = std::strtoull(num.c_str(), nullptr, 10);
+            continue;
+        }
+        if (strFlag("--mem-budget-mb", num)) {
+            memBudgetMb = std::strtoull(num.c_str(), nullptr, 10);
+            continue;
+        }
+        if (strFlag("--retries", num)) {
+            retries = std::atoi(num.c_str());
+            if (retries < 0)
+                usage(argv[0]);
             continue;
         }
         if (strFlag("--telemetry-interval", num)) {
@@ -458,7 +617,7 @@ main(int argc, char **argv)
             for (const auto &name : allWorkloads())
                 std::printf("%s\n", name.c_str());
             std::printf("SpAdd\n");
-            return 0;
+            return kExitOk;
         } else {
             usage(argv[0]);
         }
@@ -471,6 +630,11 @@ main(int argc, char **argv)
                      mode.c_str());
         usage(argv[0]);
     }
+    if (jobs < 0) {
+        std::fprintf(stderr, "tmu_run: --jobs must be >= 0\n");
+        usage(argv[0]);
+    }
+    jobs = sim::SweepRunner::resolveJobs(jobs);
 
     // A bad fault spec or preset is a command-line error, not a
     // per-workload one: nothing would run the way the user asked.
@@ -480,7 +644,7 @@ main(int argc, char **argv)
         if (!spec) {
             std::fprintf(stderr, "tmu_run: %s\n",
                          spec.error().str().c_str());
-            return 2;
+            return kExitBadArgs;
         }
         faultSpec = *spec;
     }
@@ -491,7 +655,7 @@ main(int argc, char **argv)
         if (!p) {
             std::fprintf(stderr, "tmu_run: %s\n",
                          p.error().str().c_str());
-            return 2;
+            return kExitBadArgs;
         }
         sysCfg = *p;
     }
@@ -499,6 +663,82 @@ main(int argc, char **argv)
     const std::vector<std::string> names = splitList(workloadArg);
     if (names.empty())
         usage(argv[0]);
+
+    // Journal plumbing. The fingerprint pins everything that shapes a
+    // task's *result*; host-side execution knobs (--jobs, output
+    // paths, --quiet) are deliberately excluded — a sweep may resume
+    // with a different thread count and still reproduce its bytes.
+    if (!resumePath.empty() && journalPath.empty())
+        journalPath = resumePath;
+    if (!resumePath.empty() && journalPath != resumePath) {
+        std::fprintf(stderr, "tmu_run: --journal and --resume must "
+                             "name the same file\n");
+        return kExitBadArgs;
+    }
+    if (!journalPath.empty() &&
+        (!traceOut.empty() || !telemetryJson.empty() ||
+         !telemetryCsv.empty())) {
+        // Timelines and telemetry series are not journaled, so a
+        // resumed run could not reproduce them; refuse up front
+        // rather than silently emit partial files.
+        std::fprintf(stderr,
+                     "tmu_run: --journal/--resume cannot be combined "
+                     "with --trace-out or --telemetry-*\n");
+        return kExitBadArgs;
+    }
+    const std::string fingerprint = sim::fingerprintJson({
+        {"workload", workloadArg},
+        {"input", input},
+        {"mode", mode},
+        {"scale", std::to_string(scale)},
+        {"cores", std::to_string(cores)},
+        {"lanes", std::to_string(lanes)},
+        {"sve", std::to_string(sve)},
+        {"storage", std::to_string(storage)},
+        {"preset", preset},
+        {"imp", imp ? "1" : "0"},
+        {"tlb", tlb ? "1" : "0"},
+        {"shrink", shrink ? "1" : "0"},
+        {"watchdogCycles", std::to_string(watchdogCycles)},
+        {"deadlineMs", std::to_string(deadlineMs)},
+        {"cycleBudget", std::to_string(cycleBudget)},
+        {"memBudgetMb", std::to_string(memBudgetMb)},
+        {"retries", std::to_string(retries)},
+        {"faultSpec", faultSpecText},
+        {"faultSeed", std::to_string(faultSeed)},
+    });
+    std::vector<sim::TaskRecord> resumedRecords;
+    if (!resumePath.empty()) {
+        auto replay = sim::replayJournal(resumePath, fingerprint);
+        if (!replay) {
+            std::fprintf(stderr, "tmu_run: %s\n",
+                         replay.error().str().c_str());
+            return kExitBadArgs;
+        }
+        resumedRecords = std::move(replay->records);
+        std::printf("Resuming: %zu task(s) replayed from %s%s\n",
+                    resumedRecords.size(), resumePath.c_str(),
+                    replay->linesDropped > 0 ? " (torn tail dropped)"
+                                             : "");
+    } else if (!journalPath.empty() && fileNonEmpty(journalPath)) {
+        std::fprintf(stderr,
+                     "tmu_run: journal '%s' already exists and is not "
+                     "empty; pass --resume %s to continue it\n",
+                     journalPath.c_str(), journalPath.c_str());
+        return kExitBadArgs;
+    }
+    sim::SweepJournal journal;
+    if (!journalPath.empty()) {
+        auto j = sim::SweepJournal::open(journalPath, fingerprint);
+        if (!j) {
+            std::fprintf(stderr, "tmu_run: %s\n",
+                         j.error().str().c_str());
+            return kExitBadArgs;
+        }
+        journal = std::move(*j);
+    }
+
+    installStopHandlers();
 
     stats::TraceWriter tracer;
     if (!traceOut.empty() && jobs > 1) {
@@ -510,18 +750,56 @@ main(int argc, char **argv)
 
     // Phase 1 (serial, command-line order): construct, validate and
     // prepare every workload. Trace pids are assigned here so they do
-    // not depend on the pool's execution order.
+    // not depend on the pool's execution order. Tasks already in the
+    // resume journal skip preparation entirely — their outcome is
+    // reconstructed from the record instead.
     std::vector<SweepTask> tasks;
     tasks.reserve(names.size());
     int nextTracePid = 1;
     bool bannerShown = false;
-    for (const std::string &workload : names) {
+    for (std::size_t idx = 0; idx < names.size(); ++idx) {
+        const std::string &workload = names[idx];
         SweepTask task;
         task.outcome.name = workload;
+
+        const sim::TaskRecord *rec = nullptr;
+        for (const sim::TaskRecord &r : resumedRecords) {
+            if (r.index == idx && r.task == workload)
+                rec = &r;
+        }
+        if (rec != nullptr) {
+            task.fromJournal = true;
+            WorkloadOutcome &wo = task.outcome;
+            wo.input = rec->input;
+            wo.status = rec->status;
+            wo.error = rec->error;
+            wo.verified = rec->verified;
+            wo.sup = rec->sup;
+            task.output = rec->output;
+            for (const sim::TaskRunRecord &run : rec->runs) {
+                RunResult r;
+                r.sim.termination =
+                    terminationFromName(run.termination);
+                r.verified = wo.verified;
+                r.stats = run.stats;
+                wo.runs.emplace_back(run.run, std::move(r));
+            }
+            std::printf("Replayed %s from journal (status %s)\n",
+                        workload.c_str(), wo.status.c_str());
+            tasks.push_back(std::move(task));
+            continue;
+        }
+
+        if (gStop) {
+            task.outcome.status = "interrupted";
+            tasks.push_back(std::move(task));
+            continue;
+        }
 
         auto wlE = tryMakeWorkload(workload);
         if (!wlE) {
             task.outcome.error = wlE.error().str();
+            task.outcome.status = "error";
             std::fprintf(stderr, "tmu_run: skipping: %s\n",
                          task.outcome.error.c_str());
             tasks.push_back(std::move(task));
@@ -542,6 +820,7 @@ main(int argc, char **argv)
                         task.outcome.input.c_str(), workload.c_str(),
                         known.c_str())
                     .str();
+            task.outcome.status = "error";
             std::fprintf(stderr, "tmu_run: skipping: %s\n",
                          task.outcome.error.c_str());
             tasks.push_back(std::move(task));
@@ -560,6 +839,9 @@ main(int argc, char **argv)
         cfg.system.impPrefetcher = imp;
         cfg.system.modelTlb = tlb;
         cfg.system.watchdogCycles = watchdogCycles;
+        cfg.system.deadlineMs = deadlineMs;
+        cfg.system.cycleBudget = cycleBudget;
+        cfg.system.memBudgetBytes = memBudgetMb << 20;
         if (shrink)
             cfg.system = shrinkCaches(cfg.system, scale);
         cfg.programLanes = lanes;
@@ -567,6 +849,7 @@ main(int argc, char **argv)
         cfg.tmu.perLaneBytes = storage;
         if (auto v = cfg.system.validate(); !v) {
             task.outcome.error = v.error().str();
+            task.outcome.status = "error";
             std::fprintf(stderr, "tmu_run: skipping: %s\n",
                          task.outcome.error.c_str());
             tasks.push_back(std::move(task));
@@ -610,80 +893,175 @@ main(int argc, char **argv)
         };
     }
 
-    // Phase 2 (parallel): execute the prepared tasks. Each closure
-    // touches only its own SweepTask; the shared tracer is only ever
+    // Phase 2 (parallel): execute the prepared tasks, each under a
+    // JobSupervisor. Each closure touches only its own SweepTask (the
+    // journal serializes internally); the shared tracer is only ever
     // reachable when --trace-out forced jobs back to 1 above.
     const sim::SweepRunner runner(jobs);
+    const auto stopRequested = [] { return gStop != 0; };
     runner.run(tasks.size(), [&](std::size_t idx) {
         SweepTask &task = tasks[idx];
         if (task.wl == nullptr)
-            return;
+            return; // error, interrupted-before-prepare, or replayed
         WorkloadOutcome &wo = task.outcome;
-        RunConfig cfg = task.cfg;
-        int pid = task.tracePidBase;
 
-        wo.verified = true;
+        // Independent, reproducible streams per workload: one for the
+        // task-fail site, one for backoff jitter — sweep composition
+        // and job count never shift the decisions.
+        sim::FaultInjector supFaults(
+            mixSeed(faultSeed, wo.name + ":supervisor"), faultSpec);
+        sim::SupervisorConfig supCfg;
+        supCfg.maxRetries = retries;
+        supCfg.seed = mixSeed(faultSeed, wo.name + ":backoff");
+        supCfg.sleepOnBackoff = true;
+        supCfg.stopRequested = stopRequested;
+        sim::JobSupervisor supervisor(
+            supCfg, wo.name, faultSpec.any() ? &supFaults : nullptr);
+
         const bool wantTelemetry =
             !telemetryJson.empty() || !telemetryCsv.empty();
-        auto runOne = [&](Mode m, const char *runName) {
-            // Independent, reproducible fault stream per (workload,
-            // path) so sweep composition doesn't shift decisions.
-            sim::FaultInjector faults(
-                mixSeed(faultSeed, wo.name + ":" + runName),
-                faultSpec);
-            cfg.mode = m;
-            cfg.faults = faultSpec.any() ? &faults : nullptr;
-            cfg.tracePid = pid++;
-            std::unique_ptr<sim::TelemetrySampler> sampler;
-            if (wantTelemetry) {
-                sampler = std::make_unique<sim::TelemetrySampler>(
-                    telemetryInterval);
-                cfg.telemetry = sampler.get();
-            }
-            if (!traceOut.empty()) {
-                tracer.processName(cfg.tracePid,
-                                   wo.name + ":" + runName);
-            }
-            RunResult r = task.wl->run(cfg);
-            if (sampler != nullptr)
-                wo.telemetry.emplace_back(runName, std::move(sampler));
-            task.output += detail::format("[%s] ", wo.name.c_str());
-            appendResult(task.output, runName, r);
-            if (faultSpec.any()) {
-                const auto t = faults.totals();
+        const auto attempt = [&]() -> sim::AttemptStatus {
+            // A retry replays the task from scratch: fresh per-run
+            // fault streams (same seeds), cleared results — so a
+            // retried attempt is bit-identical to a first attempt.
+            wo.runs.clear();
+            wo.telemetry.clear();
+            wo.verified = true;
+            task.output.clear();
+            RunConfig cfg = task.cfg;
+            int pid = task.tracePidBase;
+            bool threw = false;
+
+            auto runOne = [&](Mode m, const char *runName) {
+                sim::FaultInjector faults(
+                    mixSeed(faultSeed, wo.name + ":" + runName),
+                    faultSpec);
+                cfg.mode = m;
+                cfg.faults = faultSpec.any() ? &faults : nullptr;
+                cfg.tracePid = pid++;
+                std::unique_ptr<sim::TelemetrySampler> sampler;
+                if (wantTelemetry) {
+                    sampler = std::make_unique<sim::TelemetrySampler>(
+                        telemetryInterval);
+                    cfg.telemetry = sampler.get();
+                }
+                if (!traceOut.empty()) {
+                    tracer.processName(cfg.tracePid,
+                                       wo.name + ":" + runName);
+                }
+                try {
+                    RunResult r = task.wl->run(cfg);
+                    if (sampler != nullptr) {
+                        wo.telemetry.emplace_back(runName,
+                                                  std::move(sampler));
+                    }
+                    task.output +=
+                        detail::format("[%s] ", wo.name.c_str());
+                    appendResult(task.output, runName, r);
+                    if (faultSpec.any()) {
+                        const auto t = faults.totals();
+                        task.output += detail::format(
+                            "faults: %llu injected, %llu masked, "
+                            "%llu detected%s\n",
+                            static_cast<unsigned long long>(t.injected),
+                            static_cast<unsigned long long>(t.masked),
+                            static_cast<unsigned long long>(t.detected),
+                            faults.allAccounted() ? ""
+                                                  : " (UNACCOUNTED)");
+                    }
+                    wo.verified = wo.verified && r.verified;
+                    wo.runs.emplace_back(runName, std::move(r));
+                } catch (const std::exception &e) {
+                    // One crashing task must not kill the sweep: the
+                    // exception is the attempt's failure, reported
+                    // through the status taxonomy like any other.
+                    threw = true;
+                    wo.verified = false;
+                    task.output += detail::format(
+                        "[%s] %s run threw: %s\n", wo.name.c_str(),
+                        runName, e.what());
+                }
+            };
+
+            if (runBaseline)
+                runOne(Mode::Baseline, "baseline");
+            if (runTmu)
+                runOne(Mode::Tmu, "tmu");
+            if (mode == "both" && wo.runs.size() == 2 &&
+                wo.runs[1].second.sim.cycles > 0) {
                 task.output += detail::format(
-                    "faults: %llu injected, %llu masked, "
-                    "%llu detected%s\n",
-                    static_cast<unsigned long long>(t.injected),
-                    static_cast<unsigned long long>(t.masked),
-                    static_cast<unsigned long long>(t.detected),
-                    faults.allAccounted() ? "" : " (UNACCOUNTED)");
+                    "speedup: %.2fx\n\n",
+                    static_cast<double>(
+                        wo.runs[0].second.sim.cycles) /
+                        static_cast<double>(
+                            wo.runs[1].second.sim.cycles));
             }
-            wo.verified = wo.verified && r.verified;
-            wo.runs.emplace_back(runName, std::move(r));
+
+            if (threw)
+                return sim::AttemptStatus::PermanentFailure;
+            bool transient = false;
+            for (const auto &[name, r] : wo.runs) {
+                if (r.sim.completed())
+                    continue;
+                if (sim::isTransientTermination(r.sim.termination))
+                    transient = true;
+                else
+                    return sim::AttemptStatus::PermanentFailure;
+            }
+            if (transient)
+                return sim::AttemptStatus::TransientFailure;
+            return wo.verified
+                       ? sim::AttemptStatus::Ok
+                       : sim::AttemptStatus::PermanentFailure;
         };
 
-        if (runBaseline)
-            runOne(Mode::Baseline, "baseline");
-        if (runTmu)
-            runOne(Mode::Tmu, "tmu");
-        if (mode == "both" && wo.runs.size() == 2 &&
-            wo.runs[1].second.sim.cycles > 0) {
-            task.output += detail::format(
-                "speedup: %.2fx\n\n",
-                static_cast<double>(wo.runs[0].second.sim.cycles) /
-                    static_cast<double>(wo.runs[1].second.sim.cycles));
+        const sim::TaskStatus st = supervisor.supervise(attempt);
+        wo.status = sim::taskStatusName(st);
+        wo.sup = supervisor.stats();
+
+        // Interrupted attempts are deliberately not journaled: the
+        // task never reached a terminal result, so a resume re-runs
+        // it from scratch.
+        if (journal.isOpen() && st != sim::TaskStatus::Interrupted) {
+            sim::TaskRecord rec;
+            rec.index = idx;
+            rec.task = wo.name;
+            rec.input = wo.input;
+            rec.status = wo.status;
+            rec.error = wo.error;
+            rec.output = task.output;
+            rec.verified = wo.verified;
+            rec.sup = wo.sup;
+            for (const auto &[name, r] : wo.runs) {
+                rec.runs.push_back(
+                    {name, sim::terminationName(r.sim.termination),
+                     r.stats});
+            }
+            journal.append(rec);
         }
-    }, onTaskDone);
+    }, onTaskDone, stopRequested);
+
+    // Tasks the drain skipped (stop arrived before they were pulled)
+    // never got a status; classify them now.
+    for (SweepTask &task : tasks) {
+        if (task.wl != nullptr && task.outcome.status.empty())
+            task.outcome.status = "interrupted";
+    }
 
     // Flush per-task reports and collect outcomes in task order.
     std::vector<WorkloadOutcome> outcomes;
     outcomes.reserve(tasks.size());
-    int succeeded = 0;
+    int okCount = 0, failCount = 0;
+    bool interrupted = gStop != 0;
     for (SweepTask &task : tasks) {
         std::fputs(task.output.c_str(), stdout);
-        if (task.outcome.error.empty() && !task.outcome.runs.empty())
-            ++succeeded;
+        const std::string &st = task.outcome.status;
+        if (st == "ok")
+            ++okCount;
+        else if (st == "interrupted")
+            interrupted = true;
+        else
+            ++failCount; // "error", "failed", "quarantined"
         outcomes.push_back(std::move(task.outcome));
     }
 
@@ -734,5 +1112,16 @@ main(int argc, char **argv)
         std::printf("wrote %s (%zu events)\n", traceOut.c_str(),
                     tracer.eventCount());
     }
-    return succeeded > 0 ? 0 : 1;
+
+    if (interrupted) {
+        std::fprintf(stderr,
+                     "tmu_run: interrupted — in-flight tasks drained, "
+                     "%s written\n",
+                     journal.isOpen() ? "journal and partial exports"
+                                      : "partial exports");
+        return kExitInterrupted;
+    }
+    if (failCount == 0)
+        return kExitOk;
+    return okCount > 0 ? kExitPartialFailure : kExitAllFailed;
 }

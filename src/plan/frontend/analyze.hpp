@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Frontend-internal analysis result: the iteration graph plus the
+ * matched operand roles the emitter consumes. buildIterationGraph is
+ * the public thin wrapper; compileEinsum uses the full analysis so
+ * classification and emission agree by construction.
+ */
+
+#pragma once
+
+#include "plan/frontend/frontend.hpp"
+
+namespace tmu::plan::frontend {
+
+/** Classified expression: graph + operand roles, pointers into the
+ *  analyzed Ast (which must outlive the Analysis). */
+struct Analysis
+{
+    IterationGraph graph;
+    const AstTensor *opA = nullptr; //!< driving sparse/COO operand
+    const AstTensor *opB = nullptr; //!< second operand (B / x)
+    const AstTensor *opC = nullptr; //!< third operand (dense C)
+    /** Scalar symbols of all-scalar terms (affine bias). */
+    std::vector<std::string> biasSyms;
+    /** Scalar symbols multiplying the tensor term (affine scale). */
+    std::vector<std::string> scaleSyms;
+    std::string mapName; //!< SpmmScatter: the mapped-output operand
+};
+
+Expected<Analysis> analyzeEinsum(const Ast &ast);
+
+} // namespace tmu::plan::frontend

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared diagnostic rendering of the einsum frontend: every parser,
+ * graph-builder and emitter error points back into the source text as
+ *
+ *   einsum:<line>:<col>: <message>
+ *     <the offending source line>
+ *     <caret under the offending column>
+ *
+ * following the PR-2 error model (TmuError code + printf message;
+ * recoverable, never fatal, so tmu_run can report and keep going).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace tmu::plan::frontend {
+
+struct SourcePos;
+
+/** Build a caret diagnostic anchored at @p pos inside @p src. */
+TmuError diagAt(Errc code, const std::string &src, int line, int col,
+                const std::string &msg);
+
+} // namespace tmu::plan::frontend

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Textual plan rendering for `tmu_run --plan-dump` / `--einsum`.
+ * describePlan() walks the PlanSpec structurally; dumpEinsum() compiles
+ * an arbitrary expression against small synthetic demo operands derived
+ * from its own format annotations, so any valid expression can be
+ * inspected without registering a workload.
+ */
+
+#include <map>
+
+#include "common/log.hpp"
+#include "plan/frontend/analyze.hpp"
+#include "plan/lower.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/generate.hpp"
+
+namespace tmu::plan::frontend {
+
+namespace {
+
+const char *
+computeKindName(ComputeKind k)
+{
+    switch (k) {
+    case ComputeKind::DotAccumulate: return "DotAccumulate";
+    case ComputeKind::RowStore: return "RowStore";
+    case ComputeKind::LatchScalar: return "LatchScalar";
+    case ComputeKind::WorkspaceAccum: return "WorkspaceAccum";
+    case ComputeKind::WorkspaceFlush: return "WorkspaceFlush";
+    case ComputeKind::MergeRowLatch: return "MergeRowLatch";
+    case ComputeKind::MergeLaneReduce: return "MergeLaneReduce";
+    case ComputeKind::MergeRowEnd: return "MergeRowEnd";
+    case ComputeKind::CountHit: return "CountHit";
+    case ComputeKind::LatchLanes: return "LatchLanes";
+    case ComputeKind::LatchNnzAddr: return "LatchNnzAddr";
+    case ComputeKind::RankFmaScatter: return "RankFmaScatter";
+    case ComputeKind::RankFmaVector: return "RankFmaVector";
+    case ComputeKind::SddmmLatchEdge: return "SddmmLatchEdge";
+    case ComputeKind::SddmmEmit: return "SddmmEmit";
+    case ComputeKind::EmitRowNnz: return "EmitRowNnz";
+    case ComputeKind::LatchRowAddr: return "LatchRowAddr";
+    case ComputeKind::ScatterFmaVector: return "ScatterFmaVector";
+    }
+    return "?";
+}
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+    case Variant::P0: return "P0";
+    case Variant::P1: return "P1";
+    case Variant::P2: return "P2";
+    }
+    return "?";
+}
+
+std::string
+describeTu(const TuSpec &tu)
+{
+    std::string out;
+    switch (tu.kind) {
+    case engine::TraversalKind::Dense:
+        out = detail::format("dense [%lld, %lld) stride %lld",
+                             static_cast<long long>(tu.beg),
+                             static_cast<long long>(tu.end),
+                             static_cast<long long>(tu.stride));
+        break;
+    case engine::TraversalKind::Range:
+        out = detail::format("range [%s, %s) offset %lld stride %lld",
+                             tu.begStream.c_str(), tu.endStream.c_str(),
+                             static_cast<long long>(tu.offset),
+                             static_cast<long long>(tu.stride));
+        break;
+    case engine::TraversalKind::Index:
+        out = detail::format("index %s size %lld offset %lld "
+                             "stride %lld",
+                             tu.begStream.c_str(),
+                             static_cast<long long>(tu.size),
+                             static_cast<long long>(tu.offset),
+                             static_cast<long long>(tu.stride));
+        break;
+    }
+    if (!tu.mergeKey.empty())
+        out += detail::format(" mergeKey %s", tu.mergeKey.c_str());
+    return out;
+}
+
+std::string
+describeStream(const StreamSpec &s)
+{
+    std::string out = detail::format(
+        "%s: %s %s", s.name.c_str(), engine::streamKindName(s.kind),
+        s.elem == engine::ElemType::F64 ? "f64" : "i64");
+    if (s.kind == engine::StreamKind::Lin)
+        out += detail::format(" a=%g b=%g", s.linA, s.linB);
+    if (!s.parent.empty())
+        out += detail::format(" parent=%s", s.parent.c_str());
+    if (!s.parent2.empty())
+        out += detail::format(" parent2=%s", s.parent2.c_str());
+    if (!s.fwdOf.empty())
+        out += detail::format(" fwdOf=%s", s.fwdOf.c_str());
+    return out;
+}
+
+} // namespace
+
+std::string
+describePlan(const PlanSpec &p)
+{
+    std::string out;
+    out += detail::format("plan %s (%s, %s, %d lanes)\n",
+                          p.name.c_str(), planKindName(p.kind),
+                          variantName(p.variant), p.lanes);
+    out += detail::format("  einsum  %s\n", p.einsum.c_str());
+    if (!p.formats.empty())
+        out += detail::format("  formats %s\n", p.formats.c_str());
+    out += detail::format("  domain  [%lld, %lld)\n",
+                          static_cast<long long>(p.beg),
+                          static_cast<long long>(p.end));
+    for (const OperandSpec &op : p.operands) {
+        std::string lvls;
+        for (LevelFormat f : op.levels) {
+            if (!lvls.empty())
+                lvls += ",";
+            lvls += levelFormatName(f);
+        }
+        out += detail::format("  operand %s(%s): %s\n",
+                              op.name.c_str(), op.indices.c_str(),
+                              lvls.c_str());
+    }
+    for (size_t li = 0; li < p.layers.size(); ++li) {
+        const LayerSpec &layer = p.layers[li];
+        out += detail::format(
+            "  layer %zu '%s' %s, %zu tu%s\n", li, layer.index.c_str(),
+            engine::groupModeName(layer.mode), layer.tus.size(),
+            layer.tus.size() == 1 ? "" : "s");
+        for (size_t ti = 0; ti < layer.tus.size(); ++ti) {
+            const TuSpec &tu = layer.tus[ti];
+            out += detail::format("    tu %zu: %s (fiber ~%lld)\n", ti,
+                                  describeTu(tu).c_str(),
+                                  static_cast<long long>(
+                                      tu.expectedFiberLen));
+            for (const StreamSpec &s : tu.streams) {
+                out += detail::format("      %s\n",
+                                      describeStream(s).c_str());
+            }
+        }
+    }
+    for (const GroupStreamSpec &g : p.groupStreams) {
+        out += detail::format(
+            "  group %s: layer %d stream %s %s\n", g.name.c_str(),
+            g.layer, g.stream.c_str(),
+            g.elem == engine::ElemType::F64 ? "f64" : "i64");
+    }
+    for (const CallbackSpec &cb : p.callbacks) {
+        std::string ops;
+        for (const std::string &o : cb.operands) {
+            if (!ops.empty())
+                ops += ", ";
+            ops += o;
+        }
+        out += detail::format("  callback %d '%s': layer %d %s {%s} "
+                              "-> %s\n",
+                              cb.id, cb.name.c_str(), cb.layer,
+                              engine::callbackEventName(cb.event),
+                              ops.c_str(), computeKindName(cb.compute));
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Demo operand pool: small deterministic tensors sized so every
+ * archetype compiles and the emitted fiber-length hints are non-
+ * degenerate. Owns storage; bindings point into it.
+ */
+struct DemoData
+{
+    std::map<std::string, tensor::CsrMatrix> csr;
+    std::map<std::string, tensor::DenseVector> vec;
+    std::map<std::string, tensor::DenseMatrix> mat;
+    std::map<std::string, tensor::CooTensor> coo;
+    std::map<std::string, std::vector<tensor::DcsrMatrix>> ensembles;
+    std::map<std::string, std::vector<Index>> maps;
+    tensor::DenseVector outVec;
+    tensor::DenseMatrix outMat;
+};
+
+constexpr Index kDemoRows = 16;
+constexpr Index kDemoCols = 16;
+constexpr Index kDemoRank = 8;
+
+tensor::CsrMatrix
+demoCsr(std::uint64_t seed)
+{
+    tensor::CsrGenConfig gc;
+    gc.rows = kDemoRows;
+    gc.cols = kDemoCols;
+    gc.nnzPerRow = 4.0;
+    gc.seed = seed;
+    return tensor::randomCsr(gc);
+}
+
+/** Bind every referenced operand to a synthetic demo tensor. */
+EinsumBindings
+demoBindings(const Ast &ast, DemoData &d)
+{
+    EinsumBindings b;
+    std::uint64_t seed = 7;
+    auto bindFactor = [&](const AstTensor &f) {
+        if (f.scalarSymbol) {
+            b.scalars[f.name] = 0.5;
+            return;
+        }
+        if (!f.ensemble.empty()) {
+            auto [it, fresh] = d.ensembles.try_emplace(f.name);
+            if (fresh)
+                it->second = tensor::splitCyclic(demoCsr(seed++), 4);
+            b.ensembles[f.name] = &it->second;
+            return;
+        }
+        if (f.format == "csr") {
+            auto [it, fresh] = d.csr.try_emplace(f.name);
+            if (fresh)
+                it->second = demoCsr(seed++);
+            b.csr[f.name] = &it->second;
+        } else if (f.format == "coo") {
+            auto [it, fresh] = d.coo.try_emplace(f.name);
+            if (fresh) {
+                it->second = tensor::randomCooTensor(
+                    std::vector<Index>(f.indices.size(), kDemoRows),
+                    3 * kDemoRows, 0.0, seed++);
+            }
+            b.coo[f.name] = &it->second;
+        } else if (f.indices.size() == 1) {
+            auto [it, fresh] = d.vec.try_emplace(f.name);
+            if (fresh)
+                it->second = tensor::DenseVector(kDemoCols, 1.0);
+            b.vec[f.name] = &it->second;
+        } else {
+            auto [it, fresh] = d.mat.try_emplace(f.name);
+            if (fresh) {
+                it->second =
+                    tensor::DenseMatrix(kDemoRows, kDemoRank, 1.0);
+            }
+            b.mat[f.name] = &it->second;
+        }
+    };
+    for (const AstTerm &term : ast.terms) {
+        for (const AstTensor &f : term.factors)
+            bindFactor(f);
+    }
+    for (const AstIndex &oi : ast.output.indices) {
+        if (oi.map.empty())
+            continue;
+        auto [it, fresh] = d.maps.try_emplace(oi.map);
+        if (fresh) {
+            it->second.resize(kDemoRows);
+            for (Index i = 0; i < kDemoRows; ++i)
+                it->second[i] = kDemoRows - 1 - i;
+        }
+        b.maps[oi.map] = &it->second;
+    }
+    d.outVec = tensor::DenseVector(kDemoRows, 0.0);
+    d.outMat = tensor::DenseMatrix(kDemoRows, kDemoRank, 0.0);
+    b.outVec = &d.outVec;
+    b.outMat = &d.outMat;
+    return b;
+}
+
+} // namespace
+
+Expected<std::string>
+dumpEinsum(const std::string &expr, const CompileOptions &options)
+{
+    auto ast = parseEinsum(expr);
+    if (!ast.ok())
+        return ast.error();
+    DemoData demo;
+    const EinsumBindings bindings = demoBindings(*ast, demo);
+    auto plan = compileEinsum(expr, bindings, options);
+    if (!plan.ok())
+        return plan.error();
+
+    std::string out = describePlan(*plan);
+    out += "\n";
+    out += lowerProgram(*plan).summary();
+    out += "\n";
+    return out;
+}
+
+} // namespace tmu::plan::frontend

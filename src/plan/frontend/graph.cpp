@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Iteration-graph builder and archetype classifier. Orders the index
+ * variables into loop levels (output indices outermost in output
+ * order, contraction indices by first appearance, COO subscripts fused
+ * into one position loop) and classifies each merge point: an index
+ * traversed sparsely by >=2 operands is conjunctive under
+ * multiplication and disjunctive under ensemble addition; one sparse
+ * traverser leads any dense followers; all-dense levels stay dense
+ * loops. The classified shape selects the PlanKind the emitter
+ * targets; expressions outside the supported archetypes get a caret
+ * ConfigError naming the closest supported form (docs/FRONTEND.md).
+ */
+
+#include "plan/frontend/analyze.hpp"
+
+#include "plan/frontend/diag.hpp"
+
+namespace tmu::plan::frontend {
+
+namespace {
+
+TmuError
+diag(const Ast &ast, Errc code, SourcePos pos, const std::string &msg)
+{
+    return diagAt(code, ast.text, pos.line, pos.col, msg);
+}
+
+bool
+isDense2(const AstTensor &t)
+{
+    return (t.format.empty() || t.format == "dense") &&
+           t.indices.size() == 2;
+}
+
+/** index name list of a factor, e.g. "ik". */
+std::string
+subs(const AstTensor &t)
+{
+    std::string s;
+    for (const AstIndex &i : t.indices)
+        s += i.name;
+    return s;
+}
+
+GraphNode
+node(std::string index, bool inOutput, MergeClass merge,
+     std::vector<std::string> operands)
+{
+    GraphNode n;
+    n.index = std::move(index);
+    n.inOutput = inOutput;
+    n.merge = merge;
+    n.operands = std::move(operands);
+    return n;
+}
+
+} // namespace
+
+Expected<Analysis>
+analyzeEinsum(const Ast &ast)
+{
+    Analysis an;
+
+    // Split the additive terms: scalar-only terms contribute an affine
+    // bias; exactly one term may carry tensor factors. A disjunctive
+    // merge of distinct tensor terms is only supported through the
+    // sum_k ensemble form (SpKAdd).
+    const AstTerm *tensorTerm = nullptr;
+    std::vector<const AstTensor *> factors;
+    for (const AstTerm &term : ast.terms) {
+        bool hasTensor = false;
+        for (const AstTensor &f : term.factors)
+            hasTensor = hasTensor || !f.scalarSymbol;
+        if (!hasTensor) {
+            for (const AstTensor &f : term.factors)
+                an.biasSyms.push_back(f.name);
+            continue;
+        }
+        if (tensorTerm) {
+            return diag(ast, Errc::ConfigError,
+                        term.factors.front().pos,
+                        "additive merge of tensor terms is only "
+                        "supported through a 'sum_k' ensemble "
+                        "(Z(i,j; dcsr) = sum_k A^k(i,j; dcsr))");
+        }
+        tensorTerm = &term;
+        for (const AstTensor &f : term.factors) {
+            if (f.scalarSymbol)
+                an.scaleSyms.push_back(f.name);
+            else
+                factors.push_back(&f);
+        }
+    }
+    if (!tensorTerm) {
+        return diag(ast, Errc::ConfigError, ast.output.pos,
+                    "expression has no tensor factor");
+    }
+    const bool affine = !an.biasSyms.empty() || !an.scaleSyms.empty();
+    an.graph.affine = affine;
+
+    const AstTensor &out = ast.output;
+    const std::string outSubs = subs(out);
+    const AstIndex *mapped = nullptr;
+    for (const AstIndex &oi : out.indices) {
+        if (!oi.map.empty())
+            mapped = &oi;
+    }
+
+    // --- Ensemble reduction: K-way disjunctive merge (SpKAdd). ---
+    if (!ast.sumIndex.empty()) {
+        if (factors.size() != 1 ||
+            factors[0]->ensemble != ast.sumIndex) {
+            return diag(ast, Errc::ConfigError,
+                        factors.front()->pos,
+                        "'sum_" + ast.sumIndex +
+                            "' needs a single ensemble operand "
+                            "superscripted with the reduction index "
+                            "(A^" + ast.sumIndex + ")");
+        }
+        const AstTensor &a = *factors[0];
+        if (a.format != "dcsr" || subs(a) != outSubs) {
+            return diag(ast, Errc::ConfigError, a.pos,
+                        "ensemble reduction expects dcsr members "
+                        "indexed like the output");
+        }
+        an.opA = &a;
+        an.graph.kind = PlanKind::KWayMerge;
+        an.graph.order = {
+            node(out.indices[0].name, true, MergeClass::Disjunctive,
+                 {a.name}),
+            node(out.indices[1].name, true, MergeClass::Disjunctive,
+                 {a.name}),
+        };
+        return an;
+    }
+
+    // --- Scalar output: conjunctive-merge count (TriangleCount). ---
+    if (out.indices.empty()) {
+        const bool triangle =
+            factors.size() == 3 && factors[0]->format == "csr" &&
+            factors[1]->format == "csr" &&
+            factors[2]->format == "csr" &&
+            factors[0]->name == factors[1]->name &&
+            factors[1]->name == factors[2]->name &&
+            factors[0]->indices.size() == 2 &&
+            factors[1]->indices.size() == 2 &&
+            factors[2]->indices.size() == 2 &&
+            // (i,k) (k,j) (i,j)
+            subs(*factors[1])[0] == subs(*factors[0])[1] &&
+            subs(*factors[2])[0] == subs(*factors[0])[0] &&
+            subs(*factors[2])[1] == subs(*factors[1])[1];
+        if (!triangle || affine) {
+            return diag(ast, Errc::ConfigError,
+                        factors.front()->pos,
+                        "unsupported scalar-output expression "
+                        "(expected the triangle-count pattern "
+                        "c = L(i,k; csr) * L(k,j; csr) * "
+                        "L(i,j; csr))");
+        }
+        const AstTensor &l = *factors[0];
+        an.opA = factors[0];
+        an.opB = factors[1];
+        an.opC = factors[2];
+        an.graph.kind = PlanKind::Intersect;
+        an.graph.order = {
+            node(l.indices[0].name, false, MergeClass::Dense,
+                 {l.name}),
+            node(l.indices[1].name, false, MergeClass::Led, {l.name}),
+            node(factors[1]->indices[1].name, false,
+                 MergeClass::Conjunctive, {l.name, l.name}),
+        };
+        return an;
+    }
+
+    // --- A COO operand: fused position loop x rank FMA (MTTKRP). ---
+    const AstTensor *cooOp = nullptr;
+    for (const AstTensor *f : factors) {
+        if (f->format == "coo")
+            cooOp = f;
+    }
+    if (cooOp) {
+        const AstTensor *bF = nullptr, *cF = nullptr;
+        for (const AstTensor *f : factors) {
+            if (f == cooOp)
+                continue;
+            if (isDense2(*f) && !bF)
+                bF = f;
+            else if (isDense2(*f))
+                cF = f;
+        }
+        const bool mttkrp =
+            !affine && !mapped && factors.size() == 3 && bF && cF &&
+            cooOp->indices.size() == 3 && out.indices.size() == 2 &&
+            bF->indices[0].name == cooOp->indices[1].name &&
+            cF->indices[0].name == cooOp->indices[2].name &&
+            bF->indices[1].name == out.indices[1].name &&
+            cF->indices[1].name == out.indices[1].name &&
+            out.indices[0].name == cooOp->indices[0].name;
+        if (!mttkrp) {
+            return diag(ast, Errc::ConfigError, cooOp->pos,
+                        "a coo operand maps to the rank-FMA archetype "
+                        "Z(i,j) = A(i,k,l; coo) * B(k,j; dense) * "
+                        "C(l,j; dense)");
+        }
+        an.opA = cooOp;
+        an.opB = bF;
+        an.opC = cF;
+        an.graph.kind = PlanKind::CooRankFma;
+        GraphNode pos = node("p", false, MergeClass::Led,
+                             {cooOp->name});
+        for (const AstIndex &i : cooOp->indices)
+            pos.fused.push_back(i.name);
+        an.graph.order = {
+            std::move(pos),
+            node(out.indices[1].name, true, MergeClass::Dense,
+                 {bF->name, cF->name}),
+        };
+        return an;
+    }
+
+    // --- Remaining archetypes: one csr operand drives; dcsr outside
+    // an ensemble has no emitter yet. ---
+    std::vector<const AstTensor *> sparse, dense1, dense2;
+    for (const AstTensor *f : factors) {
+        if (f->format == "csr") {
+            sparse.push_back(f);
+        } else if (f->format.empty() || f->format == "dense") {
+            (f->indices.size() == 1 ? dense1 : dense2).push_back(f);
+        } else {
+            return diag(ast, Errc::ConfigError, f->pos,
+                        "format '" + f->format +
+                            "' has no emitter in this position (csr, "
+                            "dense, coo and sum_k dcsr ensembles are "
+                            "supported)");
+        }
+    }
+    if (affine && !(sparse.size() == 1 && dense1.size() == 1)) {
+        return diag(ast, Errc::ConfigError, ast.output.pos,
+                    "affine scalar terms are only supported on the "
+                    "row-reduction archetype (PageRank)");
+    }
+
+    // Sparse-times-vector row reduction (SpMV / PageRank).
+    if (sparse.size() == 1 && dense1.size() == 1 && dense2.empty() &&
+        out.indices.size() == 1 && !mapped) {
+        const AstTensor &a = *sparse[0];
+        const AstTensor &x = *dense1[0];
+        if (a.indices[0].name != out.indices[0].name ||
+            x.indices[0].name != a.indices[1].name) {
+            return diag(ast, Errc::ConfigError, a.pos,
+                        "row reduction expects Z(i) = A(i,j; csr) * "
+                        "x(j; dense)");
+        }
+        an.opA = &a;
+        an.opB = &x;
+        an.graph.kind = PlanKind::RowReduce;
+        an.graph.order = {
+            node(a.indices[0].name, true, MergeClass::Dense,
+                 {a.name}),
+            node(a.indices[1].name, false, MergeClass::Led,
+                 {a.name, x.name}),
+        };
+        return an;
+    }
+
+    // Sparse x sparse over a shared contraction (SpMSpM).
+    if (sparse.size() == 2 && dense1.empty() && dense2.empty() &&
+        out.indices.size() == 2 && !mapped) {
+        const AstTensor &a = *sparse[0];
+        const AstTensor &b = *sparse[1];
+        if (a.indices[0].name != out.indices[0].name ||
+            b.indices[0].name != a.indices[1].name ||
+            b.indices[1].name != out.indices[1].name ||
+            out.format.empty() || out.format == "dense") {
+            return diag(ast, Errc::ConfigError, a.pos,
+                        "sparse-sparse product expects Z(i,j; csr) = "
+                        "A(i,k; csr) * B(k,j; csr)");
+        }
+        an.opA = &a;
+        an.opB = &b;
+        an.graph.kind = PlanKind::WorkspaceSpGEMM;
+        an.graph.order = {
+            node(a.indices[0].name, true, MergeClass::Dense,
+                 {a.name}),
+            node(a.indices[1].name, false, MergeClass::Led,
+                 {a.name, b.name}),
+            node(b.indices[1].name, true, MergeClass::Led, {b.name}),
+        };
+        return an;
+    }
+
+    // Sparse x dense matrix: SpMM (sparse output or scatter map).
+    if (sparse.size() == 1 && dense1.empty() && dense2.size() == 1 &&
+        out.indices.size() == 2) {
+        const AstTensor &a = *sparse[0];
+        const AstTensor &b = *dense2[0];
+        if (a.indices[0].name != out.indices[0].name ||
+            b.indices[0].name != a.indices[1].name ||
+            b.indices[1].name != out.indices[1].name) {
+            return diag(ast, Errc::ConfigError, a.pos,
+                        "sparse-dense product expects Z(i,j) = "
+                        "A(i,k; csr) * B(k,j; dense)");
+        }
+        an.opA = &a;
+        an.opB = &b;
+        if (mapped) {
+            if (mapped != &out.indices[0]) {
+                return diag(ast, Errc::ConfigError, mapped->pos,
+                            "only the output row index may be mapped "
+                            "(Z(m(i), j))");
+            }
+            an.mapName = mapped->map;
+            an.graph.kind = PlanKind::SpmmScatter;
+        } else {
+            if (out.format.empty() || out.format == "dense") {
+                return diag(ast, Errc::ConfigError, out.pos,
+                            "sparse-dense SpMM needs a sparse output "
+                            "annotation (Z(i,j; csr)) or a scatter "
+                            "map (Z(m(i), j))");
+            }
+            an.graph.kind = PlanKind::SpmmWorkspace;
+        }
+        an.graph.order = {
+            node(a.indices[0].name, true, MergeClass::Dense,
+                 {a.name}),
+            node(a.indices[1].name, false, MergeClass::Led,
+                 {a.name, b.name}),
+            node(b.indices[1].name, true, MergeClass::Dense,
+                 {b.name}),
+        };
+        return an;
+    }
+
+    // Sampled dense-dense product (SDDMM).
+    if (sparse.size() == 1 && dense1.empty() && dense2.size() == 2 &&
+        out.indices.size() == 2 && !mapped) {
+        const AstTensor &a = *sparse[0];
+        const AstTensor &b = *dense2[0];
+        const AstTensor &c = *dense2[1];
+        if (subs(a) != outSubs ||
+            b.indices[0].name != a.indices[0].name ||
+            c.indices[0].name != a.indices[1].name ||
+            b.indices[1].name != c.indices[1].name) {
+            return diag(ast, Errc::ConfigError, a.pos,
+                        "sampled dense-dense product expects "
+                        "Z(i,j; csr) = A(i,j; csr) * B(i,k; dense) * "
+                        "C(j,k; dense)");
+        }
+        an.opA = &a;
+        an.opB = &b;
+        an.opC = &c;
+        an.graph.kind = PlanKind::Sddmm;
+        an.graph.order = {
+            node(a.indices[0].name, true, MergeClass::Dense,
+                 {a.name, b.name}),
+            node(a.indices[1].name, true, MergeClass::Led,
+                 {a.name, c.name}),
+            node(b.indices[1].name, false, MergeClass::Dense,
+                 {b.name, c.name}),
+        };
+        return an;
+    }
+
+    return diag(ast, Errc::ConfigError, factors.front()->pos,
+                "no emitter matches this expression shape (see "
+                "docs/FRONTEND.md for the supported archetypes)");
+}
+
+Expected<IterationGraph>
+buildIterationGraph(const Ast &ast)
+{
+    auto an = analyzeEinsum(ast);
+    if (!an.ok())
+        return an.error();
+    return an->graph;
+}
+
+} // namespace tmu::plan::frontend

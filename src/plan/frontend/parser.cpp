@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Recursive-descent parser of the annotated einsum grammar
+ * (docs/FRONTEND.md):
+ *
+ *   einsum    = output "=" [ "sum_" IDENT ] term { "+" term }
+ *   output    = IDENT [ "(" out-index { "," out-index }
+ *                       [ ";" format ] ")" ]
+ *   out-index = IDENT [ "(" IDENT ")" ]          (mapped index m(i))
+ *   term      = factor { "*" factor }
+ *   factor    = IDENT [ "^" IDENT ]
+ *               [ "(" IDENT { "," IDENT } [ ";" format ] ")" ]
+ *   format    = "dense" | "csr" | "dcsr" | "coo" | "csf"
+ *
+ * A bare identifier factor (no parens) is a scalar symbol; a bare
+ * identifier output is a scalar result. Post-parse semantic checks
+ * (unknown format, rank/format mismatch, unbound output index) reuse
+ * the same caret diagnostics as the syntax errors.
+ */
+
+#include "plan/frontend/frontend.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "plan/frontend/diag.hpp"
+
+namespace tmu::plan::frontend {
+
+TmuError
+diagAt(Errc code, const std::string &src, int line, int col,
+       const std::string &msg)
+{
+    // Extract the 1-based source line for the quoted context.
+    size_t start = 0;
+    for (int l = 1; l < line && start <= src.size(); ++l) {
+        const size_t nl = src.find('\n', start);
+        start = nl == std::string::npos ? src.size() + 1 : nl + 1;
+    }
+    std::string ctx;
+    if (start <= src.size()) {
+        const size_t eol = src.find('\n', start);
+        ctx = src.substr(start, eol == std::string::npos
+                                    ? std::string::npos
+                                    : eol - start);
+    }
+    std::string caret(static_cast<size_t>(col > 0 ? col - 1 : 0), ' ');
+    return TMU_ERR(code, "einsum:%d:%d: %s\n  %s\n  %s^", line, col,
+                   msg.c_str(), ctx.c_str(), caret.c_str());
+}
+
+namespace {
+
+struct Token
+{
+    enum Kind {
+        Ident,
+        LParen,
+        RParen,
+        Comma,
+        Semi,
+        Eq,
+        Plus,
+        Star,
+        Caret,
+        End,
+    };
+    Kind kind = End;
+    std::string text;
+    SourcePos pos;
+};
+
+const char *
+tokenName(Token::Kind k)
+{
+    switch (k) {
+    case Token::Ident: return "identifier";
+    case Token::LParen: return "'('";
+    case Token::RParen: return "')'";
+    case Token::Comma: return "','";
+    case Token::Semi: return "';'";
+    case Token::Eq: return "'='";
+    case Token::Plus: return "'+'";
+    case Token::Star: return "'*'";
+    case Token::Caret: return "'^'";
+    case Token::End: return "end of input";
+    }
+    return "?";
+}
+
+constexpr std::array<const char *, 5> kFormats = {"dense", "csr",
+                                                 "dcsr", "coo", "csf"};
+
+bool
+knownFormat(const std::string &f)
+{
+    for (const char *k : kFormats) {
+        if (f == k)
+            return true;
+    }
+    return false;
+}
+
+/** Levels a format annotation requires (0 = any rank). */
+int
+formatRank(const std::string &f)
+{
+    if (f == "csr" || f == "dcsr")
+        return 2;
+    if (f == "csf")
+        return 3;
+    return 0; // dense / coo: any rank
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : src_(src) {}
+
+    Expected<Ast>
+    run()
+    {
+        if (auto lexed = lex(); !lexed.ok())
+            return lexed.error();
+        Ast ast;
+        ast.text = src_;
+
+        auto out = parseTensor(/*isOutput=*/true);
+        if (!out.ok())
+            return out.error();
+        ast.output = *out;
+
+        if (auto eq = expect(Token::Eq); !eq.ok())
+            return eq.error();
+
+        // Optional ensemble reduction header: sum_<index>.
+        if (peek().kind == Token::Ident &&
+            peek().text.rfind("sum_", 0) == 0) {
+            const Token t = next();
+            ast.sumIndex = t.text.substr(4);
+            if (ast.sumIndex.empty()) {
+                return diag(Errc::ParseError, t.pos,
+                            "'sum_' needs a reduction index, e.g. "
+                            "'sum_k'");
+            }
+        }
+
+        for (;;) {
+            auto term = parseTerm();
+            if (!term.ok())
+                return term.error();
+            ast.terms.push_back(*term);
+            if (peek().kind != Token::Plus)
+                break;
+            next();
+        }
+        if (peek().kind != Token::End) {
+            return diag(Errc::ParseError, peek().pos,
+                        std::string("expected '+', '*' or end of "
+                                    "input, found ") +
+                            tokenName(peek().kind));
+        }
+
+        if (auto sem = check(ast); !sem.ok())
+            return sem.error();
+        return ast;
+    }
+
+  private:
+    Expected<void>
+    lex()
+    {
+        int line = 1, col = 1;
+        for (size_t i = 0; i < src_.size();) {
+            const char ch = src_[i];
+            if (ch == '\n') {
+                ++line;
+                col = 1;
+                ++i;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(ch))) {
+                ++col;
+                ++i;
+                continue;
+            }
+            Token t;
+            t.pos = {line, col};
+            if (std::isalpha(static_cast<unsigned char>(ch)) ||
+                ch == '_') {
+                size_t j = i;
+                while (j < src_.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            src_[j])) ||
+                        src_[j] == '_')) {
+                    ++j;
+                }
+                t.kind = Token::Ident;
+                t.text = src_.substr(i, j - i);
+                col += static_cast<int>(j - i);
+                i = j;
+            } else {
+                switch (ch) {
+                case '(': t.kind = Token::LParen; break;
+                case ')': t.kind = Token::RParen; break;
+                case ',': t.kind = Token::Comma; break;
+                case ';': t.kind = Token::Semi; break;
+                case '=': t.kind = Token::Eq; break;
+                case '+': t.kind = Token::Plus; break;
+                case '*': t.kind = Token::Star; break;
+                case '^': t.kind = Token::Caret; break;
+                default:
+                    return diagAt(Errc::ParseError, src_, line, col,
+                                  std::string("unexpected character "
+                                              "'") +
+                                      ch + "'");
+                }
+                t.text = std::string(1, ch);
+                ++col;
+                ++i;
+            }
+            toks_.push_back(std::move(t));
+        }
+        Token end;
+        end.kind = Token::End;
+        end.pos = {line, col};
+        toks_.push_back(std::move(end));
+        return {};
+    }
+
+    const Token &peek() const { return toks_[cur_]; }
+
+    Token
+    next()
+    {
+        const Token &t = toks_[cur_];
+        if (t.kind != Token::End)
+            ++cur_;
+        return t;
+    }
+
+    TmuError
+    diag(Errc code, SourcePos pos, const std::string &msg) const
+    {
+        return diagAt(code, src_, pos.line, pos.col, msg);
+    }
+
+    Expected<Token>
+    expect(Token::Kind kind)
+    {
+        if (peek().kind != kind) {
+            const Errc code = peek().kind == Token::End
+                                  ? Errc::Truncated
+                                  : Errc::ParseError;
+            return diag(code, peek().pos,
+                        std::string("expected ") + tokenName(kind) +
+                            ", found " + tokenName(peek().kind));
+        }
+        return next();
+    }
+
+    /** IDENT [^IDENT] [(idx {,idx} [; format])]. */
+    Expected<AstTensor>
+    parseTensor(bool isOutput)
+    {
+        auto name = expect(Token::Ident);
+        if (!name.ok())
+            return name.error();
+        AstTensor t;
+        t.pos = name->pos;
+        t.name = name->text;
+
+        if (peek().kind == Token::Caret) {
+            next();
+            auto sup = expect(Token::Ident);
+            if (!sup.ok())
+                return sup.error();
+            t.ensemble = sup->text;
+            t.name += "^" + t.ensemble;
+        }
+
+        if (peek().kind != Token::LParen) {
+            t.scalarSymbol = !isOutput;
+            return t; // scalar output / scalar symbol
+        }
+        next();
+
+        for (;;) {
+            auto idx = expect(Token::Ident);
+            if (!idx.ok())
+                return idx.error();
+            AstIndex ai;
+            ai.name = idx->text;
+            ai.pos = idx->pos;
+            if (isOutput && peek().kind == Token::LParen) {
+                // Mapped output index: m(i).
+                next();
+                auto srcIdx = expect(Token::Ident);
+                if (!srcIdx.ok())
+                    return srcIdx.error();
+                ai.map = ai.name;
+                ai.name = srcIdx->text;
+                ai.pos = srcIdx->pos;
+                if (auto r = expect(Token::RParen); !r.ok())
+                    return r.error();
+            }
+            t.indices.push_back(std::move(ai));
+            if (peek().kind == Token::Comma) {
+                next();
+                continue;
+            }
+            break;
+        }
+
+        if (peek().kind == Token::Semi) {
+            next();
+            auto fmt = expect(Token::Ident);
+            if (!fmt.ok())
+                return fmt.error();
+            if (!knownFormat(fmt->text)) {
+                return diag(Errc::UnknownName, fmt->pos,
+                            "unknown format annotation '" + fmt->text +
+                                "' (expected dense, csr, dcsr, coo or "
+                                "csf)");
+            }
+            t.format = fmt->text;
+        }
+        if (auto r = expect(Token::RParen); !r.ok())
+            return r.error();
+        return t;
+    }
+
+    /** factor { '*' factor }. */
+    Expected<AstTerm>
+    parseTerm()
+    {
+        AstTerm term;
+        for (;;) {
+            auto f = parseTensor(/*isOutput=*/false);
+            if (!f.ok())
+                return f.error();
+            term.factors.push_back(*f);
+            if (peek().kind != Token::Star)
+                break;
+            next();
+        }
+        return term;
+    }
+
+    /** Post-parse semantic checks, anchored at the offending token. */
+    Expected<void>
+    check(const Ast &ast) const
+    {
+        // Rank vs format: a csr/dcsr factor is 2-level, csf 3-level.
+        auto rankCheck = [&](const AstTensor &t) -> Expected<void> {
+            const int want = formatRank(t.format);
+            if (want != 0 &&
+                static_cast<int>(t.indices.size()) != want) {
+                return diag(Errc::ConfigError, t.pos,
+                            "format '" + t.format + "' stores " +
+                                std::to_string(want) +
+                                " levels but '" + t.name + "' has " +
+                                std::to_string(t.indices.size()) +
+                                " subscripts");
+            }
+            return {};
+        };
+        if (auto r = rankCheck(ast.output); !r.ok())
+            return r.error();
+        for (const AstTerm &term : ast.terms) {
+            for (const AstTensor &f : term.factors) {
+                if (auto r = rankCheck(f); !r.ok())
+                    return r.error();
+            }
+        }
+
+        // Every output index must be bound by some factor subscript.
+        for (const AstIndex &oi : ast.output.indices) {
+            bool bound = false;
+            for (const AstTerm &term : ast.terms) {
+                for (const AstTensor &f : term.factors) {
+                    for (const AstIndex &fi : f.indices)
+                        bound = bound || fi.name == oi.name;
+                }
+            }
+            if (!bound) {
+                return diag(Errc::UnknownName, oi.pos,
+                            "output index '" + oi.name +
+                                "' is not bound by any factor");
+            }
+        }
+        return {};
+    }
+
+    const std::string &src_;
+    std::vector<Token> toks_;
+    size_t cur_ = 0;
+};
+
+} // namespace
+
+Expected<Ast>
+parseEinsum(const std::string &expr)
+{
+    return Parser(expr).run();
+}
+
+const char *
+mergeClassName(MergeClass m)
+{
+    switch (m) {
+    case MergeClass::Dense: return "dense";
+    case MergeClass::Led: return "led";
+    case MergeClass::Conjunctive: return "conjunctive";
+    case MergeClass::Disjunctive: return "disjunctive";
+    }
+    return "?";
+}
+
+} // namespace tmu::plan::frontend

@@ -45,6 +45,19 @@ initPlanState(const PlanSpec &plan, PlanState &st)
         break;
     case PlanKind::CooRankFma:
         break;
+    case PlanKind::Sddmm:
+        st.sum = 0.0;
+        st.j = 0;
+        break;
+    case PlanKind::SpmmWorkspace:
+        TMU_ASSERT(plan.bind.bm, "plan '%s': SpMM needs dense factor B",
+                   plan.name.c_str());
+        st.acc.assign(static_cast<size_t>(plan.bind.bm->cols()), 0.0);
+        st.seen.assign(static_cast<size_t>(plan.bind.bm->cols()), 0);
+        break;
+    case PlanKind::SpmmScatter:
+        st.zRow = 0;
+        break;
     }
 }
 
@@ -250,6 +263,66 @@ bindHandlers(const PlanSpec &plan, OutqSource &src, PlanState &st)
                     static_cast<std::uint8_t>(n * 8)));
                 ops.push_back(
                     MicroOp::flop(static_cast<std::uint16_t>(3 * n)));
+                ops.push_back(MicroOp::store(
+                    st.zRow + static_cast<Addr>(jBase) * 8,
+                    static_cast<std::uint8_t>(n * 8)));
+            });
+            break;
+        case ComputeKind::SddmmLatchEdge:
+            src.setHandler(cb.id, [&st](const OutqRecord &rec,
+                                        std::vector<MicroOp> &ops) {
+                st.curRow = rec.i64(0, 0);
+                st.aVal = rec.f64(1, 0);
+                ops.push_back(MicroOp::iop());
+            });
+            break;
+        case ComputeKind::SddmmEmit:
+            src.setHandler(cb.id, [&st](const OutqRecord &,
+                                        std::vector<MicroOp> &ops) {
+                st.idxs.push_back(st.curRow);
+                st.vals.push_back(st.aVal * st.sum);
+                st.sum = 0.0;
+                ++st.j;
+                ops.push_back(MicroOp::flop(1));
+                ops.push_back(MicroOp::store(
+                    addrOf(st.vals.data(),
+                           static_cast<Index>(st.vals.size() - 1)),
+                    8));
+            });
+            break;
+        case ComputeKind::EmitRowNnz:
+            src.setHandler(cb.id, [&st](const OutqRecord &,
+                                        std::vector<MicroOp> &ops) {
+                st.rowNnz.push_back(st.j);
+                st.j = 0;
+                ops.push_back(MicroOp::iop());
+            });
+            break;
+        case ComputeKind::LatchRowAddr:
+            src.setHandler(cb.id, [&st](const OutqRecord &rec,
+                                        std::vector<MicroOp> &ops) {
+                st.zRow = static_cast<Addr>(rec.operands[0][0]);
+                ops.push_back(MicroOp::iop());
+            });
+            break;
+        case ComputeKind::ScatterFmaVector:
+            src.setHandler(cb.id, [&st](const OutqRecord &rec,
+                                        std::vector<MicroOp> &ops) {
+                const auto n = rec.operands[0].size();
+                // Lanes cover a contiguous j block of the scatter row.
+                const auto jBase = static_cast<Index>(rec.i64(0, 0));
+                auto *zrow =
+                    static_cast<Value *>(sim::hostPtr(st.zRow));
+                for (size_t i = 0; i < n; ++i) {
+                    const auto j = static_cast<size_t>(
+                        rec.i64(0, static_cast<int>(i)));
+                    zrow[j] += st.aVal * rec.f64(1, static_cast<int>(i));
+                }
+                ops.push_back(MicroOp::load(
+                    st.zRow + static_cast<Addr>(jBase) * 8,
+                    static_cast<std::uint8_t>(n * 8)));
+                ops.push_back(
+                    MicroOp::flop(static_cast<std::uint16_t>(2 * n)));
                 ops.push_back(MicroOp::store(
                     st.zRow + static_cast<Addr>(jBase) * 8,
                     static_cast<std::uint8_t>(n * 8)));

@@ -26,6 +26,9 @@ planKindName(PlanKind k)
     case PlanKind::KWayMerge: return "KWayMerge";
     case PlanKind::Intersect: return "Intersect";
     case PlanKind::CooRankFma: return "CooRankFma";
+    case PlanKind::Sddmm: return "Sddmm";
+    case PlanKind::SpmmWorkspace: return "SpmmWorkspace";
+    case PlanKind::SpmmScatter: return "SpmmScatter";
     }
     return "?";
 }

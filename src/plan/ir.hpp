@@ -132,6 +132,11 @@ enum class ComputeKind : std::uint8_t {
     LatchNnzAddr,   //!< latch one (value, out-row address) pair (P2)
     RankFmaScatter, //!< per-lane z[j] += v * b * c, j advances (P1)
     RankFmaVector,  //!< vector z[jBase..] += v * b_j * c_j (P2)
+    SddmmLatchEdge, //!< latch (col, a-value) of the sampled edge
+    SddmmEmit,      //!< emit (col, a * dot) for the latched edge
+    EmitRowNnz,     //!< close a collector row: push per-row nnz count
+    LatchRowAddr,   //!< latch the scatter-row output address
+    ScatterFmaVector, //!< vector zrow[jBase..] += latched * b_j
 };
 
 /** One callback registration with plan-scoped id and semantics. */
@@ -153,6 +158,9 @@ enum class PlanKind : std::uint8_t {
     KWayMerge,       //!< SpKAdd: hierarchical disjunctive merge
     Intersect,       //!< TriangleCount: conjunctive merge count
     CooRankFma,      //!< MTTKRP: COO nonzeros x rank-loop FMA
+    Sddmm,           //!< SDDMM: Z_ij = A_ij * sum_k B_ik C_jk
+    SpmmWorkspace,   //!< sparse-output SpMM: Z_ij = sum_k A_ik B_kj
+    SpmmScatter,     //!< GNN SpMM+scatter: Z_{m(i),j} += A_ik B_kj
 };
 
 const char *planKindName(PlanKind k);
@@ -183,9 +191,11 @@ struct Bindings
     tensor::DenseVector *out = nullptr;     //!< RowReduce output vector
     const std::vector<tensor::DcsrMatrix> *parts = nullptr; //!< KWayMerge
     const tensor::CooTensor *t = nullptr;   //!< CooRankFma tensor
-    const tensor::DenseMatrix *bm = nullptr; //!< CooRankFma B factor
-    const tensor::DenseMatrix *cm = nullptr; //!< CooRankFma C factor
-    tensor::DenseMatrix *z = nullptr;        //!< CooRankFma accumulator
+    const tensor::DenseMatrix *bm = nullptr; //!< CooRankFma/Sddmm/Spmm B
+    const tensor::DenseMatrix *cm = nullptr; //!< CooRankFma/Sddmm C factor
+    tensor::DenseMatrix *z = nullptr;        //!< dense matrix accumulator
+    /** SpmmScatter row map: output row of source row i is map[i]. */
+    const std::vector<Index> *map = nullptr;
     /** RowReduce row update out = bias + scale * sum (PageRank). */
     bool rowUpdate = false;
     double scale = 1.0;

@@ -150,6 +150,80 @@ refCooRankFma(const PlanSpec &plan)
     }
 }
 
+void
+refSddmm(const PlanSpec &plan, ReferenceResult &res)
+{
+    const CsrMatrix &a = *plan.bind.a;
+    const DenseMatrix &b = *plan.bind.bm;
+    const DenseMatrix &c = *plan.bind.cm;
+    const Index rank = b.cols();
+    for (Index i = plan.beg; i < plan.end; ++i) {
+        Index emitted = 0;
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            const Index col = a.idxs()[static_cast<size_t>(p)];
+            const Value *bi = b.row(i);
+            const Value *cj = c.row(col);
+            Value dot = 0.0;
+            for (Index k = 0; k < rank; ++k)
+                dot += bi[k] * cj[k];
+            res.idxs.push_back(col);
+            res.vals.push_back(a.vals()[static_cast<size_t>(p)] * dot);
+            ++emitted;
+        }
+        res.rowNnz.push_back(emitted);
+    }
+}
+
+void
+refSpmmWorkspace(const PlanSpec &plan, ReferenceResult &res)
+{
+    const CsrMatrix &a = *plan.bind.a;
+    const DenseMatrix &b = *plan.bind.bm;
+    const Index cols = b.cols();
+    std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
+    for (Index i = plan.beg; i < plan.end; ++i) {
+        // B is dense, so a non-empty A row touches every column: the
+        // workspace flush emits the full sorted 0..cols-1 range.
+        if (a.rowBegin(i) == a.rowEnd(i)) {
+            res.rowNnz.push_back(0);
+            continue;
+        }
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            const Index k = a.idxs()[static_cast<size_t>(p)];
+            const Value av = a.vals()[static_cast<size_t>(p)];
+            const Value *bk = b.row(k);
+            for (Index j = 0; j < cols; ++j)
+                acc[static_cast<size_t>(j)] += av * bk[j];
+        }
+        for (Index j = 0; j < cols; ++j) {
+            res.idxs.push_back(j);
+            res.vals.push_back(acc[static_cast<size_t>(j)]);
+        }
+        res.rowNnz.push_back(cols);
+    }
+}
+
+void
+refSpmmScatter(const PlanSpec &plan)
+{
+    const CsrMatrix &a = *plan.bind.a;
+    const DenseMatrix &b = *plan.bind.bm;
+    const std::vector<Index> &map = *plan.bind.map;
+    DenseMatrix &z = *plan.bind.z;
+    const Index cols = b.cols();
+    for (Index i = plan.beg; i < plan.end; ++i) {
+        Value *zrow = z.row(map[static_cast<size_t>(i)]);
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            const Index k = a.idxs()[static_cast<size_t>(p)];
+            const Value av = a.vals()[static_cast<size_t>(p)];
+            const Value *bk = b.row(k);
+            for (Index j = 0; j < cols; ++j)
+                zrow[j] += av * bk[j];
+        }
+    }
+}
+
 } // namespace
 
 ReferenceResult
@@ -187,6 +261,25 @@ lowerReference(const PlanSpec &plan)
                    "plan '%s': CooRankFma bindings incomplete",
                    plan.name.c_str());
         refCooRankFma(plan);
+        break;
+    case PlanKind::Sddmm:
+        TMU_ASSERT(plan.bind.a && plan.bind.bm && plan.bind.cm,
+                   "plan '%s': SDDMM bindings incomplete",
+                   plan.name.c_str());
+        refSddmm(plan, res);
+        break;
+    case PlanKind::SpmmWorkspace:
+        TMU_ASSERT(plan.bind.a && plan.bind.bm,
+                   "plan '%s': SpMM bindings incomplete",
+                   plan.name.c_str());
+        refSpmmWorkspace(plan, res);
+        break;
+    case PlanKind::SpmmScatter:
+        TMU_ASSERT(plan.bind.a && plan.bind.bm && plan.bind.map &&
+                       plan.bind.z,
+                   "plan '%s': SpMM-SC bindings incomplete",
+                   plan.name.c_str());
+        refSpmmScatter(plan);
         break;
     }
     return res;

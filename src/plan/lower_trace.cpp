@@ -396,6 +396,205 @@ traceCooRankFma(const CooTensor &a, const DenseMatrix &b,
     co_yield MicroOp::halt();
 }
 
+Trace
+traceSddmm(const CsrMatrix &a, const DenseMatrix &b,
+           const DenseMatrix &c, TraceSinks io, Index rowBegin,
+           Index rowEnd, TraceShape shape, SimdConfig simd)
+{
+    const std::uint16_t pcRow = shape.pcs[0];
+    const std::uint16_t pcEdge = shape.pcs[1];
+    const std::uint16_t pcRank = shape.pcs[2];
+    const Index rank = b.cols();
+    const int vl = simd.lanes();
+
+    for (Index i = rowBegin; i < rowEnd; ++i) {
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), i), 8);
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), i + 1), 8);
+
+        Index emitted = 0;
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            co_yield MicroOp::load(addrOf(a.idxs().data(), p), 8);
+            co_yield MicroOp::load(addrOf(a.vals().data(), p), 8);
+            const Index col = a.idxs()[static_cast<size_t>(p)];
+            const Value *bi = b.row(i);
+            const Value *cj = c.row(col);
+
+            // Vectorized dot of the two dense factor rows; the C-row
+            // address depends on the column-index load above.
+            Value dot = 0.0;
+            int chunk = 0;
+            for (Index j = 0; j < rank; j += vl, ++chunk) {
+                const int n =
+                    static_cast<int>(std::min<Index>(vl, rank - j));
+                const int back = 4 * chunk;
+                co_yield MicroOp::load(
+                    addrOf(b.data(), i * rank + j),
+                    static_cast<std::uint8_t>(n * 8));
+                co_yield MicroOp::load(
+                    addrOf(c.data(), col * rank + j),
+                    static_cast<std::uint8_t>(n * 8),
+                    static_cast<std::uint8_t>(std::min(back + 3, 255)),
+                    addrOf(a.idxs().data(), p));
+                for (int lane = 0; lane < n; ++lane)
+                    dot += bi[j + lane] * cj[j + lane];
+                co_yield MicroOp::flop(
+                    static_cast<std::uint16_t>(2 * n));
+                co_yield MicroOp::branch(pcRank, j + vl < rank);
+            }
+            if (rank > 0)
+                co_yield MicroOp::flop(static_cast<std::uint16_t>(vl));
+
+            // Scale by the sampled value, emit the output triplet.
+            co_yield MicroOp::flop(1);
+            io.idxs->push_back(col);
+            io.vals->push_back(a.vals()[static_cast<size_t>(p)] * dot);
+            ++emitted;
+            co_yield MicroOp::store(
+                addrOf(io.vals->data(),
+                       static_cast<Index>(io.vals->size() - 1)),
+                8);
+            co_yield MicroOp::branch(pcEdge, p + 1 < a.rowEnd(i));
+        }
+        io.rowNnz->push_back(emitted);
+        co_yield MicroOp::branch(pcRow, i + 1 < rowEnd);
+    }
+    co_yield MicroOp::halt();
+}
+
+Trace
+traceSpmmWorkspace(const CsrMatrix &a, const DenseMatrix &b,
+                   TraceSinks io, Index rowBegin, Index rowEnd,
+                   TraceShape shape, SimdConfig simd)
+{
+    const std::uint16_t pcRow = shape.pcs[0];
+    const std::uint16_t pcNnz = shape.pcs[1];
+    const std::uint16_t pcCol = shape.pcs[2];
+    const Index cols = b.cols();
+    const int vl = simd.lanes();
+
+    std::vector<Value> acc(static_cast<size_t>(cols), 0.0);
+
+    for (Index i = rowBegin; i < rowEnd; ++i) {
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), i), 8);
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), i + 1), 8);
+        if (a.rowBegin(i) == a.rowEnd(i)) {
+            io.rowNnz->push_back(0);
+            co_yield MicroOp::branch(pcRow, i + 1 < rowEnd);
+            continue;
+        }
+
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            const Index k = a.idxs()[static_cast<size_t>(p)];
+            const Value av = a.vals()[static_cast<size_t>(p)];
+            co_yield MicroOp::load(addrOf(a.idxs().data(), p), 8);
+            co_yield MicroOp::load(addrOf(a.vals().data(), p), 8);
+
+            // Dense axpy of B row k into the row workspace; the B-row
+            // address depends on the column-index load above.
+            const Value *bk = b.row(k);
+            for (Index j = 0; j < cols; j += vl) {
+                const int n =
+                    static_cast<int>(std::min<Index>(vl, cols - j));
+                co_yield MicroOp::load(
+                    addrOf(b.data(), k * cols + j),
+                    static_cast<std::uint8_t>(n * 8), 2,
+                    addrOf(a.idxs().data(), p));
+                co_yield MicroOp::load(
+                    addrOf(acc.data(), j),
+                    static_cast<std::uint8_t>(n * 8));
+                for (int lane = 0; lane < n; ++lane)
+                    acc[static_cast<size_t>(j + lane)] +=
+                        av * bk[j + lane];
+                co_yield MicroOp::flop(
+                    static_cast<std::uint16_t>(2 * n));
+                co_yield MicroOp::store(
+                    addrOf(acc.data(), j),
+                    static_cast<std::uint8_t>(n * 8));
+                co_yield MicroOp::branch(pcCol, j + vl < cols);
+            }
+            co_yield MicroOp::branch(pcNnz, p + 1 < a.rowEnd(i));
+        }
+
+        // A non-empty row of the dense product touches every column:
+        // flush the full workspace in vector chunks.
+        for (Index j = 0; j < cols; j += vl) {
+            const int n =
+                static_cast<int>(std::min<Index>(vl, cols - j));
+            co_yield MicroOp::load(addrOf(acc.data(), j),
+                                   static_cast<std::uint8_t>(n * 8));
+            for (int lane = 0; lane < n; ++lane) {
+                io.idxs->push_back(j + lane);
+                io.vals->push_back(
+                    acc[static_cast<size_t>(j + lane)]);
+            }
+            co_yield MicroOp::store(
+                addrOf(io.vals->data(),
+                       static_cast<Index>(io.vals->size() - n)),
+                static_cast<std::uint8_t>(n * 8));
+            co_yield MicroOp::branch(pcCol, j + vl < cols);
+        }
+        io.rowNnz->push_back(cols);
+        co_yield MicroOp::branch(pcRow, i + 1 < rowEnd);
+    }
+    co_yield MicroOp::halt();
+}
+
+Trace
+traceSpmmScatter(const CsrMatrix &a, const DenseMatrix &b,
+                 const std::vector<Index> &map, DenseMatrix &z,
+                 Index rowBegin, Index rowEnd, TraceShape shape,
+                 SimdConfig simd)
+{
+    const std::uint16_t pcRow = shape.pcs[0];
+    const std::uint16_t pcNnz = shape.pcs[1];
+    const std::uint16_t pcCol = shape.pcs[2];
+    const Index cols = b.cols();
+    const int vl = simd.lanes();
+
+    for (Index i = rowBegin; i < rowEnd; ++i) {
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), i), 8);
+        co_yield MicroOp::load(addrOf(a.ptrs().data(), i + 1), 8);
+        co_yield MicroOp::load(addrOf(map.data(), i), 8);
+        const Index zi = map[static_cast<size_t>(i)];
+        Value *zrow = z.row(zi);
+
+        for (Index p = a.rowBegin(i); p < a.rowEnd(i); ++p) {
+            const Index k = a.idxs()[static_cast<size_t>(p)];
+            const Value av = a.vals()[static_cast<size_t>(p)];
+            co_yield MicroOp::load(addrOf(a.idxs().data(), p), 8);
+            co_yield MicroOp::load(addrOf(a.vals().data(), p), 8);
+
+            // Dense axpy of B row k into the mapped output row; the
+            // B-row address depends on the column-index load, the Z-row
+            // address on the map load in the row header.
+            const Value *bk = b.row(k);
+            for (Index j = 0; j < cols; j += vl) {
+                const int n =
+                    static_cast<int>(std::min<Index>(vl, cols - j));
+                co_yield MicroOp::load(
+                    addrOf(b.data(), k * cols + j),
+                    static_cast<std::uint8_t>(n * 8), 2,
+                    addrOf(a.idxs().data(), p));
+                co_yield MicroOp::load(
+                    addrOf(z.data(), zi * cols + j),
+                    static_cast<std::uint8_t>(n * 8));
+                for (int lane = 0; lane < n; ++lane)
+                    zrow[j + lane] += av * bk[j + lane];
+                co_yield MicroOp::flop(
+                    static_cast<std::uint16_t>(2 * n));
+                co_yield MicroOp::store(
+                    addrOf(z.data(), zi * cols + j),
+                    static_cast<std::uint8_t>(n * 8));
+                co_yield MicroOp::branch(pcCol, j + vl < cols);
+            }
+            co_yield MicroOp::branch(pcNnz, p + 1 < a.rowEnd(i));
+        }
+        co_yield MicroOp::branch(pcRow, i + 1 < rowEnd);
+    }
+    co_yield MicroOp::halt();
+}
+
 } // namespace
 
 sim::Trace
@@ -442,6 +641,29 @@ lowerTrace(const PlanSpec &plan, const TraceSinks &io,
         return traceCooRankFma(*plan.bind.t, *plan.bind.bm,
                                *plan.bind.cm, *plan.bind.z, plan.beg,
                                plan.end, plan.trace, simd);
+    case PlanKind::Sddmm:
+        TMU_ASSERT(plan.trace.pcs.size() >= 3 && plan.bind.a &&
+                       plan.bind.bm && plan.bind.cm && io.idxs &&
+                       io.vals && io.rowNnz,
+                   "plan '%s': SDDMM trace bindings incomplete",
+                   plan.name.c_str());
+        return traceSddmm(*plan.bind.a, *plan.bind.bm, *plan.bind.cm,
+                          io, plan.beg, plan.end, plan.trace, simd);
+    case PlanKind::SpmmWorkspace:
+        TMU_ASSERT(plan.trace.pcs.size() >= 3 && plan.bind.a &&
+                       plan.bind.bm && io.idxs && io.vals && io.rowNnz,
+                   "plan '%s': SpMM trace bindings incomplete",
+                   plan.name.c_str());
+        return traceSpmmWorkspace(*plan.bind.a, *plan.bind.bm, io,
+                                  plan.beg, plan.end, plan.trace, simd);
+    case PlanKind::SpmmScatter:
+        TMU_ASSERT(plan.trace.pcs.size() >= 3 && plan.bind.a &&
+                       plan.bind.bm && plan.bind.map && plan.bind.z,
+                   "plan '%s': SpMM-SC trace bindings incomplete",
+                   plan.name.c_str());
+        return traceSpmmScatter(*plan.bind.a, *plan.bind.bm,
+                                *plan.bind.map, *plan.bind.z, plan.beg,
+                                plan.end, plan.trace, simd);
     }
     TMU_PANIC("plan '%s': unknown plan kind", plan.name.c_str());
 }

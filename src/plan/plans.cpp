@@ -212,7 +212,7 @@ spmvPlan(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
 {
     PlanSpec p = rowReducePlan(a, b, x, lanes, beg, end, variant);
     p.name = variant == Variant::P0 ? "SpMV P0" : "SpMV P1";
-    p.einsum = "Z_i = A_ij B_j";
+    p.einsum = "Z(i) = A(i,j; csr) * B(j; dense)";
     p.formats = "A=CSR";
     p.trace.pcs = {1, 2};
     p.trace.headerIop = true;
@@ -227,8 +227,9 @@ pagerankPlan(const CsrMatrix &a, const DenseVector &contrib,
     PlanSpec p =
         rowReducePlan(a, contrib, x, lanes, beg, end, Variant::P1);
     p.name = "PageRank";
-    p.einsum = "Z_i = A_ij X_j Y_i";
+    p.einsum = "Z(i) = beta + alpha * A(i,j; csr) * X(j; dense)";
     p.formats = "A=CSR";
+    p.operands[1].name = "X"; // the einsum names the vector X
     p.bind.rowUpdate = true;
     p.bind.scale = damping;
     p.bind.bias = (1.0 - damping) / static_cast<double>(a.rows());
@@ -243,7 +244,7 @@ spmspmPlan(const CsrMatrix &a, const CsrMatrix &b, int lanes, Index beg,
 {
     PlanSpec p;
     p.name = "SpMSpM P2";
-    p.einsum = "Z_ij = A_ik B_kj";
+    p.einsum = "Z(i,j; csr) = A(i,k; csr) * B(k,j; csr)";
     p.formats = "A,B,Z=CSR";
     p.kind = PlanKind::WorkspaceSpGEMM;
     p.variant = Variant::P2;
@@ -320,7 +321,7 @@ spkaddPlan(const std::vector<DcsrMatrix> &parts, Index beg, Index end)
     TMU_ASSERT(parts.size() >= 2, "SpKAdd needs at least two inputs");
     PlanSpec p;
     p.name = "SpKAdd";
-    p.einsum = "Z_ij = sum_k A^k_ij";
+    p.einsum = "Z(i,j; dcsr) = sum_k A^k(i,j; dcsr)";
     p.formats = "A^k,Z=DCSR";
     p.kind = PlanKind::KWayMerge;
     p.variant = Variant::P1;
@@ -394,7 +395,7 @@ tricountPlan(const CsrMatrix &l, Index beg, Index end)
 {
     PlanSpec p;
     p.name = "TriangleCount";
-    p.einsum = "c = L_ik L^T_ki L_ij";
+    p.einsum = "c = L(i,k; csr) * L(k,j; csr) * L(i,j; csr)";
     p.formats = "L=CSR";
     p.kind = PlanKind::Intersect;
     p.variant = Variant::P1;
@@ -487,7 +488,7 @@ mttkrpPlan(const CooTensor &t, const DenseMatrix &b,
     const Index rank = b.cols();
     PlanSpec p;
     p.name = variant == Variant::P1 ? "MTTKRP P1" : "MTTKRP P2";
-    p.einsum = "Z_ij = A_ikl B_kj C_lj";
+    p.einsum = "Z(i,j) = A(i,k,l; coo) * B(k,j; dense) * C(l,j; dense)";
     p.formats = "A=COO";
     p.kind = PlanKind::CooRankFma;
     p.variant = variant;

@@ -19,6 +19,7 @@
 #include "kernels/spttm.hpp"
 #include "kernels/spttv.hpp"
 #include "kernels/tricount.hpp"
+#include "plan/frontend/frontend.hpp"
 #include "plan/lower.hpp"
 #include "plan/plans.hpp"
 #include "sim/addrspace.hpp"
@@ -419,6 +420,200 @@ checkMatrix(const CooTensor &coo, const OracleConfig &cfg, Mutation mut)
                         0.85 * spmvWant[i];
         }
         fail(diffDense("pagerank-plan-ref", wantPr, xp, tol));
+    }
+
+    // --- Einsum frontend (docs/FRONTEND.md): compiling the SpMV
+    // expression must reproduce the hand-authored plan's record stream
+    // exactly, and the frontend-only kinds (SDDMM, SpMM, SpMM-SC) —
+    // which have no hand-written kernels at all — must agree with
+    // plain host loops through the reference, trace and engine legs.
+    {
+        DenseVector xf(rows);
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &mcsr;
+        fb.vec["B"] = &b;
+        fb.outVec = &xf;
+        plan::frontend::CompileOptions fo;
+        fo.lanes = cfg.lanes;
+        fo.end = rows;
+        auto cps = plan::frontend::compileEinsum(
+            "Z(i) = A(i,j; csr) * B(j; dense)", fb, fo);
+        if (!cps.ok()) {
+            fail("spmv-einsum-compile: " + cps.error().str());
+        } else {
+            DenseVector xh(rows);
+            const plan::PlanSpec hand = plan::spmvPlan(
+                mcsr, b, xh, cfg.lanes, 0, rows, plan::Variant::P1);
+            fail(diffRecords(
+                "spmv-einsum-records",
+                engine::interpretToVector(plan::lowerProgram(hand)),
+                engine::interpretToVector(plan::lowerProgram(*cps))));
+        }
+    }
+    {
+        // SDDMM: Z = A .* (B C^T) sampled on A's pattern.
+        const Index rank = 4;
+        DenseMatrix bf(rows, rank), cf(cols, rank);
+        for (Index i = 0; i < rows; ++i)
+            for (Index k = 0; k < rank; ++k)
+                bf(i, k) = rng.nextValue(-1.0, 1.0);
+        for (Index j = 0; j < cols; ++j)
+            for (Index k = 0; k < rank; ++k)
+                cf(j, k) = rng.nextValue(-1.0, 1.0);
+        std::vector<Index> wi, wrn;
+        std::vector<Value> wv;
+        for (Index i = 0; i < rows; ++i) {
+            wrn.push_back(mcsr.rowNnz(i));
+            for (Index p = mcsr.rowBegin(i); p < mcsr.rowEnd(i); ++p) {
+                const Index j = mcsr.idxs()[static_cast<size_t>(p)];
+                Value dot = 0.0;
+                for (Index k = 0; k < rank; ++k)
+                    dot += bf(i, k) * cf(j, k);
+                wi.push_back(j);
+                wv.push_back(mcsr.vals()[static_cast<size_t>(p)] *
+                             dot);
+            }
+        }
+        CsrMatrix want;
+        std::string err =
+            rebuildCsr("sddmm-want", rows, cols, wrn, wi, wv, want);
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &mcsr;
+        fb.mat["B"] = &bf;
+        fb.mat["C"] = &cf;
+        plan::frontend::CompileOptions fo;
+        fo.lanes = cfg.lanes;
+        auto cps = plan::frontend::compileEinsum(
+            "Z(i,j; csr) = A(i,j; csr) * B(i,k; dense) * "
+            "C(j,k; dense)",
+            fb, fo);
+        if (!err.empty() || !cps.ok()) {
+            fail(!err.empty() ? std::move(err)
+                              : "sddmm-einsum-compile: " +
+                                    cps.error().str());
+        } else {
+            cps->validate();
+            const plan::ReferenceResult pr = plan::lowerReference(*cps);
+            CsrMatrix got;
+            err = rebuildCsr("sddmm-ref", rows, cols, pr.rowNnz,
+                             pr.idxs, pr.vals, got);
+            if (!err.empty())
+                fail(std::move(err));
+            else
+                fail(diffCsr("sddmm-ref", want, got, tol));
+            std::vector<Index> ti, trn;
+            std::vector<Value> tv;
+            drainTrace(plan::lowerTrace(*cps, {&ti, &tv, &trn, nullptr},
+                                        simd));
+            err = rebuildCsr("sddmm-trace", rows, cols, trn, ti, tv,
+                             got);
+            if (!err.empty())
+                fail(std::move(err));
+            else
+                fail(diffCsr("sddmm-trace", want, got, tol));
+            if (cfg.heavy && rows <= 64 && cols <= 64) {
+                const engine::TmuProgram prog =
+                    plan::lowerProgram(*cps);
+                sim::SystemConfig sys = sim::SystemConfig::neoverseN1();
+                sim::MemorySystem mem(sys);
+                engine::TmuEngine eng(0, engine::EngineConfig{}, mem,
+                                      prog);
+                fail(diffRecords("sddmm-engine-records",
+                                 engine::interpretToVector(prog),
+                                 drainEngine(eng)));
+            }
+        }
+    }
+    {
+        // SpMM with sparse output rows, and its scatter-map variant.
+        const Index nc = 3;
+        DenseMatrix bf(cols, nc);
+        for (Index k = 0; k < cols; ++k)
+            for (Index j = 0; j < nc; ++j)
+                bf(k, j) = rng.nextValue(-1.0, 1.0);
+        std::vector<Index> wi, wrn;
+        std::vector<Value> wv;
+        for (Index i = 0; i < rows; ++i) {
+            wrn.push_back(mcsr.rowNnz(i) > 0 ? nc : 0);
+            for (Index j = 0; j < wrn.back(); ++j) {
+                Value sum = 0.0;
+                for (Index p = mcsr.rowBegin(i); p < mcsr.rowEnd(i);
+                     ++p) {
+                    sum += mcsr.vals()[static_cast<size_t>(p)] *
+                           bf(mcsr.idxs()[static_cast<size_t>(p)], j);
+                }
+                wi.push_back(j);
+                wv.push_back(sum);
+            }
+        }
+        CsrMatrix want;
+        std::string err =
+            rebuildCsr("spmm-want", rows, nc, wrn, wi, wv, want);
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &mcsr;
+        fb.mat["B"] = &bf;
+        plan::frontend::CompileOptions fo;
+        fo.lanes = cfg.lanes;
+        auto cps = plan::frontend::compileEinsum(
+            "Z(i,j; csr) = A(i,k; csr) * B(k,j; dense)", fb, fo);
+        if (!err.empty() || !cps.ok()) {
+            fail(!err.empty() ? std::move(err)
+                              : "spmm-einsum-compile: " +
+                                    cps.error().str());
+        } else {
+            cps->validate();
+            const plan::ReferenceResult pr = plan::lowerReference(*cps);
+            CsrMatrix got;
+            err = rebuildCsr("spmm-ref", rows, nc, pr.rowNnz, pr.idxs,
+                             pr.vals, got);
+            if (!err.empty())
+                fail(std::move(err));
+            else
+                fail(diffCsr("spmm-ref", want, got, tol));
+            std::vector<Index> ti, trn;
+            std::vector<Value> tv;
+            drainTrace(plan::lowerTrace(*cps, {&ti, &tv, &trn, nullptr},
+                                        simd));
+            err = rebuildCsr("spmm-trace", rows, nc, trn, ti, tv, got);
+            if (!err.empty())
+                fail(std::move(err));
+            else
+                fail(diffCsr("spmm-trace", want, got, tol));
+        }
+
+        // Scatter variant: rows land at map(i) in a dense output.
+        std::vector<Index> map(static_cast<size_t>(rows));
+        for (Index i = 0; i < rows; ++i)
+            map[static_cast<size_t>(i)] = rows - 1 - i;
+        DenseMatrix wantZ(rows, nc, 0.0);
+        for (Index i = 0; i < rows; ++i) {
+            const Index zi = map[static_cast<size_t>(i)];
+            for (Index p = mcsr.rowBegin(i); p < mcsr.rowEnd(i); ++p) {
+                const Index k = mcsr.idxs()[static_cast<size_t>(p)];
+                for (Index j = 0; j < nc; ++j) {
+                    wantZ(zi, j) +=
+                        mcsr.vals()[static_cast<size_t>(p)] * bf(k, j);
+                }
+            }
+        }
+        DenseMatrix z(rows, nc, 0.0);
+        plan::frontend::EinsumBindings sb;
+        sb.csr["A"] = &mcsr;
+        sb.mat["B"] = &bf;
+        sb.maps["m"] = &map;
+        sb.outMat = &z;
+        auto sps = plan::frontend::compileEinsum(
+            "Z(m(i), j) = A(i,k; csr) * B(k,j; dense)", sb, fo);
+        if (!sps.ok()) {
+            fail("spmm-sc-einsum-compile: " + sps.error().str());
+        } else {
+            sps->validate();
+            plan::lowerReference(*sps); // accumulates into z
+            fail(diffDense("spmm-sc-ref", wantZ, z, tol));
+            z.fill(0.0);
+            drainTrace(plan::lowerTrace(*sps, {}, simd));
+            fail(diffDense("spmm-sc-trace", wantZ, z, tol));
+        }
     }
 
     // --- SpAdd / SpKAdd: merge legs.

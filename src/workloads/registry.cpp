@@ -1,6 +1,7 @@
 #include "registry.hpp"
 
 #include "common/log.hpp"
+#include "workloads/wl_einsum.hpp"
 #include "workloads/wl_merge.hpp"
 #include "workloads/wl_spmspm.hpp"
 #include "workloads/wl_spmv.hpp"
@@ -38,6 +39,17 @@ constexpr RegistryEntry kRegistry[] = {
      [] { return std::unique_ptr<Workload>(new TricountWorkload()); }},
     {"SpAdd", Category::Unlisted,
      [] { return std::unique_ptr<Workload>(new SpaddWorkload()); }},
+    // Einsum-frontend workloads: compiled from a one-line expression,
+    // no hand-written kernel code. Unlisted keeps the paper-figure
+    // sweeps and committed perf baselines unchanged.
+    {"SDDMM", Category::Unlisted,
+     [] { return std::unique_ptr<Workload>(new SddmmWorkload()); }},
+    {"SpMM", Category::Unlisted,
+     [] { return std::unique_ptr<Workload>(new SpmmWorkload()); }},
+    {"SpMM-SC", Category::Unlisted,
+     [] {
+         return std::unique_ptr<Workload>(new SpmmScatterWorkload());
+     }},
     {"MTTKRP_MP", Category::TensorAlgebra,
      [] {
          return std::unique_ptr<Workload>(

@@ -1,6 +1,7 @@
 #include "table4.hpp"
 
 #include "common/rng.hpp"
+#include "plan/frontend/frontend.hpp"
 #include "plan/lower.hpp"
 #include "plan/plans.hpp"
 #include "tensor/convert.hpp"
@@ -55,6 +56,8 @@ struct Table4::Data
         tensor::randomCooTensor({24, 24, 12}, 150, 0.0, 11));
     tensor::SparseVector sv = table4SparseVector();
     tensor::DenseVector x{24}; //!< plan output binding (handlers only)
+    std::vector<Index> map;    //!< SpMM-SC row permutation
+    tensor::DenseMatrix zs{24, 8, 0.0}; //!< SpMM-SC output binding
 
     Data()
     {
@@ -64,6 +67,9 @@ struct Table4::Data
         for (Index i = 0; i < 24; ++i)
             for (Index j = 0; j < 8; ++j)
                 dm(i, j) = rng.nextValue(0.1, 1.0);
+        map.resize(24);
+        for (Index i = 0; i < 24; ++i)
+            map[static_cast<size_t>(i)] = 23 - i;
     }
 };
 
@@ -87,14 +93,14 @@ Table4::Table4() : data_(new Data)
                            plan::Variant::P0));
     planRow(plan::spmvPlan(d.a, d.dv, d.x, 4, 0, d.a.rows(),
                            plan::Variant::P1));
-    legacyRow("SpMSpV", "Z_i = A_ij B_j", "A,B=CSR",
+    legacyRow("SpMSpV", "Z(i) = A(i,j; csr) * B(j; sparse)", "A,B=CSR",
               buildSpmspv(d.a, d.sv, 0, d.a.rows()));
-    legacyRow("SpMM P0", "Z_ij = A_ik B_kj", "A=CSR",
-              buildSpmmP0(d.a, d.dm, 4, 0, d.a.rows()));
-    legacyRow("SpMM P1", "Z_ij = A_ik B_kj", "A=CSR",
-              buildSpmmP1(d.a, d.dm, 4, 0, d.a.rows()));
-    legacyRow("SpMSpM P0", "Z_ij = A_ik B_kj", "A,B,Z=CSR",
-              buildSpmspmP0(d.a, d.at, 4, 0, d.a.rows()));
+    legacyRow("SpMM P0", "Z(i,j) = A(i,k; csr) * B(k,j; dense)",
+              "A=CSR", buildSpmmP0(d.a, d.dm, 4, 0, d.a.rows()));
+    legacyRow("SpMM P1", "Z(i,j) = A(i,k; csr) * B(k,j; dense)",
+              "A=CSR", buildSpmmP1(d.a, d.dm, 4, 0, d.a.rows()));
+    legacyRow("SpMSpM P0", "Z(i,j; csr) = A(i,k; csr) * B(k,j; csr)",
+              "A,B,Z=CSR", buildSpmspmP0(d.a, d.at, 4, 0, d.a.rows()));
     planRow(plan::spmspmPlan(d.a, d.at, 4, 0, d.a.rows()));
     planRow(plan::spkaddPlan(d.parts, 0, d.parts[0].rows()));
     planRow(plan::pagerankPlan(d.a, d.dv, d.x, 0.85, 4, 0, d.a.rows()));
@@ -103,12 +109,48 @@ Table4::Table4() : data_(new Data)
                              plan::Variant::P1));
     planRow(plan::mttkrpPlan(d.coo, d.dm, d.dm, d.z, 4, 0, d.coo.nnz(),
                              plan::Variant::P2));
-    legacyRow("SpTC", "Z_ij = A_ikl B_lkj", "A,B=CSF",
+    legacyRow("SpTC", "Z(i,j) = A(i,k,l; csf) * B(l,k,j; csf)",
+              "A,B=CSF",
               buildSptcSymbolic(d.csfA, d.csfB, 0, d.csfA.numNodes(0)));
-    legacyRow("SpTTV", "Z_ij = A_ijk B_k", "A=CSF",
+    legacyRow("SpTTV", "Z(i,j) = A(i,j,k; csf) * B(k; dense)", "A=CSF",
               buildSpttv(d.csfA, d.dv, 4, 0, d.csfA.numNodes(0)));
-    legacyRow("SpTTM", "Z_ijl = A_ijk B_kl", "A=CSF",
+    legacyRow("SpTTM", "Z(i,j,l) = A(i,j,k; csf) * B(k,l; dense)",
+              "A=CSF",
               buildSpttm(d.csfA, d.dm, 4, 0, d.csfA.numNodes(0)));
+
+    // Einsum-frontend rows: no hand-written builder or plan factory —
+    // the PlanSpec is compiled from the one-line expression against
+    // the pinned operands (appended so earlier rows keep their order).
+    auto einsumRow = [&](const char *expr,
+                         plan::frontend::EinsumBindings &fb) {
+        plan::frontend::CompileOptions fo;
+        fo.lanes = 4;
+        planRow(
+            plan::frontend::compileEinsum(expr, fb, fo).valueOrFatal());
+    };
+    {
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &d.a;
+        fb.mat["B"] = &d.dm;
+        fb.mat["C"] = &d.dm;
+        einsumRow("Z(i,j; csr) = A(i,j; csr) * B(i,k; dense) * "
+                  "C(j,k; dense)",
+                  fb);
+    }
+    {
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &d.a;
+        fb.mat["B"] = &d.dm;
+        einsumRow("Z(i,j; csr) = A(i,k; csr) * B(k,j; dense)", fb);
+    }
+    {
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &d.a;
+        fb.mat["B"] = &d.dm;
+        fb.maps["m"] = &d.map;
+        fb.outMat = &d.zs;
+        einsumRow("Z(m(i), j) = A(i,k; csr) * B(k,j; dense)", fb);
+    }
 }
 
 Table4::~Table4() = default;

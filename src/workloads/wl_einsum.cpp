@@ -1,0 +1,327 @@
+#include "wl_einsum.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "plan/frontend/frontend.hpp"
+#include "plan/lower.hpp"
+#include "tensor/suite.hpp"
+#include "tmu/outq.hpp"
+
+namespace tmu::workloads {
+
+using tensor::CsrMatrix;
+using tensor::DenseMatrix;
+
+namespace {
+
+/** Compile @p expr for one core's row slice, fatal on any diagnostic
+ *  (the expressions here are compile-time constants). */
+plan::PlanSpec
+compileSlice(const char *expr,
+             const plan::frontend::EinsumBindings &fb,
+             const RunConfig &cfg, Index beg, Index end)
+{
+    plan::frontend::CompileOptions fo;
+    fo.lanes = cfg.programLanes;
+    fo.beg = beg;
+    fo.end = end;
+    return plan::frontend::compileEinsum(expr, fb, fo).valueOrFatal();
+}
+
+bool
+near(Value got, Value want)
+{
+    return std::abs(got - want) <= 1e-9 * (1.0 + std::abs(want));
+}
+
+} // namespace
+
+void
+SddmmWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    a_ = tensor::matrixInput(inputId).generate(scaleDiv);
+    Rng rng(29);
+    b_ = DenseMatrix(a_.rows(), kRank);
+    c_ = DenseMatrix(a_.cols(), kRank);
+    for (Index i = 0; i < b_.rows(); ++i)
+        for (Index k = 0; k < kRank; ++k)
+            b_(i, k) = rng.nextValue(0.1, 1.0);
+    for (Index j = 0; j < c_.rows(); ++j)
+        for (Index k = 0; k < kRank; ++k)
+            c_(j, k) = rng.nextValue(0.1, 1.0);
+
+    // Reference by plain host loops: the sampled pattern is A's own.
+    refVals_.clear();
+    refVals_.reserve(static_cast<size_t>(a_.nnz()));
+    for (Index i = 0; i < a_.rows(); ++i) {
+        for (Index p = a_.rowBegin(i); p < a_.rowEnd(i); ++p) {
+            const Index j = a_.idxs()[static_cast<size_t>(p)];
+            Value dot = 0.0;
+            for (Index k = 0; k < kRank; ++k)
+                dot += b_(i, k) * c_(j, k);
+            refVals_.push_back(a_.vals()[static_cast<size_t>(p)] *
+                               dot);
+        }
+    }
+}
+
+RunResult
+SddmmWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
+    RunHarness h(cfg);
+    const int cores = h.cores();
+    std::vector<plan::PlanState> out(static_cast<size_t>(cores));
+
+    if (cfg.mode == Mode::Baseline) {
+        h.system().mem().registerIndexRegion(
+            sim::addrOf(a_.idxs().data(), 0),
+            a_.idxs().size() * sizeof(Index));
+    }
+    plan::frontend::EinsumBindings fb;
+    fb.csr["A"] = &a_;
+    fb.mat["B"] = &b_;
+    fb.mat["C"] = &c_;
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        plan::PlanState &st = out[static_cast<size_t>(c)];
+        // Exact-capacity reserves keep collector addresses stable
+        // (see sim/addrspace.hpp); the output pattern is A's.
+        const auto outNnz = static_cast<size_t>(a_.rowBegin(end) -
+                                                a_.rowBegin(beg));
+        st.idxs.reserve(outNnz);
+        st.vals.reserve(outNnz);
+        st.rowNnz.reserve(static_cast<size_t>(end - beg));
+        const plan::PlanSpec ps =
+            compileSlice(kEinsum, fb, cfg, beg, end);
+        if (cfg.mode == Mode::Baseline) {
+            h.addBaselineTrace(
+                c, plan::lowerTrace(
+                       ps, {&st.idxs, &st.vals, &st.rowNnz, nullptr},
+                       h.simd()));
+        } else {
+            auto &src = h.addTmuProgram(c, plan::lowerProgram(ps));
+            plan::initPlanState(ps, st);
+            plan::bindHandlers(ps, src, st);
+        }
+    }
+
+    RunResult res = h.finish();
+    res.verified = true;
+    for (int c = 0; c < cores && res.verified; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const plan::PlanState &st = out[static_cast<size_t>(c)];
+        if (st.rowNnz.size() != static_cast<size_t>(end - beg) ||
+            st.idxs.size() !=
+                static_cast<size_t>(a_.rowBegin(end) -
+                                    a_.rowBegin(beg))) {
+            res.verified = false;
+            break;
+        }
+        size_t q = 0;
+        for (Index i = beg; i < end && res.verified; ++i) {
+            if (st.rowNnz[static_cast<size_t>(i - beg)] !=
+                a_.rowNnz(i)) {
+                res.verified = false;
+                break;
+            }
+            for (Index p = a_.rowBegin(i); p < a_.rowEnd(i);
+                 ++p, ++q) {
+                if (st.idxs[q] !=
+                        a_.idxs()[static_cast<size_t>(p)] ||
+                    !near(st.vals[q],
+                          refVals_[static_cast<size_t>(p)])) {
+                    res.verified = false;
+                    break;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+void
+SpmmWorkload::prepare(const std::string &inputId, Index scaleDiv)
+{
+    // Denser scaling, like SpMSpM: the output image is rows x kCols.
+    a_ = tensor::matrixInput(inputId).generate(scaleDiv * 4);
+    Rng rng(31);
+    b_ = DenseMatrix(a_.cols(), kCols);
+    for (Index k = 0; k < b_.rows(); ++k)
+        for (Index j = 0; j < kCols; ++j)
+            b_(k, j) = rng.nextValue(0.1, 1.0);
+
+    ref_ = DenseMatrix(a_.rows(), kCols, 0.0);
+    for (Index i = 0; i < a_.rows(); ++i) {
+        for (Index p = a_.rowBegin(i); p < a_.rowEnd(i); ++p) {
+            const Index k = a_.idxs()[static_cast<size_t>(p)];
+            const Value av = a_.vals()[static_cast<size_t>(p)];
+            for (Index j = 0; j < kCols; ++j)
+                ref_(i, j) += av * b_(k, j);
+        }
+    }
+}
+
+RunResult
+SpmmWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
+    RunHarness h(cfg);
+    const int cores = h.cores();
+    std::vector<plan::PlanState> out(static_cast<size_t>(cores));
+
+    if (cfg.mode == Mode::Baseline) {
+        h.system().mem().registerIndexRegion(
+            sim::addrOf(a_.idxs().data(), 0),
+            a_.idxs().size() * sizeof(Index));
+    }
+    plan::frontend::EinsumBindings fb;
+    fb.csr["A"] = &a_;
+    fb.mat["B"] = &b_;
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        plan::PlanState &st = out[static_cast<size_t>(c)];
+        // Every non-empty A row emits a full dense output row.
+        size_t nonEmpty = 0;
+        for (Index i = beg; i < end; ++i)
+            nonEmpty += a_.rowNnz(i) > 0 ? 1 : 0;
+        st.idxs.reserve(nonEmpty * static_cast<size_t>(kCols));
+        st.vals.reserve(nonEmpty * static_cast<size_t>(kCols));
+        st.rowNnz.reserve(static_cast<size_t>(end - beg));
+        const plan::PlanSpec ps =
+            compileSlice(kEinsum, fb, cfg, beg, end);
+        if (cfg.mode == Mode::Baseline) {
+            h.addBaselineTrace(
+                c, plan::lowerTrace(
+                       ps, {&st.idxs, &st.vals, &st.rowNnz, nullptr},
+                       h.simd()));
+        } else {
+            auto &src = h.addTmuProgram(c, plan::lowerProgram(ps));
+            plan::initPlanState(ps, st);
+            plan::bindHandlers(ps, src, st);
+        }
+    }
+
+    RunResult res = h.finish();
+    res.verified = true;
+    for (int c = 0; c < cores && res.verified; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const plan::PlanState &st = out[static_cast<size_t>(c)];
+        if (st.rowNnz.size() != static_cast<size_t>(end - beg)) {
+            res.verified = false;
+            break;
+        }
+        size_t q = 0;
+        for (Index i = beg; i < end && res.verified; ++i) {
+            const Index want = a_.rowNnz(i) > 0 ? kCols : 0;
+            if (st.rowNnz[static_cast<size_t>(i - beg)] != want) {
+                res.verified = false;
+                break;
+            }
+            for (Index j = 0; j < want; ++j, ++q) {
+                if (st.idxs[q] != j ||
+                    !near(st.vals[q], ref_(i, j))) {
+                    res.verified = false;
+                    break;
+                }
+            }
+        }
+        if (q != st.idxs.size())
+            res.verified = false;
+    }
+    return res;
+}
+
+void
+SpmmScatterWorkload::prepare(const std::string &inputId,
+                             Index scaleDiv)
+{
+    a_ = tensor::matrixInput(inputId).generate(scaleDiv * 4);
+    Rng rng(37);
+    b_ = DenseMatrix(a_.cols(), kCols);
+    for (Index k = 0; k < b_.rows(); ++k)
+        for (Index j = 0; j < kCols; ++j)
+            b_(k, j) = rng.nextValue(0.1, 1.0);
+
+    // Deterministic permutation map (Fisher-Yates): the GNN-style
+    // neighborhood reordering the scatter output models.
+    const Index rows = a_.rows();
+    map_.resize(static_cast<size_t>(rows));
+    for (Index i = 0; i < rows; ++i)
+        map_[static_cast<size_t>(i)] = i;
+    for (Index i = rows - 1; i > 0; --i) {
+        const auto j = static_cast<size_t>(
+            rng.next() % static_cast<std::uint64_t>(i + 1));
+        std::swap(map_[static_cast<size_t>(i)], map_[j]);
+    }
+
+    ref_ = DenseMatrix(rows, kCols, 0.0);
+    for (Index i = 0; i < rows; ++i) {
+        const Index zi = map_[static_cast<size_t>(i)];
+        for (Index p = a_.rowBegin(i); p < a_.rowEnd(i); ++p) {
+            const Index k = a_.idxs()[static_cast<size_t>(p)];
+            const Value av = a_.vals()[static_cast<size_t>(p)];
+            for (Index j = 0; j < kCols; ++j)
+                ref_(zi, j) += av * b_(k, j);
+        }
+    }
+}
+
+RunResult
+SpmmScatterWorkload::run(const RunConfig &cfg)
+{
+    TMU_ASSERT(a_.rows() > 0, "prepare() was not called");
+    RunHarness h(cfg);
+    const int cores = h.cores();
+    std::vector<plan::PlanState> st(static_cast<size_t>(cores));
+    // Per-core private accumulators, summed for verification (the map
+    // is a permutation, so each Z row has exactly one writer, but the
+    // private copies keep the pattern uniform with MTTKRP).
+    std::vector<DenseMatrix> z;
+    z.reserve(static_cast<size_t>(cores));
+    for (int c = 0; c < cores; ++c)
+        z.emplace_back(a_.rows(), kCols, 0.0);
+
+    if (cfg.mode == Mode::Baseline) {
+        h.system().mem().registerIndexRegion(
+            sim::addrOf(a_.idxs().data(), 0),
+            a_.idxs().size() * sizeof(Index));
+    }
+    for (int c = 0; c < cores; ++c) {
+        const auto [beg, end] = partition(a_.rows(), cores, c);
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &a_;
+        fb.mat["B"] = &b_;
+        fb.maps["m"] = &map_;
+        fb.outMat = &z[static_cast<size_t>(c)];
+        const plan::PlanSpec ps =
+            compileSlice(kEinsum, fb, cfg, beg, end);
+        if (cfg.mode == Mode::Baseline) {
+            h.addBaselineTrace(c, plan::lowerTrace(ps, {}, h.simd()));
+        } else {
+            auto &src = h.addTmuProgram(c, plan::lowerProgram(ps));
+            plan::PlanState &s = st[static_cast<size_t>(c)];
+            plan::initPlanState(ps, s);
+            plan::bindHandlers(ps, src, s);
+        }
+    }
+
+    RunResult res = h.finish();
+    res.verified = true;
+    for (Index i = 0; i < a_.rows() && res.verified; ++i) {
+        for (Index j = 0; j < kCols; ++j) {
+            Value sum = 0.0;
+            for (const DenseMatrix &zc : z)
+                sum += zc(i, j);
+            if (!near(sum, ref_(i, j))) {
+                res.verified = false;
+                break;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace tmu::workloads

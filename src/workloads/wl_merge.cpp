@@ -4,8 +4,8 @@
 
 #include "common/log.hpp"
 #include "kernels/spadd.hpp"
+#include "plan/frontend/frontend.hpp"
 #include "plan/lower.hpp"
-#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/generate.hpp"
 #include "tensor/suite.hpp"
@@ -72,7 +72,15 @@ runKAdd(const RunConfig &cfg,
         // layout reproducible (see sim/addrspace.hpp).
         const auto outNnz = static_cast<size_t>(ref.rowBegin(end) -
                                                 ref.rowBegin(beg));
-        const plan::PlanSpec ps = plan::spkaddPlan(parts, beg, end);
+        plan::frontend::EinsumBindings fb;
+        fb.ensembles["A^k"] = &parts;
+        plan::frontend::CompileOptions fo;
+        fo.beg = beg;
+        fo.end = end;
+        const plan::PlanSpec ps =
+            plan::frontend::compileEinsum(
+                "Z(i,j; dcsr) = sum_k A^k(i,j; dcsr)", fb, fo)
+                .valueOrFatal();
         if (cfg.mode == Mode::Baseline) {
             rowBeg[static_cast<size_t>(c)] = beg;
             st.idxs.reserve(outNnz);

@@ -5,8 +5,8 @@
 #include "common/log.hpp"
 #include "kernels/spmspm.hpp"
 #include "kernels/tricount.hpp"
+#include "plan/frontend/frontend.hpp"
 #include "plan/lower.hpp"
-#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/generate.hpp"
 #include "tensor/suite.hpp"
@@ -60,8 +60,17 @@ SpmspmWorkload::run(const RunConfig &cfg)
         st.idxs.reserve(outNnz);
         st.vals.reserve(outNnz);
         st.rowNnz.reserve(static_cast<size_t>(end - beg));
+        plan::frontend::EinsumBindings fb;
+        fb.csr["A"] = &a_;
+        fb.csr["B"] = &bt_;
+        plan::frontend::CompileOptions fo;
+        fo.lanes = cfg.programLanes;
+        fo.beg = beg;
+        fo.end = end;
         const plan::PlanSpec ps =
-            plan::spmspmPlan(a_, bt_, cfg.programLanes, beg, end);
+            plan::frontend::compileEinsum(
+                "Z(i,j; csr) = A(i,k; csr) * B(k,j; csr)", fb, fo)
+                .valueOrFatal();
         if (cfg.mode == Mode::Baseline) {
             h.addBaselineTrace(
                 c, plan::lowerTrace(
@@ -144,7 +153,15 @@ TricountWorkload::run(const RunConfig &cfg)
     for (int c = 0; c < cores; ++c) {
         const auto [beg, end] = partition(l_.rows(), cores, c);
         plan::PlanState &s = st[static_cast<size_t>(c)];
-        const plan::PlanSpec ps = plan::tricountPlan(l_, beg, end);
+        plan::frontend::EinsumBindings fb;
+        fb.csr["L"] = &l_;
+        plan::frontend::CompileOptions fo;
+        fo.beg = beg;
+        fo.end = end;
+        const plan::PlanSpec ps =
+            plan::frontend::compileEinsum(
+                "c = L(i,k; csr) * L(k,j; csr) * L(i,j; csr)", fb, fo)
+                .valueOrFatal();
         if (cfg.mode == Mode::Baseline) {
             plan::TraceSinks io;
             io.count = &s.count;

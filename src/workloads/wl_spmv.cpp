@@ -6,8 +6,8 @@
 #include "common/rng.hpp"
 #include "kernels/pagerank.hpp"
 #include "kernels/spmv.hpp"
+#include "plan/frontend/frontend.hpp"
 #include "plan/lower.hpp"
-#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/suite.hpp"
 #include "tmu/outq.hpp"
@@ -36,14 +36,30 @@ runSpmvShaped(const RunConfig &cfg, const tensor::CsrMatrix &a,
             sim::addrOf(a.idxs().data(), 0),
             a.idxs().size() * sizeof(Index));
     }
+    // The plans compile from their einsum; plan/plans.hpp keeps the
+    // hand-authored specs as pinned comparison references.
+    plan::frontend::EinsumBindings fb;
+    fb.csr["A"] = &a;
+    fb.outVec = &x;
+    const char *expr;
+    if (pagerankUpdate) {
+        expr = "Z(i) = beta + alpha * A(i,j; csr) * X(j; dense)";
+        fb.vec["X"] = &b;
+        fb.scalars["alpha"] = damping;
+        fb.scalars["beta"] =
+            (1.0 - damping) / static_cast<double>(a.rows());
+    } else {
+        expr = "Z(i) = A(i,j; csr) * B(j; dense)";
+        fb.vec["B"] = &b;
+    }
     for (int c = 0; c < cores; ++c) {
         const auto [beg, end] = partition(a.rows(), cores, c);
+        plan::frontend::CompileOptions fo;
+        fo.lanes = cfg.programLanes;
+        fo.beg = beg;
+        fo.end = end;
         const plan::PlanSpec ps =
-            pagerankUpdate
-                ? plan::pagerankPlan(a, b, x, damping,
-                                     cfg.programLanes, beg, end)
-                : plan::spmvPlan(a, b, x, cfg.programLanes, beg, end,
-                                 plan::Variant::P1);
+            plan::frontend::compileEinsum(expr, fb, fo).valueOrFatal();
         if (cfg.mode == Mode::Baseline) {
             h.addBaselineTrace(c, plan::lowerTrace(ps, {}, h.simd()));
         } else {

@@ -7,8 +7,8 @@
 #include "kernels/mttkrp.hpp"
 #include "kernels/smallsolve.hpp"
 #include "kernels/sptc.hpp"
+#include "plan/frontend/frontend.hpp"
 #include "plan/lower.hpp"
-#include "plan/plans.hpp"
 #include "tensor/convert.hpp"
 #include "tensor/generate.hpp"
 #include "tensor/suite.hpp"
@@ -94,9 +94,22 @@ runMttkrpOnce(const RunConfig &cfg, const CooTensor &t,
     for (int core = 0; core < cores; ++core) {
         const auto [beg, end] = partition(t.nnz(), cores, core);
         DenseMatrix &z = zPerCore[static_cast<size_t>(core)];
-        const plan::PlanSpec ps = plan::mttkrpPlan(
-            t, b, c, z, cfg.programLanes, beg, end,
-            p1 ? plan::Variant::P1 : plan::Variant::P2);
+        plan::frontend::EinsumBindings fb;
+        fb.coo["A"] = &t;
+        fb.mat["B"] = &b;
+        fb.mat["C"] = &c;
+        fb.outMat = &z;
+        plan::frontend::CompileOptions fo;
+        fo.lanes = cfg.programLanes;
+        fo.beg = beg;
+        fo.end = end;
+        fo.variant = p1 ? plan::Variant::P1 : plan::Variant::P2;
+        const plan::PlanSpec ps =
+            plan::frontend::compileEinsum(
+                "Z(i,j) = A(i,k,l; coo) * B(k,j; dense) * "
+                "C(l,j; dense)",
+                fb, fo)
+                .valueOrFatal();
 
         if (cfg.mode == Mode::Baseline) {
             h.addBaselineTrace(core,

@@ -47,6 +47,16 @@ def render_table(table: dict) -> str:
     rows = table.get("rows", [])
     if not header and rows:
         header = [f"col{i}" for i in range(len(rows[0]))]
+    # Rows render in report order — Table 4 appends the einsum-compiled
+    # workloads after the legacy rows, and diffs against committed
+    # renderings must stay line-stable, so never sort here. Annotated
+    # einsum expressions carry markdown-active characters (*, ^, ;);
+    # render those cells as code spans so they survive GFM verbatim.
+    code_cols = [i for i, h in enumerate(header)
+                 if "einsum" in str(h).lower()]
+    if code_cols:
+        rows = [[f"`{c}`" if i in code_cols and str(c) else c
+                 for i, c in enumerate(row)] for row in rows]
     lines.append(md_table(header, rows))
     return "\n".join(lines)
 

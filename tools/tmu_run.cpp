@@ -63,6 +63,11 @@
  *                       also its counter tracks) to P; forces --jobs 1
  *     --quiet           suppress the live sweep progress line
  *     --dump-stats      print the gem5-style plain-text report(s)
+ *     --plan-dump W     compile workload W's einsum through the
+ *                       frontend (docs/FRONTEND.md), print the
+ *                       PlanSpec and its TmuProgram::summary(), exit
+ *     --einsum "E"      same, for an arbitrary annotated expression
+ *                       compiled against synthetic demo operands
  *     --list            list workloads and exit
  *
  * Long sweeps report live progress on stderr — completed/total tasks,
@@ -107,6 +112,7 @@
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "plan/frontend/frontend.hpp"
 #include "common/tracewriter.hpp"
 #include "common/writers.hpp"
 #include "sim/fault.hpp"
@@ -116,6 +122,7 @@
 #include "sim/telemetry.hpp"
 #include "sim/watchdog.hpp"
 #include "workloads/registry.hpp"
+#include "workloads/wl_einsum.hpp"
 
 using namespace tmu;
 using namespace tmu::workloads;
@@ -456,7 +463,8 @@ usage(const char *argv0)
                          "[--stats-csv P] [--telemetry-json P] "
                          "[--telemetry-csv P] "
                          "[--telemetry-interval N] [--trace-out P] "
-                         "[--quiet] [--dump-stats] [--list]\n",
+                         "[--quiet] [--dump-stats] [--plan-dump W] "
+                         "[--einsum E] [--list]\n",
                  argv0);
     std::exit(kExitBadArgs);
 }
@@ -478,6 +486,76 @@ splitList(const std::string &text)
         start = comma + 1;
     }
     return out;
+}
+
+/**
+ * Workload name -> the einsum its plan compiles from, for --plan-dump.
+ * The strings are the same ones the workloads pass to compileEinsum
+ * (pinned against plans.cpp by the frontend round-trip test).
+ */
+struct EinsumRow
+{
+    const char *workload;
+    const char *einsum;
+    plan::Variant variant;
+};
+
+constexpr EinsumRow kEinsumTable[] = {
+    {"SpMV", "Z(i) = A(i,j; csr) * B(j; dense)", plan::Variant::P1},
+    {"PR", "Z(i) = beta + alpha * A(i,j; csr) * X(j; dense)",
+     plan::Variant::P1},
+    {"SpMSpM", "Z(i,j; csr) = A(i,k; csr) * B(k,j; csr)",
+     plan::Variant::P2},
+    {"SpKAdd", "Z(i,j; dcsr) = sum_k A^k(i,j; dcsr)",
+     plan::Variant::P1},
+    {"TC", "c = L(i,k; csr) * L(k,j; csr) * L(i,j; csr)",
+     plan::Variant::P1},
+    {"MTTKRP_MP", "Z(i,j) = A(i,k,l; coo) * B(k,j; dense) * C(l,j; dense)",
+     plan::Variant::P1},
+    {"MTTKRP_CP", "Z(i,j) = A(i,k,l; coo) * B(k,j; dense) * C(l,j; dense)",
+     plan::Variant::P2},
+    {"SDDMM", SddmmWorkload::kEinsum, plan::Variant::P1},
+    {"SpMM", SpmmWorkload::kEinsum, plan::Variant::P2},
+    {"SpMM-SC", SpmmScatterWorkload::kEinsum, plan::Variant::P1},
+};
+
+/** --plan-dump / --einsum: print the compiled plan, set the exit code. */
+int
+dumpPlan(const std::string &planDump, const std::string &einsumExpr,
+         int lanes)
+{
+    std::string expr = einsumExpr;
+    plan::frontend::CompileOptions opts;
+    opts.lanes = lanes;
+    if (!planDump.empty()) {
+        const EinsumRow *row = nullptr;
+        for (const EinsumRow &r : kEinsumTable) {
+            if (planDump == r.workload)
+                row = &r;
+        }
+        if (row == nullptr) {
+            std::string known;
+            for (const EinsumRow &r : kEinsumTable)
+                known += (known.empty() ? "" : ", ") +
+                         std::string(r.workload);
+            std::fprintf(stderr,
+                         "tmu_run: no einsum known for workload '%s' "
+                         "(known: %s)\n",
+                         planDump.c_str(), known.c_str());
+            return kExitBadArgs;
+        }
+        expr = row->einsum;
+        opts.variant = row->variant;
+        std::printf("# %s\n", row->workload);
+    }
+    auto text = plan::frontend::dumpEinsum(expr, opts);
+    if (!text) {
+        std::fprintf(stderr, "tmu_run: %s\n",
+                     text.error().str().c_str());
+        return kExitBadArgs;
+    }
+    std::fputs(text->c_str(), stdout);
+    return kExitOk;
 }
 
 bool
@@ -518,6 +596,7 @@ main(int argc, char **argv)
     std::uint64_t memBudgetMb = 0;
     int retries = 0;
     std::string journalPath, resumePath;
+    std::string planDump, einsumExpr;
     bool dumpText = false;
     bool quiet = false;
 
@@ -553,6 +632,8 @@ main(int argc, char **argv)
             strFlag("--preset", preset) ||
             strFlag("--journal", journalPath) ||
             strFlag("--resume", resumePath) ||
+            strFlag("--plan-dump", planDump) ||
+            strFlag("--einsum", einsumExpr) ||
             strFlag("--fault-spec", faultSpecText))
             continue;
         if (strFlag("--fault-seed", num)) {
@@ -622,6 +703,14 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+
+    if (!planDump.empty() && !einsumExpr.empty()) {
+        std::fprintf(stderr, "tmu_run: --plan-dump and --einsum are "
+                             "mutually exclusive\n");
+        return kExitBadArgs;
+    }
+    if (!planDump.empty() || !einsumExpr.empty())
+        return dumpPlan(planDump, einsumExpr, lanes);
 
     const bool runBaseline = mode == "baseline" || mode == "both";
     const bool runTmu = mode == "tmu" || mode == "both";

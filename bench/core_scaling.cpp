@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Core-count scaling: SpMV swept from 8 to 64 simulated cores on
+ * matching mesh presets (4x4, 8x2, 8x4, 8x8), crossed with the three
+ * partition strategies (rows, nnz, tiles2d). Two questions:
+ *
+ *  1. Does the simulated system keep speeding up past the paper's
+ *     8-core Table-5 machine, and at what parallel efficiency?
+ *  2. Which partition strategy holds the per-core load balanced as
+ *     the core count grows? On Zipf-skewed matrices (M3, M6) naive
+ *     row-splitting concentrates the heavy head rows on a few cores;
+ *     nnz-balanced splitting must keep peak/mean nnz near 1.0.
+ *
+ * The imbalance numbers come from the run's own stat registry
+ * (cores.balance.imbalanceRatio), so the table reflects exactly what
+ * the simulator executed, not a side recomputation.
+ */
+
+#include "bench_util.hpp"
+
+#include "workloads/partition.hpp"
+
+using namespace tmu;
+using namespace tmu::bench;
+using namespace tmu::workloads;
+
+namespace {
+
+/** Mesh preset per simulated core count (cores fill from row 0). */
+struct Topo
+{
+    int cores;
+    int meshW;
+    int meshH;
+};
+
+const Topo kTopos[] = {
+    {8, 4, 4},  // the paper's Table-5 machine
+    {16, 8, 2},
+    {32, 8, 4},
+    {64, 8, 8},
+};
+
+std::string
+meshName(const Topo &t)
+{
+    return std::to_string(t.meshW) + "x" + std::to_string(t.meshH);
+}
+
+RunConfig
+configFor(const Topo &t, PartitionKind kind)
+{
+    RunConfig cfg = defaultConfig(matrixScale());
+    cfg.system.cores = t.cores;
+    cfg.system.mem.meshW = t.meshW;
+    cfg.system.mem.meshH = t.meshH;
+    cfg.partition = kind;
+    return cfg;
+}
+
+double
+statF(const RunResult &r, const char *name)
+{
+    const stats::SnapshotEntry *e = r.stats.find(name);
+    return e != nullptr ? e->value() : 0.0;
+}
+
+/** One (topology, strategy, input) cell; filled by the sweep pool. */
+struct Cell
+{
+    Topo topo{};
+    PartitionKind kind{};
+    std::string input;
+    PairResult pr;
+    double imbalance = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    BenchReport rep("corescale");
+    printBanner("Core-count scaling, 8 -> 64 cores x partition "
+                "strategy (SpMV)",
+                defaultConfig(matrixScale()));
+
+    // Phase A: scaling on the skewed headline input M3 — every
+    // topology x strategy, paired baseline+TMU.
+    std::vector<Cell> scal;
+    for (const Topo &t : kTopos) {
+        for (const PartitionKind k : partitionKinds()) {
+            Cell c;
+            c.topo = t;
+            c.kind = k;
+            c.input = "M3";
+            scal.push_back(std::move(c));
+        }
+    }
+    // Phase B: load balance at 64 cores across skew classes. M1 is
+    // banded with fixed-length rows (row-split is already balanced);
+    // M3 and M6 are Zipf-skewed.
+    std::vector<Cell> bal;
+    for (const char *input : {"M1", "M3", "M6"}) {
+        for (const PartitionKind k : partitionKinds()) {
+            Cell c;
+            c.topo = kTopos[3]; // 64 cores, 8x8
+            c.kind = k;
+            c.input = input;
+            bal.push_back(std::move(c));
+        }
+    }
+
+    std::vector<Cell *> cells;
+    for (Cell &c : scal)
+        cells.push_back(&c);
+    for (Cell &c : bal)
+        cells.push_back(&c);
+    parallelFor(cells.size(), benchJobs(), [&](std::size_t i) {
+        Cell &c = *cells[i];
+        const auto wl = makeWorkload("SpMV");
+        wl->prepare(c.input, matrixScale());
+        c.pr = runPair(*wl, configFor(c.topo, c.kind));
+        c.imbalance = statF(c.pr.tmu, "cores.balance.imbalanceRatio");
+    });
+
+    TextTable st("SpMV/M3 cycles, 8 -> 64 cores x partition strategy");
+    st.header({"cores", "mesh", "partition", "base cycles",
+               "tmu cycles", "speedup", "imbalance"});
+    for (const Cell &c : scal) {
+        st.row({std::to_string(c.topo.cores), meshName(c.topo),
+                partitionKindName(c.kind),
+                std::to_string(c.pr.base.sim.cycles),
+                std::to_string(c.pr.tmu.sim.cycles),
+                TextTable::num(c.pr.speedup(), 2),
+                TextTable::num(c.imbalance, 3)});
+    }
+    rep.print(st);
+
+    // Parallel-efficiency summary: cycles(8) / cycles(64) per strategy
+    // (ideal = 8.0). Cells come back in enumeration order, so strategy
+    // s at core preset p is scal[p * kinds + s].
+    const std::size_t kinds = partitionKinds().size();
+    TextTable eff("TMU cycle reduction 8 -> 64 cores (ideal 8.00)");
+    eff.header({"partition", "8-core cycles", "64-core cycles",
+                "reduction"});
+    for (std::size_t s = 0; s < kinds; ++s) {
+        const Cell &c8 = scal[s];
+        const Cell &c64 = scal[3 * kinds + s];
+        const double red =
+            c64.pr.tmu.sim.cycles
+                ? static_cast<double>(c8.pr.tmu.sim.cycles) /
+                      static_cast<double>(c64.pr.tmu.sim.cycles)
+                : 0.0;
+        eff.row({partitionKindName(c8.kind),
+                 std::to_string(c8.pr.tmu.sim.cycles),
+                 std::to_string(c64.pr.tmu.sim.cycles),
+                 TextTable::num(red, 2)});
+        rep.note(std::string("scaling.") + partitionKindName(c8.kind),
+                 TextTable::num(red, 2));
+    }
+    rep.print(eff);
+
+    TextTable bt("per-core nnz imbalance (peak/mean) at 64 cores");
+    bt.header({"input", "skew", "partition", "imbalance",
+               "tmu cycles"});
+    for (const Cell &c : bal) {
+        const bool skewed = c.input != "M1";
+        bt.row({c.input, skewed ? "zipf" : "banded",
+                partitionKindName(c.kind),
+                TextTable::num(c.imbalance, 3),
+                std::to_string(c.pr.tmu.sim.cycles)});
+        rep.note("imbalance.cores64." + c.input + "." +
+                     partitionKindName(c.kind),
+                 TextTable::num(c.imbalance, 3));
+    }
+    rep.print(bt);
+
+    // Acceptance: nnz-balanced must stay within 10% of perfect on
+    // every input, including the one where naive row-splitting
+    // degrades past 1.5x (the demonstration input: Zipf skew heavy
+    // enough that equal-row chunks go badly wrong at 64 cores).
+    bool nnzOk = true, rowsDegrade = false, verified = true;
+    for (const Cell &c : bal) {
+        verified = verified && c.pr.verified();
+        if (c.kind == PartitionKind::NnzBalanced)
+            nnzOk = nnzOk && c.imbalance <= 1.10;
+        if (c.kind == PartitionKind::Rows && c.input != "M1")
+            rowsDegrade = rowsDegrade || c.imbalance > 1.5;
+    }
+    for (const Cell &c : scal)
+        verified = verified && c.pr.verified();
+    const bool ok = nnzOk && rowsDegrade && verified;
+    rep.note("acceptance.nnz_le_1.10", nnzOk ? "yes" : "no");
+    rep.note("acceptance.rows_gt_1.5_on_skew",
+             rowsDegrade ? "yes" : "no");
+    std::printf("balance acceptance (nnz <= 1.10 on all inputs, "
+                "row-split > 1.5 on a skewed input): %s\n",
+                ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

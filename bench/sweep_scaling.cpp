@@ -19,6 +19,8 @@
 
 #include <chrono>
 
+#include "workloads/partition.hpp"
+
 using namespace tmu;
 using namespace tmu::bench;
 using namespace tmu::workloads;
@@ -131,6 +133,44 @@ main()
     rep.print(d);
     std::printf("deterministic across job counts: %s\n",
                 identical ? "yes" : "NO");
+
+    // Per-strategy load balance: the same four workloads once per
+    // partition strategy (TMU path only), reading the run's own
+    // cores.balance.imbalanceRatio stat. On the Table-5 8-core
+    // machine the strategies are close; the spread widens with the
+    // core count (see core_scaling / BENCH_corescale.json).
+    const auto strategies = partitionKinds();
+    std::vector<double> imb(names.size() * strategies.size(), 0.0);
+    parallelFor(imb.size(), 4, [&](std::size_t i) {
+        const std::string &name = names[i / strategies.size()];
+        auto wl = makeWorkload(name);
+        wl->prepare(wl->inputs().front(), scaleFor(*wl));
+        RunConfig cfg = defaultConfig(scaleFor(*wl));
+        cfg.mode = Mode::Tmu;
+        cfg.partition = strategies[i % strategies.size()];
+        const RunResult r = wl->run(cfg);
+        const stats::SnapshotEntry *e =
+            r.stats.find("cores.balance.imbalanceRatio");
+        imb[i] = e != nullptr ? e->value() : 0.0;
+    });
+    TextTable lb("per-core nnz imbalance (peak/mean) by partition "
+                 "strategy");
+    std::vector<std::string> lbHeader{"workload"};
+    for (const PartitionKind k : strategies)
+        lbHeader.push_back(partitionKindName(k));
+    lb.header(lbHeader);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row{names[w]};
+        for (std::size_t s = 0; s < strategies.size(); ++s) {
+            const double v = imb[w * strategies.size() + s];
+            row.push_back(TextTable::num(v, 3));
+            rep.note("imbalance." + names[w] + "." +
+                         partitionKindName(strategies[s]),
+                     TextTable::num(v, 3));
+        }
+        lb.row(row);
+    }
+    rep.print(lb);
 
     rep.note("wall_ms.jobs1", TextTable::num(ms1, 1));
     rep.note("wall_ms.jobs4", TextTable::num(ms4, 1));

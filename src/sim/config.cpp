@@ -1,5 +1,7 @@
 #include "config.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace tmu::sim {
@@ -133,14 +135,73 @@ SystemConfig::validate() const
                        "channel bandwidth and clock must be positive "
                        "(got %.2f GB/s, %.2f GHz)",
                        mem.channelGBs, mem.coreGHz);
-    if (mem.meshDim < 1 || cores > mem.meshDim * mem.meshDim ||
-        mem.llcSlices > mem.meshDim * mem.meshDim) {
+    if (mem.meshW < 1 || mem.meshH < 1) {
         return TMU_ERR(Errc::ConfigError,
-                       "%dx%d mesh cannot host %d cores and %d LLC "
-                       "slices",
-                       mem.meshDim, mem.meshDim, cores, mem.llcSlices);
+                       "mesh geometry must be >= 1x1, got %dx%d",
+                       mem.meshW, mem.meshH);
+    }
+    if (cores > mem.meshW * mem.meshH) {
+        return TMU_ERR(Errc::ConfigError,
+                       "%dx%d mesh has %d tiles, cannot host %d cores",
+                       mem.meshW, mem.meshH, mem.meshW * mem.meshH,
+                       cores);
+    }
+    // LLC slices fill rows floor(meshH/2)..meshH-1, i.e. ceil(meshH/2)
+    // rows of meshW tiles each (see MemorySystem::nocLatency).
+    const int sliceRows = mem.meshH - mem.meshH / 2;
+    if (mem.llcSlices > mem.meshW * sliceRows) {
+        return TMU_ERR(Errc::ConfigError,
+                       "%dx%d mesh has %d slice tiles (rows %d-%d), "
+                       "cannot host %d LLC slices",
+                       mem.meshW, mem.meshH, mem.meshW * sliceRows,
+                       mem.meshH / 2, mem.meshH - 1, mem.llcSlices);
+    }
+    if (mem.memChannels > mem.meshW * mem.meshH) {
+        return TMU_ERR(Errc::ConfigError,
+                       "%dx%d mesh cannot host %d HBM channel stops",
+                       mem.meshW, mem.meshH, mem.memChannels);
     }
     return {};
+}
+
+Expected<std::pair<int, int>>
+parseMeshSpec(const std::string &spec)
+{
+    const auto fail = [&spec](int col, const char *msg) {
+        const std::string caret(
+            static_cast<size_t>(col > 0 ? col - 1 : 0), ' ');
+        return TMU_ERR(Errc::ParseError, "--mesh:1:%d: %s\n  %s\n  %s^",
+                       col, msg, spec.c_str(), caret.c_str());
+    };
+    size_t i = 0;
+    const auto digits = [&](long &out) {
+        const size_t start = i;
+        long v = 0;
+        while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+            v = std::min<long>(v * 10 + (spec[i] - '0'), 1 << 20);
+            ++i;
+        }
+        out = v;
+        return i > start;
+    };
+    long w = 0, h = 0;
+    if (!digits(w))
+        return fail(static_cast<int>(i) + 1,
+                    "expected mesh width (a positive integer)");
+    if (i >= spec.size() || (spec[i] != 'x' && spec[i] != 'X'))
+        return fail(static_cast<int>(i) + 1,
+                    "expected 'x' between mesh width and height");
+    ++i;
+    if (!digits(h))
+        return fail(static_cast<int>(i) + 1,
+                    "expected mesh height (a positive integer)");
+    if (i != spec.size())
+        return fail(static_cast<int>(i) + 1,
+                    "trailing characters after WxH mesh spec");
+    if (w < 1 || w > 1024 || h < 1 || h > 1024)
+        return fail(1, "mesh dimensions must be in [1, 1024]");
+    return std::pair<int, int>{static_cast<int>(w),
+                               static_cast<int>(h)};
 }
 
 std::string
@@ -149,7 +210,7 @@ SystemConfig::describe() const
     std::string out = detail::format(
         "%s: %d cores, SVE %d b, ROB %d, LSQ %d/%d, "
         "L1 %lluKiB/%d-way/%d MSHR, L2 %lluKiB/%d-way/%d MSHR, "
-        "LLC %dx%lluKiB/%d-way, %d HBM ch x %.1f GB/s",
+        "LLC %dx%lluKiB/%d-way on a %dx%d mesh, %d HBM ch x %.1f GB/s",
         name.c_str(), cores, simdBits, core.robEntries, core.loadQueue,
         core.storeQueue,
         static_cast<unsigned long long>(l1.sizeBytes / 1024), l1.ways,
@@ -157,7 +218,8 @@ SystemConfig::describe() const
         static_cast<unsigned long long>(l2.sizeBytes / 1024), l2.ways,
         l2.mshrs, mem.llcSlices,
         static_cast<unsigned long long>(llcSlice.sizeBytes / 1024),
-        llcSlice.ways, mem.memChannels, mem.channelGBs);
+        llcSlice.ways, mem.meshW, mem.meshH, mem.memChannels,
+        mem.channelGBs);
     // Budgets are off by default; the banner only grows when the run
     // is actually supervised, keeping historical output unchanged.
     if (deadlineMs > 0 || cycleBudget > 0 || memBudgetBytes > 0) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -54,7 +55,24 @@ struct MemConfig
     Cycle dramLatency = 90;   //!< closed-page access latency
     Cycle dramRowHitLatency = 60;
     Cycle nocHopLatency = 2;  //!< per-hop (1 cycle router + 1 link)
-    int meshDim = 4;          //!< 4x4 2D mesh
+    /**
+     * Mesh geometry, meshW columns x meshH rows. Cores fill tiles
+     * row-major from row 0; LLC slices fill tiles row-major from row
+     * floor(meshH/2); HBM channel stops sit on the bottom row. The
+     * default 4x4 reproduces the paper's Table 5 floorplan (cores on
+     * rows 0-1, slices on rows 2-3); any WxH that passes
+     * SystemConfig::validate() is simulated the same way.
+     */
+    int meshW = 4;
+    int meshH = 4;
+    /**
+     * Per-hop cost of the LLC-slice -> HBM-channel-stop traversal.
+     * 0 (the Table 5 calibration) folds that distance into
+     * dramLatency, which keeps the default topology cycle-identical
+     * to the pre-parameterized model; set it > 0 to expose channel
+     * placement when sweeping large meshes.
+     */
+    Cycle memStopHopLatency = 0;
 
     /** DRAM line service time in core cycles (bandwidth bound). */
     double
@@ -157,5 +175,16 @@ struct SystemConfig
     /** Render the Table-5 style parameter block. */
     std::string describe() const;
 };
+
+/**
+ * Parse a "WxH" mesh geometry spec ("4x4", "8x2", ...). Errors carry
+ * a caret diagnostic pointing at the offending column, in the same
+ * style as the einsum frontend:
+ *
+ *   --mesh:1:3: expected 'x' between mesh width and height
+ *     8y2
+ *       ^
+ */
+Expected<std::pair<int, int>> parseMeshSpec(const std::string &spec);
 
 } // namespace tmu::sim

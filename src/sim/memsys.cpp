@@ -44,20 +44,44 @@ MemorySystem::sliceOf(Addr line) const
 Cycle
 MemorySystem::nocLatency(int coreId, int slice) const
 {
-    // Cores on mesh rows 0-1, LLC slices on rows 2-3 of the 4x4 mesh.
-    const int dim = cfg_.mem.meshDim;
-    const int cx = coreId % dim, cy = coreId / dim;
-    const int sx = slice % dim, sy = 2 + slice / dim;
+    // Cores fill tiles row-major from row 0; LLC slices fill tiles
+    // row-major from row floor(meshH/2). On the default 4x4 mesh that
+    // is the paper floorplan: cores on rows 0-1, slices on rows 2-3.
+    const int w = cfg_.mem.meshW;
+    const int cx = coreId % w, cy = coreId / w;
+    const int sx = slice % w, sy = cfg_.mem.meshH / 2 + slice / w;
     const int hops = std::abs(cx - sx) + std::abs(cy - sy);
     return 2 * static_cast<Cycle>(hops) * cfg_.mem.nocHopLatency;
+}
+
+int
+MemorySystem::channelOf(Addr line) const
+{
+    const Addr l = line / kLineBytes;
+    return static_cast<int>((l ^ (l >> 9)) %
+                            static_cast<Addr>(channels_.size()));
+}
+
+Cycle
+MemorySystem::memStopLatency(int slice, Addr line) const
+{
+    if (cfg_.mem.memStopHopLatency == 0)
+        return 0; // Table 5 calibration: folded into dramLatency
+    // Channel stops spread evenly along the bottom mesh row.
+    const int w = cfg_.mem.meshW;
+    const int ch = channelOf(line);
+    const int chx = static_cast<int>(
+        (static_cast<long>(ch) * w) / cfg_.mem.memChannels);
+    const int chy = cfg_.mem.meshH - 1;
+    const int sx = slice % w, sy = cfg_.mem.meshH / 2 + slice / w;
+    const int hops = std::abs(sx - chx) + std::abs(sy - chy);
+    return 2 * static_cast<Cycle>(hops) * cfg_.mem.memStopHopLatency;
 }
 
 Cycle
 MemorySystem::dramAccess(Addr line, Cycle t)
 {
-    const Addr l = line / kLineBytes;
-    auto &ch = channels_[static_cast<size_t>(
-        (l ^ (l >> 9)) % static_cast<Addr>(channels_.size()))];
+    auto &ch = channels_[static_cast<size_t>(channelOf(line))];
 
     const double start =
         std::max(static_cast<double>(t), ch.nextFree);
@@ -84,9 +108,7 @@ MemorySystem::dramWrite(Addr line, Cycle t)
     // Writebacks are fire-and-forget for the requester but occupy the
     // channel like any other transfer (bandwidth is bidirectionally
     // shared on HBM pseudo-channels).
-    const Addr l = line / kLineBytes;
-    auto &ch = channels_[static_cast<size_t>(
-        (l ^ (l >> 9)) % static_cast<Addr>(channels_.size()))];
+    auto &ch = channels_[static_cast<size_t>(channelOf(line))];
     const double start = std::max(static_cast<double>(t), ch.nextFree);
     ch.nextFree = start + cfg_.mem.lineServiceCycles();
     dram_.queueCycles += start - static_cast<double>(t);
@@ -109,7 +131,11 @@ MemorySystem::llcPath(int coreId, Addr line, Cycle t, int *levelOut)
         line, t + noc / 2, false,
         [&](Cycle t2) {
             wentDram = true;
-            return dramAccess(line, t2);
+            // Slice -> HBM channel stop traversal; 0 at the Table 5
+            // calibration point (memStopHopLatency == 0).
+            const Cycle stop = memStopLatency(s, line);
+            return dramAccess(line, t2 + stop / 2) + stop / 2 +
+                   (stop & 1);
         },
         evictedPtr);
     if (!res.accepted)

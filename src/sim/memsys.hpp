@@ -1,7 +1,10 @@
 /**
  * @file
- * The shared memory hierarchy: per-core L1D/L2, an 8-slice shared LLC
- * reached over a 4x4 mesh, and HBM2e channels (paper Table 5).
+ * The shared memory hierarchy: per-core L1D/L2, a sliced shared LLC
+ * reached over a parameterized WxH mesh, and HBM2e channels. The
+ * default configuration is the paper's Table 5 machine (8 cores, 8
+ * slices, 4x4 mesh); MemConfig::meshW/meshH, llcSlices and
+ * memChannels scale the floorplan past that point.
  *
  * Two entry points mirror the paper's integration (Sec. 5.6): cores
  * access through their private hierarchy; TMUs read directly from the
@@ -139,6 +142,17 @@ class MemorySystem
 
     /** Mesh round-trip latency between a core tile and an LLC slice. */
     Cycle nocLatency(int coreId, int slice) const;
+
+    /**
+     * Mesh round-trip latency between an LLC slice and the HBM channel
+     * stop serving @p line. Zero under the default Table 5
+     * calibration (memStopHopLatency == 0), where the slice-to-memory
+     * distance is folded into dramLatency.
+     */
+    Cycle memStopLatency(int slice, Addr line) const;
+
+    /** Channel index serving @p line (address-hash interleaving). */
+    int channelOf(Addr line) const;
 
     int sliceOf(Addr line) const;
 

@@ -1,0 +1,225 @@
+#include "partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace tmu::workloads {
+
+const char *
+partitionKindName(PartitionKind kind)
+{
+    switch (kind) {
+    case PartitionKind::Rows:
+        return "rows";
+    case PartitionKind::NnzBalanced:
+        return "nnz";
+    case PartitionKind::Tiles2D:
+        return "tiles2d";
+    }
+    return "?";
+}
+
+std::vector<PartitionKind>
+partitionKinds()
+{
+    return {PartitionKind::Rows, PartitionKind::NnzBalanced,
+            PartitionKind::Tiles2D};
+}
+
+Expected<PartitionKind>
+parsePartitionKind(const std::string &name)
+{
+    for (const PartitionKind k : partitionKinds()) {
+        if (name == partitionKindName(k))
+            return k;
+    }
+    return TMU_ERR(Errc::UnknownName,
+                   "unknown partition strategy '%s' (known: rows, "
+                   "nnz, tiles2d)",
+                   name.c_str());
+}
+
+double
+Partition::imbalanceRatio() const
+{
+    std::uint64_t sum = 0, peak = 0;
+    for (const std::uint64_t n : nnzAssigned) {
+        sum += n;
+        peak = std::max(peak, n);
+    }
+    if (sum == 0 || nnzAssigned.empty())
+        return 1.0;
+    const double mean = static_cast<double>(sum) /
+                        static_cast<double>(nnzAssigned.size());
+    return static_cast<double>(peak) / mean;
+}
+
+namespace {
+
+/** The historical equal-span split: bounds of the old partition(). */
+void
+rowBounds(Index beg, Index end, int parts, std::vector<Index> &out)
+{
+    const Index total = end - beg;
+    const Index chunk = (total + parts - 1) / parts;
+    for (int p = 1; p < parts; ++p)
+        out.push_back(beg + std::min<Index>(total, chunk * p));
+}
+
+/** Can rows [beg, end) fit in @p parts contiguous bins of cap @p c? */
+bool
+fitsUnderCap(Index beg, Index end, const Index *prefix, int parts,
+             Index c)
+{
+    int bins = 1;
+    Index load = 0;
+    for (Index r = beg; r < end; ++r) {
+        const Index len = prefix[r + 1] - prefix[r];
+        if (load + len > c) {
+            if (++bins > parts)
+                return false;
+            load = len;
+        } else {
+            load += len;
+        }
+    }
+    return true;
+}
+
+/**
+ * Nnz-balanced split of rows [beg, end): the optimal contiguous
+ * min-max partition. Binary search on the per-core cap (greedy
+ * first-fit feasibility is monotone in the cap), then emit the greedy
+ * boundaries for the smallest feasible cap — no core carries more
+ * than the provably minimal peak. A quota split at fixed p/parts
+ * targets can overshoot by a whole fat row on Zipf-skewed inputs;
+ * this one cannot.
+ */
+void
+nnzBounds(Index beg, Index end, const Index *prefix, int parts,
+          std::vector<Index> &out)
+{
+    const Index spanNnz = prefix[end] - prefix[beg];
+    if (spanNnz == 0) { // all-empty span: spread the rows evenly
+        rowBounds(beg, end, parts, out);
+        return;
+    }
+    Index fat = 0;
+    for (Index r = beg; r < end; ++r)
+        fat = std::max(fat, prefix[r + 1] - prefix[r]);
+    Index lo = std::max(fat, (spanNnz + parts - 1) / parts);
+    Index hi = spanNnz;
+    while (lo < hi) {
+        const Index mid = lo + (hi - lo) / 2;
+        if (fitsUnderCap(beg, end, prefix, parts, mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    // Greedy emission under the optimal cap: each bin takes rows as
+    // long as it stays under the cap. Trailing bins may come out
+    // empty (repeated `end` bounds) when the span packs tighter than
+    // parts bins; peak load — the completion-time metric — is still
+    // the optimum.
+    Index load = 0;
+    int emitted = 0;
+    for (Index r = beg; r < end && emitted < parts - 1; ++r) {
+        const Index len = prefix[r + 1] - prefix[r];
+        if (load + len > lo) {
+            out.push_back(r);
+            ++emitted;
+            load = len;
+        } else {
+            load += len;
+        }
+    }
+    for (; emitted < parts - 1; ++emitted)
+        out.push_back(end);
+}
+
+/** Divisor of @p n nearest sqrt(n); ties pick the smaller factor. */
+int
+nearestDivisor(int n)
+{
+    const double root = std::sqrt(static_cast<double>(n));
+    int best = 1;
+    for (int d = 1; d <= n; ++d) {
+        if (n % d != 0)
+            continue;
+        if (std::abs(d - root) < std::abs(best - root))
+            best = d;
+    }
+    return best;
+}
+
+} // namespace
+
+Partition
+makePartition(PartitionKind kind, Index total, const Index *prefix,
+              int cores)
+{
+    TMU_ASSERT(cores >= 1 && total >= 0);
+    Partition part;
+    part.kind = kind;
+    part.cores = cores;
+    part.total = total;
+    part.bounds.reserve(static_cast<size_t>(cores) + 1);
+    part.bounds.push_back(0);
+
+    const bool weighted = prefix != nullptr &&
+                          kind != PartitionKind::Rows;
+    switch (kind) {
+    case PartitionKind::Rows:
+        rowBounds(0, total, cores, part.bounds);
+        break;
+    case PartitionKind::NnzBalanced:
+        if (weighted)
+            nnzBounds(0, total, prefix, cores, part.bounds);
+        else
+            rowBounds(0, total, cores, part.bounds);
+        break;
+    case PartitionKind::Tiles2D: {
+        // Pr equal-row bands x Pc nnz-subsplits, Pr*Pc == cores.
+        const int pr = nearestDivisor(cores);
+        const int pc = cores / pr;
+        std::vector<Index> bands{0};
+        rowBounds(0, total, pr, bands);
+        bands.push_back(total);
+        for (int b = 0; b < pr; ++b) {
+            if (weighted) {
+                nnzBounds(bands[static_cast<size_t>(b)],
+                          bands[static_cast<size_t>(b) + 1], prefix,
+                          pc, part.bounds);
+            } else {
+                rowBounds(bands[static_cast<size_t>(b)],
+                          bands[static_cast<size_t>(b) + 1], pc,
+                          part.bounds);
+            }
+            if (b + 1 < pr)
+                part.bounds.push_back(
+                    bands[static_cast<size_t>(b) + 1]);
+        }
+        break;
+    }
+    }
+    part.bounds.push_back(total);
+    TMU_ASSERT(part.bounds.size() ==
+               static_cast<size_t>(cores) + 1);
+
+    part.rowsAssigned.resize(static_cast<size_t>(cores));
+    part.nnzAssigned.resize(static_cast<size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+        const auto [b, e] = part.range(c);
+        part.rowsAssigned[static_cast<size_t>(c)] =
+            static_cast<std::uint64_t>(e - b);
+        part.nnzAssigned[static_cast<size_t>(c)] =
+            prefix != nullptr
+                ? static_cast<std::uint64_t>(prefix[e] - prefix[b])
+                : static_cast<std::uint64_t>(e - b);
+    }
+    return part;
+}
+
+} // namespace tmu::workloads

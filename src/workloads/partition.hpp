@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The shared work-distribution layer: every registry workload splits
+ * its iteration space over the simulated cores through one of these
+ * strategies instead of a hand-rolled per-file partition() copy. A
+ * strategy produces one contiguous [begin, end) span per core — the
+ * shape the einsum frontend's CompileOptions{beg, end} slicing (and
+ * the traced baselines) can consume directly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace tmu::workloads {
+
+/** Work-distribution strategy over a workload's outer dimension. */
+enum class PartitionKind {
+    /**
+     * Equal index ranges: ceil(total/cores) units per core. The
+     * historical default — reproduces the old inline partition()
+     * bounds exactly, so default runs stay cycle-identical.
+     */
+    Rows,
+    /**
+     * Nnz-balanced contiguous spans: the optimal min-max partition
+     * of the row-pointer prefix sums (binary search on the per-core
+     * cap, greedy feasibility), so no core's nnz load exceeds the
+     * provably minimal peak. Falls back to Rows when the outer
+     * dimension has no prefix structure (dense loops, COO nnz spans
+     * that are already element-balanced).
+     */
+    NnzBalanced,
+    /**
+     * Hierarchical 2D tiling: Pr row bands x Pc subsplits with
+     * Pr*Pc == cores and Pr the divisor nearest sqrt(cores). Bands
+     * are equal-rows; each band is nnz-split among its Pc cores.
+     * Still one contiguous row span per core — the frontend cannot
+     * slice columns (see docs/SCALING.md) — but localizes each
+     * band's working set to a core cluster.
+     */
+    Tiles2D,
+};
+
+/** CLI/JSON name of a strategy ("rows", "nnz", "tiles2d"). */
+const char *partitionKindName(PartitionKind kind);
+
+/** All strategies, in stable sweep order. */
+std::vector<PartitionKind> partitionKinds();
+
+/** Parse a --partition value; UnknownName lists the valid set. */
+Expected<PartitionKind> parsePartitionKind(const std::string &name);
+
+/**
+ * One run's work distribution: cores+1 monotone bounds over
+ * [0, total], plus the per-core load actually assigned (for the
+ * cores.balance.* stats).
+ */
+struct Partition
+{
+    PartitionKind kind = PartitionKind::Rows;
+    int cores = 1;
+    Index total = 0;
+    /** bounds[c] .. bounds[c+1] is core c's span; size cores+1. */
+    std::vector<Index> bounds;
+    /** Outer units (rows) assigned per core; size cores. */
+    std::vector<std::uint64_t> rowsAssigned;
+    /**
+     * Work units assigned per core: prefix-weighted (nnz) when the
+     * strategy saw a prefix array, outer units otherwise.
+     */
+    std::vector<std::uint64_t> nnzAssigned;
+
+    /** Core @p c's [begin, end) span. */
+    std::pair<Index, Index> range(int c) const
+    {
+        return {bounds[static_cast<size_t>(c)],
+                bounds[static_cast<size_t>(c) + 1]};
+    }
+
+    /** Max over mean per-core assigned work (1.0 = perfectly even). */
+    double imbalanceRatio() const;
+};
+
+/**
+ * Split [0, total) over @p cores. @p prefix is the row-pointer prefix
+ * array of length total+1 (CsrMatrix::ptrs().data()) used by the
+ * nnz-weighted strategies; pass nullptr for unweighted loops and any
+ * strategy degrades to its Rows fallback. Every unit lands in exactly
+ * one span (tests pin this invariant).
+ */
+Partition makePartition(PartitionKind kind, Index total,
+                        const Index *prefix, int cores);
+
+} // namespace tmu::workloads

@@ -84,8 +84,10 @@ SddmmWorkload::run(const RunConfig &cfg)
     fb.csr["A"] = &a_;
     fb.mat["B"] = &b_;
     fb.mat["C"] = &c_;
+    const Partition part =
+        h.makeRunPartition(a_.rows(), a_.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         plan::PlanState &st = out[static_cast<size_t>(c)];
         // Exact-capacity reserves keep collector addresses stable
         // (see sim/addrspace.hpp); the output pattern is A's.
@@ -111,7 +113,7 @@ SddmmWorkload::run(const RunConfig &cfg)
     RunResult res = h.finish();
     res.verified = true;
     for (int c = 0; c < cores && res.verified; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         const plan::PlanState &st = out[static_cast<size_t>(c)];
         if (st.rowNnz.size() != static_cast<size_t>(end - beg) ||
             st.idxs.size() !=
@@ -180,8 +182,10 @@ SpmmWorkload::run(const RunConfig &cfg)
     plan::frontend::EinsumBindings fb;
     fb.csr["A"] = &a_;
     fb.mat["B"] = &b_;
+    const Partition part =
+        h.makeRunPartition(a_.rows(), a_.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         plan::PlanState &st = out[static_cast<size_t>(c)];
         // Every non-empty A row emits a full dense output row.
         size_t nonEmpty = 0;
@@ -207,7 +211,7 @@ SpmmWorkload::run(const RunConfig &cfg)
     RunResult res = h.finish();
     res.verified = true;
     for (int c = 0; c < cores && res.verified; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         const plan::PlanState &st = out[static_cast<size_t>(c)];
         if (st.rowNnz.size() != static_cast<size_t>(end - beg)) {
             res.verified = false;
@@ -289,8 +293,10 @@ SpmmScatterWorkload::run(const RunConfig &cfg)
             sim::addrOf(a_.idxs().data(), 0),
             a_.idxs().size() * sizeof(Index));
     }
+    const Partition part =
+        h.makeRunPartition(a_.rows(), a_.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         plan::frontend::EinsumBindings fb;
         fb.csr["A"] = &a_;
         fb.mat["B"] = &b_;

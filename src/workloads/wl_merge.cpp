@@ -63,8 +63,10 @@ runKAdd(const RunConfig &cfg,
     // Baseline row starts, for rebuilding row coordinates afterwards.
     std::vector<Index> rowBeg(static_cast<size_t>(cores), 0);
 
+    // Balance on the merged output's nnz structure (ref row pointers).
+    const Partition part = h.makeRunPartition(rows, ref.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(rows, cores, c);
+        const auto [beg, end] = part.range(c);
         plan::PlanState &st = out[static_cast<size_t>(c)];
         // Reserve the exact output size so the collectors never
         // reallocate mid-run: their addresses enter the timing
@@ -171,8 +173,10 @@ SpaddWorkload::run(const RunConfig &cfg)
         std::vector<Index> rowNnz;
     };
     std::vector<BaseOut> out(static_cast<size_t>(cores));
+    const Partition part =
+        h.makeRunPartition(a_.rows(), ref_.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         BaseOut &bo = out[static_cast<size_t>(c)];
         h.addBaselineTrace(c, kernels::traceSpadd(a_, b_, bo.idxs,
                                                   bo.vals, bo.rowNnz,

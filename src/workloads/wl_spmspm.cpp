@@ -50,8 +50,10 @@ SpmspmWorkload::run(const RunConfig &cfg)
             sim::addrOf(a_.idxs().data(), 0),
             a_.idxs().size() * sizeof(Index));
     }
+    const Partition part =
+        h.makeRunPartition(a_.rows(), a_.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         plan::PlanState &st = out[static_cast<size_t>(c)];
         // Stable collector bases keep the canonical address layout
         // reproducible (see sim/addrspace.hpp).
@@ -89,7 +91,7 @@ SpmspmWorkload::run(const RunConfig &cfg)
     // reference product.
     res.verified = true;
     for (int c = 0; c < cores && res.verified; ++c) {
-        const auto [beg, end] = partition(a_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         const plan::PlanState &st = out[static_cast<size_t>(c)];
         if (st.rowNnz.size() != static_cast<size_t>(end - beg)) {
             res.verified = false;
@@ -150,8 +152,10 @@ TricountWorkload::run(const RunConfig &cfg)
     const int cores = h.cores();
     std::vector<plan::PlanState> st(static_cast<size_t>(cores));
 
+    const Partition part =
+        h.makeRunPartition(l_.rows(), l_.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(l_.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         plan::PlanState &s = st[static_cast<size_t>(c)];
         plan::frontend::EinsumBindings fb;
         fb.csr["L"] = &l_;

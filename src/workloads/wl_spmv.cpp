@@ -52,8 +52,10 @@ runSpmvShaped(const RunConfig &cfg, const tensor::CsrMatrix &a,
         expr = "Z(i) = A(i,j; csr) * B(j; dense)";
         fb.vec["B"] = &b;
     }
+    const Partition part =
+        h.makeRunPartition(a.rows(), a.ptrs().data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(a.rows(), cores, c);
+        const auto [beg, end] = part.range(c);
         plan::frontend::CompileOptions fo;
         fo.lanes = cfg.programLanes;
         fo.beg = beg;

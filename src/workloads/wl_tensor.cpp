@@ -91,8 +91,11 @@ runMttkrpOnce(const RunConfig &cfg, const CooTensor &t,
 
     std::vector<plan::PlanState> st(static_cast<size_t>(cores));
 
+    // COO element spans are already element-balanced; the strategies
+    // that weight by prefix sums degrade to the same equal split.
+    const Partition part = h.makeRunPartition(t.nnz(), nullptr);
     for (int core = 0; core < cores; ++core) {
-        const auto [beg, end] = partition(t.nnz(), cores, core);
+        const auto [beg, end] = part.range(core);
         DenseMatrix &z = zPerCore[static_cast<size_t>(core)];
         plan::frontend::EinsumBindings fb;
         fb.coo["A"] = &t;
@@ -224,8 +227,11 @@ SptcWorkload::run(const RunConfig &cfg)
     std::vector<std::vector<Index>> baseCounts(
         static_cast<size_t>(cores));
 
+    // Weight root spans by their child counts (CSF level-0 pointers).
+    const Partition part =
+        h.makeRunPartition(roots, a_.ptrs(0).data());
     for (int c = 0; c < cores; ++c) {
-        const auto [beg, end] = partition(roots, cores, c);
+        const auto [beg, end] = part.range(c);
         if (cfg.mode == Mode::Baseline) {
             auto &counts = baseCounts[static_cast<size_t>(c)];
             counts.assign(static_cast<size_t>(roots), 0);
@@ -272,7 +278,7 @@ SptcWorkload::run(const RunConfig &cfg)
     RunResult res = h.finish();
     res.verified = true;
     for (int c = 0; c < cores && res.verified; ++c) {
-        const auto [beg, end] = partition(roots, cores, c);
+        const auto [beg, end] = part.range(c);
         for (Index r = beg; r < end; ++r) {
             const Index want = ref_[static_cast<size_t>(r)];
             const Index got =
@@ -336,9 +342,10 @@ CpalsWorkload::run(const RunConfig &cfg)
             RunConfig denseCfg = cfg;
             denseCfg.mode = Mode::Baseline;
             RunHarness h(denseCfg);
+            const Partition densePart =
+                h.makeRunPartition(t_.dim(mode), nullptr);
             for (int c = 0; c < cfg.system.cores; ++c) {
-                const auto [beg, end] =
-                    partition(t_.dim(mode), cfg.system.cores, c);
+                const auto [beg, end] = densePart.range(c);
                 h.addBaselineTrace(
                     c, kernels::traceCpalsDense(rank, end - beg,
                                                 h.simd()));

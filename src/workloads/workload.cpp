@@ -182,6 +182,40 @@ RunHarness::finish()
     }
     if (cfg_.faults != nullptr)
         cfg_.faults->registerStats(reg, "faults.");
+    if (!partition_.bounds.empty()) {
+        // Load-balance family of the run's work distribution: how much
+        // the chosen --partition strategy actually evened out the work.
+        const Partition &p = partition_;
+        std::uint64_t nnz = 0, rows = 0;
+        for (int c = 0; c < p.cores; ++c) {
+            nnz += p.nnzAssigned[static_cast<size_t>(c)];
+            rows += p.rowsAssigned[static_cast<size_t>(c)];
+        }
+        reg.scalarU64("cores.balance.nnzAssigned",
+                      "work units distributed over the cores",
+                      [nnz] { return nnz; });
+        reg.scalarU64("cores.balance.rowsAssigned",
+                      "outer iterations distributed over the cores",
+                      [rows] { return rows; });
+        const double ratio = p.imbalanceRatio();
+        reg.formula("cores.balance.imbalanceRatio",
+                    "max over mean per-core assigned work",
+                    [ratio] { return ratio; });
+        for (int c = 0; c < p.cores; ++c) {
+            const std::string cp =
+                "core" + std::to_string(c) + ".balance.";
+            const std::uint64_t cn =
+                p.nnzAssigned[static_cast<size_t>(c)];
+            const std::uint64_t cr =
+                p.rowsAssigned[static_cast<size_t>(c)];
+            reg.scalarU64(cp + "nnzAssigned",
+                          "work units assigned to this core",
+                          [cn] { return cn; });
+            reg.scalarU64(cp + "rowsAssigned",
+                          "outer iterations assigned to this core",
+                          [cr] { return cr; });
+        }
+    }
     res.stats = reg.snapshot();
     return res;
 }

@@ -20,6 +20,7 @@
 #include "sim/system.hpp"
 #include "tmu/engine.hpp"
 #include "tmu/outq.hpp"
+#include "workloads/partition.hpp"
 
 namespace tmu::workloads {
 
@@ -41,6 +42,12 @@ struct RunConfig
      * Fig. 15 Single-Lane comparator.
      */
     int programLanes = 8;
+
+    /**
+     * Work-distribution strategy over the cores (see partition.hpp).
+     * Rows reproduces the historical equal-span split exactly.
+     */
+    PartitionKind partition = PartitionKind::Rows;
 
     /**
      * Optional timeline tracer (borrowed; must outlive the run). Cores
@@ -111,7 +118,13 @@ class Workload
     virtual std::vector<std::string> inputs() const = 0;
 };
 
-/** [begin, end) slice of @p total handed to core @p c of @p cores. */
+/**
+ * [begin, end) slice of @p total handed to core @p c of @p cores —
+ * the historical equal-span split, now a thin shim over the shared
+ * PartitionKind::Rows strategy (see partition.hpp). Workloads route
+ * through RunConfig::partition; this remains for callers that need a
+ * quick unweighted split.
+ */
 inline std::pair<Index, Index>
 partition(Index total, int cores, int c)
 {
@@ -149,6 +162,25 @@ class RunHarness
         return sim::SimdConfig{cfg_.system.simdBits};
     }
 
+    /**
+     * Record the run's work distribution so finish() can register the
+     * cores.balance.{nnzAssigned,rowsAssigned,imbalanceRatio} stats
+     * (aggregate plus per-core). Optional: runs that never split work
+     * (single-phase dense loops) simply skip the stat family.
+     */
+    void setPartition(const Partition &part) { partition_ = part; }
+
+    /**
+     * Build this run's partition from RunConfig::partition and record
+     * it for the balance stats in one step.
+     */
+    Partition makeRunPartition(Index total, const Index *prefix)
+    {
+        setPartition(makePartition(cfg_.partition, total, prefix,
+                                   cfg_.system.cores));
+        return partition_;
+    }
+
     /** Attach a baseline trace to core @p c. */
     void addBaselineTrace(int c, sim::Trace trace);
 
@@ -161,6 +193,7 @@ class RunHarness
 
   private:
     RunConfig cfg_;
+    Partition partition_; //!< empty bounds until setPartition()
     std::unique_ptr<sim::System> system_;
     std::vector<std::unique_ptr<sim::CoroutineSource>> traces_;
     std::vector<std::unique_ptr<engine::TmuEngine>> engines_;

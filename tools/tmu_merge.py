@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Merge tmu_run --shard outputs back into unsharded files.
+
+A sweep sharded with ``tmu_run --shard i/N`` writes, per shard, the
+same export formats as an unsharded run but containing only that
+shard's tasks. This tool splices the shard files back together so the
+result is byte-identical to what the unsharded invocation would have
+written:
+
+  tmu_merge.py json  -o merged.json s0.json s1.json ...
+  tmu_merge.py csv   -o merged.csv  s0.csv  s1.csv  ...
+  tmu_merge.py journal -o merged.jnl s0.jnl s1.jnl ...
+
+Byte-identity strategy: JSON workload objects are spliced as verbatim
+substrings of the shard files (never re-serialized, so C++ number
+formatting survives), ordered by the task list recorded in
+meta.workload; CSV rows are regrouped by workload in the same order;
+journal records are re-ordered by their global task index under a
+single header line (matching a --jobs 1 unsharded run). The shards
+must come from the same sweep: meta (JSON), header (CSV) and
+fingerprint (journal) are cross-checked and any mismatch is an error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    sys.stderr.write("tmu_merge: %s\n" % msg)
+    sys.exit(2)
+
+
+def scan_object(text, start):
+    """Return the end index (exclusive) of the JSON value starting at
+    text[start] == '{', honoring strings and escapes."""
+    assert text[start] == "{"
+    depth = 0
+    i = start
+    in_str = False
+    while i < len(text):
+        c = text[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+        elif c == '"':
+            in_str = True
+        elif c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    fail("unterminated JSON object")
+
+
+def split_top_level(text):
+    """Split the inside of a JSON object into verbatim
+    '"key":<value>' fragments keyed by name."""
+    frags = {}
+    i = 0
+    while i < len(text):
+        if text[i] != '"':
+            i += 1
+            continue
+        j = i + 1
+        while text[j] != '"':  # keys here never contain escapes
+            j += 1
+        key = text[i + 1:j]
+        assert text[j + 1] == ":"
+        end = scan_object(text, j + 2)
+        if key in frags:
+            fail("duplicate workload '%s' in one shard; sweeps with "
+                 "repeated workload names cannot be sharded" % key)
+        frags[key] = text[i:end]
+        i = end + 1  # skip the separating comma
+    return frags
+
+
+def merge_json(paths, out):
+    metas, frags = [], {}
+    for path in paths:
+        text = open(path, "r", encoding="utf-8").read()
+        key = '"workloads":'
+        pos = text.find(key)
+        if pos < 0:
+            fail("%s: no workloads object" % path)
+        metas.append(text[:pos])
+        end = scan_object(text, pos + len(key))
+        inner = text[pos + len(key) + 1:end - 1]
+        for name, frag in split_top_level(inner).items():
+            if name in frags:
+                fail("workload '%s' present in more than one shard"
+                     % name)
+            frags[name] = frag
+    if len(set(metas)) != 1:
+        fail("shard meta blocks differ; the shards are not from the "
+             "same sweep invocation")
+    meta = json.loads(metas[0] + '"workloads":{}}')["meta"]
+    order = [w for w in meta["workload"].split(",") if w]
+    missing = [w for w in order if w not in frags]
+    if missing:
+        fail("missing shard output for workload(s): %s (pass every "
+             "shard file)" % ", ".join(missing))
+    body = ",".join(frags[w] for w in order)
+    out.write(metas[0] + '"workloads":{' + body + "}}")
+
+
+def merge_csv(paths, out):
+    header = None
+    blocks = {}  # workload name -> rows in shard order
+    order_hint = []
+    for path in paths:
+        lines = open(path, "r", encoding="utf-8").read().splitlines()
+        if not lines:
+            fail("%s: empty CSV" % path)
+        if header is None:
+            header = lines[0]
+        elif header != lines[0]:
+            fail("%s: CSV header differs between shards" % path)
+        for line in lines[1:]:
+            name = line.split(",", 1)[0]
+            blocks.setdefault(name, []).append(line)
+            if not order_hint or order_hint[-1] != name:
+                order_hint.append(name)
+    # Prefer the task order recorded in a sibling JSON if present on
+    # the command line via --order, else first-seen order per shard
+    # cannot reconstruct the global order — require --order then.
+    out.write(header + "\n")
+    for name in merge_csv.order or order_hint:
+        for line in blocks.pop(name, []):
+            out.write(line + "\n")
+    for name, lines in blocks.items():
+        for line in lines:
+            out.write(line + "\n")
+
+
+merge_csv.order = None
+
+
+def merge_journal(paths, out):
+    header = None
+    records = []
+    for path in paths:
+        lines = open(path, "r", encoding="utf-8").read().splitlines()
+        if not lines:
+            fail("%s: empty journal" % path)
+        if header is None:
+            header = lines[0]
+        elif header != lines[0]:
+            fail("%s: journal fingerprint differs between shards "
+                 "(not the same sweep)" % path)
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            records.append((json.loads(line)["index"], line))
+    records.sort(key=lambda r: r[0])
+    out.write(header + "\n")
+    for _, line in records:
+        out.write(line + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="merge tmu_run --shard outputs")
+    ap.add_argument("kind", choices=["json", "csv", "journal"])
+    ap.add_argument("shards", nargs="+", help="per-shard files")
+    ap.add_argument("-o", "--output", required=True)
+    ap.add_argument("--order",
+                    help="comma-separated task order for csv mode "
+                         "(defaults to the order tasks appear across "
+                         "the shard files); json mode reads the order "
+                         "from meta.workload")
+    args = ap.parse_args()
+
+    with open(args.output, "w", encoding="utf-8", newline="") as out:
+        if args.kind == "json":
+            merge_json(args.shards, out)
+        elif args.kind == "csv":
+            merge_csv.order = (
+                [w for w in args.order.split(",") if w]
+                if args.order else None)
+            merge_csv(args.shards, out)
+        else:
+            merge_journal(args.shards, out)
+
+
+if __name__ == "__main__":
+    main()

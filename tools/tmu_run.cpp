@@ -11,6 +11,16 @@
  *     --mode M          baseline|tmu|both               (default both)
  *     --scale N         input scale divisor             (default 128)
  *     --cores N         simulated cores                 (default 8)
+ *     --mesh WxH        NoC mesh geometry               (default 4x4;
+ *                       rectangular meshes allowed, see docs/SCALING.md)
+ *     --llc-slices N    shared LLC slice count          (default 8)
+ *     --mem-channels N  HBM channel count               (default preset's)
+ *     --partition S     work distribution over the cores:
+ *                       rows|nnz|tiles2d                (default rows)
+ *     --shard i/N       run only the i-th of N deterministic sweep
+ *                       shards (stable task-name hash split); merge
+ *                       shard outputs with tools/tmu_merge.py into
+ *                       byte-identical unsharded files
  *     --lanes N         TMU program lanes               (default 8)
  *     --sve BITS        vector width 128|256|512        (default 512)
  *     --preset NAME     system preset (neoverse-n1|a64fx|graviton3)
@@ -235,6 +245,12 @@ struct SweepTask
     WorkloadOutcome outcome;
     std::unique_ptr<Workload> wl; //!< null when not (re-)running
     RunConfig cfg;
+    /**
+     * Position in the *full* command-line task list, independent of
+     * any --shard filtering — journal records carry this index so
+     * shard journals merge back into the unsharded record stream.
+     */
+    std::size_t globalIndex = 0;
     int tracePidBase = 0; //!< assigned serially: stable for any jobs
     bool fromJournal = false; //!< replayed, not executed, this run
     std::string output;
@@ -451,7 +467,10 @@ usage(const char *argv0)
     std::fprintf(stderr, "usage: %s [--workload N1,N2,...] "
                          "[--input ID] "
                          "[--mode baseline|tmu|both] [--scale N] "
-                         "[--cores N] [--lanes N] [--sve BITS] "
+                         "[--cores N] [--mesh WxH] [--llc-slices N] "
+                         "[--mem-channels N] [--partition S] "
+                         "[--shard i/N] "
+                         "[--lanes N] [--sve BITS] "
                          "[--preset NAME] [--storage BYTES] "
                          "[--jobs N] [--imp] "
                          "[--tlb] [--shrink-caches] "
@@ -579,6 +598,11 @@ main(int argc, char **argv)
     std::string mode = "both";
     Index scale = 128;
     int cores = 8;
+    std::string meshSpec;
+    int llcSlices = 0;   // 0: keep the preset's slice count
+    int memChannels = 0; // 0: keep the preset's channel count
+    std::string partitionName = "rows";
+    std::string shardSpec;
     int lanes = 8;
     int sve = 512;
     std::size_t storage = 2048;
@@ -634,8 +658,23 @@ main(int argc, char **argv)
             strFlag("--resume", resumePath) ||
             strFlag("--plan-dump", planDump) ||
             strFlag("--einsum", einsumExpr) ||
+            strFlag("--mesh", meshSpec) ||
+            strFlag("--partition", partitionName) ||
+            strFlag("--shard", shardSpec) ||
             strFlag("--fault-spec", faultSpecText))
             continue;
+        if (strFlag("--llc-slices", num)) {
+            llcSlices = std::atoi(num.c_str());
+            if (llcSlices < 1)
+                usage(argv[0]);
+            continue;
+        }
+        if (strFlag("--mem-channels", num)) {
+            memChannels = std::atoi(num.c_str());
+            if (memChannels < 1)
+                usage(argv[0]);
+            continue;
+        }
         if (strFlag("--fault-seed", num)) {
             faultSeed = std::strtoull(num.c_str(), nullptr, 10);
             continue;
@@ -748,6 +787,52 @@ main(int argc, char **argv)
         }
         sysCfg = *p;
     }
+    if (!meshSpec.empty()) {
+        auto mesh = sim::parseMeshSpec(meshSpec);
+        if (!mesh) {
+            std::fprintf(stderr, "tmu_run: %s\n",
+                         mesh.error().str().c_str());
+            return kExitBadArgs;
+        }
+        sysCfg.mem.meshW = mesh->first;
+        sysCfg.mem.meshH = mesh->second;
+    }
+    if (llcSlices > 0)
+        sysCfg.mem.llcSlices = llcSlices;
+    if (memChannels > 0)
+        sysCfg.mem.memChannels = memChannels;
+    auto partitionE = parsePartitionKind(partitionName);
+    if (!partitionE) {
+        std::fprintf(stderr, "tmu_run: %s\n",
+                     partitionE.error().str().c_str());
+        return kExitBadArgs;
+    }
+    const PartitionKind partitionKind = *partitionE;
+
+    // --shard i/N: this invocation owns the tasks whose name hashes to
+    // residue i. The split is a pure function of the task name, so the
+    // same sweep sharded any way always lands each task on exactly one
+    // shard, and shard outputs merge byte-identically (tmu_merge.py).
+    int shardIndex = 0, shardCount = 1;
+    if (!shardSpec.empty()) {
+        const std::size_t slash = shardSpec.find('/');
+        if (slash == std::string::npos) {
+            std::fprintf(stderr,
+                         "tmu_run: --shard wants i/N, got '%s'\n",
+                         shardSpec.c_str());
+            return kExitBadArgs;
+        }
+        shardIndex = std::atoi(shardSpec.substr(0, slash).c_str());
+        shardCount = std::atoi(shardSpec.substr(slash + 1).c_str());
+        if (shardCount < 1 || shardIndex < 0 ||
+            shardIndex >= shardCount) {
+            std::fprintf(stderr,
+                         "tmu_run: --shard index must be in [0, N), "
+                         "got '%s'\n",
+                         shardSpec.c_str());
+            return kExitBadArgs;
+        }
+    }
 
     const std::vector<std::string> names = splitList(workloadArg);
     if (names.empty())
@@ -781,6 +866,13 @@ main(int argc, char **argv)
         {"mode", mode},
         {"scale", std::to_string(scale)},
         {"cores", std::to_string(cores)},
+        // Topology and partitioning shape every result; --shard is
+        // excluded like --jobs (it only picks which tasks run here).
+        {"mesh", std::to_string(sysCfg.mem.meshW) + "x" +
+                     std::to_string(sysCfg.mem.meshH)},
+        {"llcSlices", std::to_string(sysCfg.mem.llcSlices)},
+        {"memChannels", std::to_string(sysCfg.mem.memChannels)},
+        {"partition", partitionKindName(partitionKind)},
         {"lanes", std::to_string(lanes)},
         {"sve", std::to_string(sve)},
         {"storage", std::to_string(storage)},
@@ -848,8 +940,14 @@ main(int argc, char **argv)
     bool bannerShown = false;
     for (std::size_t idx = 0; idx < names.size(); ++idx) {
         const std::string &workload = names[idx];
+        if (shardCount > 1 &&
+            mixSeed(0, workload) % static_cast<std::uint64_t>(
+                                       shardCount) !=
+                static_cast<std::uint64_t>(shardIndex))
+            continue; // another shard's task
         SweepTask task;
         task.outcome.name = workload;
+        task.globalIndex = idx;
 
         const sim::TaskRecord *rec = nullptr;
         for (const sim::TaskRecord &r : resumedRecords) {
@@ -933,6 +1031,7 @@ main(int argc, char **argv)
         cfg.system.memBudgetBytes = memBudgetMb << 20;
         if (shrink)
             cfg.system = shrinkCaches(cfg.system, scale);
+        cfg.partition = partitionKind;
         cfg.programLanes = lanes;
         cfg.tmu.lanes = std::max(lanes, 1);
         cfg.tmu.perLaneBytes = storage;
@@ -1113,7 +1212,7 @@ main(int argc, char **argv)
         // it from scratch.
         if (journal.isOpen() && st != sim::TaskStatus::Interrupted) {
             sim::TaskRecord rec;
-            rec.index = idx;
+            rec.index = task.globalIndex;
             rec.task = wo.name;
             rec.input = wo.input;
             rec.status = wo.status;
@@ -1173,6 +1272,14 @@ main(int argc, char **argv)
         {"mode", mode},
         {"scale", std::to_string(scale)},
         {"cores", std::to_string(cores)},
+        // Note: --shard is deliberately absent — shard exports carry
+        // the same meta as the unsharded sweep so tmu_merge.py can
+        // splice them into byte-identical unsharded output.
+        {"mesh", std::to_string(sysCfg.mem.meshW) + "x" +
+                     std::to_string(sysCfg.mem.meshH)},
+        {"llcSlices", std::to_string(sysCfg.mem.llcSlices)},
+        {"memChannels", std::to_string(sysCfg.mem.memChannels)},
+        {"partition", partitionKindName(partitionKind)},
         {"lanes", std::to_string(lanes)},
         {"sve", std::to_string(sve)},
         {"faultSpec", faultSpecText},
